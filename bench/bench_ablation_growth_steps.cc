@@ -1,0 +1,86 @@
+// Reproduces the Section 4.2.1 argument: spider assembly reaches large
+// patterns in far fewer growth steps than edge-by-edge (incremental)
+// growth. The paper's toy arithmetic: 4 patterns of size 24 assembled
+// from 6 spiders of size 10 take 60 + 12 = 72 steps vs 96 incremental
+// steps (a 25% saving); measured here on real mining runs by comparing
+// SpiderMine's spider-append count against the complete miner's
+// edge-extension count to reach the same largest pattern.
+//
+// Output rows: scenario,metric,value
+
+#include <cstdio>
+
+#include "baselines/complete_miner.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+
+int main() {
+  using namespace spidermine;
+  using namespace spidermine::bench;
+  Banner("Section 4.2.1 (ablation)",
+         "growth-step economy: spider assembly vs edge-by-edge growth");
+  std::printf("scenario,metric,value\n");
+
+  // The paper's toy arithmetic, reproduced exactly.
+  {
+    const int spiders = 6, spider_size = 10, patterns = 4,
+              spiders_per_pattern = 3;
+    const double overlap = 0.2;
+    const int pattern_size = static_cast<int>(
+        spider_size * spiders_per_pattern * (1.0 - overlap));
+    const int incremental = pattern_size * patterns;
+    const int assembly =
+        spiders * spider_size + patterns * spiders_per_pattern;
+    std::printf("toy,pattern_size,%d\n", pattern_size);
+    std::printf("toy,incremental_steps,%d\n", incremental);
+    std::printf("toy,assembly_steps,%d\n", assembly);
+    std::printf("toy,saving_percent,%.1f\n",
+                100.0 * (incremental - assembly) / incremental);
+  }
+
+  // Measured: same planted-pattern instance mined both ways.
+  Rng rng(4242);
+  GraphBuilder builder = GenerateErdosRenyi(400, 2.0, 40, &rng);
+  Pattern large = RandomConnectedPattern(24, 0.1, 40, &rng);
+  PatternInjector injector(&builder);
+  if (!injector.Inject(large, 2, &rng).ok()) return 1;
+  LabeledGraph graph = std::move(builder.Build()).value();
+
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 5;
+  config.dmax = 8;
+  config.vmin = 24;
+  config.rng_seed = 5;
+  config.time_budget_seconds = 90;
+  MineResult mined;
+  double sm_seconds = RunSpiderMine(graph, config, &mined);
+  std::printf("measured,spidermine_largest_vertices,%d\n",
+              LargestVertices(mined.patterns));
+  std::printf("measured,spidermine_spider_appends,%lld\n",
+              static_cast<long long>(mined.stats.growth_steps));
+  std::printf("measured,spidermine_seconds,%.3f\n", sm_seconds);
+
+  CompleteMinerConfig complete_config;
+  complete_config.min_support = 2;
+  complete_config.time_budget_seconds = 90;
+  complete_config.max_patterns = 500000;
+  WallTimer timer;
+  Result<CompleteMineResult> complete = MineComplete(graph, complete_config);
+  if (complete.ok()) {
+    int32_t largest = 0;
+    for (const CompletePattern& p : complete->patterns) {
+      largest = std::max(largest, p.pattern.NumVertices());
+    }
+    std::printf("measured,complete_largest_vertices,%d\n", largest);
+    std::printf("measured,complete_edge_expansions,%lld\n",
+                static_cast<long long>(complete->expansions));
+    std::printf("measured,complete_seconds,%.3f\n", timer.ElapsedSeconds());
+    std::printf("measured,complete_aborted,%d\n", complete->aborted ? 1 : 0);
+  }
+  return 0;
+}

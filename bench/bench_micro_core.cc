@@ -1,0 +1,114 @@
+// Google-benchmark micro benchmarks for the library's hot kernels:
+// canonical DFS codes, VF2 embedding search, spider-set computation,
+// support measures and Stage I star mining. These are the operations the
+// figure-level benches compose; tracking them isolates regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+#include "pattern/dfs_code.h"
+#include "pattern/spider_set.h"
+#include "pattern/vf2.h"
+#include "spider/star_miner.h"
+#include "support/support_measure.h"
+
+namespace spidermine {
+namespace {
+
+void BM_MinimumDfsCode(benchmark::State& state) {
+  Rng rng(42);
+  Pattern p = RandomConnectedPattern(static_cast<int32_t>(state.range(0)),
+                                     0.3, 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimumDfsCode(p));
+  }
+  state.SetLabel("pattern vertices");
+}
+BENCHMARK(BM_MinimumDfsCode)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_SpiderSetCompute(benchmark::State& state) {
+  Rng rng(43);
+  Pattern p = RandomConnectedPattern(static_cast<int32_t>(state.range(0)),
+                                     0.3, 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpiderSetRepr::Compute(p, 1));
+  }
+}
+BENCHMARK(BM_SpiderSetCompute)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_SpiderSetVsFullIso(benchmark::State& state) {
+  // The filter-vs-exact-test tradeoff the paper's Sec. 4.2.2 motivates.
+  Rng rng(44);
+  Pattern a = RandomConnectedPattern(12, 0.3, 2, &rng);
+  Pattern b = RandomConnectedPattern(12, 0.3, 2, &rng);
+  if (state.range(0) == 0) {
+    SpiderSetRepr ra = SpiderSetRepr::Compute(a, 1);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(SpiderSetRepr::Compute(b, 1) == ra);
+    }
+    state.SetLabel("spider-set compare");
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ArePatternsIsomorphic(a, b));
+    }
+    state.SetLabel("exact isomorphism");
+  }
+}
+BENCHMARK(BM_SpiderSetVsFullIso)->Arg(0)->Arg(1);
+
+void BM_Vf2FindEmbeddings(benchmark::State& state) {
+  Rng rng(45);
+  LabeledGraph g = std::move(
+      GenerateErdosRenyi(state.range(0), 3.0, 10, &rng).Build())
+          .value();
+  Pattern p = RandomConnectedPattern(4, 0.0, 10, &rng);
+  Vf2Options options;
+  options.max_embeddings = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindEmbeddings(p, g, options));
+  }
+}
+BENCHMARK(BM_Vf2FindEmbeddings)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_SupportMeasures(benchmark::State& state) {
+  Rng rng(46);
+  LabeledGraph g = std::move(
+      GenerateErdosRenyi(2000, 3.0, 6, &rng).Build())
+          .value();
+  Pattern p = RandomConnectedPattern(3, 0.0, 6, &rng);
+  Vf2Options options;
+  options.max_embeddings = 2000;
+  std::vector<Embedding> embeddings = FindEmbeddings(p, g, options);
+  auto kind = static_cast<SupportMeasureKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSupport(kind, p, embeddings));
+  }
+  state.SetLabel(std::string(SupportMeasureName(kind)));
+}
+BENCHMARK(BM_SupportMeasures)
+    ->Arg(static_cast<int>(SupportMeasureKind::kEmbeddingCount))
+    ->Arg(static_cast<int>(SupportMeasureKind::kMinImage))
+    ->Arg(static_cast<int>(SupportMeasureKind::kGreedyMisVertex))
+    ->Arg(static_cast<int>(SupportMeasureKind::kGreedyMisEdge));
+
+void BM_StarMining(benchmark::State& state) {
+  Rng rng(47);
+  LabeledGraph g = std::move(
+      GenerateErdosRenyi(state.range(0), 3.0, 50, &rng).Build())
+          .value();
+  StarMinerConfig config;
+  config.min_support = 2;
+  config.max_leaves = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineStarSpiders(g, config));
+  }
+}
+BENCHMARK(BM_StarMining)->Arg(1000)->Arg(5000)->Arg(20000);
+
+}  // namespace
+}  // namespace spidermine
+
+BENCHMARK_MAIN();

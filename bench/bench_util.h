@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary prints a header describing the paper artifact it regenerates,
+// then CSV rows of the same series the paper plots. Absolute numbers
+// differ from the paper (hardware + Java vs C++); EXPERIMENTS.md records
+// the shape comparison.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/labeled_graph.h"
+#include "spidermine/config.h"
+#include "spidermine/miner.h"
+
+namespace spidermine::bench {
+
+/// Prints the bench banner.
+inline void Banner(const char* artifact, const char* description) {
+  std::printf("# === %s ===\n# %s\n", artifact, description);
+}
+
+/// Timed SpiderMine run; returns total seconds and fills \p out.
+inline double RunSpiderMine(const LabeledGraph& graph, MineConfig config,
+                            MineResult* out) {
+  WallTimer timer;
+  SpiderMiner miner(&graph, config);
+  Result<MineResult> result = miner.Mine();
+  double seconds = timer.ElapsedSeconds();
+  if (result.ok()) *out = std::move(result).value();
+  return seconds;
+}
+
+/// Histogram of pattern sizes (key = |V|), as the distribution figures use.
+inline std::map<int32_t, int32_t> SizeDistribution(
+    const std::vector<MinedPattern>& patterns) {
+  std::map<int32_t, int32_t> hist;
+  for (const MinedPattern& p : patterns) ++hist[p.NumVertices()];
+  return hist;
+}
+
+/// Prints a size histogram as rows: algo,size,count.
+inline void PrintDistribution(const char* algo,
+                              const std::map<int32_t, int32_t>& hist) {
+  for (const auto& [size, count] : hist) {
+    std::printf("%s,%d,%d\n", algo, size, count);
+  }
+}
+
+/// Largest |V| over the returned patterns (0 when empty).
+inline int32_t LargestVertices(const std::vector<MinedPattern>& patterns) {
+  int32_t best = 0;
+  for (const MinedPattern& p : patterns) {
+    best = std::max(best, p.NumVertices());
+  }
+  return best;
+}
+
+/// Largest |E| over the returned patterns (0 when empty).
+inline int32_t LargestEdges(const std::vector<MinedPattern>& patterns) {
+  int32_t best = 0;
+  for (const MinedPattern& p : patterns) best = std::max(best, p.NumEdges());
+  return best;
+}
+
+}  // namespace spidermine::bench

@@ -1,0 +1,109 @@
+// Social-network scenario (paper Sec. C.2, "DBLP"): mine large
+// collaborative patterns from a co-authorship network whose vertices are
+// authors labeled by seniority (Prolific / Senior / Junior / Beginner).
+//
+//   $ ./examples/social_network_patterns
+//
+// Uses the simulated DBLP network (see DESIGN.md Sec. 4 for the
+// substitution rationale) and contrasts SpiderMine with SUBDUE, mirroring
+// the paper's Figure 20 comparison and its Figure 22/23 discussion of
+// common vs discriminative collaborative patterns.
+
+#include <cstdio>
+
+#include "baselines/subdue.h"
+#include "gen/dblp_sim.h"
+#include "graph/degree_stats.h"
+#include "spidermine/miner.h"
+
+namespace {
+
+const char* SeniorityName(spidermine::LabelId label) {
+  switch (label) {
+    case spidermine::kProlific:
+      return "Prolific";
+    case spidermine::kSenior:
+      return "Senior";
+    case spidermine::kJunior:
+      return "Junior";
+    case spidermine::kBeginner:
+      return "Beginner";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace spidermine;
+
+  DblpSimConfig sim;
+  sim.num_authors = 3000;  // laptop-scale slice of the 6508-author graph
+  sim.target_edges = 11000;
+  sim.num_communities = 120;
+  Result<DblpDataset> data = GenerateDblpSim(sim);
+  if (!data.ok()) {
+    std::fprintf(stderr, "simulator failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  const LabeledGraph& g = data->graph;
+  std::vector<int64_t> hist = LabelHistogram(g);
+  std::printf("co-author network: %lld authors, %lld collaboration edges\n",
+              static_cast<long long>(g.NumVertices()),
+              static_cast<long long>(g.NumEdges()));
+  for (LabelId l = 0; l < g.NumLabels(); ++l) {
+    std::printf("  %-9s %lld authors\n", SeniorityName(l),
+                static_cast<long long>(hist[l]));
+  }
+
+  // Paper settings for DBLP: min support 4, K = 20, Vmin = |V|/10.
+  MineConfig config;
+  config.min_support = 4;
+  config.k = 20;
+  config.dmax = 8;
+  config.vmin = g.NumVertices() / 10;
+  config.rng_seed = 11;
+  config.time_budget_seconds = 90;
+  Result<MineResult> mined = SpiderMiner(&g, config).Mine();
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nSpiderMine: %zu large collaborative patterns "
+              "(largest |V|=%d)\n",
+              mined->patterns.size(),
+              mined->patterns.empty() ? 0
+                                      : mined->patterns.front().NumVertices());
+  int shown = 0;
+  for (const MinedPattern& p : mined->patterns) {
+    if (shown++ >= 5) break;
+    // Composition of the collaborative pattern by seniority.
+    int counts[4] = {0, 0, 0, 0};
+    for (VertexId v = 0; v < p.pattern.NumVertices(); ++v) {
+      if (p.pattern.Label(v) < 4) ++counts[p.pattern.Label(v)];
+    }
+    std::printf("  |V|=%2d |E|=%2d support=%lld  composition: %dP %dS %dJ "
+                "%dB\n",
+                p.NumVertices(), p.NumEdges(),
+                static_cast<long long>(p.support), counts[0], counts[1],
+                counts[2], counts[3]);
+  }
+
+  // SUBDUE for contrast (Figure 20: it stays on small structures).
+  SubdueConfig subdue_config;
+  subdue_config.max_expansions = 4000;
+  subdue_config.time_budget_seconds = 30;
+  Result<SubdueResult> subdue = SubdueDiscover(g, subdue_config);
+  if (subdue.ok() && !subdue->patterns.empty()) {
+    int32_t best = 0;
+    for (const SubduePattern& p : subdue->patterns) {
+      best = std::max(best, p.pattern.NumVertices());
+    }
+    std::printf("\nSUBDUE (for contrast): best substructure |V|=%d -- the "
+                "small-pattern bias the paper reports\n", best);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Software-engineering scenario (paper Sec. C.2 "Jeti" and Appendix D):
+// mine the "backbone" call-graph patterns of an instant-messaging
+// application. Vertices are methods labeled with their class; a large
+// frequent pattern is a cohesive cluster of classes whose methods call
+// each other the same way in many places -- the paper's program-
+// comprehension use case (Figure 24: GregorianCalendar / Calendar /
+// SimpleDateFormat).
+//
+//   $ ./examples/software_backbone
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "gen/callgraph_sim.h"
+#include "graph/degree_stats.h"
+#include "spidermine/miner.h"
+
+int main() {
+  using namespace spidermine;
+
+  CallGraphSimConfig sim;  // defaults match the paper's Jeti statistics
+  Result<CallGraphDataset> data = GenerateCallGraphSim(sim);
+  if (!data.ok()) {
+    std::fprintf(stderr, "simulator failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  const LabeledGraph& g = data->graph;
+  DegreeStats degrees = ComputeDegreeStats(g);
+  std::printf("call graph: %lld methods, %lld call edges, %d classes, "
+              "max degree %lld (paper: 835 / 1764 / 267 / 69)\n",
+              static_cast<long long>(g.NumVertices()),
+              static_cast<long long>(g.NumEdges()),
+              static_cast<int>(g.NumLabels()),
+              static_cast<long long>(degrees.max));
+
+  // Paper settings for Jeti: minimum support 10.
+  MineConfig config;
+  config.min_support = 10;
+  config.k = 10;
+  config.dmax = 8;
+  config.vmin = 10;
+  config.rng_seed = 23;
+  config.time_budget_seconds = 60;
+  Result<MineResult> mined = SpiderMiner(&g, config).Mine();
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nbackbone patterns (top %zu):\n", mined->patterns.size());
+  int shown = 0;
+  for (const MinedPattern& p : mined->patterns) {
+    if (shown++ >= 5) break;
+    // Cohesion report: how many distinct classes participate, and how
+    // tightly they call each other (edges per vertex).
+    std::set<LabelId> classes;
+    for (VertexId v = 0; v < p.pattern.NumVertices(); ++v) {
+      classes.insert(p.pattern.Label(v));
+    }
+    double cohesion = p.NumVertices() > 0
+                          ? static_cast<double>(p.NumEdges()) /
+                                static_cast<double>(p.NumVertices())
+                          : 0.0;
+    std::printf("  |V|=%2d |E|=%2d support=%lld classes=%zu "
+                "cohesion=%.2f edges/method\n",
+                p.NumVertices(), p.NumEdges(),
+                static_cast<long long>(p.support), classes.size(), cohesion);
+  }
+  if (!mined->patterns.empty()) {
+    const MinedPattern& top = mined->patterns.front();
+    std::printf("\nlargest backbone involves %d methods; a design-smell "
+                "review would check whether its %d classes should be this "
+                "coupled (cf. paper's cohesion/coupling discussion).\n",
+                top.NumVertices(),
+                static_cast<int>(std::min<size_t>(
+                    99, [&] {
+                      std::set<LabelId> s;
+                      for (VertexId v = 0; v < top.pattern.NumVertices(); ++v)
+                        s.insert(top.pattern.Label(v));
+                      return s.size();
+                    }())));
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Graph-transaction scenario (paper Sec. 5.1.2): mine the top-K largest
+// patterns from a database of graphs, where support counts the number of
+// transactions containing the pattern. Contrasts SpiderMine's transaction
+// adapter with the ORIGAMI-style representative miner, mirroring the
+// paper's Figures 14/15 ("ORIGAMI's result leans significantly towards
+// smaller ones" once small patterns flood the database).
+//
+//   $ ./examples/transaction_mining
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/origami.h"
+#include "gen/transaction_gen.h"
+#include "spidermine/txn_adapter.h"
+
+int main() {
+  using namespace spidermine;
+
+  // The paper's setting scaled to run in seconds: 10 graphs, large
+  // patterns of 30 vertices, plus 100 injected small patterns (the
+  // Figure 15 stress).
+  TransactionDatasetConfig gen;
+  gen.num_graphs = 10;
+  gen.vertices_per_graph = 500;
+  gen.avg_degree = 3.0;
+  gen.num_labels = 65;
+  gen.num_large = 5;
+  gen.large_vertices = 30;
+  gen.large_txn_support = 6;
+  gen.num_small = 100;
+  gen.small_vertices = 5;
+  gen.small_txn_support = 8;
+  gen.seed = 77;
+  Result<TransactionDataset> data = GenerateTransactionDataset(gen);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  Result<TransactionGraph> txn = BuildTransactionGraph(data->database);
+  if (!txn.ok()) {
+    std::fprintf(stderr, "adapter failed: %s\n",
+                 txn.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("database: %zu graphs; folded union: %lld vertices, %lld "
+              "edges; planted: %d large (30v) + %d small (5v) patterns\n",
+              data->database.size(),
+              static_cast<long long>(txn->graph.NumVertices()),
+              static_cast<long long>(txn->graph.NumEdges()), gen.num_large,
+              gen.num_small);
+
+  // SpiderMine, transaction support.
+  MineConfig config;
+  config.min_support = 4;  // transactions
+  config.k = 10;
+  config.dmax = 8;
+  config.vmin = 25;
+  config.rng_seed = 3;
+  config.time_budget_seconds = 120;
+  Result<MineResult> mined = MineTransactions(*txn, config);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nSpiderMine top patterns (support = #transactions):\n");
+  int shown = 0;
+  for (const MinedPattern& p : mined->patterns) {
+    if (shown++ >= 5) break;
+    std::printf("  |V|=%2d |E|=%2d support=%lld\n", p.NumVertices(),
+                p.NumEdges(), static_cast<long long>(p.support));
+  }
+
+  // ORIGAMI for contrast.
+  OrigamiConfig origami;
+  origami.min_support = 4;
+  origami.num_samples = 150;
+  origami.max_representatives = 10;
+  origami.time_budget_seconds = 60;
+  Result<OrigamiResult> rep = OrigamiMine(*txn, origami);
+  if (rep.ok()) {
+    int32_t origami_best = 0;
+    for (const OrigamiPattern& p : rep->representatives) {
+      origami_best = std::max(origami_best, p.pattern.NumVertices());
+    }
+    int32_t spidermine_best =
+        mined->patterns.empty() ? 0 : mined->patterns.front().NumVertices();
+    std::printf("\nlargest pattern: SpiderMine |V|=%d vs ORIGAMI |V|=%d "
+                "(%zu orthogonal representatives from %zu sampled "
+                "maximal patterns)\n",
+                spidermine_best, origami_best, rep->representatives.size(),
+                rep->sampled.size());
+    if (origami_best < spidermine_best) {
+      std::printf("=> the paper's Figure 15 effect: with many small "
+                  "patterns, representative sampling misses the large "
+                  "ones.\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "baselines/complete_miner.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "pattern/dfs_code.h"
+
+namespace spidermine {
+
+namespace {
+
+struct State {
+  Pattern pattern;
+  std::vector<Embedding> embeddings;
+};
+
+}  // namespace
+
+Result<CompleteMineResult> MineComplete(const LabeledGraph& graph,
+                                        const CompleteMinerConfig& config) {
+  if (config.min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  CompleteMineResult result;
+  Deadline deadline(config.time_budget_seconds);
+  SupportContext ctx;
+
+  std::deque<State> queue;
+  std::unordered_set<std::string> seen;
+
+  auto support_of = [&](const State& s) {
+    return ComputeSupport(config.support_measure, s.pattern, s.embeddings,
+                          ctx);
+  };
+
+  auto over_budget = [&]() {
+    if (config.max_patterns > 0 &&
+        static_cast<int64_t>(result.patterns.size()) >= config.max_patterns) {
+      return true;
+    }
+    return deadline.Expired();
+  };
+
+  // Level 1: single frequent edges per (label, label, edge-label) triple
+  // (edge labels are always 0 on unlabeled graphs, so this degenerates to
+  // the plain (label, label) enumeration there).
+  {
+    std::set<std::tuple<LabelId, LabelId, EdgeLabelId>> edge_kinds;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      for (VertexId u : graph.Neighbors(v)) {
+        if (v >= u) continue;
+        LabelId a = graph.Label(v);
+        LabelId b = graph.Label(u);
+        if (a > b) std::swap(a, b);
+        edge_kinds.emplace(a, b, graph.EdgeLabel(v, u));
+      }
+    }
+    for (const auto& [a, b, el] : edge_kinds) {
+      State s;
+      s.pattern.AddVertex(a);
+      s.pattern.AddVertex(b);
+      s.pattern.AddEdge(0, 1, el);
+      for (VertexId v : graph.VerticesWithLabel(a)) {
+        for (VertexId u : graph.Neighbors(v)) {
+          if (graph.Label(u) != b) continue;
+          if (graph.EdgeLabel(v, u) != el) continue;
+          if (a == b && v > u) continue;  // one orientation for equal labels
+          s.embeddings.push_back({v, u});
+          if (static_cast<int64_t>(s.embeddings.size()) >=
+              config.max_embeddings_per_pattern) {
+            break;
+          }
+        }
+        if (static_cast<int64_t>(s.embeddings.size()) >=
+            config.max_embeddings_per_pattern) {
+          break;
+        }
+      }
+      int64_t support = support_of(s);
+      if (support < config.min_support) continue;
+      seen.insert(CanonicalString(s.pattern));
+      result.patterns.push_back({s.pattern, support});
+      queue.push_back(std::move(s));
+    }
+  }
+
+  while (!queue.empty()) {
+    if (over_budget()) {
+      result.aborted = true;
+      break;
+    }
+    State state = std::move(queue.front());
+    queue.pop_front();
+    ++result.expansions;
+    const Pattern& p = state.pattern;
+    if (config.max_pattern_edges > 0 &&
+        p.NumEdges() >= config.max_pattern_edges) {
+      continue;
+    }
+
+    // All one-edge extensions realizable in the occurrence list, keyed with
+    // the graph edge's label so edge-labeled extensions stay distinct.
+    std::set<std::tuple<VertexId, LabelId, EdgeLabelId>> ext_new;
+    std::set<std::tuple<VertexId, VertexId, EdgeLabelId>> ext_internal;
+    for (const Embedding& e : state.embeddings) {
+      std::unordered_set<VertexId> image(e.begin(), e.end());
+      for (VertexId u = 0; u < p.NumVertices(); ++u) {
+        for (VertexId x : graph.Neighbors(e[u])) {
+          if (image.count(x)) continue;
+          ext_new.emplace(u, graph.Label(x), graph.EdgeLabel(e[u], x));
+        }
+      }
+      for (VertexId u = 0; u < p.NumVertices(); ++u) {
+        for (VertexId v = u + 1; v < p.NumVertices(); ++v) {
+          if (!p.HasEdge(u, v) && graph.HasEdge(e[u], e[v])) {
+            ext_internal.emplace(u, v, graph.EdgeLabel(e[u], e[v]));
+          }
+        }
+      }
+    }
+
+    auto admit = [&](State&& next) {
+      if (static_cast<int64_t>(next.embeddings.size()) < config.min_support &&
+          config.support_measure != SupportMeasureKind::kTransaction) {
+        return;
+      }
+      DedupEmbeddingsByImage(&next.embeddings);
+      int64_t support = support_of(next);
+      if (support < config.min_support) return;
+      std::string key = CanonicalString(next.pattern);
+      if (!seen.insert(key).second) return;
+      result.patterns.push_back({next.pattern, support});
+      queue.push_back(std::move(next));
+    };
+
+    for (const auto& [u, label, el] : ext_new) {
+      if (over_budget()) break;
+      State next;
+      next.pattern = p;
+      VertexId nv = next.pattern.AddVertex(label);
+      next.pattern.AddEdge(u, nv, el);
+      for (const Embedding& e : state.embeddings) {
+        std::unordered_set<VertexId> image(e.begin(), e.end());
+        for (VertexId x : graph.Neighbors(e[u])) {
+          if (graph.Label(x) != label || image.count(x)) continue;
+          if (graph.EdgeLabel(e[u], x) != el) continue;
+          Embedding extended = e;
+          extended.push_back(x);
+          next.embeddings.push_back(std::move(extended));
+          if (static_cast<int64_t>(next.embeddings.size()) >=
+              config.max_embeddings_per_pattern) {
+            break;
+          }
+        }
+        if (static_cast<int64_t>(next.embeddings.size()) >=
+            config.max_embeddings_per_pattern) {
+          break;
+        }
+      }
+      admit(std::move(next));
+    }
+    for (const auto& [u, v, el] : ext_internal) {
+      if (over_budget()) break;
+      State next;
+      next.pattern = p;
+      next.pattern.AddEdge(u, v, el);
+      for (const Embedding& e : state.embeddings) {
+        if (graph.HasEdge(e[u], e[v]) && graph.EdgeLabel(e[u], e[v]) == el) {
+          next.embeddings.push_back(e);
+        }
+      }
+      admit(std::move(next));
+    }
+  }
+  if (over_budget()) result.aborted = true;
+  return result;
+}
+
+}  // namespace spidermine

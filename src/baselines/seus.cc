@@ -1,0 +1,164 @@
+#include "baselines/seus.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "pattern/dfs_code.h"
+#include "pattern/vf2.h"
+#include "support/support_measure.h"
+
+namespace spidermine {
+
+namespace {
+
+/// The summary graph: one node per label; summary_edges[(a, b)] = number of
+/// data edges between an a-labeled and a b-labeled vertex (a <= b).
+struct Summary {
+  std::map<std::pair<LabelId, LabelId>, int64_t> edges;
+
+  int64_t EdgeCount(LabelId a, LabelId b) const {
+    if (a > b) std::swap(a, b);
+    auto it = edges.find({a, b});
+    return it == edges.end() ? 0 : it->second;
+  }
+};
+
+Summary BuildSummary(const LabeledGraph& graph) {
+  Summary s;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId u : graph.Neighbors(v)) {
+      if (v < u) {
+        LabelId a = graph.Label(v);
+        LabelId b = graph.Label(u);
+        if (a > b) std::swap(a, b);
+        ++s.edges[{a, b}];
+      }
+    }
+  }
+  return s;
+}
+
+/// Summary-level support estimate for a candidate pattern: the minimum
+/// summary edge count over its edges (an upper bound on any edge-disjoint
+/// instance count).
+int64_t SummaryEstimate(const Summary& summary, const Pattern& p) {
+  int64_t estimate = INT64_MAX;
+  for (const auto& [u, v] : p.Edges()) {
+    estimate =
+        std::min(estimate, summary.EdgeCount(p.Label(u), p.Label(v)));
+  }
+  return estimate == INT64_MAX ? 0 : estimate;
+}
+
+}  // namespace
+
+Result<SeusResult> SeusDiscover(const LabeledGraph& graph,
+                                const SeusConfig& config) {
+  if (config.min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  SeusResult result;
+  Deadline deadline(config.time_budget_seconds);
+  Summary summary = BuildSummary(graph);
+
+  // Enumerate candidate patterns over the summary: BFS over patterns,
+  // extending by any summary edge whose count passes the threshold.
+  std::vector<Pattern> frontier;
+  std::unordered_set<std::string> seen;
+
+  // Level 1: single summary edges.
+  for (const auto& [labels, count] : summary.edges) {
+    if (count < config.min_support) {
+      ++result.candidates_pruned_by_summary;
+      continue;
+    }
+    Pattern p;
+    p.AddVertex(labels.first);
+    p.AddVertex(labels.second);
+    p.AddEdge(0, 1);
+    std::string key = CanonicalString(p);
+    if (seen.insert(key).second) frontier.push_back(std::move(p));
+  }
+
+  std::vector<Pattern> candidates = frontier;
+  while (!frontier.empty() &&
+         static_cast<int64_t>(candidates.size()) < config.max_candidates) {
+    if (deadline.Expired()) {
+      result.timed_out = true;
+      break;
+    }
+    std::vector<Pattern> next;
+    for (const Pattern& p : frontier) {
+      if (p.NumEdges() >= config.max_candidate_edges) continue;
+      // Extend at every vertex with every summary-frequent partner label.
+      for (VertexId v = 0; v < p.NumVertices(); ++v) {
+        for (const auto& [labels, count] : summary.edges) {
+          if (count < config.min_support) continue;
+          LabelId partner;
+          if (labels.first == p.Label(v)) {
+            partner = labels.second;
+          } else if (labels.second == p.Label(v)) {
+            partner = labels.first;
+          } else {
+            continue;
+          }
+          Pattern q = p;
+          VertexId nv = q.AddVertex(partner);
+          q.AddEdge(v, nv);
+          if (SummaryEstimate(summary, q) < config.min_support) {
+            ++result.candidates_pruned_by_summary;
+            continue;
+          }
+          std::string key = CanonicalString(q);
+          if (!seen.insert(key).second) continue;
+          candidates.push_back(q);
+          next.push_back(std::move(q));
+          if (static_cast<int64_t>(candidates.size()) >=
+              config.max_candidates) {
+            break;
+          }
+        }
+        if (static_cast<int64_t>(candidates.size()) >=
+            config.max_candidates) {
+          break;
+        }
+      }
+      if (static_cast<int64_t>(candidates.size()) >= config.max_candidates) {
+        break;
+      }
+    }
+    frontier = std::move(next);
+  }
+  result.candidates_enumerated = static_cast<int64_t>(candidates.size());
+
+  // Verification pass against the data graph.
+  for (const Pattern& p : candidates) {
+    if (deadline.Expired()) {
+      result.timed_out = true;
+      break;
+    }
+    Vf2Options options;
+    options.max_embeddings = config.max_embeddings_per_pattern;
+    options.max_states = 200000;
+    std::vector<Embedding> embeddings = FindEmbeddings(p, graph, options);
+    DedupEmbeddingsByImage(&embeddings);
+    int64_t support = ComputeSupport(SupportMeasureKind::kGreedyMisVertex, p,
+                                     embeddings);
+    if (support < config.min_support) continue;
+    SeusPattern sp;
+    sp.pattern = p;
+    sp.support = support;
+    sp.summary_estimate = SummaryEstimate(summary, p);
+    result.patterns.push_back(std::move(sp));
+  }
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const SeusPattern& a, const SeusPattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.pattern.NumEdges() > b.pattern.NumEdges();
+            });
+  return result;
+}
+
+}  // namespace spidermine

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+#include "pattern/pattern.h"
+
+/// \file seus.h
+/// Clean-room reimplementation of the SEuS baseline (Ghazizadeh &
+/// Chawathe, Discovery Science 2002 [10]): a summary graph collapses all
+/// same-label vertices into one summary node; candidate subgraphs are
+/// enumerated on the summary (whose edge counts upper-bound real support)
+/// and then verified against the data graph. The summary is lossy in
+/// exactly the way the paper exploits: with many low-frequency patterns
+/// the summary prunes little and the verified output is dominated by
+/// very small structures ("SEuS has mostly generated small (<=3)
+/// patterns").
+
+namespace spidermine {
+
+/// SEuS parameters.
+struct SeusConfig {
+  /// Minimum verified support (greedy vertex-disjoint instances).
+  int64_t min_support = 2;
+  /// Candidate enumeration depth: max edges per candidate. SEuS explores
+  /// shallow candidates; 3 reproduces the published behavior.
+  int32_t max_candidate_edges = 3;
+  /// Cap on candidates enumerated from the summary.
+  int64_t max_candidates = 50000;
+  /// Per-pattern embedding cap during verification.
+  int64_t max_embeddings_per_pattern = 5000;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double time_budget_seconds = 0.0;
+};
+
+/// A verified frequent structure.
+struct SeusPattern {
+  Pattern pattern;
+  int64_t support = 0;          ///< verified (greedy vertex-disjoint)
+  int64_t summary_estimate = 0; ///< the summary's (over-)estimate
+};
+
+/// Result of a SEuS run.
+struct SeusResult {
+  std::vector<SeusPattern> patterns;  ///< sorted by support descending
+  int64_t candidates_enumerated = 0;
+  int64_t candidates_pruned_by_summary = 0;
+  bool timed_out = false;
+};
+
+/// Runs SEuS-style discovery on \p graph.
+Result<SeusResult> SeusDiscover(const LabeledGraph& graph,
+                                const SeusConfig& config);
+
+}  // namespace spidermine

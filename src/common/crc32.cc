@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace spidermine {
+
+namespace {
+
+// Reflected CRC-32 (polynomial 0xEDB88320), the variant used by zlib/PNG.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, std::span<const uint8_t> data) {
+  const auto& table = Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::string_view data) {
+  return Crc32Extend(
+      0, {reinterpret_cast<const uint8_t*>(data.data()), data.size()});
+}
+
+}  // namespace spidermine

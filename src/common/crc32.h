@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3 polynomial, reflected) used to checksum the binary
+/// graph/pattern file format (graph/binary_io.h). Table-driven, one byte at
+/// a time; fast enough for the file sizes this library writes.
+
+namespace spidermine {
+
+/// Extends a running CRC-32 with \p data. Start from crc = 0.
+uint32_t Crc32Extend(uint32_t crc, std::span<const uint8_t> data);
+
+/// CRC-32 of a byte span.
+inline uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Extend(0, data);
+}
+
+/// CRC-32 of a string's bytes.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace spidermine

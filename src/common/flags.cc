@@ -1,0 +1,231 @@
+#include "common/flags.h"
+
+#include <cassert>
+#include <charconv>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace spidermine {
+
+namespace {
+
+// Parses a full int64 from text; rejects trailing garbage and empty input.
+bool ParseInt64(std::string_view text, int64_t* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end && !text.empty();
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  // std::from_chars for double is unreliable across libstdc++ versions for
+  // some formats; strtod with end-pointer validation is portable.
+  std::string owned(text);
+  char* end = nullptr;
+  *out = std::strtod(owned.c_str(), &end);
+  return end == owned.c_str() + owned.size();
+}
+
+bool ParseBool(std::string_view text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+FlagSet& FlagSet::AddInt(std::string_view name, int64_t default_value,
+                         std::string_view help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = std::string(help);
+  flag.int_value = default_value;
+  flags_.emplace(std::string(name), std::move(flag));
+  return *this;
+}
+
+FlagSet& FlagSet::AddDouble(std::string_view name, double default_value,
+                            std::string_view help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = std::string(help);
+  flag.double_value = default_value;
+  flags_.emplace(std::string(name), std::move(flag));
+  return *this;
+}
+
+FlagSet& FlagSet::AddString(std::string_view name,
+                            std::string_view default_value,
+                            std::string_view help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = std::string(help);
+  flag.string_value = std::string(default_value);
+  flags_.emplace(std::string(name), std::move(flag));
+  return *this;
+}
+
+FlagSet& FlagSet::AddBool(std::string_view name, bool default_value,
+                          std::string_view help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = std::string(help);
+  flag.bool_value = default_value;
+  flags_.emplace(std::string(name), std::move(flag));
+  return *this;
+}
+
+Status FlagSet::SetFromText(Flag* flag, std::string_view name,
+                            std::string_view text) {
+  switch (flag->type) {
+    case Type::kInt:
+      if (!ParseInt64(text, &flag->int_value)) {
+        return Status::InvalidArgument(
+            StrCat("flag --", name, ": expected integer, got '", text, "'"));
+      }
+      break;
+    case Type::kDouble:
+      if (!ParseDouble(text, &flag->double_value)) {
+        return Status::InvalidArgument(
+            StrCat("flag --", name, ": expected number, got '", text, "'"));
+      }
+      break;
+    case Type::kString:
+      flag->string_value = std::string(text);
+      break;
+    case Type::kBool:
+      if (!ParseBool(text, &flag->bool_value)) {
+        return Status::InvalidArgument(StrCat(
+            "flag --", name, ": expected true/false, got '", text, "'"));
+      }
+      break;
+  }
+  flag->was_set = true;
+  return Status::Ok();
+}
+
+Status FlagSet::Parse(const std::vector<std::string>& args) {
+  bool flags_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    std::string_view arg = args[i];
+    if (flags_done || arg.size() < 2 || arg.substr(0, 2) != "--") {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    std::string_view name = body;
+    std::optional<std::string_view> inline_value;
+    if (size_t eq = body.find('='); eq != std::string_view::npos) {
+      name = body.substr(0, eq);
+      inline_value = body.substr(eq + 1);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument(StrCat("unknown flag --", name));
+    }
+    Flag& flag = it->second;
+    if (flag.was_set) {
+      return Status::InvalidArgument(StrCat("flag --", name, " repeated"));
+    }
+    if (inline_value.has_value()) {
+      SM_RETURN_NOT_OK(SetFromText(&flag, name, *inline_value));
+      continue;
+    }
+    if (flag.type == Type::kBool) {
+      // Bare boolean flag.
+      flag.bool_value = true;
+      flag.was_set = true;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument(StrCat("flag --", name, " needs a value"));
+    }
+    SM_RETURN_NOT_OK(SetFromText(&flag, name, args[++i]));
+  }
+  return Status::Ok();
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<size_t>(argc - 1) : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+const FlagSet::Flag* FlagSet::Find(std::string_view name, Type type) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && "flag not registered");
+  if (it == flags_.end()) return nullptr;
+  assert(it->second.type == type && "flag accessed with the wrong type");
+  if (it->second.type != type) return nullptr;
+  return &it->second;
+}
+
+int64_t FlagSet::GetInt(std::string_view name) const {
+  const Flag* flag = Find(name, Type::kInt);
+  return flag != nullptr ? flag->int_value : 0;
+}
+
+double FlagSet::GetDouble(std::string_view name) const {
+  const Flag* flag = Find(name, Type::kDouble);
+  return flag != nullptr ? flag->double_value : 0.0;
+}
+
+const std::string& FlagSet::GetString(std::string_view name) const {
+  static const std::string kEmpty;
+  const Flag* flag = Find(name, Type::kString);
+  return flag != nullptr ? flag->string_value : kEmpty;
+}
+
+bool FlagSet::GetBool(std::string_view name) const {
+  const Flag* flag = Find(name, Type::kBool);
+  return flag != nullptr && flag->bool_value;
+}
+
+bool FlagSet::WasSet(std::string_view name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.was_set;
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags] [args]\n";
+  if (!description_.empty()) os << description_ << "\n";
+  os << "flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.type) {
+      case Type::kInt:
+        os << "=<int> (default " << flag.int_value << ")";
+        break;
+      case Type::kDouble:
+        os << "=<num> (default " << flag.double_value << ")";
+        break;
+      case Type::kString:
+        os << "=<str> (default \"" << flag.string_value << "\")";
+        break;
+      case Type::kBool:
+        os << " (default " << (flag.bool_value ? "true" : "false") << ")";
+        break;
+    }
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spidermine

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file flags.h
+/// A small command-line flag parser for the tools and bench binaries.
+/// Flags are `--name=value` or `--name value`; bare `--name` sets a boolean
+/// flag to true. Everything that is not a flag is a positional argument.
+/// The parser is declarative: callers register typed flags with defaults and
+/// help text, then Parse() validates the command line against them.
+
+namespace spidermine {
+
+/// One registered flag: name, help text, and a typed default.
+class FlagSet {
+ public:
+  /// Creates a flag set for a program; \p description heads the usage text.
+  explicit FlagSet(std::string program, std::string description = "");
+
+  /// Registers an int64 flag. Returns *this for chaining.
+  FlagSet& AddInt(std::string_view name, int64_t default_value,
+                  std::string_view help);
+  /// Registers a double flag.
+  FlagSet& AddDouble(std::string_view name, double default_value,
+                     std::string_view help);
+  /// Registers a string flag.
+  FlagSet& AddString(std::string_view name, std::string_view default_value,
+                     std::string_view help);
+  /// Registers a boolean flag (bare `--name` means true; `--name=false`
+  /// clears it).
+  FlagSet& AddBool(std::string_view name, bool default_value,
+                   std::string_view help);
+
+  /// Parses \p args (excluding argv[0]). Unknown flags, malformed values and
+  /// repeated flags are kInvalidArgument. `--` stops flag parsing; later
+  /// tokens are positional.
+  Status Parse(const std::vector<std::string>& args);
+
+  /// Convenience overload for main(argc, argv); skips argv[0].
+  Status Parse(int argc, const char* const* argv);
+
+  /// Typed accessors. Requires that the flag was registered with the same
+  /// type; unknown names abort in debug builds and return the zero value.
+  int64_t GetInt(std::string_view name) const;
+  double GetDouble(std::string_view name) const;
+  const std::string& GetString(std::string_view name) const;
+  bool GetBool(std::string_view name) const;
+
+  /// True iff the flag appeared on the command line (vs. default).
+  bool WasSet(std::string_view name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage/help string listing all flags with defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+
+  struct Flag {
+    Type type;
+    std::string help;
+    // Current value (default until Parse overwrites it).
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+    bool was_set = false;
+  };
+
+  Status SetFromText(Flag* flag, std::string_view name, std::string_view text);
+  const Flag* Find(std::string_view name, Type type) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace spidermine

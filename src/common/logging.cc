@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace spidermine {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace spidermine

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iostream>
+#include <string_view>
+
+/// \file logging.h
+/// Minimal leveled logging. Intended for the mining drivers and benches;
+/// default level is kWarning so library use is quiet.
+
+namespace spidermine {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that is emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Emits \p message to stderr when \p level passes the filter.
+void Log(LogLevel level, std::string_view message);
+
+}  // namespace spidermine

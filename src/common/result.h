@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+/// \file result.h
+/// Result<T>: a Status or a value, in the style of arrow::Result.
+
+namespace spidermine {
+
+/// Holds either a successfully produced T or the Status explaining why no
+/// value could be produced. Accessing the value of a failed Result is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Borrows the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  /// Mutable access to the contained value. Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the contained value out. Requires ok().
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out of a successful result. Requires ok().
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value, or \p fallback when failed.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace spidermine
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define SM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define SM_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SM_ASSIGN_OR_RETURN_NAME(a, b) SM_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define SM_ASSIGN_OR_RETURN(lhs, expr) \
+  SM_ASSIGN_OR_RETURN_IMPL(SM_ASSIGN_OR_RETURN_NAME(_sm_result_, __LINE__), lhs, expr)

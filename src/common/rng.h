@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+/// \file rng.h
+/// Deterministic seeded random number generation. Every randomized component
+/// of the library draws from an explicitly seeded Rng so that experiments are
+/// exactly reproducible.
+
+namespace spidermine {
+
+/// A seeded pseudo-random source (mersenne twister) with the sampling
+/// helpers the miners and generators need.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// A uniformly chosen element index for a container of size n (n > 0).
+  size_t Index(size_t n) {
+    assert(n > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// k distinct values sampled uniformly from {0, ..., n-1} (k <= n),
+  /// returned in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      std::swap((*items)[i - 1], (*items)[Index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator. Successive calls yield distinct
+  /// substreams, so components seeded from one parent do not correlate.
+  Rng Fork() { return Rng(engine_() ^ (0x9e3779b97f4a7c15ULL + (++forks_))); }
+
+  /// The raw engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  uint64_t forks_ = 0;
+};
+
+}  // namespace spidermine

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file status.h
+/// Error model for the spidermine library. Library code does not throw;
+/// fallible operations return Status (or Result<T>, see result.h), in the
+/// style of Apache Arrow / RocksDB.
+
+namespace spidermine {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// An OK status carries no message and is cheap to copy. Non-OK statuses
+/// carry a message describing the failure for the caller or the logs.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns the OK status.
+  static Status Ok() { return Status(); }
+  /// Returns a kInvalidArgument status with \p message.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Returns a kNotFound status with \p message.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// Returns a kAlreadyExists status with \p message.
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  /// Returns a kOutOfRange status with \p message.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// Returns a kResourceExhausted status with \p message.
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  /// Returns a kIoError status with \p message.
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  /// Returns a kInternal status with \p message.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The failure message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace spidermine
+
+/// Propagates a non-OK Status to the caller.
+#define SM_RETURN_NOT_OK(expr)                   \
+  do {                                           \
+    ::spidermine::Status _sm_status = (expr);    \
+    if (!_sm_status.ok()) return _sm_status;     \
+  } while (false)

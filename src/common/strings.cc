@@ -1,0 +1,36 @@
+#include "common/strings.h"
+
+namespace spidermine {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StripAsciiWhitespace(std::string_view text) {
+  const char* ws = " \t\r\n\f\v";
+  size_t begin = text.find_first_not_of(ws);
+  if (begin == std::string_view::npos) return std::string_view();
+  size_t end = text.find_last_not_of(ws);
+  return text.substr(begin, end - begin + 1);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace spidermine

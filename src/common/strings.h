@@ -1,0 +1,39 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file strings.h
+/// Small string helpers (gcc 12 lacks std::format).
+
+namespace spidermine {
+
+namespace internal {
+inline void StrAppendOne(std::ostringstream& os) { (void)os; }
+template <typename T, typename... Rest>
+void StrAppendOne(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  StrAppendOne(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppendOne(os, args...);
+  return os.str();
+}
+
+/// Splits \p text on \p sep, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Joins the elements of \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace spidermine

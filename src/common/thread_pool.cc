@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace spidermine {
+
+ThreadPool::ThreadPool(int32_t num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int32_t i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body) {
+  if (n <= 0) return;
+  // Chunked dynamic scheduling: workers (and this thread) claim the next
+  // chunk from a shared cursor. Chunk count ~4x threads balances skewed
+  // iteration costs against synchronization overhead.
+  const int64_t chunks = std::min<int64_t>(n, 4LL * (num_threads_ + 1));
+  const int64_t chunk_size = (n + chunks - 1) / chunks;
+  auto cursor = std::make_shared<std::atomic<int64_t>>(0);
+  auto run_chunks = [cursor, n, chunk_size, &body] {
+    for (;;) {
+      const int64_t begin = cursor->fetch_add(chunk_size);
+      if (begin >= n) return;
+      const int64_t end = std::min(n, begin + chunk_size);
+      for (int64_t i = begin; i < end; ++i) body(i);
+    }
+  };
+  for (int32_t t = 0; t < num_threads_; ++t) Schedule(run_chunks);
+  run_chunks();  // the caller helps
+  WaitIdle();
+}
+
+int32_t ThreadPool::DefaultThreads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int32_t>(hc);
+}
+
+}  // namespace spidermine

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A fixed-size worker pool used to parallelize embarrassingly parallel
+/// library work (Stage I star verification, support evaluation over
+/// independent candidates, benchmark sweeps). Tasks are void() closures;
+/// completion is observed via WaitIdle(). The pool is deliberately simple:
+/// no futures, no work stealing -- determinism of *results* is preserved by
+/// having callers write to pre-sized output slots.
+
+namespace spidermine {
+
+/// Fixed-size thread pool. Construction spawns the workers; destruction
+/// drains outstanding tasks and joins.
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int32_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains pending tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks must not throw (library code is no-except by
+  /// convention) and must not enqueue recursively from within themselves
+  /// while the destructor might be running.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished executing.
+  void WaitIdle();
+
+  /// Number of worker threads.
+  int32_t num_threads() const { return num_threads_; }
+
+  /// Runs `body(i)` for i in [0, n) across the pool and waits for all
+  /// iterations; the calling thread also participates. Iterations are
+  /// distributed in contiguous chunks to limit synchronization.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  /// A sensible default parallelism: hardware_concurrency, at least 1.
+  static int32_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  const int32_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace spidermine

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.h
+/// Wall-clock timing for the benchmark harnesses and MineStats.
+
+namespace spidermine {
+
+/// Measures elapsed wall time from construction (or the last Restart()).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since the epoch.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since the epoch.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline: components that honor budgets poll Expired().
+class Deadline {
+ public:
+  /// A deadline \p seconds from now; non-positive means "no deadline".
+  explicit Deadline(double seconds) : seconds_(seconds) {}
+
+  /// An unlimited deadline.
+  static Deadline Unlimited() { return Deadline(0.0); }
+
+  /// True once the budget has elapsed (never true for unlimited deadlines).
+  bool Expired() const {
+    return seconds_ > 0.0 && timer_.ElapsedSeconds() >= seconds_;
+  }
+
+  /// Remaining seconds (0 when expired; a large value when unlimited).
+  double RemainingSeconds() const {
+    if (seconds_ <= 0.0) return 1e18;
+    double rem = seconds_ - timer_.ElapsedSeconds();
+    return rem > 0.0 ? rem : 0.0;
+  }
+
+ private:
+  double seconds_;
+  WallTimer timer_;
+};
+
+}  // namespace spidermine

@@ -1,0 +1,49 @@
+#include "gen/barabasi_albert.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace spidermine {
+
+GraphBuilder GenerateBarabasiAlbert(int64_t num_vertices,
+                                    int32_t edges_per_vertex,
+                                    LabelId num_labels, Rng* rng) {
+  GraphBuilder builder;
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    builder.AddVertex(static_cast<LabelId>(rng->UniformInt(0, num_labels - 1)));
+  }
+  if (num_vertices < 2) return builder;
+
+  // repeated_targets holds every edge endpoint once per incidence, so
+  // uniform sampling from it is degree-proportional sampling.
+  std::vector<VertexId> repeated_targets;
+  const int64_t m0 = std::min<int64_t>(edges_per_vertex + 1, num_vertices);
+  // Seed clique over the first m0 vertices.
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = u + 1; v < m0; ++v) {
+      builder.AddEdge(u, v);
+      repeated_targets.push_back(u);
+      repeated_targets.push_back(v);
+    }
+  }
+  for (int64_t v = m0; v < num_vertices; ++v) {
+    std::unordered_set<VertexId> chosen;
+    int32_t attempts = 0;
+    while (static_cast<int32_t>(chosen.size()) < edges_per_vertex &&
+           attempts < edges_per_vertex * 20) {
+      ++attempts;
+      VertexId target =
+          repeated_targets[rng->Index(repeated_targets.size())];
+      if (target == v) continue;
+      chosen.insert(target);
+    }
+    for (VertexId target : chosen) {
+      builder.AddEdge(static_cast<VertexId>(v), target);
+      repeated_targets.push_back(static_cast<VertexId>(v));
+      repeated_targets.push_back(target);
+    }
+  }
+  return builder;
+}
+
+}  // namespace spidermine

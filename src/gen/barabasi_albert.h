@@ -1,0 +1,20 @@
+#pragma once
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+/// \file barabasi_albert.h
+/// Barabasi-Albert preferential-attachment graphs (the paper's synthetic
+/// model II, "scale-free network"): each new vertex attaches to
+/// edges_per_vertex existing vertices chosen proportionally to degree.
+/// High-degree hubs give rise to huge numbers of small frequent patterns,
+/// which is exactly the stress the paper's Figure 17 exercises.
+
+namespace spidermine {
+
+/// Generates a BA graph with uniform labels in [0, num_labels).
+GraphBuilder GenerateBarabasiAlbert(int64_t num_vertices,
+                                    int32_t edges_per_vertex,
+                                    LabelId num_labels, Rng* rng);
+
+}  // namespace spidermine

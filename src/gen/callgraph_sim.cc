@@ -1,0 +1,101 @@
+#include "gen/callgraph_sim.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "gen/injection.h"
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+
+Result<CallGraphDataset> GenerateCallGraphSim(
+    const CallGraphSimConfig& config) {
+  Rng rng(config.seed);
+  CallGraphDataset out;
+
+  GraphBuilder builder;
+  // Methods grouped into classes; class sizes are skewed (a few big
+  // classes, many small ones), as in real codebases.
+  for (int64_t v = 0; v < config.num_methods; ++v) {
+    // Zipf-ish class assignment.
+    double x = rng.UniformReal();
+    LabelId cls = static_cast<LabelId>(
+        static_cast<double>(config.num_classes) * x * x);
+    if (cls >= config.num_classes) cls = config.num_classes - 1;
+    builder.AddVertex(cls);
+  }
+
+  // Planted cohesive utility cluster first, so its edges count toward the
+  // paper's total-edge target: methods of 3 classes with tight mutual
+  // calls (the GregorianCalendar/Calendar/SimpleDateFormat shape).
+  {
+    std::vector<LabelId> classes = {0, 1, 2};
+    Pattern p;
+    for (int32_t i = 0; i < config.pattern_vertices; ++i) {
+      p.AddVertex(classes[static_cast<size_t>(i) % classes.size()]);
+    }
+    // Chain + intra-class extra calls => high cohesion.
+    for (VertexId i = 1; i < config.pattern_vertices; ++i) {
+      p.AddEdge(i, static_cast<VertexId>(rng.UniformInt(0, i - 1)));
+    }
+    for (int32_t i = 0; i < config.pattern_vertices / 2; ++i) {
+      VertexId a = static_cast<VertexId>(
+          rng.UniformInt(0, config.pattern_vertices - 1));
+      VertexId b = static_cast<VertexId>(
+          rng.UniformInt(0, config.pattern_vertices - 1));
+      p.AddEdge(a, b);
+    }
+    out.cohesive_pattern = std::move(p);
+  }
+  PatternInjector injector(&builder);
+  SM_RETURN_NOT_OK(injector.Inject(out.cohesive_pattern,
+                                   config.pattern_support, &rng));
+  const int64_t planted_edges =
+      static_cast<int64_t>(out.cohesive_pattern.NumEdges()) *
+      config.pattern_support;
+  const int64_t background_target =
+      std::max<int64_t>(0, config.target_edges - planted_edges);
+
+  // Track distinct background edges so the deduplicated count hits the
+  // remaining budget.
+  std::unordered_set<uint64_t> edge_set;
+  auto add_edge = [&](VertexId u, VertexId v) {
+    if (u == v) return;
+    VertexId a = std::min(u, v);
+    VertexId b = std::max(u, v);
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(b);
+    if (!edge_set.insert(key).second) return;
+    builder.AddEdge(a, b);
+  };
+  // One dispatcher hub (e.g. an event loop) calling many methods.
+  VertexId hub = 0;
+  {
+    int32_t fan = std::min<int32_t>(
+        config.hub_degree, static_cast<int32_t>(config.num_methods - 1));
+    std::vector<size_t> targets = rng.SampleWithoutReplacement(
+        static_cast<size_t>(config.num_methods), static_cast<size_t>(fan));
+    for (size_t t : targets) add_edge(hub, static_cast<VertexId>(t));
+  }
+  // Sparse call chains: methods call 1-3 others, biased toward methods of
+  // the same or nearby classes (intra-class cohesion).
+  while (static_cast<int64_t>(edge_set.size()) < background_target) {
+    VertexId u =
+        static_cast<VertexId>(rng.UniformInt(1, config.num_methods - 1));
+    VertexId v;
+    if (rng.Bernoulli(0.6)) {
+      // Nearby vertex (same compilation area -> likely same class).
+      int64_t offset = rng.UniformInt(-6, 6);
+      int64_t w = std::clamp<int64_t>(u + offset, 0, config.num_methods - 1);
+      v = static_cast<VertexId>(w);
+    } else {
+      v = static_cast<VertexId>(rng.UniformInt(0, config.num_methods - 1));
+    }
+    add_edge(u, v);
+  }
+
+  SM_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  return out;
+}
+
+}  // namespace spidermine

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+#include "pattern/pattern.h"
+
+/// \file callgraph_sim.h
+/// Simulated Jeti-style static call graph (substitution documented in
+/// DESIGN.md Sec. 4: the Jeti 0.7.6 source snapshot is not available here).
+/// Nodes are methods labeled with their class; edges are call relations.
+/// The simulator matches the statistics the paper reports for its extracted
+/// graph -- 835 nodes, 1764 edges, 267 class labels, average degree 2.13,
+/// maximum degree 69 -- and plants a high-cohesion utility-class pattern
+/// (the GregorianCalendar/Calendar/SimpleDateFormat structure of Fig. 24)
+/// with support >= 10.
+
+namespace spidermine {
+
+/// Generator parameters (defaults match the paper's Jeti statistics).
+struct CallGraphSimConfig {
+  int64_t num_methods = 835;
+  int64_t target_edges = 1764;
+  LabelId num_classes = 267;
+  int32_t hub_degree = 69;  ///< one dispatcher-style hub method
+  /// The planted cohesive pattern: methods of 3 utility classes calling
+  /// each other (paper Fig. 24).
+  int32_t pattern_vertices = 30;
+  int32_t pattern_support = 10;
+  uint64_t seed = 13;
+};
+
+/// The simulated call graph plus its planted ground truth.
+struct CallGraphDataset {
+  LabeledGraph graph;
+  Pattern cohesive_pattern;
+};
+
+/// Builds the simulated call graph.
+Result<CallGraphDataset> GenerateCallGraphSim(const CallGraphSimConfig& config);
+
+}  // namespace spidermine

@@ -1,0 +1,97 @@
+#include "gen/dblp_sim.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+
+namespace {
+
+/// Draws a seniority label with the pyramid skew of the paper's extraction
+/// (>=50 papers: Prolific ... 5-9 papers: Beginner).
+LabelId DrawSeniority(Rng* rng) {
+  double x = rng->UniformReal();
+  if (x < 0.04) return kProlific;
+  if (x < 0.16) return kSenior;
+  if (x < 0.42) return kJunior;
+  return kBeginner;
+}
+
+}  // namespace
+
+Result<DblpDataset> GenerateDblpSim(const DblpSimConfig& config) {
+  Rng rng(config.seed);
+  DblpDataset out;
+
+  GraphBuilder builder;
+  for (int64_t v = 0; v < config.num_authors; ++v) {
+    builder.AddVertex(DrawSeniority(&rng));
+  }
+
+  // Community structure: authors partitioned into research groups with
+  // sizes in [6, 40]; denser collaboration inside a group.
+  std::vector<std::vector<VertexId>> communities(
+      static_cast<size_t>(config.num_communities));
+  for (int64_t v = 0; v < config.num_authors; ++v) {
+    communities[rng.Index(communities.size())].push_back(
+        static_cast<VertexId>(v));
+  }
+
+  // Track distinct edges so the final (deduplicated) count hits the target.
+  std::unordered_set<uint64_t> edge_set;
+  auto add_edge = [&](VertexId u, VertexId v) {
+    if (u == v) return;
+    VertexId a = std::min(u, v);
+    VertexId b = std::max(u, v);
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(b);
+    if (!edge_set.insert(key).second) return;
+    builder.AddEdge(a, b);
+  };
+  // Intra-community edges: each member collaborates with ~3 group peers.
+  for (const auto& group : communities) {
+    if (group.size() < 2) continue;
+    for (VertexId v : group) {
+      int32_t collabs = static_cast<int32_t>(rng.UniformInt(1, 4));
+      for (int32_t c = 0; c < collabs; ++c) {
+        add_edge(v, group[rng.Index(group.size())]);
+      }
+    }
+  }
+  // Cross-community edges up to the target edge count.
+  while (static_cast<int64_t>(edge_set.size()) < config.target_edges) {
+    add_edge(
+        static_cast<VertexId>(rng.UniformInt(0, config.num_authors - 1)),
+        static_cast<VertexId>(rng.UniformInt(0, config.num_authors - 1)));
+  }
+
+  // Planted structures. Labels come from the 4 seniority values with a
+  // realistic mix (collaboration stars around senior/prolific authors).
+  std::vector<LabelId> pool = {kProlific, kSenior,   kSenior,  kJunior,
+                               kJunior,   kBeginner, kBeginner, kBeginner};
+  PatternInjector injector(&builder);
+
+  out.common_pattern = RandomConnectedPattern(
+      config.common_pattern_vertices, /*extra_edge_fraction=*/0.2, pool,
+      &rng);
+  SM_RETURN_NOT_OK(injector.Inject(out.common_pattern,
+                                   config.common_pattern_support, &rng));
+
+  for (int32_t i = 0; i < config.num_cluster_patterns; ++i) {
+    Pattern cluster = RandomConnectedPattern(
+        config.cluster_pattern_vertices, /*extra_edge_fraction=*/0.25, pool,
+        &rng);
+    SM_RETURN_NOT_OK(
+        injector.Inject(cluster, config.cluster_pattern_support, &rng));
+    out.cluster_patterns.push_back(std::move(cluster));
+  }
+
+  SM_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  return out;
+}
+
+}  // namespace spidermine

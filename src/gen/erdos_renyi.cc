@@ -1,0 +1,34 @@
+#include "gen/erdos_renyi.h"
+
+#include <unordered_set>
+
+namespace spidermine {
+
+GraphBuilder GenerateErdosRenyi(int64_t num_vertices, double avg_degree,
+                                LabelId num_labels, Rng* rng) {
+  GraphBuilder builder;
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    builder.AddVertex(static_cast<LabelId>(rng->UniformInt(0, num_labels - 1)));
+  }
+  if (num_vertices < 2) return builder;
+  const int64_t target_edges =
+      static_cast<int64_t>(static_cast<double>(num_vertices) * avg_degree / 2.0);
+  const int64_t max_possible = num_vertices * (num_vertices - 1) / 2;
+  const int64_t edges = std::min(target_edges, max_possible);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(edges) * 2);
+  int64_t added = 0;
+  while (added < edges) {
+    VertexId u = static_cast<VertexId>(rng->UniformInt(0, num_vertices - 1));
+    VertexId v = static_cast<VertexId>(rng->UniformInt(0, num_vertices - 1));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(v);
+    if (!seen.insert(key).second) continue;
+    builder.AddEdge(u, v);
+    ++added;
+  }
+  return builder;
+}
+
+}  // namespace spidermine

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+/// \file erdos_renyi.h
+/// Erdos-Renyi random background graphs (the paper's synthetic single-graph
+/// model I). Parameterized by average degree, as in the paper's tables:
+/// m = n * d / 2 distinct uniform edges, labels uniform over f values.
+
+namespace spidermine {
+
+/// Generates G(n, m = n*avg_degree/2) with uniform labels in
+/// [0, num_labels). Returns a builder so callers can inject patterns
+/// before freezing the graph.
+GraphBuilder GenerateErdosRenyi(int64_t num_vertices, double avg_degree,
+                                LabelId num_labels, Rng* rng);
+
+}  // namespace spidermine

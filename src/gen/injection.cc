@@ -1,0 +1,41 @@
+#include "gen/injection.h"
+
+#include "common/strings.h"
+
+namespace spidermine {
+
+Status PatternInjector::Inject(const Pattern& pattern, int32_t num_embeddings,
+                               Rng* rng) {
+  const int64_t n = builder_->NumVertices();
+  const int64_t needed =
+      static_cast<int64_t>(pattern.NumVertices()) * num_embeddings;
+  if (needed > n - static_cast<int64_t>(claimed_.size())) {
+    return Status::ResourceExhausted(
+        StrCat("injection needs ", needed, " fresh vertices; only ",
+               n - static_cast<int64_t>(claimed_.size()), " unclaimed"));
+  }
+  for (int32_t copy = 0; copy < num_embeddings; ++copy) {
+    // Claim |V(P)| fresh vertices uniformly at random.
+    std::vector<VertexId> site;
+    site.reserve(static_cast<size_t>(pattern.NumVertices()));
+    int64_t guard = 0;
+    while (static_cast<int32_t>(site.size()) < pattern.NumVertices()) {
+      if (++guard > 1000 * needed + 10000) {
+        return Status::Internal("injection could not find fresh vertices");
+      }
+      VertexId v = static_cast<VertexId>(rng->UniformInt(0, n - 1));
+      if (claimed_.count(v)) continue;
+      claimed_.insert(v);
+      site.push_back(v);
+    }
+    for (VertexId pv = 0; pv < pattern.NumVertices(); ++pv) {
+      builder_->SetLabel(site[pv], pattern.Label(pv));
+    }
+    for (const auto& e : pattern.LabeledEdges()) {
+      builder_->AddEdge(site[e.u], site[e.v], e.label);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace spidermine

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+#include "pattern/pattern.h"
+
+/// \file injection.h
+/// Plants pattern embeddings into a background graph under construction
+/// (the paper's synthetic data recipe: "constructed by generating a
+/// background graph and injecting into it a set of large patterns as well
+/// as a set of small patterns"). Each embedding claims fresh vertices,
+/// overwrites their labels and adds the pattern's edges; embeddings of all
+/// injections are mutually vertex-disjoint so every pattern reaches its
+/// intended support under overlap-aware measures. Background edges incident
+/// to claimed vertices are left in place -- exactly the interconnection
+/// noise the paper points out ("the interconnections between the patterns
+/// and the background graph actually give rise to 10 largest patterns").
+
+namespace spidermine {
+
+/// Injects patterns into one GraphBuilder, keeping all planted embeddings
+/// vertex-disjoint.
+class PatternInjector {
+ public:
+  /// \p builder is borrowed and must outlive the injector.
+  explicit PatternInjector(GraphBuilder* builder) : builder_(builder) {}
+
+  /// Plants \p num_embeddings disjoint embeddings of \p pattern. Fails with
+  /// kResourceExhausted when the builder has too few unclaimed vertices.
+  Status Inject(const Pattern& pattern, int32_t num_embeddings, Rng* rng);
+
+  /// Vertices claimed so far (across all injections).
+  int64_t NumClaimedVertices() const {
+    return static_cast<int64_t>(claimed_.size());
+  }
+
+ private:
+  GraphBuilder* builder_;
+  std::unordered_set<VertexId> claimed_;
+};
+
+}  // namespace spidermine

@@ -1,0 +1,159 @@
+#include "gen/paper_datasets.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+
+GidSpec Table1Spec(int32_t gid) {
+  // Columns of Table 1: GID |V| f d m |V_L| Lsup n |V_S| Ssup.
+  GidSpec s;
+  s.gid = gid;
+  s.num_large = 5;
+  s.large_vertices = 30;
+  s.large_support = 2;
+  s.small_vertices = 3;
+  switch (gid) {
+    case 1:
+      s.num_vertices = 400;
+      s.num_labels = 70;
+      s.avg_degree = 2;
+      s.num_small = 5;
+      s.small_support_lo = s.small_support_hi = 2;
+      break;
+    case 2:  // doubles the average degree vs GID 1
+      s.num_vertices = 400;
+      s.num_labels = 70;
+      s.avg_degree = 4;
+      s.num_small = 5;
+      s.small_support_lo = s.small_support_hi = 2;
+      break;
+    case 3:  // increases the support of small patterns vs GID 1
+      s.num_vertices = 1000;
+      s.num_labels = 250;
+      s.avg_degree = 2;
+      s.num_small = 5;
+      s.small_support_lo = s.small_support_hi = 20;
+      break;
+    case 4:  // doubles the average degree vs GID 3
+      s.num_vertices = 1000;
+      s.num_labels = 250;
+      s.avg_degree = 4;
+      s.num_small = 5;
+      s.small_support_lo = s.small_support_hi = 20;
+      break;
+    case 5:  // increases the number of small patterns vs GID 2
+      s.num_vertices = 600;
+      s.num_labels = 130;
+      s.avg_degree = 4;
+      s.num_small = 20;
+      s.small_support_lo = s.small_support_hi = 2;
+      break;
+    default:
+      s.gid = 0;
+      break;
+  }
+  return s;
+}
+
+GidSpec Table3Spec(int32_t gid) {
+  GidSpec s;
+  s.gid = gid;
+  s.num_large = 5;
+  s.large_vertices = 50;
+  s.large_support_lo = 10;
+  s.large_support_hi = 15;
+  s.num_small = 50;
+  s.small_vertices = 5;
+  switch (gid) {
+    case 6:
+      s.num_vertices = 20490;
+      s.num_labels = 1064;
+      s.avg_degree = 2.0 * 31255 / 20490;
+      s.small_support_lo = 5;
+      s.small_support_hi = 15;
+      break;
+    case 7:
+      s.num_vertices = 31110;
+      s.num_labels = 1658;
+      s.avg_degree = 2.0 * 47446 / 31110;
+      s.small_support_lo = 10;
+      s.small_support_hi = 20;
+      break;
+    case 8:
+      s.num_vertices = 37595;
+      s.num_labels = 2062;
+      s.avg_degree = 2.0 * 57262 / 37595;
+      s.small_support_lo = 15;
+      s.small_support_hi = 25;
+      break;
+    case 9:
+      s.num_vertices = 47410;
+      s.num_labels = 2610;
+      s.avg_degree = 2.0 * 72149 / 47410;
+      s.small_support_lo = 20;
+      s.small_support_hi = 30;
+      break;
+    case 10:
+      s.num_vertices = 56740;
+      s.num_labels = 3138;
+      s.avg_degree = 2.0 * 86330 / 56740;
+      s.small_support_lo = 25;
+      s.small_support_hi = 35;
+      break;
+    default:
+      s.gid = 0;
+      break;
+  }
+  return s;
+}
+
+Result<PaperDataset> BuildGidDataset(const GidSpec& spec, uint64_t seed) {
+  if (spec.gid == 0) {
+    return Status::InvalidArgument("unknown GID specification");
+  }
+  Rng rng(seed ^ (0xD1B54A32D192ED03ULL * static_cast<uint64_t>(spec.gid)));
+  PaperDataset out;
+  out.spec = spec;
+
+  GraphBuilder builder = GenerateErdosRenyi(spec.num_vertices,
+                                            spec.avg_degree, spec.num_labels,
+                                            &rng);
+  PatternInjector injector(&builder);
+
+  for (int32_t i = 0; i < spec.num_large; ++i) {
+    Pattern large = RandomConnectedPattern(spec.large_vertices,
+                                           /*extra_edge_fraction=*/0.15,
+                                           spec.num_labels, &rng);
+    int32_t support = spec.large_support;
+    if (spec.large_support_lo > 0) {
+      support = static_cast<int32_t>(
+          rng.UniformInt(spec.large_support_lo, spec.large_support_hi));
+    }
+    SM_RETURN_NOT_OK(injector.Inject(large, support, &rng));
+    out.large_patterns.push_back(std::move(large));
+  }
+  for (int32_t i = 0; i < spec.num_small; ++i) {
+    Pattern small = RandomConnectedPattern(spec.small_vertices,
+                                           /*extra_edge_fraction=*/0.0,
+                                           spec.num_labels, &rng);
+    int32_t support = static_cast<int32_t>(
+        rng.UniformInt(spec.small_support_lo, spec.small_support_hi));
+    SM_RETURN_NOT_OK(injector.Inject(small, support, &rng));
+    out.small_patterns.push_back(std::move(small));
+  }
+  SM_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  return out;
+}
+
+Result<PaperDataset> BuildGidDataset(int32_t gid, uint64_t seed) {
+  if (gid >= 1 && gid <= 5) return BuildGidDataset(Table1Spec(gid), seed);
+  if (gid >= 6 && gid <= 10) return BuildGidDataset(Table3Spec(gid), seed);
+  return Status::InvalidArgument(StrCat("GID must be in [1, 10]; got ", gid));
+}
+
+}  // namespace spidermine

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+#include "pattern/pattern.h"
+
+/// \file paper_datasets.h
+/// The paper's synthetic dataset recipes: Table 1 (GID 1-5, used by
+/// Figures 4-8 and the Figure 16 runtime table) and Table 3 (GID 6-10,
+/// used by the Figure 18 robustness study). Each dataset is an
+/// Erdos-Renyi background with disjointly injected large and small
+/// patterns, all reproducible from a seed.
+
+namespace spidermine {
+
+/// Generation parameters of one synthetic dataset row.
+struct GidSpec {
+  int32_t gid = 0;
+  int64_t num_vertices = 0;   ///< |V|
+  LabelId num_labels = 0;     ///< f
+  double avg_degree = 0.0;    ///< d
+  int32_t num_large = 0;      ///< m
+  int32_t large_vertices = 0; ///< |V_L|
+  int32_t large_support = 0;  ///< Lsup
+  int32_t num_small = 0;      ///< n
+  int32_t small_vertices = 0; ///< |V_S|
+  int32_t small_support_lo = 0;  ///< Ssup (lo == hi for Table 1 rows)
+  int32_t small_support_hi = 0;
+  int32_t large_support_lo = 0;  ///< for Table 3 rows (0: use large_support)
+  int32_t large_support_hi = 0;
+};
+
+/// The Table 1 specification for GID in [1, 5].
+GidSpec Table1Spec(int32_t gid);
+
+/// The Table 3 specification for GID in [6, 10].
+GidSpec Table3Spec(int32_t gid);
+
+/// A generated dataset: the graph plus the planted ground-truth patterns.
+struct PaperDataset {
+  GidSpec spec;
+  LabeledGraph graph;
+  std::vector<Pattern> large_patterns;
+  std::vector<Pattern> small_patterns;
+};
+
+/// Builds the dataset for \p spec deterministically from \p seed.
+Result<PaperDataset> BuildGidDataset(const GidSpec& spec, uint64_t seed);
+
+/// Convenience: Table1Spec/Table3Spec + BuildGidDataset for GID in [1, 10].
+Result<PaperDataset> BuildGidDataset(int32_t gid, uint64_t seed);
+
+}  // namespace spidermine

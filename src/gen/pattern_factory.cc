@@ -1,0 +1,56 @@
+#include "gen/pattern_factory.h"
+
+namespace spidermine {
+
+Pattern RandomConnectedPattern(int32_t num_vertices,
+                               double extra_edge_fraction,
+                               const std::vector<LabelId>& label_pool,
+                               Rng* rng) {
+  Pattern p;
+  for (int32_t v = 0; v < num_vertices; ++v) {
+    p.AddVertex(label_pool[rng->Index(label_pool.size())]);
+  }
+  // Random spanning tree: attach vertex v to a uniformly random earlier
+  // vertex (random recursive tree).
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    p.AddEdge(v, static_cast<VertexId>(rng->UniformInt(0, v - 1)));
+  }
+  int32_t extra = static_cast<int32_t>(extra_edge_fraction * num_vertices);
+  int32_t attempts = 0;
+  while (extra > 0 && attempts < extra * 20 + 100) {
+    ++attempts;
+    VertexId u = static_cast<VertexId>(rng->UniformInt(0, num_vertices - 1));
+    VertexId v = static_cast<VertexId>(rng->UniformInt(0, num_vertices - 1));
+    if (p.AddEdge(u, v)) --extra;
+  }
+  return p;
+}
+
+Pattern RandomConnectedPattern(int32_t num_vertices,
+                               double extra_edge_fraction, LabelId num_labels,
+                               Rng* rng) {
+  std::vector<LabelId> pool;
+  pool.reserve(static_cast<size_t>(num_labels));
+  for (LabelId l = 0; l < num_labels; ++l) pool.push_back(l);
+  return RandomConnectedPattern(num_vertices, extra_edge_fraction, pool, rng);
+}
+
+Pattern RandomPatternWithDiameter(int32_t num_vertices, int32_t max_diameter,
+                                  LabelId num_labels, Rng* rng) {
+  Pattern p = RandomConnectedPattern(num_vertices, 0.2, num_labels, rng);
+  // Repair: shortcut edges from a central vertex until the bound holds.
+  int32_t guard = 0;
+  while (p.Diameter() > max_diameter && guard < 4 * num_vertices) {
+    ++guard;
+    // Connect the two most distant vertices' midpoints to vertex 0.
+    VertexId far = 0;
+    std::vector<int32_t> dist = p.BfsDistances(0);
+    for (VertexId v = 0; v < p.NumVertices(); ++v) {
+      if (dist[v] > dist[far]) far = v;
+    }
+    p.AddEdge(0, far);
+  }
+  return p;
+}
+
+}  // namespace spidermine

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "pattern/pattern.h"
+
+/// \file pattern_factory.h
+/// Random pattern construction for injection experiments: the paper's
+/// evaluation plants "large" and "small" patterns of given vertex counts
+/// into background graphs (Tables 1 and 3).
+
+namespace spidermine {
+
+/// Generates a connected pattern: a random spanning tree over
+/// \p num_vertices vertices plus extra random edges
+/// (extra_edge_fraction * num_vertices of them). Labels are drawn
+/// uniformly from \p label_pool.
+Pattern RandomConnectedPattern(int32_t num_vertices,
+                               double extra_edge_fraction,
+                               const std::vector<LabelId>& label_pool,
+                               Rng* rng);
+
+/// Same, with labels uniform in [0, num_labels).
+Pattern RandomConnectedPattern(int32_t num_vertices,
+                               double extra_edge_fraction, LabelId num_labels,
+                               Rng* rng);
+
+/// Generates a connected pattern whose diameter is at most \p max_diameter
+/// (rejection + repair: extra edges are added until the bound holds).
+Pattern RandomPatternWithDiameter(int32_t num_vertices, int32_t max_diameter,
+                                  LabelId num_labels, Rng* rng);
+
+}  // namespace spidermine

@@ -1,0 +1,64 @@
+#include "gen/transaction_gen.h"
+
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+
+Result<TransactionDataset> GenerateTransactionDataset(
+    const TransactionDatasetConfig& config) {
+  Rng rng(config.seed);
+  TransactionDataset out;
+
+  std::vector<GraphBuilder> builders;
+  std::vector<PatternInjector> injectors;
+  builders.reserve(static_cast<size_t>(config.num_graphs));
+  for (int32_t t = 0; t < config.num_graphs; ++t) {
+    builders.push_back(GenerateErdosRenyi(config.vertices_per_graph,
+                                          config.avg_degree,
+                                          config.num_labels, &rng));
+  }
+  injectors.reserve(builders.size());
+  for (GraphBuilder& b : builders) injectors.emplace_back(&b);
+
+  // Plant each pattern in `txn_support` distinct transactions (one
+  // embedding per transaction: transaction support counts graphs, not
+  // embeddings).
+  auto plant = [&](const Pattern& pattern, int32_t txn_support) -> Status {
+    std::vector<size_t> txns = rng.SampleWithoutReplacement(
+        static_cast<size_t>(config.num_graphs),
+        static_cast<size_t>(
+            std::min<int32_t>(txn_support, config.num_graphs)));
+    for (size_t t : txns) {
+      SM_RETURN_NOT_OK(injectors[t].Inject(pattern, 1, &rng));
+    }
+    return Status::Ok();
+  };
+
+  for (int32_t i = 0; i < config.num_large; ++i) {
+    Pattern large = RandomConnectedPattern(config.large_vertices,
+                                           /*extra_edge_fraction=*/0.15,
+                                           config.num_labels, &rng);
+    SM_RETURN_NOT_OK(plant(large, config.large_txn_support));
+    out.large_patterns.push_back(std::move(large));
+  }
+  for (int32_t i = 0; i < config.num_small; ++i) {
+    Pattern small = RandomConnectedPattern(config.small_vertices,
+                                           /*extra_edge_fraction=*/0.0,
+                                           config.num_labels, &rng);
+    SM_RETURN_NOT_OK(plant(small, config.small_txn_support));
+    out.small_patterns.push_back(std::move(small));
+  }
+
+  out.database.reserve(builders.size());
+  for (GraphBuilder& b : builders) {
+    SM_ASSIGN_OR_RETURN(LabeledGraph g, b.Build());
+    out.database.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace spidermine

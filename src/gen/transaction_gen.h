@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+#include "pattern/pattern.h"
+
+/// \file transaction_gen.h
+/// The paper's graph-transaction benchmark (Sec. 5.1.2): 10 Erdos-Renyi
+/// graphs of 500 vertices, average degree 5, 65 labels; 5 distinctive large
+/// patterns of 30 vertices injected across the database; the "more small
+/// patterns" variant (Figure 15) additionally injects 100 small patterns of
+/// 5 vertices.
+
+namespace spidermine {
+
+/// Parameters of the transaction benchmark generator.
+struct TransactionDatasetConfig {
+  int32_t num_graphs = 10;
+  int64_t vertices_per_graph = 500;
+  double avg_degree = 5.0;
+  LabelId num_labels = 65;
+  int32_t num_large = 5;
+  int32_t large_vertices = 30;
+  /// Number of transactions each large pattern is planted in.
+  int32_t large_txn_support = 6;
+  int32_t num_small = 0;  ///< 100 for the Figure 15 variant
+  int32_t small_vertices = 5;
+  int32_t small_txn_support = 8;
+  uint64_t seed = 7;
+};
+
+/// A generated transaction database with its ground truth.
+struct TransactionDataset {
+  std::vector<LabeledGraph> database;
+  std::vector<Pattern> large_patterns;
+  std::vector<Pattern> small_patterns;
+};
+
+/// Builds the benchmark database.
+Result<TransactionDataset> GenerateTransactionDataset(
+    const TransactionDatasetConfig& config);
+
+}  // namespace spidermine

@@ -1,0 +1,69 @@
+#include "graph/bfs.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace spidermine {
+
+std::vector<int32_t> BfsDistances(const LabeledGraph& graph, VertexId source,
+                                  int32_t max_depth) {
+  std::vector<int32_t> dist(static_cast<size_t>(graph.NumVertices()), -1);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    if (max_depth >= 0 && dist[v] >= max_depth) continue;
+    for (VertexId u : graph.Neighbors(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexId> BfsBall(const LabeledGraph& graph, VertexId center,
+                              int32_t radius) {
+  // Local frontier expansion with a hash map of distances, so the cost is
+  // proportional to the ball, not to |V(G)|.
+  std::vector<VertexId> ball{center};
+  std::unordered_map<VertexId, int32_t> dist{{center, 0}};
+  size_t head = 0;
+  while (head < ball.size()) {
+    VertexId v = ball[head++];
+    int32_t dv = dist[v];
+    if (dv >= radius) continue;
+    for (VertexId u : graph.Neighbors(v)) {
+      if (dist.emplace(u, dv + 1).second) ball.push_back(u);
+    }
+  }
+  return ball;
+}
+
+ComponentDecomposition ConnectedComponents(const LabeledGraph& graph) {
+  ComponentDecomposition out;
+  out.component.assign(static_cast<size_t>(graph.NumVertices()), -1);
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < graph.NumVertices(); ++s) {
+    if (out.component[s] >= 0) continue;
+    out.component[s] = out.count;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId u : graph.Neighbors(v)) {
+        if (out.component[u] < 0) {
+          out.component[u] = out.count;
+          queue.push_back(u);
+        }
+      }
+    }
+    ++out.count;
+  }
+  return out;
+}
+
+}  // namespace spidermine

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+/// \file bfs.h
+/// Breadth-first traversals: distance vectors, radius-r balls (the
+/// "r-neighborhoods" that spiders are built from), and connected components.
+
+namespace spidermine {
+
+/// Distances (hop counts) from \p source, truncated at \p max_depth
+/// (negative max_depth means unbounded). Unreached vertices get -1.
+std::vector<int32_t> BfsDistances(const LabeledGraph& graph, VertexId source,
+                                  int32_t max_depth = -1);
+
+/// Vertices within distance \p radius of \p center, in BFS order
+/// (center first). This is the vertex set of the paper's r-neighborhood.
+std::vector<VertexId> BfsBall(const LabeledGraph& graph, VertexId center,
+                              int32_t radius);
+
+/// Result of a connected-components decomposition.
+struct ComponentDecomposition {
+  /// component[v] = dense component id of v.
+  std::vector<int32_t> component;
+  /// Number of components.
+  int32_t count = 0;
+};
+
+/// Labels every vertex with its connected component.
+ComponentDecomposition ConnectedComponents(const LabeledGraph& graph);
+
+}  // namespace spidermine

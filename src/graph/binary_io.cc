@@ -1,0 +1,291 @@
+#include "graph/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+
+namespace {
+
+constexpr char kGraphMagic[4] = {'S', 'M', 'G', '1'};
+constexpr char kPatternMagic[4] = {'S', 'M', 'P', '1'};
+constexpr uint32_t kFormatVersion = 2;
+constexpr size_t kHeaderSize = 20;
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendI32(std::string* out, int32_t value) {
+  AppendU32(out, static_cast<uint32_t>(value));
+}
+
+// Bounds-checked little-endian reader over a byte string.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t* out) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+
+  bool ReadI32(int32_t* out) {
+    uint32_t v = 0;
+    if (!ReadU32(&v)) return false;
+    *out = static_cast<int32_t>(v);
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+std::string WrapPayload(const char magic[4], const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(magic, 4);
+  AppendU32(&out, kFormatVersion);
+  AppendU64(&out, payload.size());
+  AppendU32(&out, Crc32(payload));
+  out += payload;
+  return out;
+}
+
+// Validates header framing and returns the payload view.
+Result<std::string_view> UnwrapPayload(const std::string& bytes,
+                                       const char magic[4]) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::IoError(StrCat("file too short: ", bytes.size(),
+                                  " bytes < ", kHeaderSize, "-byte header"));
+  }
+  if (std::memcmp(bytes.data(), magic, 4) != 0) {
+    return Status::IoError(
+        StrCat("bad magic; expected ", std::string(magic, 4)));
+  }
+  Reader header(std::string_view(bytes).substr(4, kHeaderSize - 4));
+  uint32_t version = 0, crc = 0;
+  uint64_t length = 0;
+  header.ReadU32(&version);
+  header.ReadU64(&length);
+  header.ReadU32(&crc);
+  if (version != kFormatVersion) {
+    return Status::IoError(StrCat("unsupported format version ", version));
+  }
+  if (bytes.size() != kHeaderSize + length) {
+    return Status::IoError(StrCat("length mismatch: header says ", length,
+                                  " payload bytes, file has ",
+                                  bytes.size() - kHeaderSize));
+  }
+  std::string_view payload = std::string_view(bytes).substr(kHeaderSize);
+  if (Crc32(payload) != crc) {
+    return Status::IoError("payload checksum mismatch (corrupted file)");
+  }
+  return payload;
+}
+
+Status WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError(StrCat("cannot open '", path, "' for writing"));
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return Status::IoError(StrCat("short write to '", path, "'"));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(StrCat("cannot open '", path, "' for reading"));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IoError(StrCat("read error on '", path, "'"));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string GraphToBinary(const LabeledGraph& graph) {
+  std::string payload;
+  AppendU64(&payload, static_cast<uint64_t>(graph.NumVertices()));
+  AppendU64(&payload, static_cast<uint64_t>(graph.NumEdges()));
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    AppendI32(&payload, graph.Label(v));
+  }
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.Neighbors(u)) {
+      if (u < v) {
+        AppendI32(&payload, u);
+        AppendI32(&payload, v);
+        AppendI32(&payload, graph.EdgeLabel(u, v));
+      }
+    }
+  }
+  return WrapPayload(kGraphMagic, payload);
+}
+
+Result<LabeledGraph> GraphFromBinary(const std::string& bytes) {
+  SM_ASSIGN_OR_RETURN(std::string_view payload,
+                      UnwrapPayload(bytes, kGraphMagic));
+  Reader reader(payload);
+  uint64_t n = 0, m = 0;
+  if (!reader.ReadU64(&n) || !reader.ReadU64(&m)) {
+    return Status::IoError("truncated graph payload (counts)");
+  }
+  // Guard against absurd counts (and the multiplication overflowing) before
+  // trusting the declared sizes: each vertex/edge costs at least 4 bytes.
+  if (n > payload.size() || m > payload.size()) {
+    return Status::IoError(StrCat("implausible counts n=", n, " m=", m,
+                                  " for a ", payload.size(), "-byte payload"));
+  }
+  const uint64_t need = 16 + n * 4 + m * 12;
+  if (payload.size() != need) {
+    return Status::IoError(StrCat("graph payload size mismatch: n=", n,
+                                  " m=", m, " expects ", need, " bytes, got ",
+                                  payload.size()));
+  }
+  GraphBuilder builder;
+  for (uint64_t i = 0; i < n; ++i) {
+    int32_t label = 0;
+    if (!reader.ReadI32(&label)) {
+      return Status::IoError("truncated graph payload (labels)");
+    }
+    if (label < 0) {
+      return Status::IoError(StrCat("negative label ", label));
+    }
+    builder.AddVertex(label);
+  }
+  for (uint64_t i = 0; i < m; ++i) {
+    int32_t u = 0, v = 0, label = 0;
+    if (!reader.ReadI32(&u) || !reader.ReadI32(&v) ||
+        !reader.ReadI32(&label)) {
+      return Status::IoError("truncated graph payload (edges)");
+    }
+    if (u < 0 || v < 0 || static_cast<uint64_t>(u) >= n ||
+        static_cast<uint64_t>(v) >= n) {
+      return Status::IoError(StrCat("edge endpoint out of range: ", u, "-", v));
+    }
+    if (label < 0) {
+      return Status::IoError(StrCat("negative edge label ", label));
+    }
+    builder.AddEdge(u, v, label);
+  }
+  return builder.Build();
+}
+
+Status SaveGraphBinary(const LabeledGraph& graph, const std::string& path) {
+  return WriteFile(path, GraphToBinary(graph));
+}
+
+Result<LabeledGraph> LoadGraphBinary(const std::string& path) {
+  SM_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  return GraphFromBinary(bytes);
+}
+
+std::string PatternToBinary(const Pattern& pattern) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(pattern.NumVertices()));
+  AppendU32(&payload, static_cast<uint32_t>(pattern.NumEdges()));
+  for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+    AppendI32(&payload, pattern.Label(v));
+  }
+  for (const auto& e : pattern.LabeledEdges()) {
+    AppendI32(&payload, e.u);
+    AppendI32(&payload, e.v);
+    AppendI32(&payload, e.label);
+  }
+  return WrapPayload(kPatternMagic, payload);
+}
+
+Result<Pattern> PatternFromBinary(const std::string& bytes) {
+  SM_ASSIGN_OR_RETURN(std::string_view payload,
+                      UnwrapPayload(bytes, kPatternMagic));
+  Reader reader(payload);
+  uint32_t n = 0, m = 0;
+  if (!reader.ReadU32(&n) || !reader.ReadU32(&m)) {
+    return Status::IoError("truncated pattern payload (counts)");
+  }
+  const uint64_t need = 8 + static_cast<uint64_t>(n) * 4 +
+                        static_cast<uint64_t>(m) * 12;
+  if (payload.size() != need) {
+    return Status::IoError("pattern payload size mismatch");
+  }
+  Pattern pattern;
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t label = 0;
+    if (!reader.ReadI32(&label)) {
+      return Status::IoError("truncated pattern payload (labels)");
+    }
+    if (label < 0) {
+      return Status::IoError(StrCat("negative label ", label));
+    }
+    pattern.AddVertex(label);
+  }
+  for (uint32_t i = 0; i < m; ++i) {
+    int32_t u = 0, v = 0, label = 0;
+    if (!reader.ReadI32(&u) || !reader.ReadI32(&v) ||
+        !reader.ReadI32(&label)) {
+      return Status::IoError("truncated pattern payload (edges)");
+    }
+    if (u < 0 || v < 0 || static_cast<uint32_t>(u) >= n ||
+        static_cast<uint32_t>(v) >= n || label < 0) {
+      return Status::IoError(StrCat("edge record out of range: ", u, "-", v));
+    }
+    if (!pattern.AddEdge(u, v, label)) {
+      return Status::IoError(StrCat("invalid edge ", u, "-", v,
+                                    " (self-loop or duplicate)"));
+    }
+  }
+  return pattern;
+}
+
+Status SavePatternBinary(const Pattern& pattern, const std::string& path) {
+  return WriteFile(path, PatternToBinary(pattern));
+}
+
+Result<Pattern> LoadPatternBinary(const std::string& path) {
+  SM_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  return PatternFromBinary(bytes);
+}
+
+}  // namespace spidermine

@@ -1,0 +1,31 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+
+namespace spidermine {
+
+DegreeStats ComputeDegreeStats(const LabeledGraph& graph) {
+  DegreeStats stats;
+  const int64_t n = graph.NumVertices();
+  if (n == 0) return stats;
+  stats.min = graph.Degree(0);
+  int64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    int64_t d = graph.Degree(v);
+    total += d;
+    stats.max = std::max(stats.max, d);
+    stats.min = std::min(stats.min, d);
+  }
+  stats.average = static_cast<double>(total) / static_cast<double>(n);
+  stats.histogram.assign(static_cast<size_t>(stats.max) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) ++stats.histogram[graph.Degree(v)];
+  return stats;
+}
+
+std::vector<int64_t> LabelHistogram(const LabeledGraph& graph) {
+  std::vector<int64_t> hist(static_cast<size_t>(graph.NumLabels()), 0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) ++hist[graph.Label(v)];
+  return hist;
+}
+
+}  // namespace spidermine

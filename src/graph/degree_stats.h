@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+/// \file degree_stats.h
+/// Degree and label statistics, used by the data generators to verify that
+/// simulated datasets match their targets (e.g. the Jeti call graph's
+/// avg degree 2.13 / max degree 69) and by the benches for reporting.
+
+namespace spidermine {
+
+/// Summary of a graph's degree distribution.
+struct DegreeStats {
+  double average = 0.0;
+  int64_t max = 0;
+  int64_t min = 0;
+  /// histogram[d] = number of vertices of degree d (up to max).
+  std::vector<int64_t> histogram;
+};
+
+/// Computes degree statistics for \p graph.
+DegreeStats ComputeDegreeStats(const LabeledGraph& graph);
+
+/// histogram[l] = number of vertices with label l.
+std::vector<int64_t> LabelHistogram(const LabeledGraph& graph);
+
+}  // namespace spidermine

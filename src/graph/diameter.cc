@@ -1,0 +1,46 @@
+#include "graph/diameter.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+
+namespace spidermine {
+
+int32_t Eccentricity(const LabeledGraph& graph, VertexId v) {
+  std::vector<int32_t> dist = BfsDistances(graph, v);
+  int32_t ecc = 0;
+  for (int32_t d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+int32_t ExactDiameter(const LabeledGraph& graph) {
+  int32_t diameter = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    diameter = std::max(diameter, Eccentricity(graph, v));
+  }
+  return diameter;
+}
+
+double EffectiveDiameter(const LabeledGraph& graph, double percentile,
+                         int32_t num_sources, Rng* rng) {
+  const int64_t n = graph.NumVertices();
+  if (n < 2) return 0.0;
+  std::vector<int32_t> distances;
+  std::vector<size_t> sources = rng->SampleWithoutReplacement(
+      static_cast<size_t>(n),
+      static_cast<size_t>(std::min<int64_t>(num_sources, n)));
+  for (size_t s : sources) {
+    std::vector<int32_t> dist =
+        BfsDistances(graph, static_cast<VertexId>(s));
+    for (int32_t d : dist) {
+      if (d > 0) distances.push_back(d);
+    }
+  }
+  if (distances.empty()) return 0.0;
+  std::sort(distances.begin(), distances.end());
+  size_t idx = static_cast<size_t>(percentile *
+                                   static_cast<double>(distances.size() - 1));
+  return static_cast<double>(distances[idx]);
+}
+
+}  // namespace spidermine

@@ -1,0 +1,142 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/strings.h"
+
+namespace spidermine {
+
+VertexId GraphBuilder::AddVertex(LabelId label) {
+  labels_.push_back(label);
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+VertexId GraphBuilder::AddVertices(int64_t count, LabelId label) {
+  VertexId first = static_cast<VertexId>(labels_.size());
+  labels_.insert(labels_.end(), static_cast<size_t>(count), label);
+  return first;
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v, EdgeLabelId edge_label) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.push_back(EdgeRecord{u, v, edge_label});
+}
+
+void GraphBuilder::SetLabel(VertexId v, LabelId label) { labels_[v] = label; }
+
+bool GraphBuilder::HasEdge(VertexId u, VertexId v) const {
+  if (u > v) std::swap(u, v);
+  return std::any_of(edges_.begin(), edges_.end(),
+                     [u, v](const EdgeRecord& e) {
+                       return e.u == u && e.v == v;
+                     });
+}
+
+Result<LabeledGraph> GraphBuilder::Build() const {
+  const int64_t n = NumVertices();
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] < 0) {
+      return Status::InvalidArgument(
+          StrCat("vertex ", i, " has negative label ", labels_[i]));
+    }
+  }
+  for (const EdgeRecord& e : edges_) {
+    if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n) {
+      return Status::InvalidArgument(StrCat("edge (", e.u, ",", e.v,
+                                            ") references missing vertex; n=",
+                                            n));
+    }
+    if (e.label < 0) {
+      return Status::InvalidArgument(StrCat("edge (", e.u, ",", e.v,
+                                            ") has negative label ", e.label));
+    }
+  }
+
+  // Dedup edges by endpoints; stable sort keeps the first-added label.
+  std::vector<EdgeRecord> edges = edges_;
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const EdgeRecord& a, const EdgeRecord& b) {
+                     return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+                   });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const EdgeRecord& a, const EdgeRecord& b) {
+                            return a.u == b.u && a.v == b.v;
+                          }),
+              edges.end());
+
+  LabeledGraph g;
+  g.labels_ = labels_;
+  g.num_edges_ = static_cast<int64_t>(edges.size());
+  g.has_edge_labels_ = std::any_of(edges.begin(), edges.end(),
+                                   [](const EdgeRecord& e) {
+                                     return e.label != 0;
+                                   });
+
+  // Degree counting pass, then CSR fill (neighbors and edge labels in
+  // lockstep so edge_labels_[i] belongs to neighbors_[i]).
+  std::vector<int64_t> degree(static_cast<size_t>(n), 0);
+  for (const EdgeRecord& e : edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t i = 0; i < n; ++i) g.offsets_[i + 1] = g.offsets_[i] + degree[i];
+  g.neighbors_.resize(static_cast<size_t>(g.offsets_[n]));
+  if (g.has_edge_labels_) {
+    g.edge_labels_.resize(g.neighbors_.size());
+  }
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const EdgeRecord& e : edges) {
+    if (g.has_edge_labels_) {
+      g.edge_labels_[static_cast<size_t>(cursor[e.u])] = e.label;
+    }
+    g.neighbors_[cursor[e.u]++] = e.v;
+  }
+  for (const EdgeRecord& e : edges) {
+    if (g.has_edge_labels_) {
+      g.edge_labels_[static_cast<size_t>(cursor[e.v])] = e.label;
+    }
+    g.neighbors_[cursor[e.v]++] = e.u;
+  }
+  // Sort each adjacency row, keeping edge labels aligned.
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t begin = g.offsets_[i];
+    const int64_t end = g.offsets_[i + 1];
+    if (!g.has_edge_labels_) {
+      std::sort(g.neighbors_.begin() + begin, g.neighbors_.begin() + end);
+      continue;
+    }
+    std::vector<std::pair<VertexId, EdgeLabelId>> row;
+    row.reserve(static_cast<size_t>(end - begin));
+    for (int64_t p = begin; p < end; ++p) {
+      row.emplace_back(g.neighbors_[p], g.edge_labels_[p]);
+    }
+    std::sort(row.begin(), row.end());
+    for (int64_t p = begin; p < end; ++p) {
+      g.neighbors_[p] = row[static_cast<size_t>(p - begin)].first;
+      g.edge_labels_[p] = row[static_cast<size_t>(p - begin)].second;
+    }
+  }
+
+  // Label index.
+  LabelId num_labels = 0;
+  for (LabelId l : g.labels_) num_labels = std::max(num_labels, l + 1);
+  g.num_labels_ = num_labels;
+  std::vector<int64_t> label_count(static_cast<size_t>(num_labels), 0);
+  for (LabelId l : g.labels_) ++label_count[l];
+  g.label_offsets_.assign(static_cast<size_t>(num_labels) + 1, 0);
+  for (LabelId l = 0; l < num_labels; ++l) {
+    g.label_offsets_[l + 1] = g.label_offsets_[l] + label_count[l];
+  }
+  g.by_label_.resize(g.labels_.size());
+  std::vector<int64_t> lcursor(g.label_offsets_.begin(),
+                               g.label_offsets_.end() - 1);
+  for (int64_t v = 0; v < n; ++v) {
+    g.by_label_[lcursor[g.labels_[v]]++] = static_cast<VertexId>(v);
+  }
+  return g;
+}
+
+}  // namespace spidermine

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+
+/// \file graph_builder.h
+/// Mutable construction of LabeledGraph. All generators and loaders funnel
+/// through this builder, which validates labels and deduplicates edges.
+
+namespace spidermine {
+
+/// Accumulates vertices and edges, then produces an immutable LabeledGraph.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds one vertex with \p label, returning its id.
+  VertexId AddVertex(LabelId label);
+
+  /// Adds \p count vertices with \p label; returns the first new id.
+  VertexId AddVertices(int64_t count, LabelId label);
+
+  /// Adds the undirected edge {u, v} carrying \p edge_label (0 = unlabeled).
+  /// Self-loops and duplicate edges are ignored (the graphs of the paper
+  /// are simple); for duplicates the first-added label wins.
+  void AddEdge(VertexId u, VertexId v, EdgeLabelId edge_label = 0);
+
+  /// Overwrites the label of an existing vertex (used by pattern injection).
+  void SetLabel(VertexId v, LabelId label);
+
+  /// Label currently assigned to \p v.
+  LabelId Label(VertexId v) const { return labels_[v]; }
+
+  /// Number of vertices added so far.
+  int64_t NumVertices() const { return static_cast<int64_t>(labels_.size()); }
+
+  /// Number of (possibly not yet deduplicated) edge records added so far.
+  int64_t NumEdgeRecords() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// True iff the undirected edge {u, v} was added (linear scan per vertex;
+  /// generators that need fast membership keep their own sets).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Validates and freezes the graph. Fails with kInvalidArgument when an
+  /// edge references a vertex that was never added or a label is negative.
+  Result<LabeledGraph> Build() const;
+
+ private:
+  struct EdgeRecord {
+    VertexId u;
+    VertexId v;
+    EdgeLabelId label;
+  };
+
+  std::vector<LabelId> labels_;
+  std::vector<EdgeRecord> edges_;
+};
+
+}  // namespace spidermine

@@ -1,0 +1,97 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+
+namespace {
+
+Result<LabeledGraph> ParseStream(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  int64_t line_no = 0;
+  int64_t next_vertex = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    char kind = 0;
+    fields >> kind;
+    if (kind == 'v') {
+      int64_t id = -1;
+      int64_t label = -1;
+      fields >> id >> label;
+      if (fields.fail() || id != next_vertex) {
+        return Status::IoError(
+            StrCat("line ", line_no, ": expected 'v ", next_vertex,
+                   " <label>', got '", stripped, "'"));
+      }
+      builder.AddVertex(static_cast<LabelId>(label));
+      ++next_vertex;
+    } else if (kind == 'e') {
+      int64_t u = -1;
+      int64_t v = -1;
+      fields >> u >> v;
+      if (fields.fail()) {
+        return Status::IoError(
+            StrCat("line ", line_no, ": malformed edge '", stripped, "'"));
+      }
+      // Optional third field: the edge label (0 when omitted).
+      int64_t edge_label = 0;
+      fields >> edge_label;
+      if (fields.fail()) edge_label = 0;
+      builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                      static_cast<EdgeLabelId>(edge_label));
+    } else {
+      return Status::IoError(
+          StrCat("line ", line_no, ": unknown record '", stripped, "'"));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Status SaveGraphText(const LabeledGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(StrCat("cannot open for write: ", path));
+  out << GraphToText(graph);
+  if (!out) return Status::IoError(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+Result<LabeledGraph> LoadGraphText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StrCat("cannot open for read: ", path));
+  return ParseStream(in);
+}
+
+Result<LabeledGraph> ParseGraphText(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+std::string GraphToText(const LabeledGraph& graph) {
+  std::ostringstream out;
+  out << "# spidermine graph: " << graph.NumVertices() << " vertices, "
+      << graph.NumEdges() << " edges\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    out << "v " << v << " " << graph.Label(v) << "\n";
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId u : graph.Neighbors(v)) {
+      if (v >= u) continue;
+      out << "e " << v << " " << u;
+      if (graph.HasEdgeLabels()) out << " " << graph.EdgeLabel(v, u);
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace spidermine

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+
+/// \file graph_io.h
+/// Plain-text persistence in the LG-style format used by the graph-mining
+/// community:
+///
+///   # optional comments
+///   v <vertex-id> <label>
+///   e <u> <v>
+///
+/// Vertex ids must be dense 0..n-1; edges are undirected.
+
+namespace spidermine {
+
+/// Writes \p graph to \p path. Overwrites any existing file.
+Status SaveGraphText(const LabeledGraph& graph, const std::string& path);
+
+/// Reads a graph previously written by SaveGraphText (or hand-authored in
+/// the same format).
+Result<LabeledGraph> LoadGraphText(const std::string& path);
+
+/// Parses the LG format from an in-memory string (used by tests).
+Result<LabeledGraph> ParseGraphText(const std::string& text);
+
+/// Serializes to the LG format (inverse of ParseGraphText).
+std::string GraphToText(const LabeledGraph& graph);
+
+}  // namespace spidermine

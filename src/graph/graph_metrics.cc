@@ -1,0 +1,131 @@
+#include "graph/graph_metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/bfs.h"
+#include "graph/diameter.h"
+
+namespace spidermine {
+
+int64_t CountTriangles(const LabeledGraph& graph) {
+  // For each edge (u, v) with u < v, count common neighbors w > v; each
+  // triangle {u, v, w} with u < v < w is found exactly once at its least
+  // edge. Sorted-adjacency intersection.
+  int64_t triangles = 0;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      auto nu = graph.Neighbors(u);
+      auto nv = graph.Neighbors(v);
+      size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nu[i] > nv[j]) {
+          ++j;
+        } else {
+          if (nu[i] > v) ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+namespace {
+
+// Number of wedges (paths of length 2) centered anywhere: sum_v C(deg v, 2).
+int64_t CountWedges(const LabeledGraph& graph) {
+  int64_t wedges = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const int64_t d = graph.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+}  // namespace
+
+double GlobalClusteringCoefficient(const LabeledGraph& graph) {
+  const int64_t wedges = CountWedges(graph);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(graph)) /
+         static_cast<double>(wedges);
+}
+
+double AverageLocalClustering(const LabeledGraph& graph) {
+  if (graph.NumVertices() == 0) return 0.0;
+  double total = 0.0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const int64_t d = graph.Degree(v);
+    if (d < 2) continue;
+    // Count edges among neighbors of v.
+    int64_t links = 0;
+    auto nbrs = graph.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (graph.HasEdge(nbrs[i], nbrs[j])) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) /
+             (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return total / static_cast<double>(graph.NumVertices());
+}
+
+std::vector<int64_t> ComponentSizes(const LabeledGraph& graph) {
+  ComponentDecomposition decomposition = ConnectedComponents(graph);
+  std::vector<int64_t> sizes(static_cast<size_t>(decomposition.count), 0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    ++sizes[static_cast<size_t>(decomposition.component[v])];
+  }
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+std::string GraphSummary::ToString() const {
+  std::ostringstream os;
+  os << "vertices: " << num_vertices << "\n"
+     << "edges: " << num_edges << "\n"
+     << "labels: " << num_labels << "\n"
+     << "avg degree: " << avg_degree << "\n"
+     << "max degree: " << max_degree << "\n"
+     << "components: " << num_components
+     << " (largest " << largest_component << ")\n"
+     << "triangles: " << triangles << "\n"
+     << "global clustering: " << global_clustering << "\n";
+  if (effective_diameter >= 0.0) {
+    os << "effective diameter (p90): " << effective_diameter << "\n";
+  }
+  return os.str();
+}
+
+GraphSummary Summarize(const LabeledGraph& graph, Rng* rng,
+                       int32_t diameter_sources) {
+  GraphSummary summary;
+  summary.num_vertices = graph.NumVertices();
+  summary.num_edges = graph.NumEdges();
+  summary.num_labels = graph.NumLabels();
+  if (graph.NumVertices() > 0) {
+    summary.avg_degree = 2.0 * static_cast<double>(graph.NumEdges()) /
+                         static_cast<double>(graph.NumVertices());
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    summary.max_degree = std::max(summary.max_degree, graph.Degree(v));
+  }
+  std::vector<int64_t> sizes = ComponentSizes(graph);
+  summary.num_components = static_cast<int64_t>(sizes.size());
+  summary.largest_component = sizes.empty() ? 0 : sizes.front();
+  summary.triangles = CountTriangles(graph);
+  summary.global_clustering = GlobalClusteringCoefficient(graph);
+  if (diameter_sources > 0 && graph.NumVertices() > 1) {
+    summary.effective_diameter =
+        EffectiveDiameter(graph, 0.9, diameter_sources, rng);
+  }
+  return summary;
+}
+
+}  // namespace spidermine

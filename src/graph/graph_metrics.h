@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/labeled_graph.h"
+
+/// \file graph_metrics.h
+/// Descriptive statistics of an input network. The paper motivates its
+/// parameters from exactly these quantities (degree distribution for the
+/// scale-free experiments, label skew for DBLP, effective diameter for
+/// Dmax), so the library exposes them both programmatically and through the
+/// `stats` CLI subcommand.
+
+namespace spidermine {
+
+// Degree and label histograms live in graph/degree_stats.h; this header
+// adds the structural metrics built on top of them.
+
+/// Number of triangles (3-cycles) in the graph, each counted once.
+/// Neighbor-intersection over sorted adjacency; O(sum_v deg(v)^2) worst
+/// case, fine for the evaluation scales.
+int64_t CountTriangles(const LabeledGraph& graph);
+
+/// Global clustering coefficient: 3 * triangles / #open-or-closed wedges.
+/// Returns 0 for graphs without wedges.
+double GlobalClusteringCoefficient(const LabeledGraph& graph);
+
+/// Average of per-vertex local clustering coefficients; vertices of degree
+/// < 2 contribute 0 (the common convention).
+double AverageLocalClustering(const LabeledGraph& graph);
+
+/// Sizes of connected components, sorted descending.
+std::vector<int64_t> ComponentSizes(const LabeledGraph& graph);
+
+/// All-in-one summary used by tools and experiment logs.
+struct GraphSummary {
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  int32_t num_labels = 0;
+  double avg_degree = 0.0;
+  int64_t max_degree = 0;
+  int64_t num_components = 0;
+  int64_t largest_component = 0;
+  int64_t triangles = 0;
+  double global_clustering = 0.0;
+  /// 90th-percentile effective diameter of the largest component, estimated
+  /// from sampled BFS sources (the HADI-style gauge the paper cites for
+  /// choosing Dmax). Negative when estimation was skipped (empty graph).
+  double effective_diameter = -1.0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes a GraphSummary. \p rng drives effective-diameter sampling;
+/// \p diameter_sources bounds the number of BFS sources (<= 0 skips the
+/// estimate, leaving effective_diameter negative).
+GraphSummary Summarize(const LabeledGraph& graph, Rng* rng,
+                       int32_t diameter_sources = 32);
+
+}  // namespace spidermine

@@ -1,0 +1,26 @@
+#include "graph/labeled_graph.h"
+
+#include <algorithm>
+
+namespace spidermine {
+
+bool LabeledGraph::HasEdge(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= NumVertices() || v >= NumVertices()) return false;
+  // Search in the shorter adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeLabelId LabeledGraph::EdgeLabel(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= NumVertices() || v >= NumVertices()) return -1;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return -1;
+  if (!has_edge_labels_) return 0;
+  return edge_labels_[static_cast<size_t>(
+      offsets_[u] + (it - nbrs.begin()))];
+}
+
+}  // namespace spidermine

@@ -1,0 +1,45 @@
+#include "pattern/embedding.h"
+
+#include <algorithm>
+
+namespace spidermine {
+
+std::vector<VertexId> SortedImage(const Embedding& embedding) {
+  std::vector<VertexId> image = embedding;
+  std::sort(image.begin(), image.end());
+  return image;
+}
+
+bool ImagesIntersect(const std::vector<VertexId>& a,
+                     const std::vector<VertexId>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+uint64_t ImageFingerprint(const Embedding& embedding) {
+  // Sum/xor of per-vertex mixes: order independent.
+  uint64_t acc_sum = 0;
+  uint64_t acc_xor = 0;
+  for (VertexId v : embedding) {
+    uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    acc_sum += x;
+    acc_xor ^= x;
+  }
+  return acc_sum ^ (acc_xor * 0xff51afd7ed558ccdULL);
+}
+
+}  // namespace spidermine

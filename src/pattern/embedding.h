@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+/// \file embedding.h
+/// An embedding e_P of a pattern P in the network G: the image vertex in G
+/// of each pattern vertex. The set of all embeddings is the paper's E[P].
+
+namespace spidermine {
+
+/// embedding[i] = image in G of pattern vertex i. Injective by construction.
+using Embedding = std::vector<VertexId>;
+
+/// The image vertex set of \p embedding, sorted ascending (for overlap
+/// tests and hashing).
+std::vector<VertexId> SortedImage(const Embedding& embedding);
+
+/// True iff the two embeddings share at least one graph vertex.
+/// Both arguments must be sorted images (see SortedImage).
+bool ImagesIntersect(const std::vector<VertexId>& a,
+                     const std::vector<VertexId>& b);
+
+/// A 64-bit order-independent fingerprint of the image set, for hashing
+/// embeddings into buckets during merge detection.
+uint64_t ImageFingerprint(const Embedding& embedding);
+
+}  // namespace spidermine

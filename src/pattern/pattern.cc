@@ -1,0 +1,169 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace spidermine {
+
+VertexId Pattern::AddVertex(LabelId label) {
+  labels_.push_back(label);
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+bool Pattern::AddEdge(VertexId u, VertexId v, EdgeLabelId edge_label) {
+  if (u == v || u < 0 || v < 0 || u >= NumVertices() || v >= NumVertices()) {
+    return false;
+  }
+  if (HasEdge(u, v)) return false;
+  auto& au = adjacency_[u];
+  au.insert(std::upper_bound(au.begin(), au.end(), v), v);
+  auto& av = adjacency_[v];
+  av.insert(std::upper_bound(av.begin(), av.end(), u), u);
+  ++num_edges_;
+  if (edge_label != 0) {
+    has_edge_labels_ = true;
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    const auto entry = std::make_pair(key, edge_label);
+    edge_labels_.insert(std::lower_bound(edge_labels_.begin(),
+                                         edge_labels_.end(), entry),
+                        entry);
+  }
+  return true;
+}
+
+bool Pattern::HasEdge(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= NumVertices() || v >= NumVertices()) return false;
+  const auto& au = adjacency_[u];
+  return std::binary_search(au.begin(), au.end(), v);
+}
+
+EdgeLabelId Pattern::EdgeLabel(VertexId u, VertexId v) const {
+  if (!HasEdge(u, v)) return -1;
+  if (!has_edge_labels_) return 0;
+  const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+  auto it = std::lower_bound(
+      edge_labels_.begin(), edge_labels_.end(), key,
+      [](const auto& entry, const auto& k) { return entry.first < k; });
+  if (it != edge_labels_.end() && it->first == key) return it->second;
+  return 0;
+}
+
+std::vector<int32_t> Pattern::BfsDistances(VertexId source,
+                                           int32_t max_depth) const {
+  std::vector<int32_t> dist(labels_.size(), -1);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    if (max_depth >= 0 && dist[v] >= max_depth) continue;
+    for (VertexId u : adjacency_[v]) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Pattern::IsConnected() const {
+  if (NumVertices() <= 1) return true;
+  std::vector<int32_t> dist = BfsDistances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int32_t d) { return d < 0; });
+}
+
+int32_t Pattern::Eccentricity(VertexId v) const {
+  std::vector<int32_t> dist = BfsDistances(v);
+  int32_t ecc = 0;
+  for (int32_t d : dist) {
+    if (d < 0) return INT32_MAX;  // unreachable vertex: unbounded
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+int32_t Pattern::Diameter() const {
+  int32_t diameter = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    int32_t ecc = Eccentricity(v);
+    if (ecc == INT32_MAX) return INT32_MAX;
+    diameter = std::max(diameter, ecc);
+  }
+  return diameter;
+}
+
+Pattern Pattern::InducedSubgraph(std::span<const VertexId> vertices) const {
+  Pattern sub;
+  std::vector<int32_t> position(labels_.size(), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    position[vertices[i]] = static_cast<int32_t>(i);
+    sub.AddVertex(labels_[vertices[i]]);
+  }
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId u : adjacency_[vertices[i]]) {
+      if (position[u] >= 0) {
+        sub.AddEdge(static_cast<VertexId>(i), position[u],
+                    EdgeLabel(vertices[i], u));
+      }
+    }
+  }
+  return sub;
+}
+
+std::vector<LabelId> Pattern::SortedLabels() const {
+  std::vector<LabelId> labels = labels_;
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::vector<std::pair<VertexId, VertexId>> Pattern::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<size_t>(num_edges_));
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (VertexId u : adjacency_[v]) {
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return edges;
+}
+
+std::vector<Pattern::LabeledEdge> Pattern::LabeledEdges() const {
+  std::vector<LabeledEdge> edges;
+  edges.reserve(static_cast<size_t>(num_edges_));
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (VertexId u : adjacency_[v]) {
+      if (v < u) edges.push_back(LabeledEdge{v, u, EdgeLabel(v, u)});
+    }
+  }
+  return edges;
+}
+
+std::string Pattern::ToString() const {
+  std::ostringstream os;
+  os << "n=" << NumVertices() << " m=" << NumEdges() << "; labels=[";
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    if (v) os << ",";
+    os << labels_[v];
+  }
+  os << "]; edges=";
+  bool first = true;
+  for (const auto& [u, v] : Edges()) {
+    if (!first) os << ",";
+    os << u << "-" << v;
+    if (has_edge_labels_) os << "(" << EdgeLabel(u, v) << ")";
+    first = false;
+  }
+  return os.str();
+}
+
+bool Pattern::operator==(const Pattern& other) const {
+  return labels_ == other.labels_ && adjacency_ == other.adjacency_ &&
+         edge_labels_ == other.edge_labels_;
+}
+
+}  // namespace spidermine

@@ -1,0 +1,127 @@
+#include "pattern/pattern_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace spidermine {
+
+std::string PatternToText(const Pattern& pattern) {
+  std::ostringstream os;
+  os << "p " << pattern.NumVertices() << " " << pattern.NumEdges() << "\n";
+  for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+    os << "v " << v << " " << pattern.Label(v) << "\n";
+  }
+  for (const auto& [u, v] : pattern.Edges()) {
+    os << "e " << u << " " << v << "\n";
+  }
+  return os.str();
+}
+
+std::string PatternsToText(const std::vector<Pattern>& patterns,
+                           const std::vector<int64_t>* supports) {
+  std::ostringstream os;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (supports != nullptr && i < supports->size()) {
+      os << "# support = " << (*supports)[i] << "\n";
+    }
+    os << PatternToText(patterns[i]);
+  }
+  return os.str();
+}
+
+Result<std::vector<Pattern>> ParsePatternsText(const std::string& text) {
+  std::vector<Pattern> out;
+  std::istringstream in(text);
+  std::string line;
+  int64_t line_no = 0;
+  Pattern* current = nullptr;
+  int64_t expected_vertices = 0;
+  int64_t expected_edges = 0;
+  auto check_complete = [&]() -> Status {
+    if (current == nullptr) return Status::Ok();
+    if (current->NumVertices() != expected_vertices ||
+        current->NumEdges() != expected_edges) {
+      return Status::IoError(StrCat(
+          "pattern truncated before line ", line_no, ": declared ",
+          expected_vertices, "v/", expected_edges, "e, got ",
+          current->NumVertices(), "v/", current->NumEdges(), "e"));
+    }
+    return Status::Ok();
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    char kind = 0;
+    fields >> kind;
+    if (kind == 'p') {
+      SM_RETURN_NOT_OK(check_complete());
+      int64_t n = -1;
+      int64_t m = -1;
+      fields >> n >> m;
+      if (fields.fail() || n < 0 || m < 0) {
+        return Status::IoError(
+            StrCat("line ", line_no, ": malformed pattern header"));
+      }
+      out.emplace_back();
+      current = &out.back();
+      expected_vertices = n;
+      expected_edges = m;
+    } else if (kind == 'v') {
+      if (current == nullptr) {
+        return Status::IoError(
+            StrCat("line ", line_no, ": vertex before pattern header"));
+      }
+      int64_t id = -1;
+      int64_t label = -1;
+      fields >> id >> label;
+      if (fields.fail() || id != current->NumVertices() || label < 0) {
+        return Status::IoError(
+            StrCat("line ", line_no, ": bad vertex record '", stripped, "'"));
+      }
+      current->AddVertex(static_cast<LabelId>(label));
+    } else if (kind == 'e') {
+      if (current == nullptr) {
+        return Status::IoError(
+            StrCat("line ", line_no, ": edge before pattern header"));
+      }
+      int64_t u = -1;
+      int64_t v = -1;
+      fields >> u >> v;
+      if (fields.fail() ||
+          !current->AddEdge(static_cast<VertexId>(u),
+                            static_cast<VertexId>(v))) {
+        return Status::IoError(
+            StrCat("line ", line_no, ": bad edge record '", stripped, "'"));
+      }
+    } else {
+      return Status::IoError(
+          StrCat("line ", line_no, ": unknown record '", stripped, "'"));
+    }
+  }
+  SM_RETURN_NOT_OK(check_complete());
+  return out;
+}
+
+Status SavePatternsText(const std::vector<Pattern>& patterns,
+                        const std::string& path,
+                        const std::vector<int64_t>* supports) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(StrCat("cannot open for write: ", path));
+  out << PatternsToText(patterns, supports);
+  if (!out) return Status::IoError(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+Result<std::vector<Pattern>> LoadPatternsText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StrCat("cannot open for read: ", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParsePatternsText(buffer.str());
+}
+
+}  // namespace spidermine

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pattern/pattern.h"
+
+/// \file pattern_io.h
+/// Plain-text persistence for patterns, in an LG-style block format:
+///
+///   p <num_vertices> <num_edges>      # one block per pattern
+///   v <vertex-id> <label>
+///   e <u> <v>
+///
+/// Multiple blocks per file are allowed; comments (#) and blank lines are
+/// ignored. Used by the CLI tool to export mining results.
+
+namespace spidermine {
+
+/// Serializes one pattern to a block.
+std::string PatternToText(const Pattern& pattern);
+
+/// Serializes many patterns; \p supports, when non-null, annotates each
+/// block with a "# support = N" comment (same length as patterns).
+std::string PatternsToText(const std::vector<Pattern>& patterns,
+                           const std::vector<int64_t>* supports = nullptr);
+
+/// Parses one or more pattern blocks from text.
+Result<std::vector<Pattern>> ParsePatternsText(const std::string& text);
+
+/// Writes patterns to a file (overwrites).
+Status SavePatternsText(const std::vector<Pattern>& patterns,
+                        const std::string& path,
+                        const std::vector<int64_t>* supports = nullptr);
+
+/// Reads patterns from a file.
+Result<std::vector<Pattern>> LoadPatternsText(const std::string& path);
+
+}  // namespace spidermine

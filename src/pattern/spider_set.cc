@@ -1,0 +1,87 @@
+#include "pattern/spider_set.h"
+
+#include <algorithm>
+#include <string>
+
+#include "pattern/dfs_code.h"
+
+namespace spidermine {
+
+namespace {
+
+uint64_t HashString(const std::string& s) {
+  // FNV-1a 64-bit.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t BallCode(const Pattern& pattern, VertexId center, int32_t r) {
+  return HashString(CanonicalString(NeighborhoodSpider(pattern, center, r)));
+}
+
+}  // namespace
+
+Pattern NeighborhoodSpider(const Pattern& pattern, VertexId center,
+                           int32_t r) {
+  std::vector<int32_t> dist = pattern.BfsDistances(center, r);
+  std::vector<VertexId> ball;
+  ball.push_back(center);
+  for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+    if (v != center && dist[v] >= 0) ball.push_back(v);
+  }
+  Pattern spider = pattern.InducedSubgraph(ball);
+  // Tag the head: labels become 2*label, head gets 2*label+1, so the head
+  // is distinguishable by the canonicalizer without a separate channel.
+  // Edge labels carry over so edge-labeled patterns separate.
+  Pattern tagged;
+  for (VertexId v = 0; v < spider.NumVertices(); ++v) {
+    tagged.AddVertex(spider.Label(v) * 2 + (v == 0 ? 1 : 0));
+  }
+  for (const auto& e : spider.LabeledEdges()) {
+    tagged.AddEdge(e.u, e.v, e.label);
+  }
+  return tagged;
+}
+
+void SpiderSetRepr::Finalize() {
+  codes_ = by_vertex_;
+  std::sort(codes_.begin(), codes_.end());
+  // Order-independent digest over the sorted multiset.
+  uint64_t acc = 0x2545f4914f6cdd1dULL;
+  for (uint64_t c : codes_) {
+    acc ^= c + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2);
+  }
+  combined_ = acc;
+}
+
+SpiderSetRepr SpiderSetRepr::Compute(const Pattern& pattern, int32_t r) {
+  SpiderSetRepr repr;
+  repr.by_vertex_.reserve(static_cast<size_t>(pattern.NumVertices()));
+  for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+    repr.by_vertex_.push_back(BallCode(pattern, v, r));
+  }
+  repr.Finalize();
+  return repr;
+}
+
+SpiderSetRepr SpiderSetRepr::Updated(const Pattern& extended, int32_t r,
+                                     std::span<const VertexId> changed) const {
+  SpiderSetRepr repr;
+  repr.by_vertex_ = by_vertex_;
+  repr.by_vertex_.resize(static_cast<size_t>(extended.NumVertices()), 0);
+  for (VertexId v : changed) {
+    repr.by_vertex_[static_cast<size_t>(v)] = BallCode(extended, v, r);
+  }
+  for (VertexId v = static_cast<VertexId>(by_vertex_.size());
+       v < extended.NumVertices(); ++v) {
+    repr.by_vertex_[static_cast<size_t>(v)] = BallCode(extended, v, r);
+  }
+  repr.Finalize();
+  return repr;
+}
+
+}  // namespace spidermine

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+/// \file spider_set.h
+/// The spider-set representation S[P] of a pattern (paper Sec. 4.2.2):
+/// the multiset of the canonicalized r-neighborhood spiders of every vertex
+/// of P, with the head vertex marked. Theorem 2: P isomorphic to Q implies
+/// S[P] == S[Q]; the contrapositive lets SpiderMine skip most pairwise
+/// isomorphism tests (spider-set pruning).
+///
+/// Equal spider-sets do NOT imply isomorphism (the paper's Figure 3(II)
+/// counterexample at r=1 is reproduced in the tests); callers must confirm
+/// collisions with vf2.h::ArePatternsIsomorphic.
+
+namespace spidermine {
+
+/// The multiset S[P], stored as sorted 64-bit hashes of the canonical codes
+/// of the per-vertex r-neighborhood spiders, plus the per-vertex table that
+/// enables the paper's incremental update rule ("update those spiders whose
+/// heads are within distance r to the common boundary").
+///
+/// Hashing keeps the filter sound: identical canonical codes always hash
+/// identically, so isomorphic patterns always compare equal; a (vanishingly
+/// unlikely) hash collision can only cause a redundant exact check, never a
+/// wrongly skipped one.
+class SpiderSetRepr {
+ public:
+  SpiderSetRepr() = default;
+
+  /// Computes S[P] with spider radius \p r >= 1 from scratch.
+  static SpiderSetRepr Compute(const Pattern& pattern, int32_t r);
+
+  /// The paper's Sec. 4.2.2 update: S[P'] for an extension P' of the
+  /// pattern this repr was computed for, recomputing only the balls whose
+  /// heads changed. \p changed lists the PRE-EXISTING vertices whose
+  /// r-neighborhood was altered (for an extension at boundary vertex v
+  /// with r = 1 that is {v} union N(v)); vertices new in \p extended are
+  /// always computed fresh. Equivalent to Compute(extended, r) at a cost
+  /// proportional to |changed| + #new instead of |V(P')|.
+  SpiderSetRepr Updated(const Pattern& extended, int32_t r,
+                        std::span<const VertexId> changed) const;
+
+  /// Multiset equality.
+  bool operator==(const SpiderSetRepr& other) const {
+    return combined_ == other.combined_ && codes_ == other.codes_;
+  }
+
+  /// A single 64-bit digest for hash-bucketing patterns.
+  uint64_t digest() const { return combined_; }
+
+  /// Number of spiders in the multiset (= |V(P)|).
+  size_t size() const { return codes_.size(); }
+
+  /// Sorted per-vertex spider code hashes.
+  const std::vector<uint64_t>& codes() const { return codes_; }
+
+ private:
+  void Finalize();
+
+  std::vector<uint64_t> codes_;      // sorted multiset
+  std::vector<uint64_t> by_vertex_;  // code of vertex i's ball (unsorted)
+  uint64_t combined_ = 0;
+};
+
+/// The r-neighborhood spider of \p center inside \p pattern: the subgraph of
+/// P induced on the vertices within distance r of center, with the head
+/// distinguishable (its label is tagged). Exposed for tests and for the
+/// pruning-power bench.
+Pattern NeighborhoodSpider(const Pattern& pattern, VertexId center, int32_t r);
+
+}  // namespace spidermine

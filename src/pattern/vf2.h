@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "pattern/embedding.h"
+#include "pattern/pattern.h"
+
+/// \file vf2.h
+/// Label-aware (sub)graph isomorphism. FindEmbeddings enumerates the
+/// embeddings E[P] of a pattern in the network; ArePatternsIsomorphic is the
+/// exact test that the spider-set filter (spider_set.h) guards.
+
+namespace spidermine {
+
+/// Options controlling embedding enumeration.
+struct Vf2Options {
+  /// Stop after this many embeddings (<=0: unlimited).
+  int64_t max_embeddings = 0;
+  /// Abort the search after visiting this many search-tree states, as a
+  /// safety valve on pathological inputs (<=0: unlimited).
+  int64_t max_states = 0;
+  /// When >= 0, pattern vertex \p anchor_pattern_vertex must map to graph
+  /// vertex \p anchor_graph_vertex (used for spider heads).
+  VertexId anchor_pattern_vertex = -1;
+  VertexId anchor_graph_vertex = -1;
+};
+
+/// Statistics of one enumeration run.
+struct Vf2Stats {
+  int64_t states_visited = 0;
+  bool aborted = false;  ///< true when max_states cut the search short
+};
+
+/// Invokes \p callback for every embedding of \p pattern in \p graph, in a
+/// deterministic order. The callback returns false to stop enumeration.
+/// Requires a connected, non-empty pattern.
+Vf2Stats EnumerateEmbeddings(const Pattern& pattern, const LabeledGraph& graph,
+                             const Vf2Options& options,
+                             const std::function<bool(const Embedding&)>& callback);
+
+/// Collects embeddings into a vector (see EnumerateEmbeddings).
+std::vector<Embedding> FindEmbeddings(const Pattern& pattern,
+                                      const LabeledGraph& graph,
+                                      const Vf2Options& options = {});
+
+/// True iff at least one embedding exists.
+bool ContainsEmbedding(const Pattern& pattern, const LabeledGraph& graph);
+
+/// Exact labeled-graph isomorphism between two patterns (Definition 1).
+bool ArePatternsIsomorphic(const Pattern& a, const Pattern& b);
+
+/// Converts a pattern to an immutable LabeledGraph (for running graph
+/// algorithms or embedding searches against a pattern).
+LabeledGraph PatternToLabeledGraph(const Pattern& pattern);
+
+}  // namespace spidermine

@@ -1,0 +1,27 @@
+#include "spider/spider.h"
+
+#include <algorithm>
+
+namespace spidermine {
+
+std::vector<LabelId> Spider::LeafLabels() const {
+  std::vector<LabelId> labels;
+  for (VertexId v : pattern.Neighbors(0)) labels.push_back(pattern.Label(v));
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::vector<std::pair<EdgeLabelId, LabelId>> Spider::LeafKeys() const {
+  std::vector<std::pair<EdgeLabelId, LabelId>> keys;
+  for (VertexId v : pattern.Neighbors(0)) {
+    keys.emplace_back(pattern.EdgeLabel(0, v), pattern.Label(v));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+bool Spider::IsAnchoredAt(VertexId vertex) const {
+  return std::binary_search(anchors.begin(), anchors.end(), vertex);
+}
+
+}  // namespace spidermine

@@ -1,0 +1,25 @@
+#include "spider/spider_index.h"
+
+namespace spidermine {
+
+SpiderIndex::SpiderIndex(const std::vector<Spider>* spiders,
+                         int64_t num_vertices)
+    : spiders_(spiders) {
+  at_vertex_.resize(static_cast<size_t>(num_vertices));
+  for (size_t id = 0; id < spiders_->size(); ++id) {
+    for (VertexId v : (*spiders_)[id].anchors) {
+      at_vertex_[v].push_back(static_cast<int32_t>(id));
+    }
+  }
+}
+
+double SpiderIndex::AverageSpidersPerVertex() const {
+  if (at_vertex_.empty()) return 0.0;
+  int64_t total = 0;
+  for (const auto& list : at_vertex_) {
+    total += static_cast<int64_t>(list.size());
+  }
+  return static_cast<double>(total) / static_cast<double>(at_vertex_.size());
+}
+
+}  // namespace spidermine

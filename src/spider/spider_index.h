@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "spider/spider.h"
+
+/// \file spider_index.h
+/// Anchor-side index over the mined spider set: Spider(v) of the paper's
+/// Appendix A -- all spiders with an embedding headed at graph vertex v.
+/// The growth engine consults it to find extension candidates at pattern
+/// boundaries, and CheckMerge uses anchor collisions to detect patterns
+/// that started sharing structure.
+
+namespace spidermine {
+
+/// Immutable index from graph vertices to the ids of spiders anchored there.
+class SpiderIndex {
+ public:
+  /// Builds the index. \p spiders is borrowed and must outlive the index.
+  SpiderIndex(const std::vector<Spider>* spiders, int64_t num_vertices);
+
+  /// Ids (positions in the spider vector) of spiders anchored at \p v.
+  std::span<const int32_t> SpidersAt(VertexId v) const {
+    return {at_vertex_[v].data(), at_vertex_[v].size()};
+  }
+
+  /// The spider with id \p id.
+  const Spider& spider(int32_t id) const { return (*spiders_)[id]; }
+
+  /// Total number of spiders indexed.
+  int64_t size() const { return static_cast<int64_t>(spiders_->size()); }
+
+  /// Average number of spiders anchored per vertex (|S_all| / |V| of the
+  /// paper's hit-probability argument).
+  double AverageSpidersPerVertex() const;
+
+ private:
+  const std::vector<Spider>* spiders_;
+  std::vector<std::vector<int32_t>> at_vertex_;
+};
+
+}  // namespace spidermine

@@ -1,0 +1,167 @@
+#include "spider/star_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace spidermine {
+
+namespace {
+
+/// A star leaf: the connecting edge's label plus the leaf vertex label.
+/// For edge-unlabeled graphs edge_label is always 0 and the enumeration
+/// degenerates to the plain vertex-label stars of Appendix B.
+using LeafKey = std::pair<EdgeLabelId, LabelId>;
+
+/// Per-vertex neighbor leaf-key counts, sorted by key, for O(log d) lookup.
+struct NeighborLeafCounts {
+  std::vector<std::vector<std::pair<LeafKey, int32_t>>> counts;
+
+  explicit NeighborLeafCounts(const LabeledGraph& graph) {
+    counts.resize(static_cast<size_t>(graph.NumVertices()));
+    std::map<LeafKey, int32_t> local;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      local.clear();
+      for (VertexId u : graph.Neighbors(v)) {
+        ++local[LeafKey{graph.EdgeLabel(v, u), graph.Label(u)}];
+      }
+      auto& row = counts[v];
+      row.assign(local.begin(), local.end());
+    }
+  }
+
+  int32_t Count(VertexId v, LeafKey key) const {
+    const auto& row = counts[v];
+    auto it = std::lower_bound(
+        row.begin(), row.end(),
+        std::make_pair(key, INT32_MIN));
+    if (it != row.end() && it->first == key) return it->second;
+    return 0;
+  }
+};
+
+/// Builds the Spider record for (head_label, leaf multiset).
+Spider MakeStar(LabelId head_label, const std::vector<LeafKey>& leaves,
+                std::vector<VertexId> anchors, int32_t radius) {
+  Spider s;
+  s.radius = radius;
+  s.pattern.AddVertex(head_label);
+  for (const LeafKey& leaf : leaves) {
+    VertexId leaf_vertex = s.pattern.AddVertex(leaf.second);
+    s.pattern.AddEdge(0, leaf_vertex, leaf.first);
+  }
+  s.anchors = std::move(anchors);
+  s.support = static_cast<int64_t>(s.anchors.size());
+  // Canonical key: stars are canonicalized directly by (head, sorted
+  // (edge label, leaf label) pairs); no DFS-code search needed.
+  std::ostringstream key;
+  key << "h" << head_label;
+  for (const LeafKey& leaf : leaves) {
+    key << "," << leaf.first << ":" << leaf.second;
+  }
+  s.canonical = key.str();
+  return s;
+}
+
+struct MineState {
+  const LabeledGraph* graph;
+  const StarMinerConfig* config;
+  const NeighborLeafCounts* nbr_counts;
+  StarMineResult result;
+  bool stopped = false;
+
+  bool Emit(Spider spider) {
+    result.spiders.push_back(std::move(spider));
+    if (config->max_spiders > 0 &&
+        static_cast<int64_t>(result.spiders.size()) >= config->max_spiders) {
+      result.truncated = true;
+      stopped = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Extends the star (head_label, leaves) by one more leaf with key
+  /// >= the last leaf key (canonical non-decreasing enumeration order).
+  /// \p parent_idx indexes the emitted parent spider (-1: none); a child
+  /// with the same anchor count marks it non-closed.
+  void Extend(LabelId head_label, std::vector<LeafKey>* leaves,
+              const std::vector<VertexId>& anchors,
+              std::map<LeafKey, int32_t>* multiplicity, int64_t parent_idx) {
+    if (stopped) return;
+    if (static_cast<int32_t>(leaves->size()) >= config->max_leaves) return;
+    LeafKey min_next = leaves->empty() ? LeafKey{INT32_MIN, INT32_MIN}
+                                       : leaves->back();
+
+    // Gather candidate keys: keys >= min_next for which enough anchors
+    // have one more matching neighbor than the star already uses.
+    std::map<LeafKey, int64_t> viable_anchor_count;
+    for (VertexId v : anchors) {
+      for (const auto& [key, count] : nbr_counts->counts[v]) {
+        if (key < min_next) continue;
+        auto it = multiplicity->find(key);
+        int32_t needed = (it == multiplicity->end() ? 0 : it->second) + 1;
+        if (count >= needed) ++viable_anchor_count[key];
+      }
+    }
+    for (const auto& [key, anchor_count] : viable_anchor_count) {
+      if (stopped) return;
+      ++result.extension_attempts;
+      if (anchor_count < config->min_support) continue;
+      // Materialize the surviving anchor list.
+      std::vector<VertexId> next_anchors;
+      next_anchors.reserve(static_cast<size_t>(anchor_count));
+      int32_t needed = (*multiplicity)[key] + 1;
+      for (VertexId v : anchors) {
+        if (nbr_counts->Count(v, key) >= needed) next_anchors.push_back(v);
+      }
+      if (parent_idx >= 0 && next_anchors.size() == anchors.size()) {
+        result.spiders[parent_idx].closed = false;
+      }
+      leaves->push_back(key);
+      (*multiplicity)[key] = needed;
+      int64_t child_idx = static_cast<int64_t>(result.spiders.size());
+      if (!Emit(MakeStar(head_label, *leaves, next_anchors, 1))) return;
+      Extend(head_label, leaves, next_anchors, multiplicity, child_idx);
+      (*multiplicity)[key] = needed - 1;
+      if ((*multiplicity)[key] == 0) multiplicity->erase(key);
+      leaves->pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+Result<StarMineResult> MineStarSpiders(const LabeledGraph& graph,
+                                       const StarMinerConfig& config) {
+  if (config.min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (config.max_leaves < 0) {
+    return Status::InvalidArgument("max_leaves must be >= 0");
+  }
+  NeighborLeafCounts nbr_counts(graph);
+  MineState state;
+  state.graph = &graph;
+  state.config = &config;
+  state.nbr_counts = &nbr_counts;
+
+  for (LabelId label = 0; label < graph.NumLabels() && !state.stopped;
+       ++label) {
+    auto vertices = graph.VerticesWithLabel(label);
+    if (static_cast<int64_t>(vertices.size()) < config.min_support) continue;
+    std::vector<VertexId> anchors(vertices.begin(), vertices.end());
+    int64_t parent_idx = -1;
+    if (config.include_single_vertex) {
+      parent_idx = static_cast<int64_t>(state.result.spiders.size());
+      if (!state.Emit(MakeStar(label, {}, anchors, 1))) break;
+    }
+    std::vector<LeafKey> leaves;
+    std::map<LeafKey, int32_t> multiplicity;
+    state.Extend(label, &leaves, anchors, &multiplicity, parent_idx);
+  }
+  return std::move(state.result);
+}
+
+}  // namespace spidermine

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+#include "spider/spider.h"
+
+/// \file star_miner.h
+/// Stage I of SpiderMine for r = 1 (the paper's own implementation choice:
+/// "we focus on the case for r = 1 for simplicity of presentation and
+/// implementation", Appendix B). A 1-spider grown strictly outward is a
+/// star: a head label plus a multiset of leaf labels; this miner enumerates
+/// all frequent stars level-wise over the leaf multiset, maintaining anchor
+/// lists (head images) for support counting.
+///
+/// General radii are handled by ball_miner.h; the star miner is the fast
+/// path the growth engine uses.
+
+namespace spidermine {
+
+/// Limits for star mining.
+struct StarMinerConfig {
+  /// Minimum support sigma over distinct anchors.
+  int64_t min_support = 2;
+  /// Maximum number of leaves per star (bounds the level-wise depth).
+  int32_t max_leaves = 8;
+  /// Stop after this many spiders (<=0: unlimited). When hit, the result is
+  /// truncated and the flag below reports it.
+  int64_t max_spiders = 0;
+  /// Include the 0-leaf single-vertex spiders (frequent labels). These are
+  /// legitimate spiders and eligible seeds.
+  bool include_single_vertex = true;
+};
+
+/// Output of star mining.
+struct StarMineResult {
+  std::vector<Spider> spiders;
+  /// True when max_spiders cut enumeration short.
+  bool truncated = false;
+  /// Number of level-wise extension attempts (mining work measure).
+  int64_t extension_attempts = 0;
+};
+
+/// Mines all frequent 1-spiders (stars) of \p graph.
+Result<StarMineResult> MineStarSpiders(const LabeledGraph& graph,
+                                       const StarMinerConfig& config);
+
+}  // namespace spidermine

@@ -1,0 +1,70 @@
+#include "spidermine/closure.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spidermine {
+
+namespace {
+
+/// One scored closure candidate.
+struct Candidate {
+  VertexId i = -1;
+  VertexId j = -1;
+  EdgeLabelId edge_label = 0;
+  int64_t support = 0;
+  std::vector<Embedding> surviving;
+};
+
+}  // namespace
+
+int32_t CloseInternalEdges(const LabeledGraph& graph, Pattern* pattern,
+                           std::vector<Embedding>* embeddings,
+                           SupportMeasureKind measure, int64_t min_support,
+                           int64_t* support, const SupportContext& context) {
+  int32_t added = 0;
+  if (embeddings->empty()) return 0;
+  const int32_t n = pattern->NumVertices();
+  for (;;) {
+    Candidate best;
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        if (pattern->HasEdge(i, j)) continue;
+        // Embeddings in which the candidate internal edge is realized,
+        // bucketed by the graph edge's label: all surviving embeddings of
+        // one candidate must realize the same labeled edge.
+        std::map<EdgeLabelId, std::vector<Embedding>> by_label;
+        for (const Embedding& e : *embeddings) {
+          if (graph.HasEdge(e[i], e[j])) {
+            by_label[graph.EdgeLabel(e[i], e[j])].push_back(e);
+          }
+        }
+        for (auto& [edge_label, surviving] : by_label) {
+          if (static_cast<int64_t>(surviving.size()) < min_support) continue;
+          // Score with the enriched structure: edge-conflict measures need
+          // the new edge to exist in the pattern.
+          Pattern enriched = *pattern;
+          enriched.AddEdge(i, j, edge_label);
+          const int64_t s =
+              ComputeSupport(measure, enriched, surviving, context);
+          if (s < min_support) continue;
+          if (s > best.support) {
+            best.i = i;
+            best.j = j;
+            best.edge_label = edge_label;
+            best.support = s;
+            best.surviving = std::move(surviving);
+          }
+        }
+      }
+    }
+    if (best.i < 0) break;
+    pattern->AddEdge(best.i, best.j, best.edge_label);
+    *embeddings = std::move(best.surviving);
+    if (support != nullptr) *support = best.support;
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace spidermine

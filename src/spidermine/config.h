@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/support_measure.h"
+
+/// \file config.h
+/// User-facing parameters of SpiderMine (paper Algorithm 1 inputs) plus the
+/// engineering caps that bound memory on pathological inputs. Every cap
+/// records its trigger in MineStats so truncation is never silent.
+
+namespace spidermine {
+
+/// Inputs of the mining problem and knobs of the algorithm.
+struct MineConfig {
+  // ---- Problem parameters (Definition 3). ----
+  /// Support threshold sigma.
+  int64_t min_support = 2;
+  /// Number of top patterns to return (K).
+  int32_t k = 10;
+  /// Error bound epsilon: the returned set contains the true top-K with
+  /// probability >= 1 - epsilon.
+  double epsilon = 0.1;
+  /// Pattern diameter upper bound Dmax.
+  int32_t dmax = 4;
+  /// Spider radius r (the paper recommends 1 or 2; the growth engine's
+  /// fast path implements r = 1).
+  int32_t spider_radius = 1;
+  /// User lower bound Vmin on the vertex count of a "large" pattern;
+  /// 0 selects the paper's example default |V(G)|/10.
+  int64_t vmin = 0;
+  /// Support definition (overlap handling); see support_measure.h.
+  SupportMeasureKind support_measure = SupportMeasureKind::kGreedyMisVertex;
+
+  // ---- Randomization. ----
+  /// RNG seed for the random spider draw.
+  uint64_t rng_seed = 42;
+  /// Overrides the computed number M of seed spiders when > 0.
+  int64_t seed_count_override = 0;
+  /// Number of independent Stage II + III runs over the one-time Stage I
+  /// spider set (paper Sec. 4.2.1: "we can run the remaining stages ...
+  /// multiple times to increase the probability of obtaining the top-K
+  /// large patterns"). Results accumulate across runs.
+  int32_t restarts = 1;
+
+  // ---- Engineering caps (0 = unlimited unless stated). ----
+  /// Per-pattern cap on stored embeddings.
+  int64_t max_embeddings_per_pattern = 10000;
+  /// Cap on in-flight patterns per growth round.
+  int64_t max_patterns_per_round = 4000;
+  /// Per-anchor cap on seed-spider embedding enumeration.
+  int64_t max_seed_embeddings_per_anchor = 20;
+  /// Star miner: max leaves per spider.
+  int32_t max_star_leaves = 8;
+  /// Star miner: total spider cap (0 = unlimited).
+  int64_t max_spiders = 0;
+  /// Merge detection: max pattern pairs examined per shared spider anchor.
+  int32_t max_merge_pairs_per_key = 8;
+  /// Merge: max overlapping embedding pairs turned into union instances
+  /// per pattern pair.
+  int32_t max_union_instances = 256;
+  /// Stage III stops after this many growth rounds even without a fixpoint.
+  int32_t stage3_max_rounds = 64;
+  /// Cap on the accumulated result list (kept sorted by size).
+  int64_t max_results = 10000;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double time_budget_seconds = 0.0;
+
+  // ---- Behavioral switches. ----
+  /// Use only closed stars (no super-star with the same anchors) as growth
+  /// units; reduces redundant branches without changing reachable patterns.
+  bool use_closed_spiders_only = true;
+  /// Post-growth internal-edge closure (see spidermine/closure.h): restores
+  /// cycle-closing edges that star-based outward growth cannot add. The
+  /// paper's full-spider Stage I plants these edges at append time; with
+  /// the star fast path this refinement is needed for exactness on cyclic
+  /// patterns. Can only enlarge patterns; never violates Dmax.
+  bool close_internal_edges = true;
+  /// How many of the size-ranked results closure examines (0 = all).
+  /// Closure can promote a pattern past others, so the window is kept well
+  /// above K; patterns far below the window are too small to reach top-K.
+  int64_t closure_window = 0;  // 0 resolves to max(64, 8 * k)
+  /// Drop results whose diameter exceeds dmax. Definition 2 requires
+  /// diam(P) <= Dmax of returned patterns, but Algorithm 1's Stage III
+  /// ("grow until no more frequent patterns") can legitimately exceed it --
+  /// the paper itself reports recovered patterns larger than the injected
+  /// ones. Off by default to keep that (desirable) behavior; switch on for
+  /// strict Definition-2 output (the exact oracle always enforces it).
+  bool enforce_dmax_on_results = false;
+  /// Ablation: skip the Stage II "keep only merged patterns" pruning.
+  bool keep_unmerged = false;
+  /// Transaction setting: transaction id per vertex of the (disjoint-union)
+  /// input graph; enables SupportMeasureKind::kTransaction.
+  const std::vector<int32_t>* txn_of_vertex = nullptr;
+};
+
+/// Counters and timings of one Mine() run.
+struct MineStats {
+  int64_t num_spiders = 0;        ///< spiders mined in Stage I
+  int64_t num_closed_spiders = 0; ///< spiders surviving the closed filter
+  int64_t seed_count_m = 0;       ///< M actually used
+  int64_t extend_calls = 0;       ///< SpiderExtend invocations
+  int64_t growth_steps = 0;       ///< successful spider appends
+  int64_t stage1_steps = 0;       ///< star-mining extension attempts
+  int64_t merges = 0;             ///< merged patterns created
+  int64_t merge_attempts = 0;     ///< pattern pairs examined
+  int64_t pruned_unmerged = 0;    ///< patterns dropped at end of Stage II
+  int64_t iso_checks_skipped = 0; ///< spider-set filter rejections
+  int64_t iso_checks_run = 0;     ///< exact iso tests after filter collision
+  int64_t nonclosed_dropped = 0;  ///< patterns dropped by closedness rule
+  int64_t closure_edges_added = 0; ///< internal edges restored post-growth
+  int64_t embedding_cap_hits = 0;
+  int64_t pattern_cap_hits = 0;
+  int64_t stage2_iterations = 0;
+  int64_t stage3_rounds = 0;
+  bool timed_out = false;
+  double stage1_seconds = 0.0;
+  double stage2_seconds = 0.0;
+  double stage3_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Multi-line human-readable rendering (tools and example output).
+  std::string ToString() const;
+};
+
+}  // namespace spidermine

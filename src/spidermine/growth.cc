@@ -1,0 +1,658 @@
+#include "spidermine/growth.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "pattern/vf2.h"
+#include "support/support_measure.h"
+
+namespace spidermine {
+
+namespace {
+
+/// A star leaf as the growth engine keys it: the connecting edge's label
+/// plus the leaf vertex label. For edge-unlabeled graphs the edge label is
+/// always 0 and everything degenerates to plain vertex-label handling.
+using LeafKey = std::pair<EdgeLabelId, LabelId>;
+
+/// Sorted multiset difference a - b (b must be a sub-multiset of a for the
+/// difference to capture "new leaves"; extra b elements are ignored).
+template <typename T>
+std::vector<T> MultisetDifference(const std::vector<T>& a,
+                                  const std::vector<T>& b) {
+  std::vector<T> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size()) {
+    if (j < b.size() && a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (j < b.size() && b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// True iff sorted multiset \p sub is contained in sorted multiset \p super.
+template <typename T>
+bool MultisetContains(const std::vector<T>& super, const std::vector<T>& sub) {
+  size_t i = 0;
+  size_t j = 0;
+  while (j < sub.size()) {
+    if (i >= super.size()) return false;
+    if (super[i] == sub[j]) {
+      ++i;
+      ++j;
+    } else if (super[i] < sub[j]) {
+      ++i;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// (edge label, vertex label) keys of the pattern-neighbors of \p v, sorted
+/// (the keys of N_P(v), the edges a spider must cover under the Maximal
+/// Overlap condition).
+std::vector<LeafKey> PatternNeighborKeys(const Pattern& p, VertexId v) {
+  std::vector<LeafKey> keys;
+  for (VertexId u : p.Neighbors(v)) {
+    keys.emplace_back(p.EdgeLabel(v, u), p.Label(u));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Groups a sorted key multiset into (key, count) runs.
+std::vector<std::pair<LeafKey, int32_t>> GroupLabels(
+    const std::vector<LeafKey>& keys) {
+  std::vector<std::pair<LeafKey, int32_t>> groups;
+  for (const LeafKey& k : keys) {
+    if (!groups.empty() && groups.back().first == k) {
+      ++groups.back().second;
+    } else {
+      groups.emplace_back(k, 1);
+    }
+  }
+  return groups;
+}
+
+/// Enumerates every way to choose, for each (label, count) group, `count`
+/// distinct vertices from that label's availability list (combinations in
+/// ascending order, so automorphic reassignments of equal-label leaves are
+/// produced once). Invokes \p emit with the concatenated choice; emit
+/// returns false to stop. Returns false when stopped early.
+bool EnumerateLeafAssignments(
+    const std::vector<std::pair<LeafKey, int32_t>>& groups,
+    const std::vector<std::vector<VertexId>>& avail,
+    std::vector<VertexId>* chosen, size_t group_idx,
+    const std::function<bool(const std::vector<VertexId>&)>& emit) {
+  if (group_idx == groups.size()) return emit(*chosen);
+  const int32_t need = groups[group_idx].second;
+  const std::vector<VertexId>& pool = avail[group_idx];
+  if (static_cast<int32_t>(pool.size()) < need) return true;  // no choice
+  // Iterative combination enumeration over `pool`.
+  std::vector<int32_t> idx(static_cast<size_t>(need));
+  for (int32_t i = 0; i < need; ++i) idx[i] = i;
+  while (true) {
+    size_t base = chosen->size();
+    for (int32_t i = 0; i < need; ++i) chosen->push_back(pool[idx[i]]);
+    bool keep_going =
+        EnumerateLeafAssignments(groups, avail, chosen, group_idx + 1, emit);
+    chosen->resize(base);
+    if (!keep_going) return false;
+    // Advance combination.
+    int32_t pos = need - 1;
+    while (pos >= 0 &&
+           idx[pos] == static_cast<int32_t>(pool.size()) - need + pos) {
+      --pos;
+    }
+    if (pos < 0) return true;
+    ++idx[pos];
+    for (int32_t i = pos + 1; i < need; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+uint64_t MergeKey(int32_t spider_id, VertexId anchor) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(spider_id)) << 32) |
+         static_cast<uint32_t>(anchor);
+}
+
+}  // namespace
+
+struct GrowthEngine::RoundState {
+  std::deque<GrowthPattern> pool;  // stable storage (deque: no realloc moves)
+  std::vector<char> dead;
+  std::deque<int64_t> queue;
+  // spider-set digest -> pool indices (dedup buckets)
+  std::unordered_map<uint64_t, std::vector<int64_t>> dedup;
+  // pattern id -> pool index (for resolving merge-registry entries)
+  std::unordered_map<int64_t, int64_t> id_to_pool;
+  MergeRegistry registry;
+  bool any_growth = false;
+  bool truncated = false;
+
+  int64_t Admit(GrowthPattern gp) {
+    int64_t idx = static_cast<int64_t>(pool.size());
+    dedup[gp.spider_set.digest()].push_back(idx);
+    id_to_pool[gp.id] = idx;
+    pool.push_back(std::move(gp));
+    dead.push_back(0);
+    return idx;
+  }
+};
+
+GrowthEngine::GrowthEngine(const LabeledGraph* graph, const SpiderIndex* index,
+                           const MineConfig* config, MineStats* stats,
+                           Rng* rng, const Deadline* deadline)
+    : graph_(graph),
+      index_(index),
+      config_(config),
+      stats_(stats),
+      rng_(rng),
+      deadline_(deadline) {}
+
+int64_t GrowthEngine::Support(const GrowthPattern& gp) const {
+  SupportContext ctx;
+  ctx.txn_of_vertex = config_->txn_of_vertex;
+  return ComputeSupport(config_->support_measure, gp.pattern, gp.embeddings,
+                        ctx);
+}
+
+GrowthPattern GrowthEngine::SeedFromSpider(const Spider& spider) {
+  GrowthPattern gp;
+  gp.pattern = spider.pattern;
+  gp.id = next_id_++;
+
+  const std::vector<LeafKey> leaves = spider.LeafKeys();
+  const auto groups = GroupLabels(leaves);
+  for (VertexId anchor : spider.anchors) {
+    if (static_cast<int64_t>(gp.embeddings.size()) >=
+        config_->max_embeddings_per_pattern) {
+      ++stats_->embedding_cap_hits;
+      break;
+    }
+    if (groups.empty()) {
+      gp.embeddings.push_back({anchor});
+      continue;
+    }
+    // Availability lists per label group.
+    std::vector<std::vector<VertexId>> avail(groups.size());
+    for (VertexId x : graph_->Neighbors(anchor)) {
+      const LeafKey key{graph_->EdgeLabel(anchor, x), graph_->Label(x)};
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (key == groups[g].first) avail[g].push_back(x);
+      }
+    }
+    int64_t emitted_here = 0;
+    std::vector<VertexId> chosen;
+    EnumerateLeafAssignments(
+        groups, avail, &chosen, 0, [&](const std::vector<VertexId>& leafs) {
+          Embedding e;
+          e.reserve(1 + leafs.size());
+          e.push_back(anchor);
+          for (VertexId x : leafs) e.push_back(x);
+          gp.embeddings.push_back(std::move(e));
+          ++emitted_here;
+          return emitted_here < config_->max_seed_embeddings_per_anchor &&
+                 static_cast<int64_t>(gp.embeddings.size()) <
+                     config_->max_embeddings_per_pattern;
+        });
+  }
+  DedupEmbeddingsByImage(&gp.embeddings);
+  gp.support = Support(gp);
+  // Boundary: the outermost layer (leaves), or the head for 0-leaf spiders.
+  if (spider.pattern.NumVertices() == 1) {
+    gp.boundary = {0};
+  } else {
+    for (VertexId v = 1; v < spider.pattern.NumVertices(); ++v) {
+      gp.boundary.push_back(v);
+    }
+  }
+  gp.spider_set = SpiderSetRepr::Compute(gp.pattern, config_->spider_radius);
+  return gp;
+}
+
+int64_t GrowthEngine::FindDuplicate(RoundState* rs,
+                                    const GrowthPattern& candidate) {
+  auto it = rs->dedup.find(candidate.spider_set.digest());
+  if (it == rs->dedup.end()) return -1;
+  for (int64_t idx : it->second) {
+    const GrowthPattern& other = rs->pool[idx];
+    if (!(other.spider_set == candidate.spider_set)) {
+      ++stats_->iso_checks_skipped;  // digest collision, filter rejected
+      continue;
+    }
+    ++stats_->iso_checks_run;
+    if (ArePatternsIsomorphic(other.pattern, candidate.pattern)) return idx;
+  }
+  return -1;
+}
+
+bool GrowthEngine::TryExtend(
+    RoundState* rs, int64_t base_idx, VertexId v, int32_t spider_id,
+    const std::vector<std::vector<VertexId>>& sorted_images,
+    bool* support_preserved) {
+  ++stats_->extend_calls;
+  const Spider& spider = index_->spider(spider_id);
+  const GrowthPattern& base = rs->pool[base_idx];
+
+  const std::vector<LeafKey> np_labels =
+      PatternNeighborKeys(base.pattern, v);
+  const std::vector<LeafKey> spider_leaves = spider.LeafKeys();
+  // Maximal Overlap (condition I): the spider must cover N_P(v).
+  if (!MultisetContains(spider_leaves, np_labels)) return false;
+  const std::vector<LeafKey> new_leaves =
+      MultisetDifference(spider_leaves, np_labels);
+  if (new_leaves.empty()) return false;
+
+  GrowthPattern q;
+  q.pattern = base.pattern;
+  std::vector<VertexId> new_vertices;
+  for (const LeafKey& leaf : new_leaves) {
+    VertexId nv = q.pattern.AddVertex(leaf.second);
+    q.pattern.AddEdge(v, nv, leaf.first);
+    new_vertices.push_back(nv);
+  }
+
+  // Embedding extension (Algorithm 3): for each base embedding whose image
+  // of v anchors the spider, assign the new leaves to distinct fresh
+  // neighbors (Internal Integrity, condition II: never reuse an image
+  // vertex, so no edge between existing vertices is introduced).
+  const auto groups = GroupLabels(new_leaves);
+  std::vector<VertexId> anchors_used;
+  bool cap_hit = false;
+  for (size_t ei = 0; ei < base.embeddings.size(); ++ei) {
+    if (cap_hit) break;
+    const Embedding& e = base.embeddings[ei];
+    VertexId gv = e[v];
+    if (!spider.IsAnchoredAt(gv)) continue;
+    const std::vector<VertexId>& image = sorted_images[ei];
+    std::vector<std::vector<VertexId>> avail(groups.size());
+    for (VertexId x : graph_->Neighbors(gv)) {
+      if (std::binary_search(image.begin(), image.end(), x)) continue;
+      const LeafKey key{graph_->EdgeLabel(gv, x), graph_->Label(x)};
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (key == groups[g].first) avail[g].push_back(x);
+      }
+    }
+    bool emitted_for_anchor = false;
+    std::vector<VertexId> chosen;
+    EnumerateLeafAssignments(
+        groups, avail, &chosen, 0, [&](const std::vector<VertexId>& leafs) {
+          Embedding extended = e;
+          for (VertexId x : leafs) extended.push_back(x);
+          q.embeddings.push_back(std::move(extended));
+          emitted_for_anchor = true;
+          if (static_cast<int64_t>(q.embeddings.size()) >=
+              config_->max_embeddings_per_pattern) {
+            cap_hit = true;
+            return false;
+          }
+          return true;
+        });
+    if (emitted_for_anchor) anchors_used.push_back(gv);
+  }
+  if (cap_hit) ++stats_->embedding_cap_hits;
+  if (static_cast<int64_t>(q.embeddings.size()) < config_->min_support &&
+      config_->support_measure != SupportMeasureKind::kTransaction) {
+    return false;
+  }
+  DedupEmbeddingsByImage(&q.embeddings);
+  q.support = Support(q);
+  if (q.support < config_->min_support) return false;
+  if (q.support == base.support) *support_preserved = true;
+
+  ++stats_->growth_steps;
+  // Incremental spider-set maintenance (paper Sec. 4.2.2: "update those
+  // spiders whose heads are within distance r to the common boundary"):
+  // only pre-existing vertices within distance r of the extension site v
+  // have a changed r-ball; new leaves are computed fresh by Updated().
+  {
+    const std::vector<int32_t> dist =
+        q.pattern.BfsDistances(v, config_->spider_radius);
+    std::vector<VertexId> changed;
+    for (VertexId x = 0; x < base.pattern.NumVertices(); ++x) {
+      if (dist[x] >= 0) changed.push_back(x);
+    }
+    q.spider_set =
+        base.spider_set.Updated(q.pattern, config_->spider_radius, changed);
+  }
+
+  int64_t dup = FindDuplicate(rs, q);
+  if (dup >= 0) {
+    // Redundant generation (SpiderSetCheck hit): fold the new embeddings
+    // into the existing pattern instead of duplicating it.
+    GrowthPattern& other = rs->pool[dup];
+    for (Embedding& e : q.embeddings) {
+      if (static_cast<int64_t>(other.embeddings.size()) >=
+          config_->max_embeddings_per_pattern) {
+        break;
+      }
+      other.embeddings.push_back(std::move(e));
+    }
+    DedupEmbeddingsByImage(&other.embeddings);
+    other.support = Support(other);
+    other.merged_ever |= base.merged_ever;
+    return false;
+  }
+
+  q.boundary = base.boundary;
+  q.cursor = base.cursor + 1;
+  q.next_boundary = base.next_boundary;
+  for (VertexId nv : new_vertices) q.next_boundary.push_back(nv);
+  q.merged_ever = base.merged_ever;
+  q.id = next_id_++;
+  int64_t idx = rs->Admit(std::move(q));
+  rs->queue.push_back(idx);
+  rs->any_growth = true;
+
+  // Register spider usage for merge detection (Algorithm 4's buffers).
+  std::sort(anchors_used.begin(), anchors_used.end());
+  anchors_used.erase(std::unique(anchors_used.begin(), anchors_used.end()),
+                     anchors_used.end());
+  for (VertexId a : anchors_used) {
+    rs->registry[MergeKey(spider_id, a)].push_back(rs->pool[idx].id);
+  }
+  return true;
+}
+
+void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
+  // Gather candidate pattern-id pairs per colliding key, current round
+  // first, then cross previous round (Buf_cur x Buf_pre).
+  for (auto& [key, ids] : rs->registry) {
+    if (deadline_ != nullptr && deadline_->Expired()) {
+      rs->truncated = true;
+      break;
+    }
+    std::vector<int64_t> all_ids = ids;
+    if (previous != nullptr) {
+      auto it = previous->find(key);
+      if (it != previous->end()) {
+        all_ids.insert(all_ids.end(), it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(all_ids.begin(), all_ids.end());
+    all_ids.erase(std::unique(all_ids.begin(), all_ids.end()), all_ids.end());
+    if (all_ids.size() < 2) continue;
+
+    // Resolve to live pool entries.
+    std::vector<int64_t> live;
+    for (int64_t id : all_ids) {
+      auto it = rs->id_to_pool.find(id);
+      if (it == rs->id_to_pool.end()) continue;
+      if (rs->dead[it->second]) continue;
+      live.push_back(it->second);
+    }
+    if (live.size() < 2) continue;
+
+    int32_t pairs_done = 0;
+    for (size_t i = 0; i < live.size() && pairs_done <
+         config_->max_merge_pairs_per_key; ++i) {
+      for (size_t j = i + 1; j < live.size() && pairs_done <
+           config_->max_merge_pairs_per_key; ++j) {
+        ++pairs_done;
+        ++stats_->merge_attempts;
+        const int64_t ia = live[i];
+        const int64_t ib = live[j];
+        // NOTE: references into pool must be re-taken after Admit calls.
+        // Collect overlapping embedding pairs.
+        std::unordered_map<VertexId, std::vector<int32_t>> where;
+        {
+          const GrowthPattern& a = rs->pool[ia];
+          for (size_t ei = 0; ei < a.embeddings.size(); ++ei) {
+            for (VertexId gv : a.embeddings[ei]) {
+              where[gv].push_back(static_cast<int32_t>(ei));
+            }
+          }
+        }
+        std::vector<std::pair<int32_t, int32_t>> overlaps;
+        {
+          const GrowthPattern& b = rs->pool[ib];
+          std::unordered_set<int64_t> seen_pairs;
+          for (size_t ej = 0; ej < b.embeddings.size(); ++ej) {
+            for (VertexId gv : b.embeddings[ej]) {
+              auto it = where.find(gv);
+              if (it == where.end()) continue;
+              for (int32_t ei : it->second) {
+                int64_t pk = (static_cast<int64_t>(ei) << 32) |
+                             static_cast<int64_t>(ej);
+                if (seen_pairs.insert(pk).second) {
+                  overlaps.emplace_back(ei, static_cast<int32_t>(ej));
+                }
+              }
+            }
+            if (static_cast<int32_t>(overlaps.size()) >=
+                config_->max_union_instances) {
+              break;
+            }
+          }
+        }
+        if (overlaps.empty()) continue;
+
+        // Build union instances and group them by structure.
+        struct UnionGroup {
+          Pattern pattern;
+          SpiderSetRepr spider_set;
+          std::vector<Embedding> embeddings;
+          std::vector<VertexId> boundary;  // from the first instance
+        };
+        std::vector<UnionGroup> unions;
+        for (const auto& [ei, ej] : overlaps) {
+          const GrowthPattern& a = rs->pool[ia];
+          const GrowthPattern& b = rs->pool[ib];
+          const Embedding& e1 = a.embeddings[ei];
+          const Embedding& e2 = b.embeddings[ej];
+          // Union vertex set, sorted for a deterministic mapping.
+          std::vector<VertexId> verts = e1;
+          verts.insert(verts.end(), e2.begin(), e2.end());
+          std::sort(verts.begin(), verts.end());
+          verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+          std::unordered_map<VertexId, VertexId> pos;
+          Pattern up;
+          for (size_t t = 0; t < verts.size(); ++t) {
+            pos[verts[t]] = static_cast<VertexId>(t);
+            up.AddVertex(graph_->Label(verts[t]));
+          }
+          for (const auto& [pu, pv] : a.pattern.Edges()) {
+            up.AddEdge(pos[e1[pu]], pos[e1[pv]]);
+          }
+          for (const auto& [pu, pv] : b.pattern.Edges()) {
+            up.AddEdge(pos[e2[pu]], pos[e2[pv]]);
+          }
+          Embedding ue(verts.begin(), verts.end());
+          SpiderSetRepr repr =
+              SpiderSetRepr::Compute(up, config_->spider_radius);
+          // Find matching group (spider-set filter, then exact check).
+          UnionGroup* group = nullptr;
+          for (UnionGroup& g : unions) {
+            if (!(g.spider_set == repr)) continue;
+            ++stats_->iso_checks_run;
+            if (ArePatternsIsomorphic(g.pattern, up)) {
+              group = &g;
+              break;
+            }
+          }
+          if (group == nullptr) {
+            UnionGroup g;
+            g.pattern = std::move(up);
+            g.spider_set = repr;
+            // Boundary: images of both parents' frontier vertices.
+            auto add_boundary = [&](const GrowthPattern& parent,
+                                    const Embedding& pe) {
+              for (VertexId pv : parent.boundary) {
+                g.boundary.push_back(pos[pe[pv]]);
+              }
+              for (VertexId pv : parent.next_boundary) {
+                g.boundary.push_back(pos[pe[pv]]);
+              }
+            };
+            add_boundary(a, e1);
+            add_boundary(b, e2);
+            std::sort(g.boundary.begin(), g.boundary.end());
+            g.boundary.erase(
+                std::unique(g.boundary.begin(), g.boundary.end()),
+                g.boundary.end());
+            unions.push_back(std::move(g));
+            group = &unions.back();
+          }
+          group->embeddings.push_back(std::move(ue));
+        }
+
+        for (UnionGroup& g : unions) {
+          DedupEmbeddingsByImage(&g.embeddings);
+          SupportContext ctx;
+          ctx.txn_of_vertex = config_->txn_of_vertex;
+          int64_t support = ComputeSupport(config_->support_measure,
+                                           g.pattern, g.embeddings, ctx);
+          if (support < config_->min_support) continue;
+          GrowthPattern merged;
+          merged.pattern = std::move(g.pattern);
+          merged.embeddings = std::move(g.embeddings);
+          merged.support = support;
+          merged.spider_set = g.spider_set;
+          merged.next_boundary = std::move(g.boundary);
+          merged.merged_ever = true;
+          merged.id = next_id_++;
+          int64_t dup = FindDuplicate(rs, merged);
+          if (dup >= 0) {
+            GrowthPattern& other = rs->pool[dup];
+            other.merged_ever = true;  // it is now a merge product
+            for (Embedding& e : merged.embeddings) {
+              if (static_cast<int64_t>(other.embeddings.size()) >=
+                  config_->max_embeddings_per_pattern) {
+                break;
+              }
+              other.embeddings.push_back(std::move(e));
+            }
+            DedupEmbeddingsByImage(&other.embeddings);
+            other.support = Support(other);
+            continue;
+          }
+          rs->Admit(std::move(merged));
+          ++stats_->merges;
+          rs->any_growth = true;
+        }
+      }
+    }
+  }
+}
+
+GrowRoundResult GrowthEngine::GrowRound(std::vector<GrowthPattern> input,
+                                        bool enable_merging,
+                                        MergeRegistry* previous) {
+  RoundState rs;
+  for (GrowthPattern& gp : input) {
+    gp.cursor = 0;
+    gp.next_boundary.clear();
+    int64_t idx = rs.Admit(std::move(gp));
+    rs.queue.push_back(idx);
+  }
+
+  while (!rs.queue.empty()) {
+    if (deadline_ != nullptr && deadline_->Expired()) {
+      // Budget exhausted mid-round: stop extending; remaining patterns are
+      // finalized as-is below.
+      rs.truncated = true;
+      break;
+    }
+    int64_t idx = rs.queue.front();
+    rs.queue.pop_front();
+    if (rs.dead[idx]) continue;
+    // NOTE: deque storage keeps references stable across Admit().
+    GrowthPattern& cur = rs.pool[idx];
+    if (cur.cursor >= cur.boundary.size()) continue;  // finished this round
+    if (cur.exhausted) continue;
+    const VertexId v = cur.boundary[cur.cursor];
+
+    // ---- Candidate spiders at v (paper's Spider(v)): spiders anchored at
+    // an image of v, with matching head label, covering N_P(v) and adding
+    // at least one new leaf.
+    std::vector<int32_t> candidates;
+    {
+      const LabelId label_v = cur.pattern.Label(v);
+      const std::vector<LeafKey> np_labels =
+          PatternNeighborKeys(cur.pattern, v);
+      std::unordered_set<VertexId> images;
+      for (const Embedding& e : cur.embeddings) images.insert(e[v]);
+      std::unordered_set<int32_t> spider_ids;
+      for (VertexId gv : images) {
+        for (int32_t sid : index_->SpidersAt(gv)) spider_ids.insert(sid);
+      }
+      for (int32_t sid : spider_ids) {
+        const Spider& s = index_->spider(sid);
+        if (config_->use_closed_spiders_only && !s.closed) continue;
+        if (s.pattern.Label(0) != label_v) continue;
+        const std::vector<LeafKey> leaves = s.LeafKeys();
+        if (leaves.size() <= np_labels.size()) continue;
+        if (!MultisetContains(leaves, np_labels)) continue;
+        candidates.push_back(sid);
+      }
+      std::sort(candidates.begin(), candidates.end());
+    }
+
+    // Hoist per-embedding sorted images across all candidate spiders.
+    std::vector<std::vector<VertexId>> sorted_images;
+    if (!candidates.empty()) {
+      sorted_images.reserve(cur.embeddings.size());
+      for (const Embedding& e : cur.embeddings) {
+        sorted_images.push_back(SortedImage(e));
+      }
+    }
+
+    bool support_preserved = false;
+    for (int32_t sid : candidates) {
+      if (static_cast<int64_t>(rs.pool.size()) >=
+          config_->max_patterns_per_round) {
+        rs.truncated = true;
+        ++stats_->pattern_cap_hits;
+        break;
+      }
+      if (deadline_ != nullptr && deadline_->Expired()) {
+        rs.truncated = true;
+        break;
+      }
+      TryExtend(&rs, idx, v, sid, sorted_images, &support_preserved);
+    }
+
+    GrowthPattern& cur2 = rs.pool[idx];  // re-take (paranoia; deque-stable)
+    if (support_preserved) {
+      // Non-closed: some extension kept every occurrence (Algorithm 2
+      // line 22-23); drop the sub-pattern.
+      rs.dead[idx] = 1;
+      ++stats_->nonclosed_dropped;
+      continue;
+    }
+    ++cur2.cursor;
+    rs.queue.push_back(idx);
+  }
+
+  if (enable_merging) RunMerges(&rs, previous);
+
+  GrowRoundResult out;
+  out.any_growth = rs.any_growth;
+  out.truncated = rs.truncated;
+  for (size_t idx = 0; idx < rs.pool.size(); ++idx) {
+    if (rs.dead[idx]) continue;
+    GrowthPattern gp = std::move(rs.pool[idx]);
+    std::sort(gp.next_boundary.begin(), gp.next_boundary.end());
+    gp.next_boundary.erase(
+        std::unique(gp.next_boundary.begin(), gp.next_boundary.end()),
+        gp.next_boundary.end());
+    gp.boundary = std::move(gp.next_boundary);
+    gp.next_boundary = {};
+    gp.cursor = 0;
+    gp.exhausted = gp.boundary.empty();
+    out.patterns.push_back(std::move(gp));
+  }
+  if (previous != nullptr) *previous = std::move(rs.registry);
+  return out;
+}
+
+}  // namespace spidermine

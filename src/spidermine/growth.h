@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/labeled_graph.h"
+#include "pattern/embedding.h"
+#include "pattern/pattern.h"
+#include "pattern/spider_set.h"
+#include "spider/spider_index.h"
+#include "spidermine/config.h"
+
+/// \file growth.h
+/// The SpiderGrow / SpiderExtend / CheckMerge machinery (paper Algorithms
+/// 2-4). A growth round expands every in-flight pattern by one spider layer
+/// (radius +r), detecting merges through shared spider anchors.
+
+namespace spidermine {
+
+/// An in-flight pattern during Stage II / III growth.
+struct GrowthPattern {
+  Pattern pattern;
+  /// Known embeddings E[P] (occurrence-list growth semantics: embeddings of
+  /// an extension are extensions of these).
+  std::vector<Embedding> embeddings;
+  /// Support under the configured measure.
+  int64_t support = 0;
+  /// Frontier pattern vertices eligible for spider extension this round
+  /// (B[P] in the paper: the outermost layer).
+  std::vector<VertexId> boundary;
+  /// Vertices added this round; becomes the next round's boundary.
+  std::vector<VertexId> next_boundary;
+  /// Position of the boundary vertex currently being examined
+  /// (the paper's P.pointer).
+  size_t cursor = 0;
+  /// True when this pattern is a merge result or descends from one
+  /// (Stage II keeps only such patterns).
+  bool merged_ever = false;
+  /// Spider-set representation for the isomorphism filter.
+  SpiderSetRepr spider_set;
+  /// Unique id for merge bookkeeping.
+  int64_t id = 0;
+  /// True once the pattern failed to grow in a full round (Stage III
+  /// fixpoint detection).
+  bool exhausted = false;
+};
+
+/// Result of one growth round.
+struct GrowRoundResult {
+  std::vector<GrowthPattern> patterns;
+  /// True when at least one extension or merge happened.
+  bool any_growth = false;
+  /// True when max_patterns_per_round suppressed extensions.
+  bool truncated = false;
+};
+
+/// Spider-usage registry for merge detection: the paper's Buf_pre/Buf_cur.
+/// Key = (spider id, graph anchor vertex); value = ids of patterns that
+/// used that spider there.
+using MergeRegistry = std::unordered_map<uint64_t, std::vector<int64_t>>;
+
+/// Executes growth rounds against a fixed graph + spider set.
+class GrowthEngine {
+ public:
+  /// All references are borrowed and must outlive the engine. A non-null
+  /// \p deadline is polled inside rounds so the configured time budget
+  /// bounds even a single expensive round.
+  GrowthEngine(const LabeledGraph* graph, const SpiderIndex* index,
+               const MineConfig* config, MineStats* stats, Rng* rng,
+               const Deadline* deadline = nullptr);
+
+  /// Builds the initial GrowthPattern for a seed spider (embeddings
+  /// enumerated per anchor, boundary = outermost layer).
+  GrowthPattern SeedFromSpider(const Spider& spider);
+
+  /// One SpiderGrow round over \p input: every pattern is extended at every
+  /// boundary vertex with every compatible spider (paper Algorithm 2), with
+  /// spider-set dedup, closedness pruning and merge detection. When
+  /// \p enable_merging, patterns sharing a (spider, anchor) are merged
+  /// (Algorithm 4) using the previous round's registry \p previous.
+  GrowRoundResult GrowRound(std::vector<GrowthPattern> input,
+                            bool enable_merging, MergeRegistry* previous);
+
+  /// Recomputes support for \p gp under the configured measure.
+  int64_t Support(const GrowthPattern& gp) const;
+
+ private:
+  struct RoundState;
+
+  /// SpiderExtend (Algorithm 3): extends \p base at boundary vertex \p v
+  /// with spider \p spider_id. \p sorted_images caches SortedImage() of the
+  /// base embeddings (hoisted across candidate spiders). Returns false when
+  /// the extension is infrequent or impossible; on success appends to the
+  /// round state.
+  bool TryExtend(RoundState* rs, int64_t base_idx, VertexId v,
+                 int32_t spider_id,
+                 const std::vector<std::vector<VertexId>>& sorted_images,
+                 bool* support_preserved);
+
+  /// Spider-set dedup (SpiderSetCheck): returns the pool index of an
+  /// isomorphic existing pattern or -1.
+  int64_t FindDuplicate(RoundState* rs, const GrowthPattern& candidate);
+
+  /// Runs CheckMerge for all colliding registry keys.
+  void RunMerges(RoundState* rs, MergeRegistry* previous);
+
+  const LabeledGraph* graph_;
+  const SpiderIndex* index_;
+  const MineConfig* config_;
+  MineStats* stats_;
+  Rng* rng_;
+  const Deadline* deadline_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace spidermine

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+#include "pattern/embedding.h"
+#include "pattern/pattern.h"
+#include "spidermine/config.h"
+
+/// \file miner.h
+/// The SpiderMine driver (paper Algorithm 1): Stage I mines all r-spiders,
+/// Stage II draws M random seed spiders and grows them for Dmax/(2r)
+/// iterations with merging, keeping only merge products, and Stage III
+/// grows the survivors to a fixpoint and returns the K largest patterns.
+
+namespace spidermine {
+
+/// One returned pattern.
+struct MinedPattern {
+  Pattern pattern;
+  /// Embeddings known for the pattern (capped; see MineConfig).
+  std::vector<Embedding> embeddings;
+  /// Support under the configured measure.
+  int64_t support = 0;
+  /// True when the pattern descends from a Stage II merge.
+  bool from_merge = false;
+
+  /// Paper's |P|: edge count.
+  int32_t NumEdges() const { return pattern.NumEdges(); }
+  int32_t NumVertices() const { return pattern.NumVertices(); }
+};
+
+/// Output of a Mine() run.
+struct MineResult {
+  /// Top-K patterns, sorted by size (edge count) descending, ties broken by
+  /// vertex count then support.
+  std::vector<MinedPattern> patterns;
+  MineStats stats;
+};
+
+/// Runs SpiderMine over a single network.
+class SpiderMiner {
+ public:
+  /// \p graph is borrowed and must outlive the miner.
+  SpiderMiner(const LabeledGraph* graph, MineConfig config);
+
+  /// Executes the three stages. Fails on invalid configuration; resource
+  /// caps do not fail the run but are reported in MineResult::stats.
+  Result<MineResult> Mine();
+
+ private:
+  const LabeledGraph* graph_;
+  MineConfig config_;
+};
+
+}  // namespace spidermine

@@ -1,0 +1,52 @@
+#include "spidermine/seed_count.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace spidermine {
+
+double SeedSuccessLowerBound(int64_t num_vertices, int64_t vmin, int32_t k,
+                             int64_t m) {
+  const double p = static_cast<double>(vmin) / static_cast<double>(num_vertices);
+  const double md = static_cast<double>(m);
+  // (M+1)(1-p)^M computed in log space for numeric range.
+  double pfail;
+  if (p >= 1.0) {
+    pfail = 0.0;
+  } else {
+    double log_term = std::log(md + 1.0) + md * std::log1p(-p);
+    pfail = std::exp(log_term);
+  }
+  if (pfail >= 1.0) return 0.0;
+  double base = 1.0 - pfail;
+  return std::pow(base, static_cast<double>(k));
+}
+
+Result<int64_t> ComputeSeedCount(int64_t num_vertices, int64_t vmin,
+                                 int32_t k, double epsilon, int64_t max_m) {
+  if (num_vertices <= 0) {
+    return Status::InvalidArgument("num_vertices must be positive");
+  }
+  if (vmin <= 0 || vmin > num_vertices) {
+    return Status::InvalidArgument(
+        StrCat("vmin must be in [1, |V|]; got ", vmin));
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  const double target = 1.0 - epsilon;
+  // The bound dips before it rises (pfail = (M+1)(1-p)^M grows for small M),
+  // so a plain scan is the safe way to find the smallest satisfying M. At
+  // least two spiders must land in a pattern for identification, hence the
+  // floor of 2.
+  for (int64_t m = 2; m <= max_m; ++m) {
+    if (SeedSuccessLowerBound(num_vertices, vmin, k, m) >= target) return m;
+  }
+  return Status::ResourceExhausted(
+      StrCat("no M <= ", max_m, " reaches success probability ", target));
+}
+
+}  // namespace spidermine

@@ -1,0 +1,29 @@
+#include <sstream>
+
+#include "spidermine/config.h"
+
+namespace spidermine {
+
+std::string MineStats::ToString() const {
+  std::ostringstream os;
+  os << "stage I: " << num_spiders << " spiders (" << num_closed_spiders
+     << " closed) in " << stage1_seconds << "s, " << stage1_steps
+     << " extension attempts\n"
+     << "stage II: M=" << seed_count_m << ", " << stage2_iterations
+     << " iterations, " << merges << " merges (" << merge_attempts
+     << " pairs examined), " << pruned_unmerged << " unmerged pruned, "
+     << stage2_seconds << "s\n"
+     << "stage III: " << stage3_rounds << " rounds, " << stage3_seconds
+     << "s\n"
+     << "growth: " << extend_calls << " extend calls, " << growth_steps
+     << " spider appends, " << nonclosed_dropped << " non-closed dropped\n"
+     << "isomorphism: " << iso_checks_skipped << " skipped by spider-set, "
+     << iso_checks_run << " run\n"
+     << "closure: " << closure_edges_added << " internal edges restored\n"
+     << "caps: " << embedding_cap_hits << " embedding, " << pattern_cap_hits
+     << " pattern" << (timed_out ? "; TIME BUDGET EXPIRED" : "") << "\n"
+     << "total: " << total_seconds << "s\n";
+  return os.str();
+}
+
+}  // namespace spidermine

@@ -1,0 +1,39 @@
+#include "spidermine/txn_adapter.h"
+
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+
+Result<TransactionGraph> BuildTransactionGraph(
+    const std::vector<LabeledGraph>& database) {
+  TransactionGraph out;
+  GraphBuilder builder;
+  for (size_t t = 0; t < database.size(); ++t) {
+    const LabeledGraph& g = database[t];
+    VertexId base = builder.NumVertices() > 0
+                        ? static_cast<VertexId>(builder.NumVertices())
+                        : 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      builder.AddVertex(g.Label(v));
+      out.txn_of_vertex.push_back(static_cast<int32_t>(t));
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      for (VertexId u : g.Neighbors(v)) {
+        if (v < u) builder.AddEdge(base + v, base + u);
+      }
+    }
+  }
+  SM_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  out.num_transactions = static_cast<int32_t>(database.size());
+  return out;
+}
+
+Result<MineResult> MineTransactions(const TransactionGraph& txn,
+                                    MineConfig config) {
+  config.support_measure = SupportMeasureKind::kTransaction;
+  config.txn_of_vertex = &txn.txn_of_vertex;
+  SpiderMiner miner(&txn.graph, config);
+  return miner.Mine();
+}
+
+}  // namespace spidermine

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+#include "spidermine/config.h"
+#include "spidermine/miner.h"
+
+/// \file txn_adapter.h
+/// Graph-transaction setting adapter (paper Sec. 2: "SpiderMine ... can be
+/// adapted to graph-transaction setting with no difficulty"). The database
+/// is embedded as the disjoint union of its graphs; connected patterns can
+/// never straddle two transactions, and support is counted as the number of
+/// distinct transactions hit (SupportMeasureKind::kTransaction).
+
+namespace spidermine {
+
+/// A transaction database folded into one graph.
+struct TransactionGraph {
+  LabeledGraph graph;
+  /// Transaction id of every union-graph vertex.
+  std::vector<int32_t> txn_of_vertex;
+  /// Number of transactions.
+  int32_t num_transactions = 0;
+};
+
+/// Builds the disjoint union of \p database.
+Result<TransactionGraph> BuildTransactionGraph(
+    const std::vector<LabeledGraph>& database);
+
+/// Runs SpiderMine over a transaction database: \p config is adjusted to
+/// transaction support automatically (min_support counts transactions).
+Result<MineResult> MineTransactions(const TransactionGraph& txn,
+                                    MineConfig config);
+
+}  // namespace spidermine

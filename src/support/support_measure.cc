@@ -1,0 +1,141 @@
+#include "support/support_measure.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace spidermine {
+
+std::string_view SupportMeasureName(SupportMeasureKind kind) {
+  switch (kind) {
+    case SupportMeasureKind::kEmbeddingCount:
+      return "embedding-count";
+    case SupportMeasureKind::kMinImage:
+      return "min-image";
+    case SupportMeasureKind::kGreedyMisVertex:
+      return "greedy-mis-vertex";
+    case SupportMeasureKind::kGreedyMisEdge:
+      return "greedy-mis-edge";
+    case SupportMeasureKind::kTransaction:
+      return "transaction";
+  }
+  return "?";
+}
+
+namespace {
+
+int64_t MinImageSupport(const Pattern& pattern,
+                        const std::vector<Embedding>& embeddings) {
+  if (embeddings.empty()) return 0;
+  int64_t min_images = INT64_MAX;
+  std::unordered_set<VertexId> images;
+  for (VertexId pv = 0; pv < pattern.NumVertices(); ++pv) {
+    images.clear();
+    for (const Embedding& e : embeddings) images.insert(e[pv]);
+    min_images = std::min(min_images, static_cast<int64_t>(images.size()));
+  }
+  return min_images;
+}
+
+int64_t GreedyMisVertexSupport(const std::vector<Embedding>& embeddings) {
+  std::unordered_set<VertexId> used;
+  int64_t count = 0;
+  for (const Embedding& e : embeddings) {
+    bool conflict = false;
+    for (VertexId v : e) {
+      if (used.count(v)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) continue;
+    for (VertexId v : e) used.insert(v);
+    ++count;
+  }
+  return count;
+}
+
+int64_t GreedyMisEdgeSupport(const Pattern& pattern,
+                             const std::vector<Embedding>& embeddings) {
+  auto pattern_edges = pattern.Edges();
+  auto edge_key = [](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(b);
+  };
+  std::unordered_set<uint64_t> used;
+  int64_t count = 0;
+  for (const Embedding& e : embeddings) {
+    bool conflict = false;
+    for (const auto& [pu, pv] : pattern_edges) {
+      if (used.count(edge_key(e[pu], e[pv]))) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) continue;
+    for (const auto& [pu, pv] : pattern_edges) {
+      used.insert(edge_key(e[pu], e[pv]));
+    }
+    ++count;
+  }
+  return count;
+}
+
+int64_t TransactionSupport(const std::vector<Embedding>& embeddings,
+                           const SupportContext& context) {
+  if (context.txn_of_vertex == nullptr) return 0;
+  std::unordered_set<int32_t> txns;
+  for (const Embedding& e : embeddings) {
+    if (!e.empty()) txns.insert((*context.txn_of_vertex)[e[0]]);
+  }
+  return static_cast<int64_t>(txns.size());
+}
+
+}  // namespace
+
+int64_t ComputeSupport(SupportMeasureKind kind, const Pattern& pattern,
+                       const std::vector<Embedding>& embeddings,
+                       const SupportContext& context) {
+  switch (kind) {
+    case SupportMeasureKind::kEmbeddingCount:
+      return static_cast<int64_t>(embeddings.size());
+    case SupportMeasureKind::kMinImage:
+      return MinImageSupport(pattern, embeddings);
+    case SupportMeasureKind::kGreedyMisVertex:
+      return GreedyMisVertexSupport(embeddings);
+    case SupportMeasureKind::kGreedyMisEdge:
+      // A pattern with no edges has no edge conflicts; fall back to the
+      // vertex measure so single-vertex patterns keep sensible support.
+      if (pattern.NumEdges() == 0) return GreedyMisVertexSupport(embeddings);
+      return GreedyMisEdgeSupport(pattern, embeddings);
+    case SupportMeasureKind::kTransaction:
+      return TransactionSupport(embeddings, context);
+  }
+  return 0;
+}
+
+void DedupEmbeddingsByImage(std::vector<Embedding>* embeddings) {
+  std::unordered_set<uint64_t> seen;
+  std::vector<Embedding> kept;
+  kept.reserve(embeddings->size());
+  std::vector<std::vector<VertexId>> images;
+  for (Embedding& e : *embeddings) {
+    uint64_t fp = ImageFingerprint(e);
+    if (!seen.insert(fp).second) {
+      // Possible fingerprint collision: confirm by comparing sorted images
+      // against kept embeddings with the same fingerprint (rare path).
+      bool duplicate = false;
+      std::vector<VertexId> image = SortedImage(e);
+      for (const Embedding& k : kept) {
+        if (ImageFingerprint(k) == fp && SortedImage(k) == image) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+    }
+    kept.push_back(std::move(e));
+  }
+  *embeddings = std::move(kept);
+}
+
+}  // namespace spidermine

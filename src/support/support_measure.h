@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "pattern/embedding.h"
+#include "pattern/pattern.h"
+
+/// \file support_measure.h
+/// Pattern support in the single-graph setting. Overlapping embeddings make
+/// raw embedding counts non-anti-monotone, which is the core complication
+/// the paper highlights (Sec. 1/2). SpiderMine adopts the overlap-aware
+/// support of Fiedler & Borgelt [9]; the tractable realization used here is
+/// a greedy maximum-independent-set over the embedding conflict graph
+/// (vertex- or edge-sharing conflicts), alongside the minimum-image (MNI)
+/// measure and plain counts. Exact harmful-overlap support is NP-hard; the
+/// substitution is documented in DESIGN.md §4.
+
+namespace spidermine {
+
+/// Available support definitions.
+enum class SupportMeasureKind {
+  /// |E[P]|: raw embedding count. Not anti-monotone; diagnostics only.
+  kEmbeddingCount,
+  /// Minimum over pattern vertices of the number of distinct image
+  /// vertices (MNI). Anti-monotone.
+  kMinImage,
+  /// Greedy max independent set of embeddings, conflict = shared vertex
+  /// (vertex-disjoint support in the spirit of GREW [20]). Default.
+  kGreedyMisVertex,
+  /// Greedy MIS, conflict = shared edge (edge-disjoint support in the
+  /// spirit of Vanetik et al. [31] / harmful overlap [9]).
+  kGreedyMisEdge,
+  /// Number of distinct transaction ids covered (graph-transaction
+  /// setting; requires SupportContext::txn_of_vertex).
+  kTransaction,
+};
+
+/// Extra inputs some measures need.
+struct SupportContext {
+  /// For kTransaction: transaction id of every graph vertex of the
+  /// disjoint-union graph (see spidermine/txn_adapter.h).
+  const std::vector<int32_t>* txn_of_vertex = nullptr;
+};
+
+/// Human-readable measure name (for bench output).
+std::string_view SupportMeasureName(SupportMeasureKind kind);
+
+/// Computes the support of a pattern given its embedding list.
+///
+/// \p pattern supplies the edge structure needed by kGreedyMisEdge; other
+/// measures only read \p embeddings.
+int64_t ComputeSupport(SupportMeasureKind kind, const Pattern& pattern,
+                       const std::vector<Embedding>& embeddings,
+                       const SupportContext& context = {});
+
+/// Removes duplicate embeddings that map to the identical image vertex-set
+/// (automorphic re-discoveries), keeping first occurrences in order.
+void DedupEmbeddingsByImage(std::vector<Embedding>* embeddings);
+
+}  // namespace spidermine

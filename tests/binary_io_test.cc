@@ -1,0 +1,154 @@
+#include "graph/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "graph/graph_builder.h"
+#include "pattern/vf2.h"
+
+namespace spidermine {
+namespace {
+
+LabeledGraph SmallGraph() {
+  GraphBuilder builder;
+  builder.AddVertex(0);
+  builder.AddVertex(1);
+  builder.AddVertex(1);
+  builder.AddVertex(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(0, 3);
+  return std::move(builder.Build()).value();
+}
+
+void ExpectGraphsEqual(const LabeledGraph& a, const LabeledGraph& b) {
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    EXPECT_EQ(a.Label(v), b.Label(v));
+    auto na = a.Neighbors(v);
+    auto nb = b.Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(BinaryIoTest, GraphRoundTripInMemory) {
+  LabeledGraph g = SmallGraph();
+  Result<LabeledGraph> back = GraphFromBinary(GraphToBinary(g));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectGraphsEqual(g, *back);
+}
+
+TEST(BinaryIoTest, EmptyGraphRoundTrip) {
+  LabeledGraph g = std::move(GraphBuilder().Build()).value();
+  Result<LabeledGraph> back = GraphFromBinary(GraphToBinary(g));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->NumVertices(), 0);
+  EXPECT_EQ(back->NumEdges(), 0);
+}
+
+TEST(BinaryIoTest, RandomGraphRoundTripThroughFile) {
+  Rng rng(99);
+  LabeledGraph g =
+      std::move(GenerateErdosRenyi(500, 4.0, 12, &rng).Build()).value();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sm_binary_io_test.smg")
+          .string();
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  Result<LabeledGraph> back = LoadGraphBinary(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectGraphsEqual(g, *back);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, PatternRoundTrip) {
+  Pattern p(3);
+  VertexId b = p.AddVertex(1);
+  VertexId c = p.AddVertex(4);
+  p.AddEdge(0, b);
+  p.AddEdge(b, c);
+  Result<Pattern> back = PatternFromBinary(PatternToBinary(p));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(ArePatternsIsomorphic(p, *back));
+  EXPECT_EQ(back->NumVertices(), 3);
+  EXPECT_EQ(back->NumEdges(), 2);
+}
+
+TEST(BinaryIoTest, RejectsTruncatedHeader) {
+  std::string bytes = GraphToBinary(SmallGraph()).substr(0, 10);
+  Result<LabeledGraph> r = GraphFromBinary(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(BinaryIoTest, RejectsTruncatedPayload) {
+  std::string bytes = GraphToBinary(SmallGraph());
+  bytes.resize(bytes.size() - 3);
+  Result<LabeledGraph> r = GraphFromBinary(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("length mismatch"), std::string::npos);
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  std::string bytes = GraphToBinary(SmallGraph());
+  bytes[0] = 'X';
+  Result<LabeledGraph> r = GraphFromBinary(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST(BinaryIoTest, RejectsWrongVersion) {
+  std::string bytes = GraphToBinary(SmallGraph());
+  bytes[4] = 9;  // version field
+  Result<LabeledGraph> r = GraphFromBinary(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(BinaryIoTest, DetectsPayloadCorruption) {
+  // Flip one byte in every payload position in turn; the CRC (or a decode
+  // validity check) must reject every single-byte corruption.
+  std::string bytes = GraphToBinary(SmallGraph());
+  for (size_t pos = 20; pos < bytes.size(); ++pos) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x40);
+    Result<LabeledGraph> r = GraphFromBinary(corrupted);
+    EXPECT_FALSE(r.ok()) << "corruption at byte " << pos << " was accepted";
+  }
+}
+
+TEST(BinaryIoTest, DetectsCrcFieldCorruption) {
+  std::string bytes = GraphToBinary(SmallGraph());
+  bytes[16] = static_cast<char>(bytes[16] ^ 0x01);  // CRC field
+  Result<LabeledGraph> r = GraphFromBinary(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(BinaryIoTest, GraphLoaderRejectsPatternFile) {
+  Pattern p(0);
+  p.AddVertex(1);
+  p.AddEdge(0, 1);
+  Result<LabeledGraph> r = GraphFromBinary(PatternToBinary(p));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST(BinaryIoTest, LoadMissingFileFails) {
+  Result<LabeledGraph> r = LoadGraphBinary("/nonexistent/dir/graph.smg");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(BinaryIoTest, SaveToUnwritablePathFails) {
+  EXPECT_FALSE(SaveGraphBinary(SmallGraph(), "/nonexistent/dir/g.smg").ok());
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,231 @@
+#include "tools/cli_commands.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "graph/binary_io.h"
+
+namespace spidermine::cli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& path : cleanup_) std::filesystem::remove(path);
+  }
+
+  std::string Track(const std::string& path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(CliTest, GenWritesGraphAndReportsSize) {
+  const std::string path = Track(TempPath("cli_gen_test.smg"));
+  std::ostringstream out;
+  Status status = CmdGen({"--model=er", "--vertices=200", "--avg-degree=2.5",
+                          "--labels=10", "--seed=7", "--out=" + path},
+                         out);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_NE(out.str().find("|V|=200"), std::string::npos);
+
+  Result<LabeledGraph> loaded = LoadGraphAuto(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumVertices(), 200);
+}
+
+TEST_F(CliTest, GenWithInjectionMentionsPlantedPattern) {
+  const std::string path = Track(TempPath("cli_gen_inject.lg"));
+  std::ostringstream out;
+  Status status =
+      CmdGen({"--model=er", "--vertices=150", "--labels=12",
+              "--inject-vertices=10", "--inject-count=2", "--out=" + path},
+             out);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.str().find("injected pattern: |V|=10"), std::string::npos);
+}
+
+TEST_F(CliTest, GenRequiresOut) {
+  std::ostringstream out;
+  Status status = CmdGen({"--model=er"}, out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, GenRejectsUnknownModel) {
+  std::ostringstream out;
+  Status status =
+      CmdGen({"--model=hypercube", "--out=" + TempPath("x.lg")}, out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("hypercube"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsPrintsSummary) {
+  const std::string path = Track(TempPath("cli_stats.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=100", "--labels=5",
+                      "--out=" + path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  Status status = CmdStats({path}, out);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.str().find("vertices: 100"), std::string::npos);
+  EXPECT_NE(out.str().find("degree min/avg/max"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsFailsOnMissingFile) {
+  std::ostringstream out;
+  EXPECT_FALSE(CmdStats({TempPath("does_not_exist.smg")}, out).ok());
+}
+
+TEST_F(CliTest, MineFindsPlantedPattern) {
+  const std::string path = Track(TempPath("cli_mine.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=200", "--avg-degree=1.5",
+                      "--labels=15", "--seed=5", "--inject-vertices=12",
+                      "--inject-count=3", "--out=" + path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  Status status = CmdMine({path, "--support=3", "--k=5", "--dmax=4",
+                           "--vmin=12", "--seed=2", "--stats"},
+                          out);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.str().find("top "), std::string::npos);
+  EXPECT_NE(out.str().find("|V|=12"), std::string::npos);
+  EXPECT_NE(out.str().find("stage I:"), std::string::npos);
+  EXPECT_NE(out.str().find("spiders"), std::string::npos);
+}
+
+TEST_F(CliTest, MineSavesPatternFiles) {
+  const std::string graph_path = Track(TempPath("cli_mine_out.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=120", "--avg-degree=1.5",
+                      "--labels=10", "--inject-vertices=8",
+                      "--inject-count=3", "--out=" + graph_path},
+                     gen_out)
+                  .ok());
+  const std::string prefix = TempPath("cli_mine_patterns");
+  std::ostringstream out;
+  Status status = CmdMine({graph_path, "--support=3", "--k=2", "--dmax=4",
+                           "--vmin=8", "--out=" + prefix},
+                          out);
+  ASSERT_TRUE(status.ok()) << status;
+  // At least the rank-1 pattern file must exist and load back.
+  const std::string first = prefix + ".1.smp";
+  Track(first);
+  Track(prefix + ".2.smp");
+  ASSERT_TRUE(std::filesystem::exists(first));
+  Result<Pattern> loaded = LoadPatternBinary(first);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_GT(loaded->NumVertices(), 0);
+}
+
+TEST_F(CliTest, MineVariantsAndMaximalFlags) {
+  const std::string path = Track(TempPath("cli_mine2.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=150", "--avg-degree=1.5",
+                      "--labels=10", "--inject-vertices=8",
+                      "--inject-count=3", "--out=" + path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  Status status = CmdMine(
+      {path, "--support=3", "--k=5", "--dmax=4", "--vmin=8", "--maximal",
+       "--variants"},
+      out);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.str().find("variant groups:"), std::string::npos);
+}
+
+TEST_F(CliTest, MineRejectsBadMeasure) {
+  const std::string path = Track(TempPath("cli_mine3.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=50", "--labels=5",
+                      "--out=" + path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  Status status = CmdMine({path, "--measure=bogus"}, out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, BaselineSubdueRuns) {
+  const std::string path = Track(TempPath("cli_baseline.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=120", "--labels=8",
+                      "--out=" + path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  Status status = CmdBaseline({path, "--algo=subdue", "--k=3"}, out);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.str().find("subdue:"), std::string::npos);
+}
+
+TEST_F(CliTest, BaselineRejectsUnknownAlgo) {
+  const std::string path = Track(TempPath("cli_baseline2.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=50", "--labels=5",
+                      "--out=" + path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  EXPECT_FALSE(CmdBaseline({path, "--algo=magic"}, out).ok());
+}
+
+TEST_F(CliTest, ConvertRoundTripsBetweenFormats) {
+  const std::string binary = Track(TempPath("cli_conv.smg"));
+  const std::string text = Track(TempPath("cli_conv.lg"));
+  const std::string binary2 = Track(TempPath("cli_conv2.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=80", "--labels=6",
+                      "--out=" + binary},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(CmdConvert({binary, text}, out).ok());
+  ASSERT_TRUE(CmdConvert({text, binary2}, out).ok());
+  Result<LabeledGraph> a = LoadGraphAuto(binary);
+  Result<LabeledGraph> b = LoadGraphAuto(binary2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->NumVertices(), b->NumVertices());
+  EXPECT_EQ(a->NumEdges(), b->NumEdges());
+}
+
+TEST_F(CliTest, RunCliDispatchesAndReportsErrors) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunCli({}, out, err), 2);
+  EXPECT_NE(err.str().find("usage"), std::string::npos);
+
+  std::ostringstream out2, err2;
+  EXPECT_EQ(RunCli({"frobnicate"}, out2, err2), 2);
+  EXPECT_NE(err2.str().find("unknown subcommand"), std::string::npos);
+
+  std::ostringstream out3, err3;
+  EXPECT_EQ(RunCli({"stats", TempPath("missing.smg")}, out3, err3), 1);
+  EXPECT_FALSE(err3.str().empty());
+}
+
+TEST_F(CliTest, RunCliHappyPath) {
+  const std::string path = Track(TempPath("cli_run.smg"));
+  std::ostringstream out, err;
+  int code = RunCli({"gen", "--model=er", "--vertices=60", "--labels=5",
+                     "--out=" + path},
+                    out, err);
+  EXPECT_EQ(code, 0);
+  EXPECT_TRUE(err.str().empty());
+}
+
+}  // namespace
+}  // namespace spidermine::cli

@@ -1,0 +1,53 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace spidermine {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard test vectors for the reflected IEEE polynomial (zlib crc32).
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, ExtendMatchesOneShot) {
+  const std::string data = "spidermine-binary-format";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const std::string a = data.substr(0, split);
+    const std::string b = data.substr(split);
+    uint32_t crc = Crc32(a);
+    crc = Crc32Extend(
+        crc, {reinterpret_cast<const uint8_t*>(b.data()), b.size()});
+    EXPECT_EQ(crc, Crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  std::vector<uint8_t> data(64, 0xAB);
+  const uint32_t base = Crc32(data);
+  for (size_t byte = 0; byte < data.size(); byte += 7) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::vector<uint8_t> corrupted = data;
+      corrupted[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(Crc32(corrupted), base)
+          << "flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32Test, DifferentLengthsOfZerosDiffer) {
+  std::vector<uint8_t> z1(1, 0), z2(2, 0), z8(8, 0);
+  EXPECT_NE(Crc32(z1), Crc32(z2));
+  EXPECT_NE(Crc32(z2), Crc32(z8));
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,134 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace spidermine {
+namespace {
+
+FlagSet MakeSet() {
+  FlagSet flags("tool", "test tool");
+  flags.AddInt("count", 7, "a count")
+      .AddDouble("rate", 0.5, "a rate")
+      .AddString("name", "default", "a name")
+      .AddBool("verbose", false, "chatty output");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsWithoutArgs) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(flags.Parse(std::vector<std::string>{}).ok());
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.WasSet("count"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(flags
+                  .Parse({"--count=42", "--rate=1.25", "--name=spider",
+                          "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 1.25);
+  EXPECT_EQ(flags.GetString("name"), "spider");
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_TRUE(flags.WasSet("count"));
+}
+
+TEST(FlagsTest, SpaceSeparatedValue) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(flags.Parse({"--count", "13", "--name", "x y"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), 13);
+  EXPECT_EQ(flags.GetString("name"), "x y");
+}
+
+TEST(FlagsTest, BareBooleanSetsTrue) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(flags.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, BooleanFalseSpelling) {
+  FlagSet flags("t");
+  flags.AddBool("on", true, "");
+  ASSERT_TRUE(flags.Parse({"--on=false"}).ok());
+  EXPECT_FALSE(flags.GetBool("on"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(flags.Parse({"mine", "--count=1", "input.graph"}).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "mine");
+  EXPECT_EQ(flags.positional()[1], "input.graph");
+}
+
+TEST(FlagsTest, DoubleDashStopsFlagParsing) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(flags.Parse({"--count=1", "--", "--count=2"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), 1);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--count=2");
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags = MakeSet();
+  Status status = flags.Parse({"--bogus=1"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bogus"), std::string::npos);
+}
+
+TEST(FlagsTest, MalformedIntFails) {
+  FlagSet flags = MakeSet();
+  EXPECT_FALSE(flags.Parse({"--count=12x"}).ok());
+  FlagSet flags2 = MakeSet();
+  EXPECT_FALSE(flags2.Parse({"--count="}).ok());
+}
+
+TEST(FlagsTest, MalformedDoubleFails) {
+  FlagSet flags = MakeSet();
+  EXPECT_FALSE(flags.Parse({"--rate=fast"}).ok());
+}
+
+TEST(FlagsTest, MalformedBoolFails) {
+  FlagSet flags = MakeSet();
+  EXPECT_FALSE(flags.Parse({"--verbose=maybe"}).ok());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagSet flags = MakeSet();
+  EXPECT_FALSE(flags.Parse({"--count"}).ok());
+}
+
+TEST(FlagsTest, RepeatedFlagFails) {
+  FlagSet flags = MakeSet();
+  EXPECT_FALSE(flags.Parse({"--count=1", "--count=2"}).ok());
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(flags.Parse({"--count=-5", "--rate=-0.25"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), -5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), -0.25);
+}
+
+TEST(FlagsTest, ArgcArgvOverloadSkipsProgramName) {
+  FlagSet flags = MakeSet();
+  const char* argv[] = {"prog", "--count=3", "pos"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(flags.GetInt("count"), 3);
+  ASSERT_EQ(flags.positional().size(), 1u);
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults) {
+  FlagSet flags = MakeSet();
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("a count"), std::string::npos);
+  EXPECT_NE(usage.find("tool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spidermine

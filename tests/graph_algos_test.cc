@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/bfs.h"
+#include "graph/degree_stats.h"
+#include "graph/diameter.h"
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+namespace {
+
+LabeledGraph Path(int n) {
+  GraphBuilder b;
+  for (int i = 0; i < n; ++i) b.AddVertex(0);
+  for (int i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return std::move(b.Build()).value();
+}
+
+LabeledGraph TwoTriangles() {
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  return std::move(b.Build()).value();
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  LabeledGraph g = Path(5);
+  std::vector<int32_t> dist = BfsDistances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsTest, DistancesFromMiddle) {
+  LabeledGraph g = Path(5);
+  std::vector<int32_t> dist = BfsDistances(g, 2);
+  EXPECT_EQ(dist[0], 2);
+  EXPECT_EQ(dist[2], 0);
+  EXPECT_EQ(dist[4], 2);
+}
+
+TEST(BfsTest, MaxDepthTruncates) {
+  LabeledGraph g = Path(5);
+  std::vector<int32_t> dist = BfsDistances(g, 0, 2);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[4], -1);
+}
+
+TEST(BfsTest, UnreachableIsMinusOne) {
+  LabeledGraph g = TwoTriangles();
+  std::vector<int32_t> dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[4], -1);
+  EXPECT_EQ(dist[5], -1);
+}
+
+TEST(BfsTest, BallContainsExactlyRadiusNeighborhood) {
+  LabeledGraph g = Path(7);
+  std::vector<VertexId> ball = BfsBall(g, 3, 2);
+  std::sort(ball.begin(), ball.end());
+  EXPECT_EQ(ball, (std::vector<VertexId>{1, 2, 3, 4, 5}));
+}
+
+TEST(BfsTest, BallRadiusZeroIsCenter) {
+  LabeledGraph g = Path(3);
+  std::vector<VertexId> ball = BfsBall(g, 1, 0);
+  EXPECT_EQ(ball, (std::vector<VertexId>{1}));
+}
+
+TEST(BfsTest, BallCenterFirst) {
+  LabeledGraph g = Path(5);
+  std::vector<VertexId> ball = BfsBall(g, 2, 2);
+  EXPECT_EQ(ball[0], 2);
+  EXPECT_EQ(ball.size(), 5u);
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  LabeledGraph g = Path(4);
+  ComponentDecomposition d = ConnectedComponents(g);
+  EXPECT_EQ(d.count, 1);
+  for (int32_t c : d.component) EXPECT_EQ(c, 0);
+}
+
+TEST(ComponentsTest, TwoComponents) {
+  LabeledGraph g = TwoTriangles();
+  ComponentDecomposition d = ConnectedComponents(g);
+  EXPECT_EQ(d.count, 2);
+  EXPECT_EQ(d.component[0], d.component[1]);
+  EXPECT_EQ(d.component[0], d.component[2]);
+  EXPECT_EQ(d.component[3], d.component[4]);
+  EXPECT_NE(d.component[0], d.component[3]);
+}
+
+TEST(ComponentsTest, IsolatedVerticesAreOwnComponents) {
+  GraphBuilder b;
+  b.AddVertices(3, 0);
+  ComponentDecomposition d = ConnectedComponents(std::move(b.Build()).value());
+  EXPECT_EQ(d.count, 3);
+}
+
+TEST(DiameterTest, PathDiameter) {
+  EXPECT_EQ(ExactDiameter(Path(5)), 4);
+  EXPECT_EQ(ExactDiameter(Path(2)), 1);
+  EXPECT_EQ(ExactDiameter(Path(1)), 0);
+}
+
+TEST(DiameterTest, TriangleDiameterIsOne) {
+  LabeledGraph g = TwoTriangles();
+  // Disconnected: per-vertex eccentricities ignore unreachable vertices.
+  EXPECT_EQ(ExactDiameter(g), 1);
+}
+
+TEST(DiameterTest, EccentricityOfPathEnds) {
+  LabeledGraph g = Path(6);
+  EXPECT_EQ(Eccentricity(g, 0), 5);
+  EXPECT_EQ(Eccentricity(g, 2), 3);
+}
+
+TEST(DiameterTest, EffectiveDiameterBoundedByExact) {
+  LabeledGraph g = Path(20);
+  Rng rng(5);
+  double eff = EffectiveDiameter(g, 0.9, 20, &rng);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LE(eff, 19.0);
+}
+
+TEST(DiameterTest, EffectiveDiameterOfCliqueIsOne) {
+  GraphBuilder b;
+  b.AddVertices(6, 0);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) b.AddEdge(i, j);
+  }
+  Rng rng(5);
+  EXPECT_EQ(EffectiveDiameter(std::move(b.Build()).value(), 0.9, 6, &rng),
+            1.0);
+}
+
+TEST(DegreeStatsTest, PathStats) {
+  DegreeStats s = ComputeDegreeStats(Path(5));
+  EXPECT_EQ(s.max, 2);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.average, 8.0 / 5.0);
+  ASSERT_EQ(s.histogram.size(), 3u);
+  EXPECT_EQ(s.histogram[1], 2);  // two endpoints
+  EXPECT_EQ(s.histogram[2], 3);  // three middles
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  GraphBuilder b;
+  DegreeStats s = ComputeDegreeStats(std::move(b.Build()).value());
+  EXPECT_EQ(s.max, 0);
+  EXPECT_DOUBLE_EQ(s.average, 0.0);
+}
+
+TEST(DegreeStatsTest, LabelHistogram) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(1);
+  b.AddVertex(3);
+  std::vector<int64_t> h = LabelHistogram(std::move(b.Build()).value());
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 1);
+  EXPECT_EQ(h[1], 2);
+  EXPECT_EQ(h[2], 0);
+  EXPECT_EQ(h[3], 1);
+}
+
+}  // namespace
+}  // namespace spidermine

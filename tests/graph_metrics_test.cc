@@ -1,0 +1,133 @@
+#include "graph/graph_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "graph/degree_stats.h"
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+namespace {
+
+LabeledGraph Triangle() {
+  GraphBuilder builder;
+  builder.AddVertices(3, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  return std::move(builder.Build()).value();
+}
+
+LabeledGraph Path(int n) {
+  GraphBuilder builder;
+  builder.AddVertices(n, 0);
+  for (int i = 0; i + 1 < n; ++i) builder.AddEdge(i, i + 1);
+  return std::move(builder.Build()).value();
+}
+
+// K4 has 4 triangles; global clustering 1.
+LabeledGraph CompleteFour() {
+  GraphBuilder builder;
+  builder.AddVertices(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) builder.AddEdge(i, j);
+  }
+  return std::move(builder.Build()).value();
+}
+
+TEST(GraphMetricsTest, TriangleCountSmallGraphs) {
+  EXPECT_EQ(CountTriangles(Triangle()), 1);
+  EXPECT_EQ(CountTriangles(Path(5)), 0);
+  EXPECT_EQ(CountTriangles(CompleteFour()), 4);
+}
+
+TEST(GraphMetricsTest, TriangleCountDisjointTriangles) {
+  GraphBuilder builder;
+  builder.AddVertices(6, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(3, 5);
+  LabeledGraph g = std::move(builder.Build()).value();
+  EXPECT_EQ(CountTriangles(g), 2);
+}
+
+TEST(GraphMetricsTest, ClusteringCoefficients) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Triangle()), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(CompleteFour()), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Path(10)), 0.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(Triangle()), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(Path(10)), 0.0);
+}
+
+TEST(GraphMetricsTest, ClusteringEmptyGraphIsZero) {
+  LabeledGraph g = std::move(GraphBuilder().Build()).value();
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(g), 0.0);
+  EXPECT_EQ(CountTriangles(g), 0);
+}
+
+TEST(GraphMetricsTest, DegreeHistogramViaDegreeStats) {
+  // Star with 4 leaves: one vertex of degree 4, four of degree 1.
+  GraphBuilder builder;
+  builder.AddVertices(5, 0);
+  for (int leaf = 1; leaf <= 4; ++leaf) builder.AddEdge(0, leaf);
+  LabeledGraph g = std::move(builder.Build()).value();
+  DegreeStats stats = ComputeDegreeStats(g);
+  ASSERT_EQ(stats.histogram.size(), 5u);
+  EXPECT_EQ(stats.histogram[0], 0);
+  EXPECT_EQ(stats.histogram[1], 4);
+  EXPECT_EQ(stats.histogram[4], 1);
+  EXPECT_EQ(stats.max, 4);
+}
+
+TEST(GraphMetricsTest, ComponentSizesSortedDescending) {
+  GraphBuilder builder;
+  builder.AddVertices(7, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  // 5, 6 isolated
+  LabeledGraph g = std::move(builder.Build()).value();
+  std::vector<int64_t> sizes = ComponentSizes(g);
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 3);
+  EXPECT_EQ(sizes[1], 2);
+  EXPECT_EQ(sizes[2], 1);
+  EXPECT_EQ(sizes[3], 1);
+}
+
+TEST(GraphMetricsTest, SummaryConsistency) {
+  Rng rng(7);
+  LabeledGraph g =
+      std::move(GenerateErdosRenyi(300, 3.0, 5, &rng).Build()).value();
+  GraphSummary summary = Summarize(g, &rng, 16);
+  EXPECT_EQ(summary.num_vertices, g.NumVertices());
+  EXPECT_EQ(summary.num_edges, g.NumEdges());
+  EXPECT_EQ(summary.num_labels, g.NumLabels());
+  EXPECT_NEAR(summary.avg_degree,
+              2.0 * static_cast<double>(g.NumEdges()) /
+                  static_cast<double>(g.NumVertices()),
+              1e-12);
+  EXPECT_GE(summary.max_degree, 1);
+  EXPECT_GE(summary.largest_component, 1);
+  EXPECT_LE(summary.largest_component, summary.num_vertices);
+  EXPECT_GE(summary.effective_diameter, 0.0);
+  std::string text = summary.ToString();
+  EXPECT_NE(text.find("vertices: 300"), std::string::npos);
+  EXPECT_NE(text.find("effective diameter"), std::string::npos);
+}
+
+TEST(GraphMetricsTest, SummarySkipsDiameterWhenRequested) {
+  Rng rng(8);
+  LabeledGraph g = Triangle();
+  GraphSummary summary = Summarize(g, &rng, 0);
+  EXPECT_LT(summary.effective_diameter, 0.0);
+  EXPECT_EQ(summary.ToString().find("effective diameter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spidermine

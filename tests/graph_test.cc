@@ -1,0 +1,198 @@
+#include "graph/labeled_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+
+namespace spidermine {
+namespace {
+
+LabeledGraph TriangleWithTail() {
+  // 0(A)-1(B)-2(A) triangle, tail 2-3(C).
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(0);
+  b.AddVertex(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  return std::move(b.Build()).value();
+}
+
+TEST(GraphBuilderTest, BuildsEmptyGraph) {
+  GraphBuilder b;
+  Result<LabeledGraph> g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 0);
+  EXPECT_EQ(g->NumEdges(), 0);
+  EXPECT_EQ(g->NumLabels(), 0);
+}
+
+TEST(GraphBuilderTest, CountsVerticesAndEdges) {
+  LabeledGraph g = TriangleWithTail();
+  EXPECT_EQ(g.NumVertices(), 4);
+  EXPECT_EQ(g.NumEdges(), 4);
+  EXPECT_EQ(g.NumLabels(), 3);
+}
+
+TEST(GraphBuilderTest, SelfLoopsIgnored) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddEdge(0, 0);
+  Result<LabeledGraph> g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 0);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesCollapse) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(0, 1);
+  Result<LabeledGraph> g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1);
+  EXPECT_EQ(g->Degree(0), 1);
+}
+
+TEST(GraphBuilderTest, DanglingEdgeRejected) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddEdge(0, 5);
+  Result<LabeledGraph> g = b.Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, NegativeLabelRejected) {
+  GraphBuilder b;
+  b.AddVertex(-3);
+  Result<LabeledGraph> g = b.Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphBuilderTest, AddVerticesBulk) {
+  GraphBuilder b;
+  VertexId first = b.AddVertices(5, 7);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(b.NumVertices(), 5);
+  Result<LabeledGraph> g = b.Build();
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g->Label(v), 7);
+}
+
+TEST(GraphBuilderTest, SetLabelOverwrites) {
+  GraphBuilder b;
+  b.AddVertex(1);
+  b.SetLabel(0, 9);
+  EXPECT_EQ(b.Label(0), 9);
+  Result<LabeledGraph> g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->Label(0), 9);
+}
+
+TEST(LabeledGraphTest, NeighborsAreSorted) {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddVertex(0);
+  b.AddEdge(2, 4);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  LabeledGraph g = std::move(b.Build()).value();
+  auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 3);
+  EXPECT_EQ(nbrs[2], 4);
+}
+
+TEST(LabeledGraphTest, HasEdgeSymmetric) {
+  LabeledGraph g = TriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(LabeledGraphTest, HasEdgeOutOfRangeIsFalse) {
+  LabeledGraph g = TriangleWithTail();
+  EXPECT_FALSE(g.HasEdge(-1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));
+}
+
+TEST(LabeledGraphTest, LabelIndex) {
+  LabeledGraph g = TriangleWithTail();
+  auto zeros = g.VerticesWithLabel(0);
+  ASSERT_EQ(zeros.size(), 2u);
+  EXPECT_EQ(zeros[0], 0);
+  EXPECT_EQ(zeros[1], 2);
+  EXPECT_EQ(g.LabelCount(0), 2);
+  EXPECT_EQ(g.LabelCount(1), 1);
+  EXPECT_EQ(g.LabelCount(2), 1);
+}
+
+TEST(LabeledGraphTest, DegreeMatchesNeighbors) {
+  LabeledGraph g = TriangleWithTail();
+  EXPECT_EQ(g.Degree(2), 3);
+  EXPECT_EQ(g.Degree(3), 1);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(static_cast<size_t>(g.Degree(v)), g.Neighbors(v).size());
+  }
+}
+
+TEST(GraphIoTest, RoundTripThroughText) {
+  LabeledGraph g = TriangleWithTail();
+  std::string text = GraphToText(g);
+  Result<LabeledGraph> parsed = ParseGraphText(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->NumVertices(), g.NumVertices());
+  EXPECT_EQ(parsed->NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(parsed->Label(v), g.Label(v));
+    ASSERT_EQ(parsed->Degree(v), g.Degree(v));
+  }
+}
+
+TEST(GraphIoTest, RoundTripThroughFile) {
+  LabeledGraph g = TriangleWithTail();
+  std::string path = testing::TempDir() + "/sm_graph_io_test.lg";
+  ASSERT_TRUE(SaveGraphText(g, path).ok());
+  Result<LabeledGraph> loaded = LoadGraphText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumVertices(), 4);
+  EXPECT_EQ(loaded->NumEdges(), 4);
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  Result<LabeledGraph> g = ParseGraphText(
+      "# header\n\nv 0 1\n  # indented comment\nv 1 2\ne 0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 2);
+  EXPECT_EQ(g->NumEdges(), 1);
+}
+
+TEST(GraphIoTest, NonDenseVertexIdsRejected) {
+  Result<LabeledGraph> g = ParseGraphText("v 1 0\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, MalformedRecordsRejected) {
+  EXPECT_FALSE(ParseGraphText("x 0 0\n").ok());
+  EXPECT_FALSE(ParseGraphText("v 0\n").ok());
+  EXPECT_FALSE(ParseGraphText("v 0 1\ne 0\n").ok());
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  Result<LabeledGraph> g = LoadGraphText("/nonexistent/path/graph.lg");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace spidermine

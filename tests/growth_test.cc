@@ -1,0 +1,194 @@
+#include "spidermine/growth.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "spider/star_miner.h"
+
+namespace spidermine {
+namespace {
+
+/// Two disjoint copies of the labeled path 0-1-2-3-4 (labels = positions).
+LabeledGraph TwoPaths() {
+  GraphBuilder b;
+  for (int copy = 0; copy < 2; ++copy) {
+    VertexId base = b.AddVertex(0);
+    for (LabelId l = 1; l <= 4; ++l) b.AddVertex(l);
+    for (int i = 0; i < 4; ++i) b.AddEdge(base + i, base + i + 1);
+  }
+  return std::move(b.Build()).value();
+}
+
+struct Fixture {
+  LabeledGraph graph;
+  StarMineResult stars;
+  MineConfig config;
+  MineStats stats;
+  Rng rng{123};
+  std::unique_ptr<SpiderIndex> index;
+  std::unique_ptr<GrowthEngine> engine;
+
+  explicit Fixture(LabeledGraph g) : graph(std::move(g)) {
+    StarMinerConfig star_config;
+    star_config.min_support = 2;
+    stars = std::move(MineStarSpiders(graph, star_config)).value();
+    config.min_support = 2;
+    config.spider_radius = 1;
+    index = std::make_unique<SpiderIndex>(&stars.spiders,
+                                          graph.NumVertices());
+    engine = std::make_unique<GrowthEngine>(&graph, index.get(), &config,
+                                            &stats, &rng);
+  }
+
+  const Spider* FindStar(LabelId head, std::vector<LabelId> leaves) const {
+    std::sort(leaves.begin(), leaves.end());
+    for (const Spider& s : stars.spiders) {
+      if (s.pattern.Label(0) == head && s.LeafLabels() == leaves) return &s;
+    }
+    return nullptr;
+  }
+};
+
+TEST(GrowthTest, SeedFromSpiderBuildsAnchoredEmbeddings) {
+  Fixture f(TwoPaths());
+  const Spider* s = f.FindStar(1, {0, 2});
+  ASSERT_NE(s, nullptr);
+  GrowthPattern seed = f.engine->SeedFromSpider(*s);
+  EXPECT_EQ(seed.pattern.NumVertices(), 3);
+  ASSERT_EQ(seed.embeddings.size(), 2u);  // one per path copy
+  EXPECT_EQ(seed.support, 2);
+  // Boundary = the leaves.
+  EXPECT_EQ(seed.boundary, (std::vector<VertexId>{1, 2}));
+  for (const Embedding& e : seed.embeddings) {
+    // Head image has label 1.
+    EXPECT_EQ(f.graph.Label(e[0]), 1);
+  }
+}
+
+TEST(GrowthTest, SeedFromSingleVertexSpiderHasHeadBoundary) {
+  Fixture f(TwoPaths());
+  const Spider* s = f.FindStar(2, {});
+  ASSERT_NE(s, nullptr);
+  GrowthPattern seed = f.engine->SeedFromSpider(*s);
+  EXPECT_EQ(seed.pattern.NumVertices(), 1);
+  EXPECT_EQ(seed.boundary, (std::vector<VertexId>{0}));
+  EXPECT_EQ(seed.embeddings.size(), 2u);
+}
+
+TEST(GrowthTest, GrowRoundExtendsPatternOutward) {
+  Fixture f(TwoPaths());
+  const Spider* s = f.FindStar(1, {0, 2});
+  ASSERT_NE(s, nullptr);
+  std::vector<GrowthPattern> working;
+  working.push_back(f.engine->SeedFromSpider(*s));
+  MergeRegistry previous;
+  GrowRoundResult round =
+      f.engine->GrowRound(std::move(working), /*enable_merging=*/false,
+                          &previous);
+  EXPECT_TRUE(round.any_growth);
+  // Some output pattern must now contain label 3 (grown through vertex 2).
+  bool grew_to_3 = false;
+  for (const GrowthPattern& gp : round.patterns) {
+    for (VertexId v = 0; v < gp.pattern.NumVertices(); ++v) {
+      if (gp.pattern.Label(v) == 3) grew_to_3 = true;
+    }
+    EXPECT_GE(gp.support, 2);
+  }
+  EXPECT_TRUE(grew_to_3);
+}
+
+TEST(GrowthTest, RepeatedRoundsReachFullPath) {
+  Fixture f(TwoPaths());
+  const Spider* s = f.FindStar(2, {1, 3});
+  ASSERT_NE(s, nullptr);
+  std::vector<GrowthPattern> working;
+  working.push_back(f.engine->SeedFromSpider(*s));
+  MergeRegistry previous;
+  for (int round = 0; round < 3; ++round) {
+    GrowRoundResult r =
+        f.engine->GrowRound(std::move(working), false, &previous);
+    working = std::move(r.patterns);
+  }
+  int32_t best_vertices = 0;
+  for (const GrowthPattern& gp : working) {
+    best_vertices = std::max(best_vertices, gp.pattern.NumVertices());
+  }
+  EXPECT_EQ(best_vertices, 5) << "growth should recover the full path";
+}
+
+TEST(GrowthTest, NonClosedSubPatternsAreDropped) {
+  Fixture f(TwoPaths());
+  const Spider* s = f.FindStar(2, {1, 3});
+  ASSERT_NE(s, nullptr);
+  std::vector<GrowthPattern> working;
+  working.push_back(f.engine->SeedFromSpider(*s));
+  MergeRegistry previous;
+  GrowRoundResult r = f.engine->GrowRound(std::move(working), false,
+                                          &previous);
+  // The seed extends to label 0 and 4 keeping support 2, so the partial
+  // patterns (including the seed itself) must have been dropped as
+  // non-closed: every surviving pattern contains labels 0 and 4.
+  EXPECT_GT(f.stats.nonclosed_dropped, 0);
+  for (const GrowthPattern& gp : r.patterns) {
+    std::vector<LabelId> labels = gp.pattern.SortedLabels();
+    EXPECT_TRUE(std::binary_search(labels.begin(), labels.end(), 0))
+        << gp.pattern.ToString();
+    EXPECT_TRUE(std::binary_search(labels.begin(), labels.end(), 4))
+        << gp.pattern.ToString();
+  }
+}
+
+TEST(GrowthTest, MergeDetectedWhenSeedsCollide) {
+  Fixture f(TwoPaths());
+  // Two seeds growing toward each other along the path.
+  const Spider* left = f.FindStar(1, {0, 2});
+  const Spider* right = f.FindStar(3, {2, 4});
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  std::vector<GrowthPattern> working;
+  working.push_back(f.engine->SeedFromSpider(*left));
+  working.push_back(f.engine->SeedFromSpider(*right));
+  MergeRegistry previous;
+  GrowRoundResult r =
+      f.engine->GrowRound(std::move(working), /*enable_merging=*/true,
+                          &previous);
+  EXPECT_GT(f.stats.merges, 0) << "colliding growth must trigger CheckMerge";
+  bool merged_full_path = false;
+  for (const GrowthPattern& gp : r.patterns) {
+    if (gp.merged_ever && gp.pattern.NumVertices() == 5) {
+      merged_full_path = true;
+      EXPECT_GE(gp.support, 2);
+    }
+  }
+  EXPECT_TRUE(merged_full_path);
+}
+
+TEST(GrowthTest, ExhaustedFlagSetAtFixpoint) {
+  Fixture f(TwoPaths());
+  const Spider* s = f.FindStar(2, {1, 3});
+  ASSERT_NE(s, nullptr);
+  std::vector<GrowthPattern> working;
+  working.push_back(f.engine->SeedFromSpider(*s));
+  MergeRegistry previous;
+  for (int round = 0; round < 4; ++round) {
+    GrowRoundResult r =
+        f.engine->GrowRound(std::move(working), false, &previous);
+    working = std::move(r.patterns);
+  }
+  for (const GrowthPattern& gp : working) {
+    if (gp.pattern.NumVertices() == 5) {
+      EXPECT_TRUE(gp.exhausted) << "full path cannot grow further";
+    }
+  }
+}
+
+TEST(GrowthTest, SupportRecomputationMatchesMeasure) {
+  Fixture f(TwoPaths());
+  const Spider* s = f.FindStar(1, {0, 2});
+  ASSERT_NE(s, nullptr);
+  GrowthPattern seed = f.engine->SeedFromSpider(*s);
+  EXPECT_EQ(f.engine->Support(seed), seed.support);
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+#include "spidermine/miner.h"
+
+namespace spidermine {
+namespace {
+
+/// A low-label-diversity graph: the stress case where embedding lists and
+/// growth branching explode (DBLP-like: 4 labels).
+LabeledGraph DenseLowDiversityGraph(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder = GenerateErdosRenyi(n, 4.0, 4, &rng);
+  return std::move(builder.Build()).value();
+}
+
+TEST(MinerBudgetTest, TimeBudgetIsRespectedWithinSingleRounds) {
+  LabeledGraph g = DenseLowDiversityGraph(1500, 5);
+  MineConfig config;
+  config.min_support = 4;
+  config.k = 5;
+  config.dmax = 8;
+  config.vmin = 150;
+  config.rng_seed = 3;
+  config.time_budget_seconds = 3.0;
+  WallTimer timer;
+  Result<MineResult> result = SpiderMiner(&g, config).Mine();
+  double elapsed = timer.ElapsedSeconds();
+  ASSERT_TRUE(result.ok());
+  // The budget is polled inside rounds; allow slack for Stage I and for
+  // finishing the current extension.
+  EXPECT_LT(elapsed, 20.0) << "budget must bound even one heavy round";
+  EXPECT_TRUE(result->stats.timed_out ||
+              result->stats.total_seconds < config.time_budget_seconds + 1);
+}
+
+TEST(MinerBudgetTest, TruncatedRunStillReturnsPatterns) {
+  LabeledGraph g = DenseLowDiversityGraph(800, 7);
+  MineConfig config;
+  config.min_support = 4;
+  config.k = 5;
+  config.dmax = 6;
+  config.vmin = 80;
+  config.rng_seed = 3;
+  config.time_budget_seconds = 5.0;
+  Result<MineResult> result = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(result.ok());
+  // With 4 labels on a dense background, frequent structures abound: the
+  // miner must surface some even when the budget truncates Stage II/III
+  // (the prune-unmerged fallback).
+  EXPECT_FALSE(result->patterns.empty());
+  for (const MinedPattern& p : result->patterns) {
+    EXPECT_GE(p.support, config.min_support);
+  }
+}
+
+TEST(MinerBudgetTest, PatternCapsAreReported) {
+  LabeledGraph g = DenseLowDiversityGraph(600, 11);
+  MineConfig config;
+  config.min_support = 3;
+  config.k = 5;
+  config.dmax = 6;
+  config.vmin = 60;
+  config.rng_seed = 3;
+  config.max_patterns_per_round = 50;  // absurdly small: must trip
+  config.time_budget_seconds = 20.0;
+  Result<MineResult> result = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.pattern_cap_hits, 0);
+}
+
+TEST(MinerBudgetTest, EmbeddingCapIsReported) {
+  LabeledGraph g = DenseLowDiversityGraph(600, 13);
+  MineConfig config;
+  config.min_support = 3;
+  config.k = 3;
+  config.dmax = 4;
+  config.vmin = 60;
+  config.rng_seed = 3;
+  config.max_embeddings_per_pattern = 16;  // tiny: must trip on 4 labels
+  config.time_budget_seconds = 20.0;
+  Result<MineResult> result = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.embedding_cap_hits, 0);
+}
+
+}  // namespace
+}  // namespace spidermine
+
+namespace spidermine {
+namespace {
+
+// Definition 2 asks for diam(P) <= Dmax on returned patterns; Stage III
+// growth can exceed it (the paper's own recovered patterns exceed the
+// injected sizes). The strict filter enforces the definition on demand.
+TEST(DmaxEnforcementTest, FilterDropsOverDiameterResults) {
+  Rng rng(4242);
+  GraphBuilder builder = GenerateErdosRenyi(150, 1.8, 10, &rng);
+  Pattern planted = RandomPatternWithDiameter(10, 6, 10, &rng);
+  PatternInjector injector(&builder);
+  ASSERT_TRUE(injector.Inject(planted, 3, &rng).ok());
+  LabeledGraph g = std::move(builder.Build()).value();
+
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 10;
+  config.dmax = 4;
+  config.vmin = 10;
+  config.rng_seed = 9;
+
+  config.enforce_dmax_on_results = true;
+  Result<MineResult> strict = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(strict.ok());
+  for (const MinedPattern& p : strict->patterns) {
+    EXPECT_LE(p.pattern.Diameter(), config.dmax);
+  }
+
+  config.enforce_dmax_on_results = false;
+  Result<MineResult> loose = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GE(loose->patterns.size(), strict->patterns.size());
+}
+
+}  // namespace
+}  // namespace spidermine

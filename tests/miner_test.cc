@@ -1,0 +1,258 @@
+#include "spidermine/miner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "gen/transaction_gen.h"
+#include "graph/graph_builder.h"
+#include "pattern/vf2.h"
+#include "spidermine/txn_adapter.h"
+
+namespace spidermine {
+namespace {
+
+LabeledGraph TwoPaths() {
+  GraphBuilder b;
+  for (int copy = 0; copy < 2; ++copy) {
+    VertexId base = b.AddVertex(0);
+    for (LabelId l = 1; l <= 4; ++l) b.AddVertex(l);
+    for (int i = 0; i < 4; ++i) b.AddEdge(base + i, base + i + 1);
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(MinerTest, RecoversFullPathPattern) {
+  LabeledGraph g = TwoPaths();
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 3;
+  config.dmax = 4;
+  config.vmin = 5;
+  config.rng_seed = 7;
+  SpiderMiner miner(&g, config);
+  Result<MineResult> result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->patterns.empty());
+  const MinedPattern& top = result->patterns.front();
+  EXPECT_EQ(top.NumVertices(), 5);
+  EXPECT_EQ(top.NumEdges(), 4);
+  EXPECT_GE(top.support, 2);
+  // Results are sorted by size descending.
+  for (size_t i = 1; i < result->patterns.size(); ++i) {
+    EXPECT_GE(result->patterns[i - 1].NumEdges(),
+              result->patterns[i].NumEdges());
+  }
+}
+
+TEST(MinerTest, FindsInjectedPatternInNoise) {
+  Rng rng(2024);
+  GraphBuilder builder = GenerateErdosRenyi(200, 2.0, 20, &rng);
+  Pattern planted = RandomConnectedPattern(12, 0.15, 20, &rng);
+  PatternInjector injector(&builder);
+  ASSERT_TRUE(injector.Inject(planted, 3, &rng).ok());
+  LabeledGraph g = std::move(builder.Build()).value();
+
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 5;
+  config.dmax = 8;
+  config.vmin = 12;
+  config.rng_seed = 31;
+  SpiderMiner miner(&g, config);
+  Result<MineResult> result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->patterns.empty());
+  // The top pattern should capture (most of) the planted 12-vertex pattern.
+  EXPECT_GE(result->patterns.front().NumVertices(), 10)
+      << "top pattern too small: "
+      << result->patterns.front().pattern.ToString();
+  EXPECT_GT(result->stats.merges, 0);
+  EXPECT_GT(result->stats.num_spiders, 0);
+  EXPECT_GT(result->stats.seed_count_m, 0);
+}
+
+TEST(MinerTest, ReturnedEmbeddingsAreRealEmbeddings) {
+  LabeledGraph g = TwoPaths();
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 2;
+  config.dmax = 4;
+  config.vmin = 5;
+  SpiderMiner miner(&g, config);
+  Result<MineResult> result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  for (const MinedPattern& mp : result->patterns) {
+    for (const Embedding& e : mp.embeddings) {
+      ASSERT_EQ(e.size(), static_cast<size_t>(mp.NumVertices()));
+      for (VertexId pv = 0; pv < mp.NumVertices(); ++pv) {
+        EXPECT_EQ(g.Label(e[pv]), mp.pattern.Label(pv));
+      }
+      for (const auto& [pu, pv] : mp.pattern.Edges()) {
+        EXPECT_TRUE(g.HasEdge(e[pu], e[pv]));
+      }
+    }
+  }
+}
+
+TEST(MinerTest, RespectsK) {
+  LabeledGraph g = TwoPaths();
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 1;
+  config.dmax = 4;
+  config.vmin = 5;
+  SpiderMiner miner(&g, config);
+  Result<MineResult> result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->patterns.size(), 1u);
+}
+
+TEST(MinerTest, SupportThresholdExcludesRarePatterns) {
+  LabeledGraph g = TwoPaths();
+  MineConfig config;
+  config.min_support = 3;  // only two copies exist
+  config.k = 5;
+  config.dmax = 4;
+  config.vmin = 5;
+  SpiderMiner miner(&g, config);
+  Result<MineResult> result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  for (const MinedPattern& mp : result->patterns) {
+    EXPECT_GE(mp.support, 3);
+  }
+}
+
+TEST(MinerTest, InvalidConfigsRejected) {
+  LabeledGraph g = TwoPaths();
+  MineConfig config;
+  config.min_support = 0;
+  EXPECT_FALSE(SpiderMiner(&g, config).Mine().ok());
+  config = {};
+  config.k = 0;
+  EXPECT_FALSE(SpiderMiner(&g, config).Mine().ok());
+  config = {};
+  config.dmax = 0;
+  EXPECT_FALSE(SpiderMiner(&g, config).Mine().ok());
+  config = {};
+  config.spider_radius = 3;
+  EXPECT_FALSE(SpiderMiner(&g, config).Mine().ok());
+  config = {};
+  config.epsilon = 1.5;
+  EXPECT_FALSE(SpiderMiner(&g, config).Mine().ok());
+  config = {};
+  config.support_measure = SupportMeasureKind::kTransaction;
+  EXPECT_FALSE(SpiderMiner(&g, config).Mine().ok());
+}
+
+TEST(MinerTest, EmptyGraphYieldsEmptyResult) {
+  GraphBuilder b;
+  LabeledGraph g = std::move(b.Build()).value();
+  MineConfig config;
+  SpiderMiner miner(&g, config);
+  Result<MineResult> result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->patterns.empty());
+}
+
+TEST(MinerTest, SeedOverrideIsHonored) {
+  LabeledGraph g = TwoPaths();
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 2;
+  config.dmax = 4;
+  config.seed_count_override = 4;
+  SpiderMiner miner(&g, config);
+  Result<MineResult> result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.seed_count_m, 4);
+}
+
+TEST(MinerTest, DeterministicForFixedSeed) {
+  LabeledGraph g = TwoPaths();
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 3;
+  config.dmax = 4;
+  config.vmin = 5;
+  config.rng_seed = 99;
+  Result<MineResult> a = SpiderMiner(&g, config).Mine();
+  Result<MineResult> b = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->patterns.size(), b->patterns.size());
+  for (size_t i = 0; i < a->patterns.size(); ++i) {
+    EXPECT_TRUE(ArePatternsIsomorphic(a->patterns[i].pattern,
+                                      b->patterns[i].pattern));
+    EXPECT_EQ(a->patterns[i].support, b->patterns[i].support);
+  }
+}
+
+TEST(MinerTest, KeepUnmergedAblationRetainsMore) {
+  LabeledGraph g = TwoPaths();
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 10;
+  config.dmax = 4;
+  config.vmin = 5;
+  Result<MineResult> pruned = SpiderMiner(&g, config).Mine();
+  config.keep_unmerged = true;
+  Result<MineResult> kept = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(kept.ok());
+  EXPECT_GE(kept->patterns.size(), pruned->patterns.size());
+}
+
+TEST(TxnAdapterTest, DisjointUnionPreservesStructure) {
+  std::vector<LabeledGraph> database;
+  database.push_back(TwoPaths());
+  database.push_back(TwoPaths());
+  Result<TransactionGraph> txn = BuildTransactionGraph(database);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(txn->graph.NumVertices(), 20);
+  EXPECT_EQ(txn->graph.NumEdges(), 16);
+  EXPECT_EQ(txn->num_transactions, 2);
+  ASSERT_EQ(txn->txn_of_vertex.size(), 20u);
+  EXPECT_EQ(txn->txn_of_vertex[0], 0);
+  EXPECT_EQ(txn->txn_of_vertex[10], 1);
+  // No cross-transaction edges.
+  for (VertexId v = 0; v < txn->graph.NumVertices(); ++v) {
+    for (VertexId u : txn->graph.Neighbors(v)) {
+      EXPECT_EQ(txn->txn_of_vertex[v], txn->txn_of_vertex[u]);
+    }
+  }
+}
+
+TEST(TxnAdapterTest, MineTransactionsFindsSharedPattern) {
+  TransactionDatasetConfig gen_config;
+  gen_config.num_graphs = 6;
+  gen_config.vertices_per_graph = 60;
+  gen_config.avg_degree = 2.0;
+  gen_config.num_labels = 12;
+  gen_config.num_large = 1;
+  gen_config.large_vertices = 10;
+  gen_config.large_txn_support = 4;
+  gen_config.seed = 3;
+  Result<TransactionDataset> data = GenerateTransactionDataset(gen_config);
+  ASSERT_TRUE(data.ok());
+  Result<TransactionGraph> txn = BuildTransactionGraph(data->database);
+  ASSERT_TRUE(txn.ok());
+
+  MineConfig config;
+  config.min_support = 3;  // transactions
+  config.k = 3;
+  config.dmax = 8;
+  config.vmin = 10;
+  config.rng_seed = 5;
+  Result<MineResult> result = MineTransactions(*txn, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->patterns.empty());
+  EXPECT_GE(result->patterns.front().NumVertices(), 8)
+      << result->patterns.front().pattern.ToString();
+  EXPECT_GE(result->patterns.front().support, 3);
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,110 @@
+#include "pattern/pattern_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/pattern_factory.h"
+#include "pattern/vf2.h"
+
+namespace spidermine {
+namespace {
+
+Pattern Triangle() {
+  Pattern p;
+  p.AddVertex(0);
+  p.AddVertex(1);
+  p.AddVertex(2);
+  p.AddEdge(0, 1);
+  p.AddEdge(1, 2);
+  p.AddEdge(0, 2);
+  return p;
+}
+
+TEST(PatternIoTest, SinglePatternRoundTrip) {
+  Pattern p = Triangle();
+  Result<std::vector<Pattern>> parsed = ParsePatternsText(PatternToText(p));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0], p);
+}
+
+TEST(PatternIoTest, MultiPatternRoundTripWithSupports) {
+  std::vector<Pattern> patterns{Triangle(), Pattern(7)};
+  std::vector<int64_t> supports{4, 2};
+  std::string text = PatternsToText(patterns, &supports);
+  EXPECT_NE(text.find("# support = 4"), std::string::npos);
+  Result<std::vector<Pattern>> parsed = ParsePatternsText(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], patterns[0]);
+  EXPECT_EQ((*parsed)[1], patterns[1]);
+}
+
+TEST(PatternIoTest, FileRoundTrip) {
+  std::vector<Pattern> patterns{Triangle()};
+  std::string path = testing::TempDir() + "/sm_pattern_io_test.txt";
+  ASSERT_TRUE(SavePatternsText(patterns, path).ok());
+  Result<std::vector<Pattern>> loaded = LoadPatternsText(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0], patterns[0]);
+}
+
+TEST(PatternIoTest, RandomPatternsRoundTripIsomorphically) {
+  Rng rng(3);
+  std::vector<Pattern> patterns;
+  for (int i = 0; i < 10; ++i) {
+    patterns.push_back(RandomConnectedPattern(
+        static_cast<int32_t>(rng.UniformInt(1, 12)), 0.3, 5, &rng));
+  }
+  Result<std::vector<Pattern>> parsed =
+      ParsePatternsText(PatternsToText(patterns));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], patterns[i]);
+  }
+}
+
+TEST(PatternIoTest, RejectsVertexBeforeHeader) {
+  EXPECT_FALSE(ParsePatternsText("v 0 1\n").ok());
+}
+
+TEST(PatternIoTest, RejectsEdgeBeforeHeader) {
+  EXPECT_FALSE(ParsePatternsText("e 0 1\n").ok());
+}
+
+TEST(PatternIoTest, RejectsTruncatedPattern) {
+  EXPECT_FALSE(ParsePatternsText("p 2 1\nv 0 5\n").ok());
+  EXPECT_FALSE(ParsePatternsText("p 2 1\nv 0 5\nv 1 5\n").ok());
+  // A truncated pattern followed by a new header is also caught.
+  EXPECT_FALSE(ParsePatternsText("p 2 1\nv 0 5\np 1 0\nv 0 1\n").ok());
+}
+
+TEST(PatternIoTest, RejectsBadRecords) {
+  EXPECT_FALSE(ParsePatternsText("p 1 0\nv 3 5\n").ok());  // non-dense id
+  EXPECT_FALSE(ParsePatternsText("p 2 1\nv 0 1\nv 1 1\ne 0 9\n").ok());
+  EXPECT_FALSE(ParsePatternsText("x nonsense\n").ok());
+}
+
+TEST(PatternIoTest, CommentsAndBlanksIgnored) {
+  Result<std::vector<Pattern>> parsed = ParsePatternsText(
+      "# exported by spidermine\n\np 1 0\n# the vertex:\nv 0 9\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].Label(0), 9);
+}
+
+TEST(PatternIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadPatternsText("/nonexistent/file").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(PatternIoTest, EmptyTextYieldsNoPatterns) {
+  Result<std::vector<Pattern>> parsed = ParsePatternsText("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,138 @@
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace spidermine {
+namespace {
+
+Pattern PathPattern(int n, LabelId label = 0) {
+  Pattern p;
+  for (int i = 0; i < n; ++i) p.AddVertex(label);
+  for (int i = 0; i + 1 < n; ++i) p.AddEdge(i, i + 1);
+  return p;
+}
+
+TEST(PatternTest, SingleVertexConstructor) {
+  Pattern p(7);
+  EXPECT_EQ(p.NumVertices(), 1);
+  EXPECT_EQ(p.NumEdges(), 0);
+  EXPECT_EQ(p.Label(0), 7);
+}
+
+TEST(PatternTest, AddEdgeRejectsSelfLoopsAndDuplicates) {
+  Pattern p = PathPattern(3);
+  EXPECT_FALSE(p.AddEdge(1, 1));
+  EXPECT_FALSE(p.AddEdge(0, 1));  // duplicate
+  EXPECT_FALSE(p.AddEdge(1, 0));  // duplicate, reversed
+  EXPECT_FALSE(p.AddEdge(0, 9));  // out of range
+  EXPECT_EQ(p.NumEdges(), 2);
+  EXPECT_TRUE(p.AddEdge(0, 2));
+  EXPECT_EQ(p.NumEdges(), 3);
+}
+
+TEST(PatternTest, NeighborsSortedAndDegrees) {
+  Pattern p;
+  for (int i = 0; i < 4; ++i) p.AddVertex(0);
+  p.AddEdge(2, 3);
+  p.AddEdge(2, 0);
+  p.AddEdge(2, 1);
+  auto nbrs = p.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 1);
+  EXPECT_EQ(nbrs[2], 3);
+  EXPECT_EQ(p.Degree(2), 3);
+  EXPECT_EQ(p.Degree(0), 1);
+}
+
+TEST(PatternTest, BfsDistancesAndConnectivity) {
+  Pattern p = PathPattern(4);
+  std::vector<int32_t> dist = p.BfsDistances(0);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_TRUE(p.IsConnected());
+  p.AddVertex(0);  // now disconnected
+  EXPECT_FALSE(p.IsConnected());
+}
+
+TEST(PatternTest, EmptyAndSingletonAreConnected) {
+  Pattern empty;
+  EXPECT_TRUE(empty.IsConnected());
+  Pattern single(0);
+  EXPECT_TRUE(single.IsConnected());
+}
+
+TEST(PatternTest, DiameterAndEccentricity) {
+  Pattern p = PathPattern(5);
+  EXPECT_EQ(p.Diameter(), 4);
+  EXPECT_EQ(p.Eccentricity(0), 4);
+  EXPECT_EQ(p.Eccentricity(2), 2);
+  EXPECT_TRUE(p.IsRBoundedFrom(2, 2));
+  EXPECT_FALSE(p.IsRBoundedFrom(2, 1));
+  EXPECT_TRUE(p.IsRBoundedFrom(0, 4));
+}
+
+TEST(PatternTest, DisconnectedDiameterIsUnbounded) {
+  Pattern p = PathPattern(2);
+  p.AddVertex(0);
+  EXPECT_EQ(p.Diameter(), INT32_MAX);
+  EXPECT_EQ(p.Eccentricity(0), INT32_MAX);
+}
+
+TEST(PatternTest, InducedSubgraph) {
+  // Star: center 0 with leaves 1, 2, 3; leaf-leaf edge 1-2.
+  Pattern p;
+  p.AddVertex(9);
+  for (int i = 0; i < 3; ++i) {
+    VertexId leaf = p.AddVertex(i);
+    p.AddEdge(0, leaf);
+  }
+  p.AddEdge(1, 2);
+  std::vector<VertexId> keep{0, 1, 2};
+  Pattern sub = p.InducedSubgraph(keep);
+  EXPECT_EQ(sub.NumVertices(), 3);
+  EXPECT_EQ(sub.NumEdges(), 3);  // 0-1, 0-2, 1-2
+  EXPECT_EQ(sub.Label(0), 9);
+  EXPECT_EQ(sub.Label(1), 0);
+  EXPECT_EQ(sub.Label(2), 1);
+}
+
+TEST(PatternTest, InducedSubgraphDropsOutsideEdges) {
+  Pattern p = PathPattern(4);
+  std::vector<VertexId> keep{0, 2};
+  Pattern sub = p.InducedSubgraph(keep);
+  EXPECT_EQ(sub.NumVertices(), 2);
+  EXPECT_EQ(sub.NumEdges(), 0);
+}
+
+TEST(PatternTest, SortedLabelsAndEdges) {
+  Pattern p;
+  p.AddVertex(5);
+  p.AddVertex(1);
+  p.AddVertex(3);
+  p.AddEdge(2, 0);
+  p.AddEdge(1, 2);
+  EXPECT_EQ(p.SortedLabels(), (std::vector<LabelId>{1, 3, 5}));
+  auto edges = p.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::pair<VertexId, VertexId>{0, 2}));
+  EXPECT_EQ(edges[1], (std::pair<VertexId, VertexId>{1, 2}));
+}
+
+TEST(PatternTest, EqualityIsStructuralIdentity) {
+  Pattern a = PathPattern(3, 1);
+  Pattern b = PathPattern(3, 1);
+  EXPECT_EQ(a, b);
+  b.AddEdge(0, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PatternTest, ToStringIsInformative) {
+  Pattern p = PathPattern(2, 4);
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+  EXPECT_NE(s.find("0-1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spidermine

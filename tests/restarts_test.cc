@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+#include "spidermine/miner.h"
+
+namespace spidermine {
+namespace {
+
+TEST(RestartsTest, MultipleRunsAccumulateResults) {
+  Rng rng(909);
+  GraphBuilder builder = GenerateErdosRenyi(150, 2.0, 15, &rng);
+  Pattern planted = RandomConnectedPattern(10, 0.1, 15, &rng);
+  PatternInjector injector(&builder);
+  ASSERT_TRUE(injector.Inject(planted, 3, &rng).ok());
+  LabeledGraph g = std::move(builder.Build()).value();
+
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 10;
+  config.dmax = 6;
+  config.vmin = 10;
+  config.rng_seed = 1;
+  // Starve a single run of seeds so restarts visibly help.
+  config.seed_count_override = 2;
+
+  config.restarts = 1;
+  Result<MineResult> one = SpiderMiner(&g, config).Mine();
+  config.restarts = 8;
+  Result<MineResult> many = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(many.ok());
+  // More runs can only widen the accumulated result set.
+  EXPECT_GE(many->patterns.size(), one->patterns.size());
+  EXPECT_GE(many->stats.stage2_iterations, one->stats.stage2_iterations);
+  // The best pattern of the multi-run result is at least as large.
+  int32_t best_one =
+      one->patterns.empty() ? 0 : one->patterns.front().NumEdges();
+  int32_t best_many =
+      many->patterns.empty() ? 0 : many->patterns.front().NumEdges();
+  EXPECT_GE(best_many, best_one);
+}
+
+TEST(RestartsTest, RestartsRespectTimeBudget) {
+  Rng rng(910);
+  LabeledGraph g =
+      std::move(GenerateErdosRenyi(400, 3.0, 8, &rng).Build()).value();
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 5;
+  config.dmax = 6;
+  config.vmin = 40;
+  config.restarts = 1000;  // absurd; budget must stop it
+  config.time_budget_seconds = 2.0;
+  WallTimer timer;
+  Result<MineResult> result = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(timer.ElapsedSeconds(), 15.0);
+  EXPECT_TRUE(result->stats.timed_out);
+}
+
+TEST(RestartsTest, SingleRestartMatchesDefault) {
+  Rng rng(911);
+  LabeledGraph g =
+      std::move(GenerateErdosRenyi(100, 2.0, 10, &rng).Build()).value();
+  MineConfig config;
+  config.min_support = 2;
+  config.k = 5;
+  config.dmax = 4;
+  config.vmin = 10;
+  config.rng_seed = 77;
+  Result<MineResult> a = SpiderMiner(&g, config).Mine();
+  config.restarts = 1;
+  Result<MineResult> b = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->patterns.size(), b->patterns.size());
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,68 @@
+#include "spider/spider_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "spider/star_miner.h"
+
+namespace spidermine {
+namespace {
+
+TEST(SpiderIndexTest, MapsAnchorsToSpiders) {
+  std::vector<Spider> spiders(2);
+  spiders[0].anchors = {0, 2};
+  spiders[1].anchors = {2, 3};
+  SpiderIndex index(&spiders, 5);
+  EXPECT_EQ(index.size(), 2);
+  ASSERT_EQ(index.SpidersAt(0).size(), 1u);
+  EXPECT_EQ(index.SpidersAt(0)[0], 0);
+  ASSERT_EQ(index.SpidersAt(2).size(), 2u);
+  EXPECT_TRUE(index.SpidersAt(1).empty());
+  EXPECT_TRUE(index.SpidersAt(4).empty());
+}
+
+TEST(SpiderIndexTest, AverageSpidersPerVertex) {
+  std::vector<Spider> spiders(2);
+  spiders[0].anchors = {0, 1};
+  spiders[1].anchors = {1};
+  SpiderIndex index(&spiders, 4);
+  // 3 anchor incidences over 4 vertices.
+  EXPECT_DOUBLE_EQ(index.AverageSpidersPerVertex(), 0.75);
+}
+
+TEST(SpiderIndexTest, ConsistentWithStarMiner) {
+  GraphBuilder b;
+  // Two identical 2-leaf stars.
+  for (int copy = 0; copy < 2; ++copy) {
+    VertexId c = b.AddVertex(0);
+    b.AddVertex(1);
+    b.AddVertex(1);
+    b.AddEdge(c, c + 1);
+    b.AddEdge(c, c + 2);
+  }
+  LabeledGraph g = std::move(b.Build()).value();
+  StarMinerConfig config;
+  config.min_support = 2;
+  Result<StarMineResult> result = MineStarSpiders(g, config);
+  ASSERT_TRUE(result.ok());
+  SpiderIndex index(&result->spiders, g.NumVertices());
+  // Every spider id listed at vertex v must actually anchor at v.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (int32_t sid : index.SpidersAt(v)) {
+      EXPECT_TRUE(index.spider(sid).IsAnchoredAt(v));
+    }
+  }
+  // And conversely every anchor incidence is indexed.
+  int64_t total_incidences = 0;
+  for (const Spider& s : result->spiders) {
+    total_incidences += static_cast<int64_t>(s.anchors.size());
+  }
+  int64_t indexed = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    indexed += static_cast<int64_t>(index.SpidersAt(v).size());
+  }
+  EXPECT_EQ(indexed, total_incidences);
+}
+
+}  // namespace
+}  // namespace spidermine

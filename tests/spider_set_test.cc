@@ -1,0 +1,181 @@
+#include "pattern/spider_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/pattern_factory.h"
+#include "pattern/vf2.h"
+
+namespace spidermine {
+namespace {
+
+Pattern Permuted(const Pattern& p, const std::vector<VertexId>& perm) {
+  Pattern q;
+  std::vector<LabelId> labels(perm.size());
+  for (VertexId v = 0; v < p.NumVertices(); ++v) labels[perm[v]] = p.Label(v);
+  for (LabelId l : labels) q.AddVertex(l);
+  for (const auto& [u, v] : p.Edges()) q.AddEdge(perm[u], perm[v]);
+  return q;
+}
+
+TEST(NeighborhoodSpiderTest, RadiusOneInducesClosedNeighborhood) {
+  // Path 0-1-2 plus leaf 3 on vertex 1.
+  Pattern p;
+  for (int i = 0; i < 4; ++i) p.AddVertex(i);
+  p.AddEdge(0, 1);
+  p.AddEdge(1, 2);
+  p.AddEdge(1, 3);
+  Pattern spider = NeighborhoodSpider(p, 1, 1);
+  EXPECT_EQ(spider.NumVertices(), 4);
+  EXPECT_EQ(spider.NumEdges(), 3);
+  // Head is tagged: label becomes 2*l+1, others 2*l.
+  EXPECT_EQ(spider.Label(0), 2 * 1 + 1);
+}
+
+TEST(NeighborhoodSpiderTest, LeafSpiderIsSmall) {
+  Pattern p;
+  for (int i = 0; i < 3; ++i) p.AddVertex(0);
+  p.AddEdge(0, 1);
+  p.AddEdge(1, 2);
+  Pattern spider = NeighborhoodSpider(p, 0, 1);
+  EXPECT_EQ(spider.NumVertices(), 2);
+  EXPECT_EQ(spider.NumEdges(), 1);
+}
+
+TEST(NeighborhoodSpiderTest, LargerRadiusCoversMore) {
+  Pattern p;
+  for (int i = 0; i < 5; ++i) p.AddVertex(0);
+  for (int i = 0; i + 1 < 5; ++i) p.AddEdge(i, i + 1);
+  EXPECT_EQ(NeighborhoodSpider(p, 0, 1).NumVertices(), 2);
+  EXPECT_EQ(NeighborhoodSpider(p, 0, 2).NumVertices(), 3);
+  EXPECT_EQ(NeighborhoodSpider(p, 0, 4).NumVertices(), 5);
+}
+
+TEST(SpiderSetTest, SizeEqualsVertexCount) {
+  Rng rng(1);
+  Pattern p = RandomConnectedPattern(8, 0.3, 3, &rng);
+  SpiderSetRepr repr = SpiderSetRepr::Compute(p, 1);
+  EXPECT_EQ(repr.size(), 8u);
+}
+
+TEST(SpiderSetTest, Theorem2IsomorphicImpliesEqualSpiderSets) {
+  // Paper Theorem 2, checked over random patterns and permutations.
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    Pattern p = RandomConnectedPattern(
+        static_cast<int32_t>(rng.UniformInt(3, 14)), 0.4,
+        static_cast<LabelId>(rng.UniformInt(1, 4)), &rng);
+    std::vector<VertexId> perm(p.NumVertices());
+    for (VertexId v = 0; v < p.NumVertices(); ++v) perm[v] = v;
+    rng.Shuffle(&perm);
+    Pattern q = Permuted(p, perm);
+    for (int32_t r = 1; r <= 2; ++r) {
+      EXPECT_EQ(SpiderSetRepr::Compute(p, r), SpiderSetRepr::Compute(q, r))
+          << "r=" << r << " pattern=" << p.ToString();
+    }
+  }
+}
+
+TEST(SpiderSetTest, DifferentLabelMultisetsDiffer) {
+  Pattern a;
+  a.AddVertex(0);
+  a.AddVertex(1);
+  a.AddEdge(0, 1);
+  Pattern b;
+  b.AddVertex(0);
+  b.AddVertex(2);
+  b.AddEdge(0, 1);
+  EXPECT_FALSE(SpiderSetRepr::Compute(a, 1) == SpiderSetRepr::Compute(b, 1));
+}
+
+TEST(SpiderSetTest, PathVsStarDiffer) {
+  Pattern path;
+  for (int i = 0; i < 4; ++i) path.AddVertex(0);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  Pattern star;
+  for (int i = 0; i < 4; ++i) star.AddVertex(0);
+  star.AddEdge(0, 1);
+  star.AddEdge(0, 2);
+  star.AddEdge(0, 3);
+  EXPECT_FALSE(SpiderSetRepr::Compute(path, 1) ==
+               SpiderSetRepr::Compute(star, 1));
+}
+
+/// The paper's Figure 3(II) phenomenon: two non-isomorphic graphs whose
+/// r=1 spider-sets coincide but whose r=2 spider-sets differ. The classic
+/// example pair: a 6-cycle versus two 3-cycles... but two triangles are
+/// disconnected; instead use C6 vs 2x C3 joined appropriately -- here we
+/// use the standard counterexample C6 vs C3+C3 made connected: a hexagon
+/// versus a "bowtie-like" 6-vertex graph where every vertex still sees two
+/// same-label neighbors. With all labels equal, every radius-1 spider of
+/// both graphs is a path of 3 vertices when degree is 2; C6 and the prism
+/// difference shows up only at radius 2.
+TEST(SpiderSetTest, RadiusOneCollisionResolvedAtRadiusTwo) {
+  // Hexagon C6 (all labels 0).
+  Pattern hexagon;
+  for (int i = 0; i < 6; ++i) hexagon.AddVertex(0);
+  for (int i = 0; i < 6; ++i) hexagon.AddEdge(i, (i + 1) % 6);
+  // Two triangles sharing no vertex, bridged... must stay degree-2
+  // everywhere to fool r=1, so use two disjoint triangles as one PATTERN is
+  // disconnected -- instead compare C6 against C3 duplicated via a
+  // 6-vertex graph that is two triangles (disconnected). The spider-set of
+  // a disconnected pattern is still well defined per vertex.
+  Pattern triangles;
+  for (int i = 0; i < 6; ++i) triangles.AddVertex(0);
+  triangles.AddEdge(0, 1);
+  triangles.AddEdge(1, 2);
+  triangles.AddEdge(2, 0);
+  triangles.AddEdge(3, 4);
+  triangles.AddEdge(4, 5);
+  triangles.AddEdge(5, 3);
+
+  ASSERT_FALSE(ArePatternsIsomorphic(hexagon, triangles));
+  // r=1: in C6 every vertex sees a path u-head-w (no edge u-w); in the
+  // triangles every vertex sees u-head-w WITH the closing edge u-w, so the
+  // radius-1 spider-sets differ already -- triangles close at radius 1.
+  // The genuinely colliding pair at r=1 is C6 vs two paths... build the
+  // paper-faithful case instead: compare C6 with C6 (equal) and assert the
+  // triangle pair differs at r=1 but would collide at r=0 (label counts).
+  SpiderSetRepr hex1 = SpiderSetRepr::Compute(hexagon, 1);
+  SpiderSetRepr tri1 = SpiderSetRepr::Compute(triangles, 1);
+  EXPECT_FALSE(hex1 == tri1);
+
+  // Paper-faithful r=1 collision: two different ways to connect two
+  // squares by a perfect matching -- the cube graph Q3 vs the Moebius ring
+  // C8 with chords i->(i+4): both 3-regular, 8 vertices, one label; every
+  // radius-1 spider is a claw K1,3 with no closed edges, so S[P] collides
+  // at r=1; at r=2 the 4-cycles of Q3 vs 5-cycles of the Moebius graph
+  // separate them.
+  Pattern cube;
+  for (int i = 0; i < 8; ++i) cube.AddVertex(0);
+  // Two squares 0-1-2-3 and 4-5-6-7 plus vertical matching i -> i+4.
+  for (int i = 0; i < 4; ++i) {
+    cube.AddEdge(i, (i + 1) % 4);
+    cube.AddEdge(4 + i, 4 + (i + 1) % 4);
+    cube.AddEdge(i, 4 + i);
+  }
+  Pattern moebius;
+  for (int i = 0; i < 8; ++i) moebius.AddVertex(0);
+  for (int i = 0; i < 8; ++i) moebius.AddEdge(i, (i + 1) % 8);
+  for (int i = 0; i < 4; ++i) moebius.AddEdge(i, i + 4);
+
+  ASSERT_FALSE(ArePatternsIsomorphic(cube, moebius));
+  EXPECT_TRUE(SpiderSetRepr::Compute(cube, 1) ==
+              SpiderSetRepr::Compute(moebius, 1))
+      << "r=1 spider-sets should collide (both are 8 claws)";
+  EXPECT_FALSE(SpiderSetRepr::Compute(cube, 2) ==
+               SpiderSetRepr::Compute(moebius, 2))
+      << "r=2 must separate the cube from the Moebius-Kantor ring";
+}
+
+TEST(SpiderSetTest, DigestStableAcrossRecomputation) {
+  Rng rng(5);
+  Pattern p = RandomConnectedPattern(10, 0.3, 3, &rng);
+  EXPECT_EQ(SpiderSetRepr::Compute(p, 1).digest(),
+            SpiderSetRepr::Compute(p, 1).digest());
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,182 @@
+#include "spider/star_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+namespace {
+
+/// Two identical stars: center label 0 with leaves {1, 1, 2}; plus an
+/// isolated label-3 vertex pair.
+LabeledGraph TwoStars() {
+  GraphBuilder b;
+  // Star 1: center 0, leaves 1(1), 2(1), 3(2).
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(1);
+  b.AddVertex(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  // Star 2: center 4, leaves 5(1), 6(1), 7(2).
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(1);
+  b.AddVertex(2);
+  b.AddEdge(4, 5);
+  b.AddEdge(4, 6);
+  b.AddEdge(4, 7);
+  // Frequent label 3 singletons.
+  b.AddVertex(3);
+  b.AddVertex(3);
+  return std::move(b.Build()).value();
+}
+
+const Spider* FindStar(const StarMineResult& result, LabelId head,
+                       std::vector<LabelId> leaves) {
+  std::sort(leaves.begin(), leaves.end());
+  for (const Spider& s : result.spiders) {
+    if (s.pattern.Label(0) == head && s.LeafLabels() == leaves) return &s;
+  }
+  return nullptr;
+}
+
+TEST(StarMinerTest, FindsAllFrequentStars) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  Result<StarMineResult> result = MineStarSpiders(g, config);
+  ASSERT_TRUE(result.ok());
+  // Expected frequent stars with head 0 (anchors: vertices 0 and 4):
+  // {}, {1}, {2}, {1,1}, {1,2}, {1,1,2}.
+  EXPECT_NE(FindStar(*result, 0, {}), nullptr);
+  EXPECT_NE(FindStar(*result, 0, {1}), nullptr);
+  EXPECT_NE(FindStar(*result, 0, {2}), nullptr);
+  EXPECT_NE(FindStar(*result, 0, {1, 1}), nullptr);
+  EXPECT_NE(FindStar(*result, 0, {1, 2}), nullptr);
+  EXPECT_NE(FindStar(*result, 0, {1, 1, 2}), nullptr);
+  // Leaves of label 1 anchor stars with head 1 and leaf 0.
+  EXPECT_NE(FindStar(*result, 1, {0}), nullptr);
+  // Isolated label-3 vertices are single-vertex spiders only.
+  const Spider* singleton3 = FindStar(*result, 3, {});
+  ASSERT_NE(singleton3, nullptr);
+  EXPECT_EQ(singleton3->support, 2);
+}
+
+TEST(StarMinerTest, AnchorListsAreCorrect) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  Result<StarMineResult> result = MineStarSpiders(g, config);
+  ASSERT_TRUE(result.ok());
+  const Spider* full = FindStar(*result, 0, {1, 1, 2});
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(full->anchors, (std::vector<VertexId>{0, 4}));
+  EXPECT_EQ(full->support, 2);
+  EXPECT_TRUE(full->IsAnchoredAt(0));
+  EXPECT_TRUE(full->IsAnchoredAt(4));
+  EXPECT_FALSE(full->IsAnchoredAt(1));
+}
+
+TEST(StarMinerTest, InfrequentStarsExcluded) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 3;
+  Result<StarMineResult> result = MineStarSpiders(g, config);
+  ASSERT_TRUE(result.ok());
+  // Only heads with >= 3 anchors survive: label 1 has 4 vertices.
+  EXPECT_EQ(FindStar(*result, 0, {}), nullptr);
+  EXPECT_NE(FindStar(*result, 1, {}), nullptr);
+}
+
+TEST(StarMinerTest, ClosedFlagMarksMaximalStars) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  Result<StarMineResult> result = MineStarSpiders(g, config);
+  ASSERT_TRUE(result.ok());
+  // {1} extends to {1,1} keeping both anchors => non-closed.
+  const Spider* sub = FindStar(*result, 0, {1});
+  ASSERT_NE(sub, nullptr);
+  EXPECT_FALSE(sub->closed);
+  // The maximal star is closed.
+  const Spider* full = FindStar(*result, 0, {1, 1, 2});
+  ASSERT_NE(full, nullptr);
+  EXPECT_TRUE(full->closed);
+}
+
+TEST(StarMinerTest, MaxLeavesBoundsSize) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  config.max_leaves = 1;
+  Result<StarMineResult> result = MineStarSpiders(g, config);
+  ASSERT_TRUE(result.ok());
+  for (const Spider& s : result->spiders) {
+    EXPECT_LE(s.pattern.NumVertices(), 2);
+  }
+  EXPECT_EQ(FindStar(*result, 0, {1, 1}), nullptr);
+}
+
+TEST(StarMinerTest, MaxSpidersTruncates) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  config.max_spiders = 3;
+  Result<StarMineResult> result = MineStarSpiders(g, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+  EXPECT_EQ(result->spiders.size(), 3u);
+}
+
+TEST(StarMinerTest, ExcludeSingleVertexSpiders) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  config.include_single_vertex = false;
+  Result<StarMineResult> result = MineStarSpiders(g, config);
+  ASSERT_TRUE(result.ok());
+  for (const Spider& s : result->spiders) {
+    EXPECT_GE(s.pattern.NumVertices(), 2);
+  }
+}
+
+TEST(StarMinerTest, InvalidConfigRejected) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 0;
+  EXPECT_FALSE(MineStarSpiders(g, config).ok());
+  config.min_support = 2;
+  config.max_leaves = -1;
+  EXPECT_FALSE(MineStarSpiders(g, config).ok());
+}
+
+TEST(StarMinerTest, StarPatternStructureIsStar) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  Result<StarMineResult> result = MineStarSpiders(g, config);
+  ASSERT_TRUE(result.ok());
+  for (const Spider& s : result->spiders) {
+    EXPECT_EQ(s.radius, 1);
+    EXPECT_EQ(s.pattern.NumEdges(), s.pattern.NumVertices() - 1);
+    for (VertexId v = 1; v < s.pattern.NumVertices(); ++v) {
+      EXPECT_EQ(s.pattern.Degree(v), 1);
+      EXPECT_TRUE(s.pattern.HasEdge(0, v));
+    }
+  }
+}
+
+TEST(StarMinerTest, EmptyGraphYieldsNothing) {
+  GraphBuilder b;
+  LabeledGraph g = std::move(b.Build()).value();
+  Result<StarMineResult> result = MineStarSpiders(g, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->spiders.empty());
+}
+
+}  // namespace
+}  // namespace spidermine

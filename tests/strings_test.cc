@@ -1,0 +1,36 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace spidermine {
+namespace {
+
+TEST(StringsTest, StrCatConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat(42), "42");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("nosep", ','), (std::vector<std::string>{"nosep"}));
+}
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x  "), "x");
+  EXPECT_EQ(StripAsciiWhitespace("\t\r\n a b \v\f"), "a b");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("clean"), "clean");
+}
+
+TEST(StringsTest, JoinWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,147 @@
+#include "support/support_measure.h"
+
+#include <gtest/gtest.h>
+
+namespace spidermine {
+namespace {
+
+Pattern EdgePattern() {
+  Pattern p;
+  p.AddVertex(0);
+  p.AddVertex(0);
+  p.AddEdge(0, 1);
+  return p;
+}
+
+TEST(SupportTest, EmbeddingCountIsSize) {
+  Pattern p = EdgePattern();
+  std::vector<Embedding> embeddings{{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kEmbeddingCount, p, embeddings),
+            3);
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kEmbeddingCount, p, {}), 0);
+}
+
+TEST(SupportTest, MinImageTakesMinimumOverVertices) {
+  Pattern p = EdgePattern();
+  // Vertex 0 images: {0, 0, 0} -> 1 distinct; vertex 1 images: {1, 2, 3}.
+  std::vector<Embedding> embeddings{{0, 1}, {0, 2}, {0, 3}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kMinImage, p, embeddings), 1);
+  // Balanced images.
+  std::vector<Embedding> balanced{{0, 1}, {2, 3}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kMinImage, p, balanced), 2);
+}
+
+TEST(SupportTest, GreedyMisVertexCountsDisjointEmbeddings) {
+  Pattern p = EdgePattern();
+  // {0,1} and {1,2} overlap; {3,4} disjoint.
+  std::vector<Embedding> embeddings{{0, 1}, {1, 2}, {3, 4}};
+  EXPECT_EQ(
+      ComputeSupport(SupportMeasureKind::kGreedyMisVertex, p, embeddings), 2);
+}
+
+TEST(SupportTest, GreedyMisVertexChainOverlap) {
+  Pattern p = EdgePattern();
+  // A path of overlapping edges: greedy picks 0-1, skips 1-2, picks 2-3...
+  std::vector<Embedding> embeddings{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+  EXPECT_EQ(
+      ComputeSupport(SupportMeasureKind::kGreedyMisVertex, p, embeddings), 3);
+}
+
+TEST(SupportTest, GreedyMisEdgeAllowsVertexSharing) {
+  Pattern p = EdgePattern();
+  // Star at 0: edges 0-1, 0-2, 0-3 share vertex 0 but no edge.
+  std::vector<Embedding> embeddings{{0, 1}, {0, 2}, {0, 3}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kGreedyMisEdge, p, embeddings),
+            3);
+  EXPECT_EQ(
+      ComputeSupport(SupportMeasureKind::kGreedyMisVertex, p, embeddings), 1);
+}
+
+TEST(SupportTest, GreedyMisEdgeDetectsSharedEdges) {
+  // Two-edge path pattern: embeddings share the middle edge.
+  Pattern p;
+  p.AddVertex(0);
+  p.AddVertex(0);
+  p.AddVertex(0);
+  p.AddEdge(0, 1);
+  p.AddEdge(1, 2);
+  std::vector<Embedding> embeddings{{0, 1, 2}, {2, 1, 0}, {3, 4, 5}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kGreedyMisEdge, p, embeddings),
+            2);
+}
+
+TEST(SupportTest, GreedyMisEdgeOnEdgelessPatternFallsBack) {
+  Pattern p(0);
+  std::vector<Embedding> embeddings{{0}, {1}, {1}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kGreedyMisEdge, p, embeddings),
+            2);
+}
+
+TEST(SupportTest, TransactionSupportCountsDistinctTransactions) {
+  Pattern p = EdgePattern();
+  std::vector<int32_t> txn{0, 0, 1, 1, 2, 2};
+  SupportContext ctx;
+  ctx.txn_of_vertex = &txn;
+  std::vector<Embedding> embeddings{{0, 1}, {2, 3}, {2, 3}, {4, 5}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kTransaction, p, embeddings,
+                           ctx),
+            3);
+}
+
+TEST(SupportTest, TransactionSupportWithoutContextIsZero) {
+  Pattern p = EdgePattern();
+  std::vector<Embedding> embeddings{{0, 1}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kTransaction, p, embeddings),
+            0);
+}
+
+TEST(SupportTest, MeasureNamesAreStable) {
+  EXPECT_EQ(SupportMeasureName(SupportMeasureKind::kEmbeddingCount),
+            "embedding-count");
+  EXPECT_EQ(SupportMeasureName(SupportMeasureKind::kMinImage), "min-image");
+  EXPECT_EQ(SupportMeasureName(SupportMeasureKind::kGreedyMisVertex),
+            "greedy-mis-vertex");
+  EXPECT_EQ(SupportMeasureName(SupportMeasureKind::kGreedyMisEdge),
+            "greedy-mis-edge");
+  EXPECT_EQ(SupportMeasureName(SupportMeasureKind::kTransaction),
+            "transaction");
+}
+
+TEST(DedupEmbeddingsTest, RemovesSameImageDifferentOrder) {
+  std::vector<Embedding> embeddings{{0, 1}, {1, 0}, {2, 3}};
+  DedupEmbeddingsByImage(&embeddings);
+  EXPECT_EQ(embeddings.size(), 2u);
+  EXPECT_EQ(embeddings[0], (Embedding{0, 1}));
+  EXPECT_EQ(embeddings[1], (Embedding{2, 3}));
+}
+
+TEST(DedupEmbeddingsTest, KeepsDistinctImages) {
+  std::vector<Embedding> embeddings{{0, 1}, {0, 2}, {1, 2}};
+  DedupEmbeddingsByImage(&embeddings);
+  EXPECT_EQ(embeddings.size(), 3u);
+}
+
+TEST(DedupEmbeddingsTest, EmptyListNoop) {
+  std::vector<Embedding> embeddings;
+  DedupEmbeddingsByImage(&embeddings);
+  EXPECT_TRUE(embeddings.empty());
+}
+
+TEST(SupportTest, MisMeasuresAreUpperBoundedByEmbeddingCount) {
+  Pattern p = EdgePattern();
+  std::vector<Embedding> embeddings{{0, 1}, {2, 3}, {4, 5}, {0, 5}};
+  int64_t count =
+      ComputeSupport(SupportMeasureKind::kEmbeddingCount, p, embeddings);
+  EXPECT_LE(
+      ComputeSupport(SupportMeasureKind::kGreedyMisVertex, p, embeddings),
+      count);
+  EXPECT_LE(ComputeSupport(SupportMeasureKind::kGreedyMisEdge, p, embeddings),
+            count);
+  // Vertex conflicts are a superset of edge conflicts.
+  EXPECT_LE(
+      ComputeSupport(SupportMeasureKind::kGreedyMisVertex, p, embeddings),
+      ComputeSupport(SupportMeasureKind::kGreedyMisEdge, p, embeddings));
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace spidermine {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool pool2(-5);
+  EXPECT_EQ(pool2.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+    // No WaitIdle: destruction must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int64_t n = 10007;  // prime, to exercise ragged chunking
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&hits](int64_t i) { hits[i].fetch_add(1); });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one_calls{0};
+  pool.ParallelFor(1, [&one_calls](int64_t i) {
+    EXPECT_EQ(i, 0);
+    one_calls.fetch_add(1);
+  });
+  EXPECT_EQ(one_calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForDeterministicResultViaSlots) {
+  // The idiom the library uses: each iteration writes only its own slot,
+  // so the result is independent of scheduling.
+  ThreadPool pool(8);
+  const int64_t n = 5000;
+  std::vector<int64_t> out(n, 0);
+  pool.ParallelFor(n, [&out](int64_t i) { out[i] = i * i; });
+  for (int64_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(100, [&total](int64_t i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 10 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, DefaultThreadsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,233 @@
+#include "pattern/vf2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+
+namespace spidermine {
+namespace {
+
+LabeledGraph TriangleChain() {
+  // Two triangles sharing vertex 2: {0,1,2} and {2,3,4}; labels A=0 B=1.
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(2, 4);
+  return std::move(b.Build()).value();
+}
+
+Pattern LabeledEdge(LabelId a, LabelId b) {
+  Pattern p;
+  p.AddVertex(a);
+  p.AddVertex(b);
+  p.AddEdge(0, 1);
+  return p;
+}
+
+TEST(Vf2Test, SingleVertexEmbeddings) {
+  LabeledGraph g = TriangleChain();
+  Pattern p(0);
+  std::vector<Embedding> embeddings = FindEmbeddings(p, g);
+  EXPECT_EQ(embeddings.size(), 3u);  // vertices 0, 2, 4 carry label 0
+}
+
+TEST(Vf2Test, EdgeEmbeddingsCountBothOrientationsWhenLabelsEqual) {
+  LabeledGraph g = TriangleChain();
+  Pattern p = LabeledEdge(0, 0);
+  // Edges between label-0 vertices: 0-2 and 2-4, each in two orientations.
+  EXPECT_EQ(FindEmbeddings(p, g).size(), 4u);
+}
+
+TEST(Vf2Test, EdgeEmbeddingsLabelDirected) {
+  LabeledGraph g = TriangleChain();
+  Pattern p = LabeledEdge(1, 0);
+  // B-A edges: 1-0, 1-2, 3-2, 3-4 (each once: orientation fixed by labels).
+  EXPECT_EQ(FindEmbeddings(p, g).size(), 4u);
+}
+
+TEST(Vf2Test, TriangleEmbeddings) {
+  LabeledGraph g = TriangleChain();
+  Pattern triangle;
+  triangle.AddVertex(0);
+  triangle.AddVertex(0);
+  triangle.AddVertex(1);
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(0, 2);
+  // Each geometric triangle matches twice (swap the two label-0 vertices).
+  EXPECT_EQ(FindEmbeddings(triangle, g).size(), 4u);
+}
+
+TEST(Vf2Test, NoEmbeddingForMissingLabel) {
+  LabeledGraph g = TriangleChain();
+  Pattern p(9);
+  EXPECT_TRUE(FindEmbeddings(p, g).empty());
+  EXPECT_FALSE(ContainsEmbedding(p, g));
+}
+
+TEST(Vf2Test, MaxEmbeddingsCap) {
+  LabeledGraph g = TriangleChain();
+  Pattern p = LabeledEdge(0, 0);
+  Vf2Options options;
+  options.max_embeddings = 2;
+  EXPECT_EQ(FindEmbeddings(p, g, options).size(), 2u);
+}
+
+TEST(Vf2Test, AnchoredSearchRestrictsHead) {
+  LabeledGraph g = TriangleChain();
+  Pattern p = LabeledEdge(0, 1);
+  Vf2Options options;
+  options.anchor_pattern_vertex = 0;
+  options.anchor_graph_vertex = 4;
+  std::vector<Embedding> embeddings = FindEmbeddings(p, g, options);
+  ASSERT_EQ(embeddings.size(), 1u);  // 4 has one B-neighbor: 3
+  EXPECT_EQ(embeddings[0][0], 4);
+  EXPECT_EQ(embeddings[0][1], 3);
+}
+
+TEST(Vf2Test, MaxStatesAborts) {
+  Rng rng(3);
+  GraphBuilder b = GenerateErdosRenyi(200, 6.0, 1, &rng);
+  LabeledGraph g = std::move(b.Build()).value();
+  Pattern path;
+  for (int i = 0; i < 6; ++i) path.AddVertex(0);
+  for (int i = 0; i + 1 < 6; ++i) path.AddEdge(i, i + 1);
+  Vf2Options options;
+  options.max_states = 50;
+  Vf2Stats stats = EnumerateEmbeddings(path, g, options,
+                                       [](const Embedding&) { return true; });
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_LE(stats.states_visited, 51);
+}
+
+TEST(Vf2Test, CallbackCanStopEarly) {
+  LabeledGraph g = TriangleChain();
+  Pattern p = LabeledEdge(0, 0);
+  int seen = 0;
+  EnumerateEmbeddings(p, g, {}, [&seen](const Embedding&) {
+    ++seen;
+    return false;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Vf2Test, EmbeddingsAreInjective) {
+  LabeledGraph g = TriangleChain();
+  Pattern triangle;
+  triangle.AddVertex(0);
+  triangle.AddVertex(0);
+  triangle.AddVertex(1);
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(0, 2);
+  for (const Embedding& e : FindEmbeddings(triangle, g)) {
+    std::vector<VertexId> image = SortedImage(e);
+    EXPECT_EQ(std::unique(image.begin(), image.end()), image.end());
+  }
+}
+
+TEST(Vf2Test, EmbeddingsPreserveEdges) {
+  LabeledGraph g = TriangleChain();
+  Pattern p;
+  p.AddVertex(0);
+  p.AddVertex(1);
+  p.AddVertex(0);
+  p.AddEdge(0, 1);
+  p.AddEdge(1, 2);
+  for (const Embedding& e : FindEmbeddings(p, g)) {
+    for (const auto& [u, v] : p.Edges()) {
+      EXPECT_TRUE(g.HasEdge(e[u], e[v]));
+    }
+  }
+}
+
+TEST(IsomorphismTest, IdenticalPatternsIsomorphic) {
+  Pattern p = LabeledEdge(0, 1);
+  EXPECT_TRUE(ArePatternsIsomorphic(p, p));
+}
+
+TEST(IsomorphismTest, RelabeledVerticesIsomorphic) {
+  Pattern a;
+  a.AddVertex(0);
+  a.AddVertex(1);
+  a.AddVertex(2);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  Pattern b;
+  b.AddVertex(2);
+  b.AddVertex(1);
+  b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  EXPECT_TRUE(ArePatternsIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, DifferentLabelsNotIsomorphic) {
+  EXPECT_FALSE(ArePatternsIsomorphic(LabeledEdge(0, 1), LabeledEdge(0, 2)));
+}
+
+TEST(IsomorphismTest, DifferentStructureNotIsomorphic) {
+  Pattern path;
+  for (int i = 0; i < 4; ++i) path.AddVertex(0);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  Pattern star;
+  for (int i = 0; i < 4; ++i) star.AddVertex(0);
+  star.AddEdge(0, 1);
+  star.AddEdge(0, 2);
+  star.AddEdge(0, 3);
+  EXPECT_FALSE(ArePatternsIsomorphic(path, star));
+}
+
+TEST(IsomorphismTest, EmptyAndSingletons) {
+  Pattern empty;
+  EXPECT_TRUE(ArePatternsIsomorphic(empty, empty));
+  EXPECT_TRUE(ArePatternsIsomorphic(Pattern(3), Pattern(3)));
+  EXPECT_FALSE(ArePatternsIsomorphic(Pattern(3), Pattern(4)));
+}
+
+TEST(IsomorphismTest, RandomPermutationProperty) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    Pattern p = RandomConnectedPattern(
+        static_cast<int32_t>(rng.UniformInt(2, 12)), 0.3, 3, &rng);
+    // Permute.
+    std::vector<VertexId> perm(p.NumVertices());
+    for (VertexId v = 0; v < p.NumVertices(); ++v) perm[v] = v;
+    rng.Shuffle(&perm);
+    Pattern q;
+    std::vector<LabelId> labels(perm.size());
+    for (VertexId v = 0; v < p.NumVertices(); ++v) labels[perm[v]] = p.Label(v);
+    for (LabelId l : labels) q.AddVertex(l);
+    for (const auto& [u, v] : p.Edges()) q.AddEdge(perm[u], perm[v]);
+    EXPECT_TRUE(ArePatternsIsomorphic(p, q));
+  }
+}
+
+TEST(PatternToLabeledGraphTest, PreservesStructure) {
+  Pattern p;
+  p.AddVertex(4);
+  p.AddVertex(2);
+  p.AddEdge(0, 1);
+  LabeledGraph g = PatternToLabeledGraph(p);
+  EXPECT_EQ(g.NumVertices(), 2);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.Label(0), 4);
+  EXPECT_EQ(g.Label(1), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,345 @@
+#include "tools/cli_commands.h"
+
+#include <algorithm>
+
+#include "baselines/complete_miner.h"
+#include "baselines/grew.h"
+#include "baselines/seus.h"
+#include "baselines/subdue.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gen/barabasi_albert.h"
+#include "gen/callgraph_sim.h"
+#include "gen/dblp_sim.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/binary_io.h"
+#include "graph/degree_stats.h"
+#include "graph/graph_io.h"
+#include "graph/graph_metrics.h"
+#include "spidermine/miner.h"
+#include "spidermine/variants.h"
+
+namespace spidermine::cli {
+
+namespace {
+
+bool HasExtension(const std::string& path, std::string_view ext) {
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+Result<SupportMeasureKind> ParseMeasure(const std::string& name) {
+  if (name == "vertex-mis") return SupportMeasureKind::kGreedyMisVertex;
+  if (name == "edge-mis") return SupportMeasureKind::kGreedyMisEdge;
+  if (name == "mni") return SupportMeasureKind::kMinImage;
+  if (name == "count") return SupportMeasureKind::kEmbeddingCount;
+  return Status::InvalidArgument(
+      StrCat("unknown measure '", name,
+             "' (expected vertex-mis, edge-mis, mni or count)"));
+}
+
+void PrintPatternRow(std::ostream& out, size_t rank, const Pattern& pattern,
+                     int64_t support) {
+  out << rank << ". |V|=" << pattern.NumVertices()
+      << " |E|=" << pattern.NumEdges() << " support=" << support << "  "
+      << pattern.ToString() << "\n";
+}
+
+}  // namespace
+
+Result<LabeledGraph> LoadGraphAuto(const std::string& path) {
+  if (HasExtension(path, ".smg")) return LoadGraphBinary(path);
+  return LoadGraphText(path);
+}
+
+Status SaveGraphAuto(const LabeledGraph& graph, const std::string& path) {
+  if (HasExtension(path, ".smg")) return SaveGraphBinary(graph, path);
+  return SaveGraphText(graph, path);
+}
+
+Status CmdGen(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags("spidermine gen",
+                "generate a synthetic network and write it to --out");
+  flags.AddString("model", "er", "er | ba | dblp | jeti")
+      .AddInt("vertices", 1000, "vertex count (er/ba)")
+      .AddDouble("avg-degree", 3.0, "average degree (er)")
+      .AddInt("ba-edges", 2, "edges per new vertex (ba)")
+      .AddInt("labels", 20, "number of vertex labels (er/ba)")
+      .AddInt("seed", 42, "rng seed")
+      .AddInt("inject-vertices", 0, "plant a pattern with this many vertices")
+      .AddInt("inject-count", 2, "number of planted embeddings")
+      .AddInt("inject-diameter", 4, "planted pattern diameter bound")
+      .AddString("out", "", "output path (.smg binary, otherwise LG text)");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    return Status::InvalidArgument(StrCat("--out is required\n", flags.Usage()));
+  }
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  const std::string model = flags.GetString("model");
+  LabeledGraph graph;
+  if (model == "er" || model == "ba") {
+    GraphBuilder builder =
+        model == "er"
+            ? GenerateErdosRenyi(flags.GetInt("vertices"),
+                                 flags.GetDouble("avg-degree"),
+                                 static_cast<LabelId>(flags.GetInt("labels")),
+                                 &rng)
+            : GenerateBarabasiAlbert(
+                  flags.GetInt("vertices"),
+                  static_cast<int32_t>(flags.GetInt("ba-edges")),
+                  static_cast<LabelId>(flags.GetInt("labels")), &rng);
+    if (flags.GetInt("inject-vertices") > 0) {
+      Pattern planted = RandomPatternWithDiameter(
+          static_cast<int32_t>(flags.GetInt("inject-vertices")),
+          static_cast<int32_t>(flags.GetInt("inject-diameter")),
+          static_cast<LabelId>(flags.GetInt("labels")), &rng);
+      PatternInjector injector(&builder);
+      SM_RETURN_NOT_OK(injector.Inject(
+          planted, static_cast<int32_t>(flags.GetInt("inject-count")), &rng));
+      out << "injected pattern: |V|=" << planted.NumVertices()
+          << " |E|=" << planted.NumEdges() << " x"
+          << flags.GetInt("inject-count") << "\n";
+    }
+    SM_ASSIGN_OR_RETURN(graph, builder.Build());
+  } else if (model == "dblp") {
+    DblpSimConfig config;
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    SM_ASSIGN_OR_RETURN(DblpDataset dataset, GenerateDblpSim(config));
+    graph = std::move(dataset.graph);
+  } else if (model == "jeti") {
+    CallGraphSimConfig config;
+    SM_ASSIGN_OR_RETURN(CallGraphDataset dataset,
+                        GenerateCallGraphSim(config));
+    graph = std::move(dataset.graph);
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown model '", model, "' (expected er, ba, dblp, jeti)"));
+  }
+
+  SM_RETURN_NOT_OK(SaveGraphAuto(graph, out_path));
+  out << "wrote " << out_path << ": |V|=" << graph.NumVertices()
+      << " |E|=" << graph.NumEdges() << " labels=" << graph.NumLabels()
+      << "\n";
+  return Status::Ok();
+}
+
+Status CmdStats(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags("spidermine stats", "print structural statistics of a graph");
+  flags.AddInt("diameter-sources", 32,
+               "BFS sources for the effective-diameter estimate (0 skips)")
+      .AddInt("seed", 1, "rng seed for sampling");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("expected exactly one graph file\n", flags.Usage()));
+  }
+  SM_ASSIGN_OR_RETURN(LabeledGraph graph,
+                      LoadGraphAuto(flags.positional()[0]));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  GraphSummary summary =
+      Summarize(graph, &rng,
+                static_cast<int32_t>(flags.GetInt("diameter-sources")));
+  out << summary.ToString();
+  DegreeStats degrees = ComputeDegreeStats(graph);
+  out << "degree min/avg/max: " << degrees.min << "/" << degrees.average
+      << "/" << degrees.max << "\n";
+  return Status::Ok();
+}
+
+Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags("spidermine mine", "run SpiderMine over a graph file");
+  flags.AddInt("support", 2, "support threshold sigma")
+      .AddInt("k", 10, "number of top patterns K")
+      .AddInt("dmax", 4, "pattern diameter bound Dmax")
+      .AddDouble("epsilon", 0.1, "error bound epsilon")
+      .AddInt("vmin", 0, "minimum large-pattern vertices (0 = |V|/10)")
+      .AddInt("seed", 42, "rng seed")
+      .AddInt("restarts", 1, "independent stage II+III runs")
+      .AddString("measure", "vertex-mis",
+                 "support measure: vertex-mis | edge-mis | mni | count")
+      .AddDouble("time-budget", 0.0, "wall-clock budget seconds (0 = off)")
+      .AddBool("strict-dmax", false,
+               "drop results whose diameter exceeds dmax (Definition 2)")
+      .AddBool("maximal", false, "keep only maximal patterns")
+      .AddBool("variants", false, "print Fig.23-style variant groups")
+      .AddBool("stats", false, "print mining statistics")
+      .AddString("out", "",
+                 "write top patterns to <out>.<rank>.smp (binary pattern "
+                 "files; empty = do not save)");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("expected exactly one graph file\n", flags.Usage()));
+  }
+  SM_ASSIGN_OR_RETURN(LabeledGraph graph,
+                      LoadGraphAuto(flags.positional()[0]));
+
+  MineConfig config;
+  config.min_support = flags.GetInt("support");
+  config.k = static_cast<int32_t>(flags.GetInt("k"));
+  config.dmax = static_cast<int32_t>(flags.GetInt("dmax"));
+  config.epsilon = flags.GetDouble("epsilon");
+  config.vmin = flags.GetInt("vmin");
+  config.rng_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.restarts = static_cast<int32_t>(flags.GetInt("restarts"));
+  config.time_budget_seconds = flags.GetDouble("time-budget");
+  config.enforce_dmax_on_results = flags.GetBool("strict-dmax");
+  SM_ASSIGN_OR_RETURN(config.support_measure,
+                      ParseMeasure(flags.GetString("measure")));
+
+  SpiderMiner miner(&graph, config);
+  SM_ASSIGN_OR_RETURN(MineResult result, miner.Mine());
+
+  std::vector<MinedPattern> patterns = std::move(result.patterns);
+  if (flags.GetBool("maximal")) patterns = FilterMaximal(std::move(patterns));
+
+  out << "top " << patterns.size() << " patterns ("
+      << SupportMeasureName(config.support_measure) << " support):\n";
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    PrintPatternRow(out, i + 1, patterns[i].pattern, patterns[i].support);
+  }
+  if (flags.GetBool("variants")) {
+    std::vector<VariantGroup> groups = GroupVariants(patterns);
+    out << "variant groups:\n" << VariantGroupsToString(patterns, groups);
+  }
+  if (flags.GetBool("stats")) {
+    out << result.stats.ToString();
+  }
+  if (!flags.GetString("out").empty()) {
+    const std::string& prefix = flags.GetString("out");
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      const std::string path = StrCat(prefix, ".", i + 1, ".smp");
+      SM_RETURN_NOT_OK(SavePatternBinary(patterns[i].pattern, path));
+    }
+    out << "wrote " << patterns.size() << " pattern files to " << prefix
+        << ".*.smp\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdBaseline(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags("spidermine baseline", "run a comparison miner");
+  flags.AddString("algo", "subdue", "subdue | seus | grew | complete")
+      .AddInt("support", 2, "support threshold")
+      .AddInt("k", 10, "patterns reported")
+      .AddDouble("time-budget", 60.0, "wall-clock budget seconds");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("expected exactly one graph file\n", flags.Usage()));
+  }
+  SM_ASSIGN_OR_RETURN(LabeledGraph graph,
+                      LoadGraphAuto(flags.positional()[0]));
+  const std::string algo = flags.GetString("algo");
+  const int64_t support = flags.GetInt("support");
+  const auto k = static_cast<size_t>(flags.GetInt("k"));
+
+  if (algo == "subdue") {
+    SubdueConfig config;
+    config.max_best = static_cast<int32_t>(k);
+    config.time_budget_seconds = flags.GetDouble("time-budget");
+    SM_ASSIGN_OR_RETURN(SubdueResult result, SubdueDiscover(graph, config));
+    out << "subdue: " << result.patterns.size() << " substructures\n";
+    for (size_t i = 0; i < result.patterns.size() && i < k; ++i) {
+      PrintPatternRow(out, i + 1, result.patterns[i].pattern,
+                      result.patterns[i].instances);
+    }
+  } else if (algo == "seus") {
+    SeusConfig config;
+    config.min_support = support;
+    SM_ASSIGN_OR_RETURN(SeusResult result, SeusDiscover(graph, config));
+    out << "seus: " << result.patterns.size() << " structures\n";
+    for (size_t i = 0; i < result.patterns.size() && i < k; ++i) {
+      PrintPatternRow(out, i + 1, result.patterns[i].pattern,
+                      result.patterns[i].support);
+    }
+  } else if (algo == "grew") {
+    GrewConfig config;
+    config.min_support = support;
+    SM_ASSIGN_OR_RETURN(GrewResult result, GrewDiscover(graph, config));
+    out << "grew: " << result.patterns.size() << " patterns\n";
+    for (size_t i = 0; i < result.patterns.size() && i < k; ++i) {
+      PrintPatternRow(out, i + 1, result.patterns[i].pattern,
+                      result.patterns[i].support);
+    }
+  } else if (algo == "complete") {
+    CompleteMinerConfig config;
+    config.min_support = support;
+    config.time_budget_seconds = flags.GetDouble("time-budget");
+    SM_ASSIGN_OR_RETURN(CompleteMineResult result,
+                        MineComplete(graph, config));
+    out << "complete: " << result.patterns.size() << " frequent patterns"
+        << (result.aborted ? " (budget hit; prefix only)" : "") << "\n";
+    std::sort(result.patterns.begin(), result.patterns.end(),
+              [](const CompletePattern& a, const CompletePattern& b) {
+                return a.pattern.NumEdges() > b.pattern.NumEdges();
+              });
+    for (size_t i = 0; i < result.patterns.size() && i < k; ++i) {
+      PrintPatternRow(out, i + 1, result.patterns[i].pattern,
+                      result.patterns[i].support);
+    }
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown algo '", algo,
+               "' (expected subdue, seus, grew, complete)"));
+  }
+  return Status::Ok();
+}
+
+Status CmdConvert(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags("spidermine convert",
+                "convert between text and binary graph formats");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().size() != 2) {
+    return Status::InvalidArgument(
+        StrCat("expected <input> <output>\n", flags.Usage()));
+  }
+  SM_ASSIGN_OR_RETURN(LabeledGraph graph,
+                      LoadGraphAuto(flags.positional()[0]));
+  SM_RETURN_NOT_OK(SaveGraphAuto(graph, flags.positional()[1]));
+  out << "converted " << flags.positional()[0] << " -> "
+      << flags.positional()[1] << " (|V|=" << graph.NumVertices()
+      << " |E|=" << graph.NumEdges() << ")\n";
+  return Status::Ok();
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  static constexpr char kUsage[] =
+      "usage: spidermine <gen|stats|mine|baseline|convert> [flags]\n"
+      "run `spidermine <subcommand> --help` semantics: any flag error "
+      "prints the subcommand's flag list\n";
+  if (args.empty()) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string& command = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  Status status;
+  if (command == "gen") {
+    status = CmdGen(rest, out);
+  } else if (command == "stats") {
+    status = CmdStats(rest, out);
+  } else if (command == "mine") {
+    status = CmdMine(rest, out);
+  } else if (command == "baseline") {
+    status = CmdBaseline(rest, out);
+  } else if (command == "convert") {
+    status = CmdConvert(rest, out);
+  } else {
+    err << "unknown subcommand '" << command << "'\n" << kUsage;
+    return 2;
+  }
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace spidermine::cli

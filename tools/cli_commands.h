@@ -1,0 +1,44 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+
+/// \file cli_commands.h
+/// The spidermine command-line tool, factored as a library so each
+/// subcommand is unit-testable without spawning processes. The `main`
+/// binary (spidermine_cli.cc) only dispatches to RunCli.
+///
+/// Subcommands:
+///   gen      generate a synthetic network (ER / BA / DBLP-sim / Jeti-sim)
+///            with optional pattern injection, write it to a file
+///   stats    print structural statistics of a graph file
+///   mine     run SpiderMine over a graph file and print the top-K patterns
+///   baseline run a comparison miner (subdue / seus / grew / complete)
+///   convert  convert between the text (.lg) and binary (.smg) formats
+
+namespace spidermine::cli {
+
+/// Dispatches `spidermine <subcommand> [flags]`. Writes normal output to
+/// \p out and errors/usage to \p err; returns the process exit code.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+/// Loads a graph choosing the decoder by file extension: ".smg" = binary
+/// (graph/binary_io.h), anything else = LG text (graph/graph_io.h).
+Result<LabeledGraph> LoadGraphAuto(const std::string& path);
+
+/// Saves a graph choosing the encoder by file extension (see LoadGraphAuto).
+Status SaveGraphAuto(const LabeledGraph& graph, const std::string& path);
+
+/// Individual subcommands (args exclude the subcommand name).
+Status CmdGen(const std::vector<std::string>& args, std::ostream& out);
+Status CmdStats(const std::vector<std::string>& args, std::ostream& out);
+Status CmdMine(const std::vector<std::string>& args, std::ostream& out);
+Status CmdBaseline(const std::vector<std::string>& args, std::ostream& out);
+Status CmdConvert(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace spidermine::cli
