@@ -1,0 +1,125 @@
+// Parallel-scaling bench: runs the identical SpiderMine workload at
+// increasing thread counts and emits one JSON object per run with the
+// per-stage wall times and the speedup against the single-thread baseline.
+// The pipeline is deterministic at any thread count, so the runs do the
+// same logical work and the speedup isolates parallelization overhead.
+//
+//   $ ./bench_parallel_scaling --vertices=100000 --max-threads=8
+//   {"bench":"parallel_scaling","threads":1,...}
+//   {"bench":"parallel_scaling","threads":2,...}
+//
+// Seeds the BENCH trajectory for the ROADMAP's scaling work: point this at
+// larger graphs as sharding/batching items land.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  using namespace spidermine;
+  FlagSet flags("bench_parallel_scaling",
+                "SpiderMine stage timings vs thread count (JSON rows)");
+  flags.AddInt("vertices", 100000, "background graph vertices")
+      .AddDouble("avg-degree", 2.5, "background average degree")
+      .AddInt("labels", 60, "vertex label count")
+      .AddInt("inject-vertices", 16, "planted pattern size (0 = none)")
+      .AddInt("inject-count", 4, "planted embeddings")
+      .AddInt("support", 3, "support threshold sigma")
+      .AddInt("k", 10, "top-K")
+      .AddInt("dmax", 4, "pattern diameter bound")
+      .AddInt("seed", 42, "rng seed (graph and miner)")
+      .AddInt("seed-count", 64, "seed spider draw M (0 = paper formula)")
+      .AddInt("max-threads", 8, "largest thread count measured (doubling)");
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  GraphBuilder builder = GenerateErdosRenyi(
+      flags.GetInt("vertices"), flags.GetDouble("avg-degree"),
+      static_cast<LabelId>(flags.GetInt("labels")), &rng);
+  if (flags.GetInt("inject-vertices") > 0) {
+    Pattern planted = RandomConnectedPattern(
+        static_cast<int32_t>(flags.GetInt("inject-vertices")), 0.1,
+        static_cast<LabelId>(flags.GetInt("labels")), &rng);
+    PatternInjector injector(&builder);
+    status = injector.Inject(
+        planted, static_cast<int32_t>(flags.GetInt("inject-count")), &rng);
+    if (!status.ok()) {
+      std::fprintf(stderr, "inject: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  Result<LabeledGraph> built = builder.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const LabeledGraph& graph = *built;
+
+  bench::Banner("parallel_scaling",
+                "stage seconds vs --threads; deterministic workload");
+
+  MineConfig config;
+  config.min_support = flags.GetInt("support");
+  config.k = static_cast<int32_t>(flags.GetInt("k"));
+  config.dmax = static_cast<int32_t>(flags.GetInt("dmax"));
+  config.vmin = 8;
+  config.rng_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.seed_count_override = flags.GetInt("seed-count");
+
+  std::vector<int32_t> thread_counts = {1};
+  const int32_t max_threads =
+      std::max<int32_t>(1, static_cast<int32_t>(flags.GetInt("max-threads")));
+  for (int32_t t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  double baseline_total = 0.0;
+  double baseline_stage1 = 0.0;
+  double baseline_growth = 0.0;
+  for (int32_t threads : thread_counts) {
+    config.num_threads = threads;
+    MineResult result;
+    const double seconds = bench::RunSpiderMine(graph, config, &result);
+    const MineStats& s = result.stats;
+    const double growth = s.stage2_seconds + s.stage3_seconds;
+    if (threads == 1) {
+      baseline_total = seconds;
+      baseline_stage1 = s.stage1_seconds;
+      baseline_growth = growth;
+    }
+    auto ratio = [](double base, double now) {
+      return now > 0.0 ? base / now : 0.0;
+    };
+    std::printf(
+        "{\"bench\":\"parallel_scaling\",\"vertices\":%lld,"
+        "\"edges\":%lld,\"threads\":%d,\"patterns\":%zu,"
+        "\"spiders\":%lld,\"stage1_seconds\":%.4f,"
+        "\"growth_seconds\":%.4f,\"total_seconds\":%.4f,"
+        "\"speedup_stage1\":%.3f,\"speedup_growth\":%.3f,"
+        "\"speedup_total\":%.3f}\n",
+        static_cast<long long>(graph.NumVertices()),
+        static_cast<long long>(graph.NumEdges()), threads,
+        result.patterns.size(), static_cast<long long>(s.num_spiders),
+        s.stage1_seconds, growth, seconds, ratio(baseline_stage1, s.stage1_seconds),
+        ratio(baseline_growth, growth), ratio(baseline_total, seconds));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

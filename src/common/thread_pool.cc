@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace spidermine {
 
@@ -55,26 +56,58 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(int64_t n,
-                             const std::function<void(int64_t)>& body) {
+void ThreadPool::ParallelForChunks(
+    int64_t n, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body,
+    const CancellationToken* token) {
   if (n <= 0) return;
+  if (token != nullptr && token->IsCancelled()) return;
+  if (grain < 1) {
+    // Automatic grain: ~4 chunks per participant balances skewed iteration
+    // costs against synchronization overhead.
+    const int64_t chunks = std::min<int64_t>(n, 4LL * (num_threads_ + 1));
+    grain = (n + chunks - 1) / chunks;
+  }
+  if (n <= grain || num_threads_ == 1) {
+    // Serial fast path: nothing to gain from dispatch; still honor the
+    // token between chunks so a deadline bounds even the inline loop.
+    for (int64_t begin = 0; begin < n; begin += grain) {
+      if (token != nullptr && token->IsCancelled()) return;
+      body(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
   // Chunked dynamic scheduling: workers (and this thread) claim the next
-  // chunk from a shared cursor. Chunk count ~4x threads balances skewed
-  // iteration costs against synchronization overhead.
-  const int64_t chunks = std::min<int64_t>(n, 4LL * (num_threads_ + 1));
-  const int64_t chunk_size = (n + chunks - 1) / chunks;
+  // chunk from a shared cursor. Scheduling order varies between runs, but
+  // callers write only to pre-sized per-index slots, so results do not.
+  const int64_t chunk_size = grain;
   auto cursor = std::make_shared<std::atomic<int64_t>>(0);
-  auto run_chunks = [cursor, n, chunk_size, &body] {
+  auto run_chunks = [cursor, n, chunk_size, token, &body] {
     for (;;) {
+      if (token != nullptr && token->IsCancelled()) return;
       const int64_t begin = cursor->fetch_add(chunk_size);
       if (begin >= n) return;
-      const int64_t end = std::min(n, begin + chunk_size);
-      for (int64_t i = begin; i < end; ++i) body(i);
+      body(begin, std::min(n, begin + chunk_size));
     }
   };
-  for (int32_t t = 0; t < num_threads_; ++t) Schedule(run_chunks);
+  // Spawn at most one task per chunk so tiny loops do not wake every worker.
+  const int64_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  const int32_t helpers = static_cast<int32_t>(
+      std::min<int64_t>(num_threads_, num_chunks - 1));
+  for (int32_t t = 0; t < helpers; ++t) Schedule(run_chunks);
   run_chunks();  // the caller helps
   WaitIdle();
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body,
+                             const CancellationToken* token) {
+  ParallelForChunks(
+      n, /*grain=*/-1,
+      [&body](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) body(i);
+      },
+      token);
 }
 
 int32_t ThreadPool::DefaultThreads() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -8,15 +9,51 @@
 #include <thread>
 #include <vector>
 
+#include "common/timer.h"
+
 /// \file thread_pool.h
 /// A fixed-size worker pool used to parallelize embarrassingly parallel
-/// library work (Stage I star verification, support evaluation over
-/// independent candidates, benchmark sweeps). Tasks are void() closures;
-/// completion is observed via WaitIdle(). The pool is deliberately simple:
-/// no futures, no work stealing -- determinism of *results* is preserved by
-/// having callers write to pre-sized output slots.
+/// library work (Stage I star shards, per-lineage growth, closure, benchmark
+/// sweeps). Tasks are void() closures; completion is observed via WaitIdle().
+/// The pool is deliberately simple: no futures, no work stealing --
+/// determinism of *results* is preserved by having callers write to
+/// pre-sized output slots, so scheduling order never influences output.
+///
+/// Cooperative cancellation: long-running stages poll a CancellationToken
+/// (optionally bound to a Deadline) so a time budget stops workers
+/// mid-stage instead of only between stages.
 
 namespace spidermine {
+
+/// A cooperative cancellation flag shared between a coordinator and pool
+/// workers. Thread-safe. Optionally bound to a Deadline, in which case the
+/// token reports cancelled once the deadline expires (the expiry latches so
+/// later polls skip the clock read).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// A token that also trips when \p deadline (borrowed; may be null)
+  /// expires.
+  explicit CancellationToken(const Deadline* deadline) : deadline_(deadline) {}
+
+  /// Requests cancellation; all subsequent IsCancelled() calls return true.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancellation was requested or the bound deadline expired.
+  bool IsCancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_ != nullptr && deadline_->Expired()) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  const Deadline* deadline_ = nullptr;
+};
 
 /// Fixed-size thread pool. Construction spawns the workers; destruction
 /// drains outstanding tasks and joins.
@@ -44,8 +81,22 @@ class ThreadPool {
 
   /// Runs `body(i)` for i in [0, n) across the pool and waits for all
   /// iterations; the calling thread also participates. Iterations are
-  /// distributed in contiguous chunks to limit synchronization.
-  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+  /// distributed in contiguous chunks to limit synchronization. When
+  /// \p token is non-null and becomes cancelled, chunks not yet started are
+  /// skipped (iterations already running finish; callers observe partial
+  /// output only through their own slots).
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
+                   const CancellationToken* token = nullptr);
+
+  /// Chunked variant with explicit grain-size control: runs
+  /// `body(begin, end)` over contiguous ranges of at most \p grain
+  /// iterations (grain < 1 selects an automatic ~4-chunks-per-thread
+  /// grain). Use a large grain for cheap iterations to amortize dispatch,
+  /// grain = 1 for expensive skewed iterations. Cancellation as in
+  /// ParallelFor.
+  void ParallelForChunks(int64_t n, int64_t grain,
+                         const std::function<void(int64_t, int64_t)>& body,
+                         const CancellationToken* token = nullptr);
 
   /// A sensible default parallelism: hardware_concurrency, at least 1.
   static int32_t DefaultThreads();

@@ -15,19 +15,29 @@ namespace {
 using LeafKey = std::pair<EdgeLabelId, LabelId>;
 
 /// Per-vertex neighbor leaf-key counts, sorted by key, for O(log d) lookup.
+/// Rows are independent, so construction fans out over the pool.
 struct NeighborLeafCounts {
   std::vector<std::vector<std::pair<LeafKey, int32_t>>> counts;
 
-  explicit NeighborLeafCounts(const LabeledGraph& graph) {
-    counts.resize(static_cast<size_t>(graph.NumVertices()));
-    std::map<LeafKey, int32_t> local;
-    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-      local.clear();
-      for (VertexId u : graph.Neighbors(v)) {
-        ++local[LeafKey{graph.EdgeLabel(v, u), graph.Label(u)}];
+  NeighborLeafCounts(const LabeledGraph& graph, ThreadPool* pool,
+                     const CancellationToken* token) {
+    const int64_t n = graph.NumVertices();
+    counts.resize(static_cast<size_t>(n));
+    auto fill_range = [this, &graph](int64_t begin, int64_t end) {
+      std::map<LeafKey, int32_t> local;
+      for (int64_t v = begin; v < end; ++v) {
+        local.clear();
+        for (VertexId u : graph.Neighbors(static_cast<VertexId>(v))) {
+          ++local[LeafKey{graph.EdgeLabel(static_cast<VertexId>(v), u),
+                          graph.Label(u)}];
+        }
+        counts[v].assign(local.begin(), local.end());
       }
-      auto& row = counts[v];
-      row.assign(local.begin(), local.end());
+    };
+    if (pool != nullptr) {
+      pool->ParallelForChunks(n, /*grain=*/-1, fill_range, token);
+    } else {
+      fill_range(0, n);
     }
   }
 
@@ -64,10 +74,14 @@ Spider MakeStar(LabelId head_label, const std::vector<LeafKey>& leaves,
   return s;
 }
 
-struct MineState {
+/// Enumeration state of one head-label shard. Shards never touch shared
+/// mutable state: each owns its result, which the driver concatenates in
+/// label order.
+struct ShardState {
   const LabeledGraph* graph;
   const StarMinerConfig* config;
   const NeighborLeafCounts* nbr_counts;
+  const CancellationToken* token;
   StarMineResult result;
   bool stopped = false;
 
@@ -90,6 +104,11 @@ struct MineState {
               const std::vector<VertexId>& anchors,
               std::map<LeafKey, int32_t>* multiplicity, int64_t parent_idx) {
     if (stopped) return;
+    if (token != nullptr && token->IsCancelled()) {
+      result.truncated = true;
+      stopped = true;
+      return;
+    }
     if (static_cast<int32_t>(leaves->size()) >= config->max_leaves) return;
     LeafKey min_next = leaves->empty() ? LeafKey{INT32_MIN, INT32_MIN}
                                        : leaves->back();
@@ -129,39 +148,82 @@ struct MineState {
       leaves->pop_back();
     }
   }
+
+  /// Mines every frequent star headed by \p label.
+  void MineLabel(LabelId label) {
+    auto vertices = graph->VerticesWithLabel(label);
+    if (static_cast<int64_t>(vertices.size()) < config->min_support) return;
+    std::vector<VertexId> anchors(vertices.begin(), vertices.end());
+    int64_t parent_idx = -1;
+    if (config->include_single_vertex) {
+      parent_idx = static_cast<int64_t>(result.spiders.size());
+      if (!Emit(MakeStar(label, {}, anchors, 1))) return;
+    }
+    std::vector<LeafKey> leaves;
+    std::map<LeafKey, int32_t> multiplicity;
+    Extend(label, &leaves, anchors, &multiplicity, parent_idx);
+  }
 };
 
 }  // namespace
 
 Result<StarMineResult> MineStarSpiders(const LabeledGraph& graph,
-                                       const StarMinerConfig& config) {
+                                       const StarMinerConfig& config,
+                                       ThreadPool* pool,
+                                       const CancellationToken* token) {
   if (config.min_support < 1) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
   if (config.max_leaves < 0) {
     return Status::InvalidArgument("max_leaves must be >= 0");
   }
-  NeighborLeafCounts nbr_counts(graph);
-  MineState state;
-  state.graph = &graph;
-  state.config = &config;
-  state.nbr_counts = &nbr_counts;
+  NeighborLeafCounts nbr_counts(graph, pool, token);
 
-  for (LabelId label = 0; label < graph.NumLabels() && !state.stopped;
-       ++label) {
-    auto vertices = graph.VerticesWithLabel(label);
-    if (static_cast<int64_t>(vertices.size()) < config.min_support) continue;
-    std::vector<VertexId> anchors(vertices.begin(), vertices.end());
-    int64_t parent_idx = -1;
-    if (config.include_single_vertex) {
-      parent_idx = static_cast<int64_t>(state.result.spiders.size());
-      if (!state.Emit(MakeStar(label, {}, anchors, 1))) break;
-    }
-    std::vector<LeafKey> leaves;
-    std::map<LeafKey, int32_t> multiplicity;
-    state.Extend(label, &leaves, anchors, &multiplicity, parent_idx);
+  // One shard per head label, mined into pre-sized slots. A shard's output
+  // depends only on the graph and config, never on scheduling.
+  const int64_t num_labels = graph.NumLabels();
+  std::vector<ShardState> shards(static_cast<size_t>(num_labels));
+  auto mine_shard = [&](int64_t label) {
+    ShardState& shard = shards[static_cast<size_t>(label)];
+    shard.graph = &graph;
+    shard.config = &config;
+    shard.nbr_counts = &nbr_counts;
+    shard.token = token;
+    shard.MineLabel(static_cast<LabelId>(label));
+  };
+  if (pool != nullptr) {
+    // Grain 1: label shards are few and highly skewed (hub labels dominate).
+    pool->ParallelForChunks(
+        num_labels, /*grain=*/1,
+        [&mine_shard](int64_t begin, int64_t end) {
+          for (int64_t label = begin; label < end; ++label) mine_shard(label);
+        },
+        token);
+  } else {
+    for (int64_t label = 0; label < num_labels; ++label) mine_shard(label);
   }
-  return std::move(state.result);
+
+  // Deterministic merge in label order.
+  StarMineResult merged;
+  for (ShardState& shard : shards) {
+    merged.extension_attempts += shard.result.extension_attempts;
+    merged.truncated |= shard.result.truncated;
+    if (merged.spiders.empty()) {
+      merged.spiders = std::move(shard.result.spiders);
+    } else {
+      merged.spiders.insert(
+          merged.spiders.end(),
+          std::make_move_iterator(shard.result.spiders.begin()),
+          std::make_move_iterator(shard.result.spiders.end()));
+    }
+  }
+  if (config.max_spiders > 0 &&
+      static_cast<int64_t>(merged.spiders.size()) > config.max_spiders) {
+    merged.spiders.resize(static_cast<size_t>(config.max_spiders));
+    merged.truncated = true;
+  }
+  if (token != nullptr && token->IsCancelled()) merged.truncated = true;
+  return merged;
 }
 
 }  // namespace spidermine

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "graph/labeled_graph.h"
 #include "spider/spider.h"
 
@@ -14,6 +15,10 @@
 /// star: a head label plus a multiset of leaf labels; this miner enumerates
 /// all frequent stars level-wise over the leaf multiset, maintaining anchor
 /// lists (head images) for support counting.
+///
+/// Enumeration is sharded by head label: shards are independent, so they
+/// run in parallel on a ThreadPool and are concatenated in label order,
+/// making the result identical at any thread count.
 ///
 /// General radii are handled by ball_miner.h; the star miner is the fast
 /// path the growth engine uses.
@@ -26,8 +31,13 @@ struct StarMinerConfig {
   int64_t min_support = 2;
   /// Maximum number of leaves per star (bounds the level-wise depth).
   int32_t max_leaves = 8;
-  /// Stop after this many spiders (<=0: unlimited). When hit, the result is
-  /// truncated and the flag below reports it.
+  /// Stop after this many spiders (<=0: unlimited). Enforced per label
+  /// shard and again on the concatenated result, so the returned prefix is
+  /// the same at any thread count. When hit, the result is truncated and
+  /// the flag below reports it. Note the per-shard enforcement: transient
+  /// work/memory can reach num_labels * max_spiders before the final trim
+  /// (a cross-shard early stop would make shard output timing-dependent);
+  /// treat this as an OOM backstop, not a precise work bound.
   int64_t max_spiders = 0;
   /// Include the 0-leaf single-vertex spiders (frequent labels). These are
   /// legitimate spiders and eligible seeds.
@@ -37,14 +47,19 @@ struct StarMinerConfig {
 /// Output of star mining.
 struct StarMineResult {
   std::vector<Spider> spiders;
-  /// True when max_spiders cut enumeration short.
+  /// True when max_spiders (or cancellation) cut enumeration short.
   bool truncated = false;
   /// Number of level-wise extension attempts (mining work measure).
   int64_t extension_attempts = 0;
 };
 
-/// Mines all frequent 1-spiders (stars) of \p graph.
-Result<StarMineResult> MineStarSpiders(const LabeledGraph& graph,
-                                       const StarMinerConfig& config);
+/// Mines all frequent 1-spiders (stars) of \p graph. With a non-null
+/// \p pool, label shards run on the pool's workers; the mined set is
+/// independent of the thread count. A non-null \p token is polled inside
+/// shard enumeration: cancellation stops mining mid-shard and marks the
+/// result truncated.
+Result<StarMineResult> MineStarSpiders(
+    const LabeledGraph& graph, const StarMinerConfig& config,
+    ThreadPool* pool = nullptr, const CancellationToken* token = nullptr);
 
 }  // namespace spidermine

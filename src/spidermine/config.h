@@ -34,8 +34,18 @@ struct MineConfig {
   /// Support definition (overlap handling); see support_measure.h.
   SupportMeasureKind support_measure = SupportMeasureKind::kGreedyMisVertex;
 
+  // ---- Parallelism. ----
+  /// Worker threads for Stage I star shards, per-lineage growth, seeding
+  /// and closure. 1 = serial; 0 = all hardware threads. Mined results are
+  /// identical at any value (see ARCHITECTURE.md, threading model): workers
+  /// write pre-sized output slots and every cross-worker fold happens on
+  /// the coordinating thread in a stable order.
+  int32_t num_threads = 1;
+
   // ---- Randomization. ----
-  /// RNG seed for the random spider draw.
+  /// RNG seed for the random spider draw. Each restart run r draws from an
+  /// independent substream seeded with rng_seed ^ (kRunSeedStride * r), so
+  /// parallel scheduling cannot perturb the draws of later runs.
   uint64_t rng_seed = 42;
   /// Overrides the computed number M of seed spiders when > 0.
   int64_t seed_count_override = 0;

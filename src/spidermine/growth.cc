@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <unordered_set>
 
 #include "pattern/vf2.h"
@@ -124,12 +125,98 @@ uint64_t MergeKey(int32_t spider_id, VertexId anchor) {
          static_cast<uint32_t>(anchor);
 }
 
+/// The SpiderSetCheck fold: moves \p embeddings into duplicate \p other up
+/// to the per-pattern cap, then re-dedups by image. Callers recompute
+/// other->support when they need it fresh (the coordinator batches that).
+void FoldEmbeddings(GrowthPattern* other, std::vector<Embedding>&& embeddings,
+                    int64_t max_embeddings) {
+  for (Embedding& e : embeddings) {
+    if (static_cast<int64_t>(other->embeddings.size()) >= max_embeddings) {
+      break;
+    }
+    other->embeddings.push_back(std::move(e));
+  }
+  DedupEmbeddingsByImage(&other->embeddings);
+}
+
+/// Spider-set dedup (SpiderSetCheck) against an arbitrary pattern pool:
+/// returns the pool index of an isomorphic existing pattern or -1. Counter
+/// pointers let both worker lineages (local counters) and the coordinator
+/// (shared MineStats) reuse the scan.
+int64_t FindDuplicateIn(
+    const std::deque<GrowthPattern>& pool,
+    const std::unordered_map<uint64_t, std::vector<int64_t>>& dedup,
+    const GrowthPattern& candidate, int64_t* iso_checks_skipped,
+    int64_t* iso_checks_run) {
+  auto it = dedup.find(candidate.spider_set.digest());
+  if (it == dedup.end()) return -1;
+  for (int64_t idx : it->second) {
+    const GrowthPattern& other = pool[static_cast<size_t>(idx)];
+    if (!(other.spider_set == candidate.spider_set)) {
+      ++*iso_checks_skipped;  // digest collision, filter rejected
+      continue;
+    }
+    ++*iso_checks_run;
+    if (ArePatternsIsomorphic(other.pattern, candidate.pattern)) return idx;
+  }
+  return -1;
+}
+
 }  // namespace
 
-struct GrowthEngine::RoundState {
+/// Stat counters a worker accumulates privately; the coordinator folds them
+/// into the shared MineStats in input order, so totals are identical at any
+/// thread count.
+struct GrowthEngine::LocalStats {
+  int64_t extend_calls = 0;
+  int64_t growth_steps = 0;
+  int64_t iso_checks_skipped = 0;
+  int64_t iso_checks_run = 0;
+  int64_t nonclosed_dropped = 0;
+  int64_t embedding_cap_hits = 0;
+  int64_t pattern_cap_hits = 0;
+
+  void FoldInto(MineStats* stats) const {
+    stats->extend_calls += extend_calls;
+    stats->growth_steps += growth_steps;
+    stats->iso_checks_skipped += iso_checks_skipped;
+    stats->iso_checks_run += iso_checks_run;
+    stats->nonclosed_dropped += nonclosed_dropped;
+    stats->embedding_cap_hits += embedding_cap_hits;
+    stats->pattern_cap_hits += pattern_cap_hits;
+  }
+};
+
+/// The intra-round expansion state of ONE input pattern, owned entirely by
+/// the worker expanding it. pool[0] is the input; later entries are the
+/// extensions discovered this round. Registry values are LOCAL pool
+/// indices; the coordinator rewrites them to global pattern ids.
+struct GrowthEngine::Lineage {
   std::deque<GrowthPattern> pool;  // stable storage (deque: no realloc moves)
   std::vector<char> dead;
   std::deque<int64_t> queue;
+  // spider-set digest -> pool indices (dedup buckets)
+  std::unordered_map<uint64_t, std::vector<int64_t>> dedup;
+  // (spider id, anchor) key -> local pool indices that used it
+  std::unordered_map<uint64_t, std::vector<int64_t>> registry;
+  LocalStats stats;
+  bool any_growth = false;
+  bool truncated = false;
+
+  int64_t Admit(GrowthPattern gp) {
+    int64_t idx = static_cast<int64_t>(pool.size());
+    dedup[gp.spider_set.digest()].push_back(idx);
+    pool.push_back(std::move(gp));
+    dead.push_back(0);
+    return idx;
+  }
+};
+
+/// Coordinator-side round state: the union of all lineages after stable
+/// cross-lineage dedup, plus the merge machinery (Algorithm 4 buffers).
+struct GrowthEngine::RoundState {
+  std::deque<GrowthPattern> pool;
+  std::vector<char> dead;
   // spider-set digest -> pool indices (dedup buckets)
   std::unordered_map<uint64_t, std::vector<int64_t>> dedup;
   // pattern id -> pool index (for resolving merge-registry entries)
@@ -150,13 +237,20 @@ struct GrowthEngine::RoundState {
 
 GrowthEngine::GrowthEngine(const LabeledGraph* graph, const SpiderIndex* index,
                            const MineConfig* config, MineStats* stats,
-                           Rng* rng, const Deadline* deadline)
+                           const Deadline* deadline, ThreadPool* pool,
+                           const CancellationToken* token)
     : graph_(graph),
       index_(index),
       config_(config),
       stats_(stats),
-      rng_(rng),
-      deadline_(deadline) {}
+      deadline_(deadline),
+      pool_(pool),
+      token_(token) {}
+
+bool GrowthEngine::Cancelled() const {
+  if (token_ != nullptr && token_->IsCancelled()) return true;
+  return deadline_ != nullptr && deadline_->Expired();
+}
 
 int64_t GrowthEngine::Support(const GrowthPattern& gp) const {
   SupportContext ctx;
@@ -165,17 +259,17 @@ int64_t GrowthEngine::Support(const GrowthPattern& gp) const {
                         ctx);
 }
 
-GrowthPattern GrowthEngine::SeedFromSpider(const Spider& spider) {
+GrowthPattern GrowthEngine::BuildSeed(const Spider& spider,
+                                      LocalStats* local) const {
   GrowthPattern gp;
   gp.pattern = spider.pattern;
-  gp.id = next_id_++;
 
   const std::vector<LeafKey> leaves = spider.LeafKeys();
   const auto groups = GroupLabels(leaves);
   for (VertexId anchor : spider.anchors) {
     if (static_cast<int64_t>(gp.embeddings.size()) >=
         config_->max_embeddings_per_pattern) {
-      ++stats_->embedding_cap_hits;
+      ++local->embedding_cap_hits;
       break;
     }
     if (groups.empty()) {
@@ -219,29 +313,47 @@ GrowthPattern GrowthEngine::SeedFromSpider(const Spider& spider) {
   return gp;
 }
 
-int64_t GrowthEngine::FindDuplicate(RoundState* rs,
-                                    const GrowthPattern& candidate) {
-  auto it = rs->dedup.find(candidate.spider_set.digest());
-  if (it == rs->dedup.end()) return -1;
-  for (int64_t idx : it->second) {
-    const GrowthPattern& other = rs->pool[idx];
-    if (!(other.spider_set == candidate.spider_set)) {
-      ++stats_->iso_checks_skipped;  // digest collision, filter rejected
-      continue;
+GrowthPattern GrowthEngine::SeedFromSpider(const Spider& spider) {
+  LocalStats local;
+  GrowthPattern gp = BuildSeed(spider, &local);
+  local.FoldInto(stats_);
+  gp.id = next_id_++;
+  return gp;
+}
+
+std::vector<GrowthPattern> GrowthEngine::SeedPatterns(
+    const std::vector<const Spider*>& picks) {
+  const int64_t n = static_cast<int64_t>(picks.size());
+  std::vector<GrowthPattern> out(picks.size());
+  std::vector<LocalStats> local(picks.size());
+  auto build = [this, &picks, &out, &local](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out[i] = BuildSeed(*picks[i], &local[i]);
     }
-    ++stats_->iso_checks_run;
-    if (ArePatternsIsomorphic(other.pattern, candidate.pattern)) return idx;
+  };
+  if (pool_ != nullptr && n > 1) {
+    // Grain 1: per-seed embedding enumeration is highly skewed (hub
+    // anchors).
+    pool_->ParallelForChunks(n, /*grain=*/1, build, token_);
+  } else {
+    build(0, n);
   }
-  return -1;
+  // Serial epilogue in input order: id assignment and stat folding match a
+  // sequential SeedFromSpider loop exactly.
+  for (int64_t i = 0; i < n; ++i) {
+    local[i].FoldInto(stats_);
+    out[i].id = next_id_++;
+  }
+  return out;
 }
 
 bool GrowthEngine::TryExtend(
-    RoundState* rs, int64_t base_idx, VertexId v, int32_t spider_id,
+    Lineage* ls, int64_t base_idx, VertexId v, int32_t spider_id,
     const std::vector<std::vector<VertexId>>& sorted_images,
-    bool* support_preserved) {
-  ++stats_->extend_calls;
+    bool* support_preserved) const {
+  ++ls->stats.extend_calls;
   const Spider& spider = index_->spider(spider_id);
-  const GrowthPattern& base = rs->pool[base_idx];
+  const GrowthPattern& base = ls->pool[base_idx];
 
   const std::vector<LeafKey> np_labels =
       PatternNeighborKeys(base.pattern, v);
@@ -299,7 +411,7 @@ bool GrowthEngine::TryExtend(
         });
     if (emitted_for_anchor) anchors_used.push_back(gv);
   }
-  if (cap_hit) ++stats_->embedding_cap_hits;
+  if (cap_hit) ++ls->stats.embedding_cap_hits;
   if (static_cast<int64_t>(q.embeddings.size()) < config_->min_support &&
       config_->support_measure != SupportMeasureKind::kTransaction) {
     return false;
@@ -309,7 +421,7 @@ bool GrowthEngine::TryExtend(
   if (q.support < config_->min_support) return false;
   if (q.support == base.support) *support_preserved = true;
 
-  ++stats_->growth_steps;
+  ++ls->stats.growth_steps;
   // Incremental spider-set maintenance (paper Sec. 4.2.2: "update those
   // spiders whose heads are within distance r to the common boundary"):
   // only pre-existing vertices within distance r of the extension site v
@@ -325,19 +437,17 @@ bool GrowthEngine::TryExtend(
         base.spider_set.Updated(q.pattern, config_->spider_radius, changed);
   }
 
-  int64_t dup = FindDuplicate(rs, q);
+  int64_t dup = FindDuplicateIn(ls->pool, ls->dedup, q,
+                                &ls->stats.iso_checks_skipped,
+                                &ls->stats.iso_checks_run);
   if (dup >= 0) {
     // Redundant generation (SpiderSetCheck hit): fold the new embeddings
-    // into the existing pattern instead of duplicating it.
-    GrowthPattern& other = rs->pool[dup];
-    for (Embedding& e : q.embeddings) {
-      if (static_cast<int64_t>(other.embeddings.size()) >=
-          config_->max_embeddings_per_pattern) {
-        break;
-      }
-      other.embeddings.push_back(std::move(e));
-    }
-    DedupEmbeddingsByImage(&other.embeddings);
+    // into the existing pattern instead of duplicating it. Support is
+    // recomputed eagerly: the lineage may extend `other` later and its
+    // closedness checks compare against the up-to-date value.
+    GrowthPattern& other = ls->pool[dup];
+    FoldEmbeddings(&other, std::move(q.embeddings),
+                   config_->max_embeddings_per_pattern);
     other.support = Support(other);
     other.merged_ever |= base.merged_ever;
     return false;
@@ -348,30 +458,118 @@ bool GrowthEngine::TryExtend(
   q.next_boundary = base.next_boundary;
   for (VertexId nv : new_vertices) q.next_boundary.push_back(nv);
   q.merged_ever = base.merged_ever;
-  q.id = next_id_++;
-  int64_t idx = rs->Admit(std::move(q));
-  rs->queue.push_back(idx);
-  rs->any_growth = true;
+  int64_t idx = ls->Admit(std::move(q));
+  ls->queue.push_back(idx);
+  ls->any_growth = true;
 
   // Register spider usage for merge detection (Algorithm 4's buffers).
   std::sort(anchors_used.begin(), anchors_used.end());
   anchors_used.erase(std::unique(anchors_used.begin(), anchors_used.end()),
                      anchors_used.end());
   for (VertexId a : anchors_used) {
-    rs->registry[MergeKey(spider_id, a)].push_back(rs->pool[idx].id);
+    ls->registry[MergeKey(spider_id, a)].push_back(idx);
   }
   return true;
 }
 
+void GrowthEngine::ExpandLineage(GrowthPattern input, Lineage* ls,
+                                 int64_t pattern_cap) const {
+  int64_t seed_idx = ls->Admit(std::move(input));
+  ls->queue.push_back(seed_idx);
+
+  while (!ls->queue.empty()) {
+    if (Cancelled()) {
+      // Budget exhausted mid-round: stop extending; patterns discovered so
+      // far are finalized as-is by the coordinator.
+      ls->truncated = true;
+      break;
+    }
+    int64_t idx = ls->queue.front();
+    ls->queue.pop_front();
+    if (ls->dead[idx]) continue;
+    // NOTE: deque storage keeps references stable across Admit().
+    GrowthPattern& cur = ls->pool[idx];
+    if (cur.cursor >= cur.boundary.size()) continue;  // finished this round
+    if (cur.exhausted) continue;
+    const VertexId v = cur.boundary[cur.cursor];
+
+    // ---- Candidate spiders at v (paper's Spider(v)): spiders anchored at
+    // an image of v, with matching head label, covering N_P(v) and adding
+    // at least one new leaf.
+    std::vector<int32_t> candidates;
+    {
+      const LabelId label_v = cur.pattern.Label(v);
+      const std::vector<LeafKey> np_labels =
+          PatternNeighborKeys(cur.pattern, v);
+      std::unordered_set<VertexId> images;
+      for (const Embedding& e : cur.embeddings) images.insert(e[v]);
+      std::unordered_set<int32_t> spider_ids;
+      for (VertexId gv : images) {
+        for (int32_t sid : index_->SpidersAt(gv)) spider_ids.insert(sid);
+      }
+      for (int32_t sid : spider_ids) {
+        const Spider& s = index_->spider(sid);
+        if (config_->use_closed_spiders_only && !s.closed) continue;
+        if (s.pattern.Label(0) != label_v) continue;
+        const std::vector<LeafKey> leaves = s.LeafKeys();
+        if (leaves.size() <= np_labels.size()) continue;
+        if (!MultisetContains(leaves, np_labels)) continue;
+        candidates.push_back(sid);
+      }
+      std::sort(candidates.begin(), candidates.end());
+    }
+
+    // Hoist per-embedding sorted images across all candidate spiders.
+    std::vector<std::vector<VertexId>> sorted_images;
+    if (!candidates.empty()) {
+      sorted_images.reserve(cur.embeddings.size());
+      for (const Embedding& e : cur.embeddings) {
+        sorted_images.push_back(SortedImage(e));
+      }
+    }
+
+    bool support_preserved = false;
+    for (int32_t sid : candidates) {
+      if (static_cast<int64_t>(ls->pool.size()) >= pattern_cap) {
+        ls->truncated = true;
+        ++ls->stats.pattern_cap_hits;
+        break;
+      }
+      if (Cancelled()) {
+        ls->truncated = true;
+        break;
+      }
+      TryExtend(ls, idx, v, sid, sorted_images, &support_preserved);
+    }
+
+    GrowthPattern& cur2 = ls->pool[idx];  // re-take (paranoia; deque-stable)
+    if (support_preserved) {
+      // Non-closed: some extension kept every occurrence (Algorithm 2
+      // line 22-23); drop the sub-pattern.
+      ls->dead[idx] = 1;
+      ++ls->stats.nonclosed_dropped;
+      continue;
+    }
+    ++cur2.cursor;
+    ls->queue.push_back(idx);
+  }
+}
+
 void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
   // Gather candidate pattern-id pairs per colliding key, current round
-  // first, then cross previous round (Buf_cur x Buf_pre).
-  for (auto& [key, ids] : rs->registry) {
-    if (deadline_ != nullptr && deadline_->Expired()) {
+  // first, then cross previous round (Buf_cur x Buf_pre). Keys are visited
+  // in sorted order so the merge sequence is independent of hash-map
+  // layout (and therefore of how the registry was assembled).
+  std::vector<uint64_t> keys;
+  keys.reserve(rs->registry.size());
+  for (const auto& [key, ids] : rs->registry) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
+    if (Cancelled()) {
       rs->truncated = true;
       break;
     }
-    std::vector<int64_t> all_ids = ids;
+    std::vector<int64_t> all_ids = rs->registry[key];
     if (previous != nullptr) {
       auto it = previous->find(key);
       if (it != previous->end()) {
@@ -461,10 +659,10 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
             up.AddVertex(graph_->Label(verts[t]));
           }
           for (const auto& [pu, pv] : a.pattern.Edges()) {
-            up.AddEdge(pos[e1[pu]], pos[e1[pv]]);
+            up.AddEdge(pos[e1[pu]], pos[e1[pv]], a.pattern.EdgeLabel(pu, pv));
           }
           for (const auto& [pu, pv] : b.pattern.Edges()) {
-            up.AddEdge(pos[e2[pu]], pos[e2[pv]]);
+            up.AddEdge(pos[e2[pu]], pos[e2[pv]], b.pattern.EdgeLabel(pu, pv));
           }
           Embedding ue(verts.begin(), verts.end());
           SpiderSetRepr repr =
@@ -520,18 +718,14 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
           merged.next_boundary = std::move(g.boundary);
           merged.merged_ever = true;
           merged.id = next_id_++;
-          int64_t dup = FindDuplicate(rs, merged);
+          int64_t dup = FindDuplicateIn(rs->pool, rs->dedup, merged,
+                                        &stats_->iso_checks_skipped,
+                                        &stats_->iso_checks_run);
           if (dup >= 0) {
             GrowthPattern& other = rs->pool[dup];
             other.merged_ever = true;  // it is now a merge product
-            for (Embedding& e : merged.embeddings) {
-              if (static_cast<int64_t>(other.embeddings.size()) >=
-                  config_->max_embeddings_per_pattern) {
-                break;
-              }
-              other.embeddings.push_back(std::move(e));
-            }
-            DedupEmbeddingsByImage(&other.embeddings);
+            FoldEmbeddings(&other, std::move(merged.embeddings),
+                           config_->max_embeddings_per_pattern);
             other.support = Support(other);
             continue;
           }
@@ -547,90 +741,136 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
 GrowRoundResult GrowthEngine::GrowRound(std::vector<GrowthPattern> input,
                                         bool enable_merging,
                                         MergeRegistry* previous) {
-  RoundState rs;
+  const int64_t n = static_cast<int64_t>(input.size());
   for (GrowthPattern& gp : input) {
     gp.cursor = 0;
     gp.next_boundary.clear();
-    int64_t idx = rs.Admit(std::move(gp));
-    rs.queue.push_back(idx);
   }
 
-  while (!rs.queue.empty()) {
-    if (deadline_ != nullptr && deadline_->Expired()) {
-      // Budget exhausted mid-round: stop extending; remaining patterns are
-      // finalized as-is below.
-      rs.truncated = true;
-      break;
+  // ---- Parallel phase: expand each input's lineage into its own slot.
+  // A lineage's output depends only on its input and the shared read-only
+  // graph/index/config, never on scheduling.
+  std::vector<Lineage> lineages(static_cast<size_t>(n));
+  // Split the round's pattern budget across lineages. The floor lets a
+  // crowded round still grow each lineage a little, which means the
+  // transient worst case is floor * n patterns rather than exactly
+  // max_patterns_per_round (the coordinator's pass 2 re-imposes the
+  // global budget on what survives). The split depends only on the input
+  // count, so it is identical at any thread count.
+  constexpr int64_t kLineageCapFloor = 16;
+  const int64_t lineage_cap = std::max<int64_t>(
+      std::min<int64_t>(config_->max_patterns_per_round, kLineageCapFloor),
+      n > 0 ? config_->max_patterns_per_round / n
+            : config_->max_patterns_per_round);
+  auto expand = [this, &input, &lineages, lineage_cap](int64_t begin,
+                                                       int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      ExpandLineage(std::move(input[static_cast<size_t>(i)]),
+                    &lineages[static_cast<size_t>(i)], lineage_cap);
     }
-    int64_t idx = rs.queue.front();
-    rs.queue.pop_front();
-    if (rs.dead[idx]) continue;
-    // NOTE: deque storage keeps references stable across Admit().
-    GrowthPattern& cur = rs.pool[idx];
-    if (cur.cursor >= cur.boundary.size()) continue;  // finished this round
-    if (cur.exhausted) continue;
-    const VertexId v = cur.boundary[cur.cursor];
-
-    // ---- Candidate spiders at v (paper's Spider(v)): spiders anchored at
-    // an image of v, with matching head label, covering N_P(v) and adding
-    // at least one new leaf.
-    std::vector<int32_t> candidates;
-    {
-      const LabelId label_v = cur.pattern.Label(v);
-      const std::vector<LeafKey> np_labels =
-          PatternNeighborKeys(cur.pattern, v);
-      std::unordered_set<VertexId> images;
-      for (const Embedding& e : cur.embeddings) images.insert(e[v]);
-      std::unordered_set<int32_t> spider_ids;
-      for (VertexId gv : images) {
-        for (int32_t sid : index_->SpidersAt(gv)) spider_ids.insert(sid);
-      }
-      for (int32_t sid : spider_ids) {
-        const Spider& s = index_->spider(sid);
-        if (config_->use_closed_spiders_only && !s.closed) continue;
-        if (s.pattern.Label(0) != label_v) continue;
-        const std::vector<LeafKey> leaves = s.LeafKeys();
-        if (leaves.size() <= np_labels.size()) continue;
-        if (!MultisetContains(leaves, np_labels)) continue;
-        candidates.push_back(sid);
-      }
-      std::sort(candidates.begin(), candidates.end());
+  };
+  if (pool_ != nullptr && n > 1) {
+    // Grain 1: lineage costs are heavily skewed.
+    pool_->ParallelForChunks(n, /*grain=*/1, expand, token_);
+  } else {
+    expand(0, n);
+  }
+  // Cancellation may skip whole lineages; re-admit their untouched inputs
+  // so no in-flight pattern is lost mid-budget.
+  for (int64_t i = 0; i < n; ++i) {
+    Lineage& ls = lineages[static_cast<size_t>(i)];
+    if (ls.pool.empty()) {
+      ls.Admit(std::move(input[static_cast<size_t>(i)]));
+      ls.truncated = true;
     }
+  }
 
-    // Hoist per-embedding sorted images across all candidate spiders.
-    std::vector<std::vector<VertexId>> sorted_images;
-    if (!candidates.empty()) {
-      sorted_images.reserve(cur.embeddings.size());
-      for (const Embedding& e : cur.embeddings) {
-        sorted_images.push_back(SortedImage(e));
+  // ---- Serial coordinator: everything below runs in input order and is
+  // therefore identical at any thread count.
+  RoundState rs;
+  for (int64_t i = 0; i < n; ++i) {
+    Lineage& ls = lineages[static_cast<size_t>(i)];
+    ls.stats.FoldInto(stats_);
+    rs.any_growth |= ls.any_growth;
+    rs.truncated |= ls.truncated;
+  }
+
+  // Pass 1: admit every lineage's input (pool[0]) unconditionally, as the
+  // serial algorithm admits all round inputs before extending.
+  std::vector<std::vector<int64_t>> global_of(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Lineage& ls = lineages[static_cast<size_t>(i)];
+    global_of[static_cast<size_t>(i)].assign(ls.pool.size(), -1);
+    char input_dead = ls.dead[0];
+    int64_t idx = rs.Admit(std::move(ls.pool[0]));
+    rs.dead[idx] = input_dead;
+    global_of[static_cast<size_t>(i)][0] = idx;
+  }
+
+  // Pass 2: fold lineage extensions across lineages. A child duplicating an
+  // already-admitted pattern contributes its embeddings to it (the serial
+  // SpiderSetCheck semantics); otherwise it is admitted with a fresh id.
+  // Fold targets get their support recomputed once, after all folds.
+  std::vector<int64_t> support_dirty;
+  for (int64_t i = 0; i < n; ++i) {
+    Lineage& ls = lineages[static_cast<size_t>(i)];
+    for (size_t c = 1; c < ls.pool.size(); ++c) {
+      GrowthPattern child = std::move(ls.pool[c]);
+      int64_t dup = FindDuplicateIn(rs.pool, rs.dedup, child,
+                                    &stats_->iso_checks_skipped,
+                                    &stats_->iso_checks_run);
+      if (dup >= 0) {
+        GrowthPattern& other = rs.pool[dup];
+        FoldEmbeddings(&other, std::move(child.embeddings),
+                       config_->max_embeddings_per_pattern);
+        support_dirty.push_back(dup);
+        other.merged_ever |= child.merged_ever;
+        // A non-closed verdict from any lineage applies to the shared
+        // pattern (Algorithm 2's closedness drop must survive the fold).
+        rs.dead[dup] = rs.dead[dup] || ls.dead[c];
+        global_of[static_cast<size_t>(i)][c] = dup;
+        continue;
       }
-    }
-
-    bool support_preserved = false;
-    for (int32_t sid : candidates) {
       if (static_cast<int64_t>(rs.pool.size()) >=
           config_->max_patterns_per_round) {
+        // Global budget exhausted: this lineage's remaining children are
+        // (transitive) extensions of what was just dropped, so skip them
+        // wholesale; one cap hit per lineage keeps the counter readable.
         rs.truncated = true;
         ++stats_->pattern_cap_hits;
         break;
       }
-      if (deadline_ != nullptr && deadline_->Expired()) {
-        rs.truncated = true;
-        break;
-      }
-      TryExtend(&rs, idx, v, sid, sorted_images, &support_preserved);
+      child.id = next_id_++;
+      int64_t idx = rs.Admit(std::move(child));
+      rs.dead[idx] = ls.dead[c];
+      global_of[static_cast<size_t>(i)][c] = idx;
     }
+  }
+  // Recompute each fold target's support once, over its final embedding
+  // list (the value depends only on that list, so batching changes cost,
+  // not results). Must precede RunMerges/output, which read supports.
+  std::sort(support_dirty.begin(), support_dirty.end());
+  support_dirty.erase(std::unique(support_dirty.begin(), support_dirty.end()),
+                      support_dirty.end());
+  for (int64_t idx : support_dirty) {
+    rs.pool[idx].support = Support(rs.pool[idx]);
+  }
 
-    GrowthPattern& cur2 = rs.pool[idx];  // re-take (paranoia; deque-stable)
-    if (support_preserved) {
-      // Non-closed: some extension kept every occurrence (Algorithm 2
-      // line 22-23); drop the sub-pattern.
-      rs.dead[idx] = 1;
-      ++stats_->nonclosed_dropped;
-      continue;
+  // Registry remap: lineage-local pool indices -> global pattern ids, keys
+  // visited in sorted order so the global registry content is stable.
+  for (int64_t i = 0; i < n; ++i) {
+    Lineage& ls = lineages[static_cast<size_t>(i)];
+    std::vector<uint64_t> keys;
+    keys.reserve(ls.registry.size());
+    for (const auto& [key, idxs] : ls.registry) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t key : keys) {
+      for (int64_t lidx : ls.registry[key]) {
+        int64_t g = global_of[static_cast<size_t>(i)][lidx];
+        if (g < 0) continue;
+        rs.registry[key].push_back(rs.pool[g].id);
+      }
     }
-    ++cur2.cursor;
-    rs.queue.push_back(idx);
   }
 
   if (enable_merging) RunMerges(&rs, previous);

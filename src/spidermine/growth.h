@@ -5,7 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "graph/labeled_graph.h"
 #include "pattern/embedding.h"
@@ -18,6 +18,14 @@
 /// The SpiderGrow / SpiderExtend / CheckMerge machinery (paper Algorithms
 /// 2-4). A growth round expands every in-flight pattern by one spider layer
 /// (radius +r), detecting merges through shared spider anchors.
+///
+/// Parallel execution model: each input pattern's intra-round expansion (a
+/// "lineage") is independent of every other lineage, so lineages run on
+/// ThreadPool workers, each writing into its own pre-sized slot with its own
+/// stat counters. The coordinating thread then folds lineages in input
+/// order -- cross-lineage dedup, id assignment, registry remap, and the
+/// CheckMerge pass all happen serially in a stable order -- so the round's
+/// output is identical at any thread count.
 
 namespace spidermine {
 
@@ -42,7 +50,8 @@ struct GrowthPattern {
   bool merged_ever = false;
   /// Spider-set representation for the isomorphism filter.
   SpiderSetRepr spider_set;
-  /// Unique id for merge bookkeeping.
+  /// Unique id for merge bookkeeping (assigned by the coordinating thread
+  /// in a deterministic order).
   int64_t id = 0;
   /// True once the pattern failed to grow in a full round (Stage III
   /// fixpoint detection).
@@ -54,7 +63,8 @@ struct GrowRoundResult {
   std::vector<GrowthPattern> patterns;
   /// True when at least one extension or merge happened.
   bool any_growth = false;
-  /// True when max_patterns_per_round suppressed extensions.
+  /// True when max_patterns_per_round or cancellation suppressed
+  /// extensions.
   bool truncated = false;
 };
 
@@ -68,14 +78,25 @@ class GrowthEngine {
  public:
   /// All references are borrowed and must outlive the engine. A non-null
   /// \p deadline is polled inside rounds so the configured time budget
-  /// bounds even a single expensive round.
+  /// bounds even a single expensive round. A non-null \p pool parallelizes
+  /// seeding and per-lineage round expansion (results stay identical at any
+  /// thread count); \p token adds cooperative mid-round cancellation on the
+  /// workers.
   GrowthEngine(const LabeledGraph* graph, const SpiderIndex* index,
-               const MineConfig* config, MineStats* stats, Rng* rng,
-               const Deadline* deadline = nullptr);
+               const MineConfig* config, MineStats* stats,
+               const Deadline* deadline = nullptr, ThreadPool* pool = nullptr,
+               const CancellationToken* token = nullptr);
 
   /// Builds the initial GrowthPattern for a seed spider (embeddings
   /// enumerated per anchor, boundary = outermost layer).
   GrowthPattern SeedFromSpider(const Spider& spider);
+
+  /// Builds seeds for every spider in \p picks, in order, fanning the
+  /// per-spider embedding enumeration out over the pool. Equivalent to
+  /// calling SeedFromSpider on each pick in sequence (same ids, same
+  /// stats), but parallel.
+  std::vector<GrowthPattern> SeedPatterns(
+      const std::vector<const Spider*>& picks);
 
   /// One SpiderGrow round over \p input: every pattern is extended at every
   /// boundary vertex with every compatible spider (paper Algorithm 2), with
@@ -90,30 +111,43 @@ class GrowthEngine {
 
  private:
   struct RoundState;
+  struct Lineage;
+  struct LocalStats;
 
-  /// SpiderExtend (Algorithm 3): extends \p base at boundary vertex \p v
-  /// with spider \p spider_id. \p sorted_images caches SortedImage() of the
-  /// base embeddings (hoisted across candidate spiders). Returns false when
-  /// the extension is infrequent or impossible; on success appends to the
-  /// round state.
-  bool TryExtend(RoundState* rs, int64_t base_idx, VertexId v,
+  /// True once the bound token or deadline requests a stop.
+  bool Cancelled() const;
+
+  /// Seed construction with stats written to \p local (worker-safe; no
+  /// shared-state writes).
+  GrowthPattern BuildSeed(const Spider& spider, LocalStats* local) const;
+
+  /// Runs the full intra-round expansion of one input pattern into \p ls,
+  /// admitting at most \p pattern_cap patterns (the round's global
+  /// max_patterns_per_round budget divided across lineages). Worker-safe:
+  /// touches only \p ls and shared read-only state.
+  void ExpandLineage(GrowthPattern input, Lineage* ls,
+                     int64_t pattern_cap) const;
+
+  /// SpiderExtend (Algorithm 3): extends \p ls->pool[base_idx] at boundary
+  /// vertex \p v with spider \p spider_id. \p sorted_images caches
+  /// SortedImage() of the base embeddings (hoisted across candidate
+  /// spiders). Returns false when the extension is infrequent or
+  /// impossible; on success appends to the lineage.
+  bool TryExtend(Lineage* ls, int64_t base_idx, VertexId v,
                  int32_t spider_id,
                  const std::vector<std::vector<VertexId>>& sorted_images,
-                 bool* support_preserved);
+                 bool* support_preserved) const;
 
-  /// Spider-set dedup (SpiderSetCheck): returns the pool index of an
-  /// isomorphic existing pattern or -1.
-  int64_t FindDuplicate(RoundState* rs, const GrowthPattern& candidate);
-
-  /// Runs CheckMerge for all colliding registry keys.
+  /// Runs CheckMerge for all colliding registry keys (coordinator only).
   void RunMerges(RoundState* rs, MergeRegistry* previous);
 
   const LabeledGraph* graph_;
   const SpiderIndex* index_;
   const MineConfig* config_;
   MineStats* stats_;
-  Rng* rng_;
   const Deadline* deadline_;
+  ThreadPool* pool_;
+  const CancellationToken* token_;
   int64_t next_id_ = 1;
 };
 

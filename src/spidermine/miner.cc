@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "pattern/spider_set.h"
 #include "pattern/vf2.h"
@@ -89,6 +90,12 @@ class ResultCollector {
   std::unordered_map<uint64_t, std::vector<int64_t>> buckets_;
 };
 
+/// Stride between per-run RNG substream seeds. Runs must not share a
+/// stream: with a shared stream the amount of randomness run r consumes
+/// would depend on earlier runs' control flow, while independent substreams
+/// keep every run's draws fixed regardless of scheduling or truncation.
+constexpr uint64_t kRunSeedStride = 0x9e3779b97f4a7c15ULL;  // 2^64 / phi
+
 }  // namespace
 
 SpiderMiner::SpiderMiner(const LabeledGraph* graph, MineConfig config)
@@ -113,12 +120,19 @@ Result<MineResult> SpiderMiner::Mine() {
     return Status::InvalidArgument(
         "transaction support requires txn_of_vertex");
   }
+  if (config_.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
 
   MineResult result;
   MineStats& stats = result.stats;
   WallTimer total_timer;
   Deadline deadline(config_.time_budget_seconds);
-  Rng rng(config_.rng_seed);
+  // Every stage shares one pool and one deadline-bound token: expiry stops
+  // workers mid-stage, not just between rounds.
+  ThreadPool pool(config_.num_threads > 0 ? config_.num_threads
+                                          : ThreadPool::DefaultThreads());
+  CancellationToken cancel(&deadline);
 
   // ---------------- Stage I: mine all spiders. ----------------
   WallTimer stage_timer;
@@ -127,7 +141,7 @@ Result<MineResult> SpiderMiner::Mine() {
   star_config.max_leaves = config_.max_star_leaves;
   star_config.max_spiders = config_.max_spiders;
   SM_ASSIGN_OR_RETURN(StarMineResult stars,
-                      MineStarSpiders(*graph_, star_config));
+                      MineStarSpiders(*graph_, star_config, &pool, &cancel));
   stats.num_spiders = static_cast<int64_t>(stars.spiders.size());
   stats.stage1_steps = stars.extension_attempts;
   for (const Spider& s : stars.spiders) {
@@ -158,27 +172,37 @@ Result<MineResult> SpiderMiner::Mine() {
   }
   stats.seed_count_m = m;
 
-  GrowthEngine engine(graph_, &index, &config_, &stats, &rng, &deadline);
+  GrowthEngine engine(graph_, &index, &config_, &stats, &deadline, &pool,
+                      &cancel);
   ResultCollector collector(&config_, &stats);
 
   const int32_t total_runs = std::max(1, config_.restarts);
   for (int32_t run = 0; run < total_runs; ++run) {
-    if (deadline.Expired()) {
+    if (cancel.IsCancelled()) {
       stats.timed_out = true;
       break;
     }
     // ---------------- Stage II: identify large patterns. ----------------
     stage_timer.Restart();
     // RandomSeed: draw M spiders uniformly without replacement. Each run
-    // consumes fresh randomness from the shared stream.
+    // draws from its own substream (rng_seed xor run * stride), so the
+    // draws of run r never depend on how much randomness earlier runs
+    // consumed -- a prerequisite for deterministic parallel execution.
+    Rng run_rng(config_.rng_seed ^
+                (kRunSeedStride * static_cast<uint64_t>(run)));
     std::vector<GrowthPattern> working;
     {
       size_t draw = std::min<size_t>(static_cast<size_t>(m),
                                      stars.spiders.size());
       std::vector<size_t> picks =
-          rng.SampleWithoutReplacement(stars.spiders.size(), draw);
-      for (size_t pick : picks) {
-        GrowthPattern seed = engine.SeedFromSpider(stars.spiders[pick]);
+          run_rng.SampleWithoutReplacement(stars.spiders.size(), draw);
+      std::vector<const Spider*> pick_ptrs;
+      pick_ptrs.reserve(picks.size());
+      for (size_t pick : picks) pick_ptrs.push_back(&stars.spiders[pick]);
+      // Seed construction (per-anchor embedding enumeration) fans out over
+      // the pool; ids and stats are assigned in pick order.
+      std::vector<GrowthPattern> seeds = engine.SeedPatterns(pick_ptrs);
+      for (GrowthPattern& seed : seeds) {
         if (seed.embeddings.empty()) continue;
         working.push_back(std::move(seed));
       }
@@ -188,7 +212,7 @@ Result<MineResult> SpiderMiner::Mine() {
     const int32_t iterations =
         std::max(1, config_.dmax / (2 * config_.spider_radius));
     for (int32_t iter = 0; iter < iterations; ++iter) {
-      if (deadline.Expired()) {
+      if (cancel.IsCancelled()) {
         stats.timed_out = true;
         break;
       }
@@ -231,7 +255,7 @@ Result<MineResult> SpiderMiner::Mine() {
 
     for (int32_t round = 0; round < config_.stage3_max_rounds; ++round) {
       if (working.empty()) break;
-      if (deadline.Expired()) {
+      if (cancel.IsCancelled()) {
         stats.timed_out = true;
         break;
       }
@@ -256,33 +280,46 @@ Result<MineResult> SpiderMiner::Mine() {
   // the star-based growth could not add, then re-deduplicate (closure can
   // make previously distinct patterns isomorphic).
   if (config_.close_internal_edges) {
-    SupportContext support_context;
-    support_context.txn_of_vertex = config_.txn_of_vertex;
     const int64_t window =
         config_.closure_window > 0
             ? config_.closure_window
             : std::max<int64_t>(64, 8LL * config_.k);
     const size_t limit =
         std::min(all.size(), static_cast<size_t>(window));
+    // Per-pattern closure is independent: fan out over the pool, each
+    // iteration touching only all[i] and its own edges-added slot.
+    std::vector<int32_t> edges_added(limit, 0);
+    pool.ParallelForChunks(
+        static_cast<int64_t>(limit), /*grain=*/1,
+        [this, &all, &edges_added](int64_t begin, int64_t end) {
+          SupportContext support_context;
+          support_context.txn_of_vertex = config_.txn_of_vertex;
+          for (int64_t i = begin; i < end; ++i) {
+            MinedPattern& mp = all[static_cast<size_t>(i)];
+            // Growth tracks only the embeddings reachable along its own
+            // path (an occurrence list), which under-counts the surviving
+            // support of a candidate closure edge. Re-enumerate the full
+            // E[P] first.
+            Vf2Options vf2_options;
+            vf2_options.max_embeddings = config_.max_embeddings_per_pattern;
+            std::vector<Embedding> full =
+                FindEmbeddings(mp.pattern, *graph_, vf2_options);
+            if (!full.empty()) {
+              DedupEmbeddingsByImage(&full);
+              mp.embeddings = std::move(full);
+              mp.support = ComputeSupport(config_.support_measure,
+                                          mp.pattern, mp.embeddings,
+                                          support_context);
+            }
+            edges_added[static_cast<size_t>(i)] = CloseInternalEdges(
+                *graph_, &mp.pattern, &mp.embeddings,
+                config_.support_measure, config_.min_support, &mp.support,
+                support_context);
+          }
+        },
+        &cancel);
     for (size_t i = 0; i < limit; ++i) {
-      MinedPattern& mp = all[i];
-      // Growth tracks only the embeddings reachable along its own path (an
-      // occurrence list), which under-counts the surviving support of a
-      // candidate closure edge. Re-enumerate the full E[P] first.
-      Vf2Options vf2_options;
-      vf2_options.max_embeddings = config_.max_embeddings_per_pattern;
-      std::vector<Embedding> full =
-          FindEmbeddings(mp.pattern, *graph_, vf2_options);
-      if (!full.empty()) {
-        DedupEmbeddingsByImage(&full);
-        mp.embeddings = std::move(full);
-        mp.support = ComputeSupport(config_.support_measure, mp.pattern,
-                                    mp.embeddings, support_context);
-      }
-      const int32_t added = CloseInternalEdges(
-          *graph_, &mp.pattern, &mp.embeddings, config_.support_measure,
-          config_.min_support, &mp.support, support_context);
-      stats.closure_edges_added += added;
+      stats.closure_edges_added += edges_added[i];
     }
     if (stats.closure_edges_added > 0) {
       std::sort(all.begin(), all.end(), LargerPattern);
@@ -322,6 +359,11 @@ Result<MineResult> SpiderMiner::Mine() {
     all.resize(static_cast<size_t>(config_.k));
   }
   result.patterns = std::move(all);
+  // The token may have tripped inside a stage (star shards, lineages,
+  // closure) without any between-round check observing it.
+  if (config_.time_budget_seconds > 0 && cancel.IsCancelled()) {
+    stats.timed_out = true;
+  }
   stats.total_seconds = total_timer.ElapsedSeconds();
   Log(LogLevel::kInfo,
       StrCat("SpiderMine: ", stats.num_spiders, " spiders, M=",

@@ -24,7 +24,6 @@ struct Fixture {
   StarMineResult stars;
   MineConfig config;
   MineStats stats;
-  Rng rng{123};
   std::unique_ptr<SpiderIndex> index;
   std::unique_ptr<GrowthEngine> engine;
 
@@ -37,7 +36,7 @@ struct Fixture {
     index = std::make_unique<SpiderIndex>(&stars.spiders,
                                           graph.NumVertices());
     engine = std::make_unique<GrowthEngine>(&graph, index.get(), &config,
-                                            &stats, &rng);
+                                            &stats);
   }
 
   const Spider* FindStar(LabelId head, std::vector<LabelId> leaves) const {

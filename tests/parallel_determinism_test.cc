@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+#include "pattern/dfs_code.h"
+#include "spidermine/miner.h"
+
+/// End-to-end determinism of the parallel pipeline: the mined pattern set,
+/// supports and ordering must be byte-identical for any thread count with
+/// the same rng_seed. Every cross-thread fold in the pipeline happens on
+/// the coordinating thread in a stable order, so these tests protect the
+/// core contract of the parallel refactor.
+
+namespace spidermine {
+namespace {
+
+/// A canonical transcript of a mine result: per-pattern minimum DFS code +
+/// support + embedding count, in result order. Two runs with identical
+/// transcripts returned the same patterns, supports and ordering.
+std::string Transcript(const MineResult& result) {
+  std::string out;
+  for (const MinedPattern& p : result.patterns) {
+    out += StrCat("V=", p.NumVertices(), " E=", p.NumEdges(),
+                  " sup=", p.support, " emb=", p.embeddings.size(), " ",
+                  DfsCodeToString(MinimumDfsCode(p.pattern)), "\n");
+  }
+  return out;
+}
+
+LabeledGraph ErGraphWithInjection(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder = GenerateErdosRenyi(200, 2.2, 14, &rng);
+  Pattern planted = RandomConnectedPattern(10, 0.15, 14, &rng);
+  PatternInjector injector(&builder);
+  EXPECT_TRUE(injector.Inject(planted, 3, &rng).ok());
+  return std::move(builder.Build()).value();
+}
+
+LabeledGraph ScaleFreeGraphWithInjection(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder = GenerateBarabasiAlbert(200, 2, 12, &rng);
+  Pattern planted = RandomConnectedPattern(8, 0.2, 12, &rng);
+  PatternInjector injector(&builder);
+  EXPECT_TRUE(injector.Inject(planted, 3, &rng).ok());
+  return std::move(builder.Build()).value();
+}
+
+/// Small caps keep each Mine() run to well under a second while still
+/// exercising every parallel stage (shards, seeding, lineages, merges,
+/// closure); determinism is about folds, not workload size.
+MineConfig BaseConfig() {
+  MineConfig config;
+  config.min_support = 3;
+  config.k = 10;
+  config.dmax = 4;
+  config.vmin = 8;
+  config.rng_seed = 7;
+  config.seed_count_override = 12;
+  config.max_patterns_per_round = 600;
+  config.max_embeddings_per_pattern = 1000;
+  return config;
+}
+
+void ExpectIdenticalAcrossThreadCounts(const LabeledGraph& g,
+                                       MineConfig config) {
+  config.num_threads = 1;
+  Result<MineResult> serial = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  const std::string reference = Transcript(*serial);
+  EXPECT_FALSE(serial->patterns.empty());
+  // The workload must exercise the parallel stages, not vacuously agree.
+  EXPECT_GT(serial->stats.num_spiders, 0);
+  EXPECT_GT(serial->stats.growth_steps, 0);
+  for (int32_t threads : {2, 8}) {
+    config.num_threads = threads;
+    Result<MineResult> parallel = SpiderMiner(&g, config).Mine();
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(Transcript(*parallel), reference)
+        << "results diverged at num_threads=" << threads;
+    // Work counters fold in input order, so they must match too.
+    EXPECT_EQ(parallel->stats.growth_steps, serial->stats.growth_steps);
+    EXPECT_EQ(parallel->stats.extend_calls, serial->stats.extend_calls);
+    EXPECT_EQ(parallel->stats.merges, serial->stats.merges);
+    EXPECT_EQ(parallel->stats.num_spiders, serial->stats.num_spiders);
+  }
+}
+
+TEST(ParallelDeterminismTest, ErdosRenyiTopKIdenticalAtAnyThreadCount) {
+  LabeledGraph g = ErGraphWithInjection(101);
+  ExpectIdenticalAcrossThreadCounts(g, BaseConfig());
+}
+
+TEST(ParallelDeterminismTest, ScaleFreeTopKIdenticalAtAnyThreadCount) {
+  LabeledGraph g = ScaleFreeGraphWithInjection(202);
+  MineConfig config = BaseConfig();
+  config.dmax = 4;
+  ExpectIdenticalAcrossThreadCounts(g, config);
+}
+
+TEST(ParallelDeterminismTest, RestartsUseIndependentSubstreams) {
+  LabeledGraph g = ErGraphWithInjection(303);
+  MineConfig config = BaseConfig();
+  config.restarts = 3;
+  config.seed_count_override = 4;
+  ExpectIdenticalAcrossThreadCounts(g, config);
+}
+
+TEST(ParallelDeterminismTest, ZeroThreadsMeansHardwareDefault) {
+  LabeledGraph g = ErGraphWithInjection(404);
+  MineConfig config = BaseConfig();
+  config.num_threads = 1;
+  Result<MineResult> serial = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(serial.ok());
+  config.num_threads = 0;  // all cores
+  Result<MineResult> parallel = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(Transcript(*parallel), Transcript(*serial));
+}
+
+TEST(ParallelDeterminismTest, NegativeThreadCountRejected) {
+  LabeledGraph g = ErGraphWithInjection(505);
+  MineConfig config = BaseConfig();
+  config.num_threads = -2;
+  EXPECT_FALSE(SpiderMiner(&g, config).Mine().ok());
+}
+
+}  // namespace
+}  // namespace spidermine

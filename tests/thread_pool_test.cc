@@ -90,5 +90,79 @@ TEST(ThreadPoolTest, DefaultThreadsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForChunksCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int64_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelForChunks(n, /*grain=*/64, [&hits](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunksGrainBoundsRangeSize) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> max_range{0};
+  pool.ParallelForChunks(1000, /*grain=*/7,
+                         [&max_range](int64_t begin, int64_t end) {
+                           int64_t len = end - begin;
+                           int64_t prev = max_range.load();
+                           while (len > prev &&
+                                  !max_range.compare_exchange_weak(prev, len)) {
+                           }
+                         });
+  EXPECT_LE(max_range.load(), 7);
+  EXPECT_GT(max_range.load(), 0);
+}
+
+TEST(CancellationTokenTest, StartsUncancelledAndLatchesOnRequest) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  token.RequestCancel();
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_TRUE(token.IsCancelled());  // latched
+}
+
+TEST(CancellationTokenTest, TripsWhenBoundDeadlineExpires) {
+  Deadline expired(1e-9);
+  // Spin briefly so the deadline is certainly past.
+  while (!expired.Expired()) {
+  }
+  CancellationToken token(&expired);
+  EXPECT_TRUE(token.IsCancelled());
+
+  Deadline unlimited = Deadline::Unlimited();
+  CancellationToken open(&unlimited);
+  EXPECT_FALSE(open.IsCancelled());
+}
+
+TEST(CancellationTokenTest, CancelledTokenSkipsUnstartedWork) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  token.RequestCancel();
+  std::atomic<int64_t> ran{0};
+  pool.ParallelFor(100000, [&ran](int64_t) { ran.fetch_add(1); }, &token);
+  EXPECT_EQ(ran.load(), 0) << "a pre-cancelled loop must not start";
+}
+
+TEST(CancellationTokenTest, MidLoopCancellationStopsWorkersEarly) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  std::atomic<int64_t> ran{0};
+  const int64_t n = 1 << 20;
+  pool.ParallelForChunks(
+      n, /*grain=*/16,
+      [&ran, &token](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) ran.fetch_add(1);
+        // First chunk to finish pulls the plug on everything else.
+        token.RequestCancel();
+      },
+      &token);
+  EXPECT_GT(ran.load(), 0);
+  EXPECT_LT(ran.load(), n) << "cancellation must skip unstarted chunks";
+}
+
 }  // namespace
 }  // namespace spidermine

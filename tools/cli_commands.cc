@@ -160,6 +160,9 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
       .AddInt("vmin", 0, "minimum large-pattern vertices (0 = |V|/10)")
       .AddInt("seed", 42, "rng seed")
       .AddInt("restarts", 1, "independent stage II+III runs")
+      .AddInt("threads", 1,
+              "worker threads for all stages (0 = all cores); results are "
+              "identical at any value")
       .AddString("measure", "vertex-mis",
                  "support measure: vertex-mis | edge-mis | mni | count")
       .AddDouble("time-budget", 0.0, "wall-clock budget seconds (0 = off)")
@@ -187,6 +190,7 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
   config.vmin = flags.GetInt("vmin");
   config.rng_seed = static_cast<uint64_t>(flags.GetInt("seed"));
   config.restarts = static_cast<int32_t>(flags.GetInt("restarts"));
+  config.num_threads = static_cast<int32_t>(flags.GetInt("threads"));
   config.time_budget_seconds = flags.GetDouble("time-budget");
   config.enforce_dmax_on_results = flags.GetBool("strict-dmax");
   SM_ASSIGN_OR_RETURN(config.support_measure,
