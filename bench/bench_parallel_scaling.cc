@@ -1,23 +1,36 @@
 // Parallel-scaling bench: runs the identical SpiderMine workload at
 // increasing thread counts and emits one JSON object per run with the
-// per-stage wall times and the speedup against the single-thread baseline.
-// The pipeline is deterministic at any thread count, so the runs do the
-// same logical work and the speedup isolates parallelization overhead.
+// per-stage wall times, the speedup against the single-thread baseline,
+// the Stage I spider-store footprint and the process peak RSS. The
+// pipeline is deterministic at any thread count and any Stage I shard
+// grain, so the runs do the same logical work and the speedup isolates
+// parallelization overhead.
 //
 //   $ ./bench_parallel_scaling --vertices=100000 --max-threads=8
 //   {"bench":"parallel_scaling","threads":1,...}
 //   {"bench":"parallel_scaling","threads":2,...}
 //
-// Seeds the BENCH trajectory for the ROADMAP's scaling work: point this at
-// larger graphs as sharding/batching items land.
+// The ROADMAP's multi-million-vertex target runs on a scale-free graph
+// with a Stage I budget, demonstrating the O(max_spiders) global-budget
+// memory bound (vs the old num_labels x max_spiders transient blowup):
+//
+//   $ ./bench_parallel_scaling --model=ba --vertices=2000000 \
+//       --max-spiders=200000 --stage1-only --max-threads=8
+//
+// One ThreadPool per thread count is built up front and reused across the
+// Mine() runs via MineConfig::pool, so repeated runs measure mining, not
+// thread spawning.
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "gen/barabasi_albert.h"
 #include "gen/erdos_renyi.h"
 #include "gen/injection.h"
 #include "gen/pattern_factory.h"
@@ -29,8 +42,10 @@ int Run(int argc, const char* const* argv) {
   using namespace spidermine;
   FlagSet flags("bench_parallel_scaling",
                 "SpiderMine stage timings vs thread count (JSON rows)");
-  flags.AddInt("vertices", 100000, "background graph vertices")
-      .AddDouble("avg-degree", 2.5, "background average degree")
+  flags.AddString("model", "er", "background graph model: er | ba")
+      .AddInt("vertices", 100000, "background graph vertices")
+      .AddDouble("avg-degree", 2.5, "background average degree (er)")
+      .AddInt("ba-edges", 2, "edges per new vertex (ba)")
       .AddInt("labels", 60, "vertex label count")
       .AddInt("inject-vertices", 16, "planted pattern size (0 = none)")
       .AddInt("inject-count", 4, "planted embeddings")
@@ -39,6 +54,10 @@ int Run(int argc, const char* const* argv) {
       .AddInt("dmax", 4, "pattern diameter bound")
       .AddInt("seed", 42, "rng seed (graph and miner)")
       .AddInt("seed-count", 64, "seed spider draw M (0 = paper formula)")
+      .AddInt("max-spiders", 0, "Stage I global spider budget (0 = none)")
+      .AddInt("shard-grain", 0, "Stage I vertex-range shard grain (0 = auto)")
+      .AddBool("stage1-only", false,
+               "stop after Stage I (memory/scaling runs on huge graphs)")
       .AddInt("max-threads", 8, "largest thread count measured (doubling)");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
@@ -48,9 +67,17 @@ int Run(int argc, const char* const* argv) {
   }
 
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
-  GraphBuilder builder = GenerateErdosRenyi(
-      flags.GetInt("vertices"), flags.GetDouble("avg-degree"),
-      static_cast<LabelId>(flags.GetInt("labels")), &rng);
+  const std::string model = flags.GetString("model");
+  GraphBuilder builder =
+      model == "ba"
+          ? GenerateBarabasiAlbert(
+                flags.GetInt("vertices"),
+                static_cast<int32_t>(flags.GetInt("ba-edges")),
+                static_cast<LabelId>(flags.GetInt("labels")), &rng)
+          : GenerateErdosRenyi(flags.GetInt("vertices"),
+                               flags.GetDouble("avg-degree"),
+                               static_cast<LabelId>(flags.GetInt("labels")),
+                               &rng);
   if (flags.GetInt("inject-vertices") > 0) {
     Pattern planted = RandomConnectedPattern(
         static_cast<int32_t>(flags.GetInt("inject-vertices")), 0.1,
@@ -80,6 +107,13 @@ int Run(int argc, const char* const* argv) {
   config.vmin = 8;
   config.rng_seed = static_cast<uint64_t>(flags.GetInt("seed"));
   config.seed_count_override = flags.GetInt("seed-count");
+  config.max_spiders = flags.GetInt("max-spiders");
+  config.stage1_shard_grain = flags.GetInt("shard-grain");
+  if (flags.GetBool("stage1-only")) {
+    // Zero growth runs: the row's timings and peak RSS measure spider
+    // mining alone, not seed embedding pools or growth rounds.
+    config.restarts = 0;
+  }
 
   std::vector<int32_t> thread_counts = {1};
   const int32_t max_threads =
@@ -90,9 +124,14 @@ int Run(int argc, const char* const* argv) {
   double baseline_stage1 = 0.0;
   double baseline_growth = 0.0;
   for (int32_t threads : thread_counts) {
+    // One pool per measured thread count, owned here and handed to Mine()
+    // via config.pool: repeated runs at this width reuse the same workers.
+    ThreadPool pool(threads);
     config.num_threads = threads;
+    config.pool = &pool;
     MineResult result;
     const double seconds = bench::RunSpiderMine(graph, config, &result);
+    config.pool = nullptr;
     const MineStats& s = result.stats;
     const double growth = s.stage2_seconds + s.stage3_seconds;
     if (threads == 1) {
@@ -104,17 +143,24 @@ int Run(int argc, const char* const* argv) {
       return now > 0.0 ? base / now : 0.0;
     };
     std::printf(
-        "{\"bench\":\"parallel_scaling\",\"vertices\":%lld,"
-        "\"edges\":%lld,\"threads\":%d,\"patterns\":%zu,"
-        "\"spiders\":%lld,\"stage1_seconds\":%.4f,"
+        "{\"bench\":\"parallel_scaling\",\"model\":\"%s\",\"vertices\":%lld,"
+        "\"edges\":%lld,\"threads\":%d,\"shard_grain\":%lld,"
+        "\"patterns\":%zu,\"spiders\":%lld,\"scan_shards\":%lld,"
+        "\"enum_shards\":%lld,\"stage1_seconds\":%.4f,"
         "\"growth_seconds\":%.4f,\"total_seconds\":%.4f,"
         "\"speedup_stage1\":%.3f,\"speedup_growth\":%.3f,"
-        "\"speedup_total\":%.3f}\n",
-        static_cast<long long>(graph.NumVertices()),
+        "\"speedup_total\":%.3f,\"store_bytes\":%lld,"
+        "\"peak_rss_mb\":%.1f}\n",
+        model.c_str(), static_cast<long long>(graph.NumVertices()),
         static_cast<long long>(graph.NumEdges()), threads,
+        static_cast<long long>(config.stage1_shard_grain),
         result.patterns.size(), static_cast<long long>(s.num_spiders),
-        s.stage1_seconds, growth, seconds, ratio(baseline_stage1, s.stage1_seconds),
-        ratio(baseline_growth, growth), ratio(baseline_total, seconds));
+        static_cast<long long>(s.stage1_scan_shards),
+        static_cast<long long>(s.stage1_enum_shards), s.stage1_seconds,
+        growth, seconds, ratio(baseline_stage1, s.stage1_seconds),
+        ratio(baseline_growth, growth), ratio(baseline_total, seconds),
+        static_cast<long long>(s.stage1_store_bytes),
+        static_cast<double>(bench::PeakRssBytes()) / (1024.0 * 1024.0));
     std::fflush(stdout);
   }
   return 0;

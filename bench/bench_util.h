@@ -11,12 +11,34 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/timer.h"
 #include "graph/labeled_graph.h"
 #include "spidermine/config.h"
 #include "spidermine/miner.h"
 
 namespace spidermine::bench {
+
+/// Process peak resident set size in bytes (0 when unavailable). Note the
+/// value is a process-lifetime high-water mark: within one bench it only
+/// ever grows, so report it per run and interpret the first budgeted run's
+/// value as the bound of interest.
+inline int64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Prints the bench banner.
 inline void Banner(const char* artifact, const char* description) {

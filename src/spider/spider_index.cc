@@ -2,24 +2,27 @@
 
 namespace spidermine {
 
-SpiderIndex::SpiderIndex(const std::vector<Spider>* spiders,
-                         int64_t num_vertices)
-    : spiders_(spiders) {
-  at_vertex_.resize(static_cast<size_t>(num_vertices));
-  for (size_t id = 0; id < spiders_->size(); ++id) {
-    for (VertexId v : (*spiders_)[id].anchors) {
-      at_vertex_[v].push_back(static_cast<int32_t>(id));
-    }
+SpiderIndex::SpiderIndex(const SpiderStore* store, int64_t num_vertices)
+    : store_(store) {
+  // Two-pass CSR build: histogram anchor incidences per vertex, prefix-sum
+  // into offsets, then fill in id order so per-vertex lists are ascending.
+  offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  const int32_t n = static_cast<int32_t>(store_->size());
+  for (int32_t id = 0; id < n; ++id) {
+    for (VertexId v : store_->anchors(id)) ++offsets_[v + 1];
+  }
+  for (size_t v = 1; v < offsets_.size(); ++v) offsets_[v] += offsets_[v - 1];
+  ids_.resize(static_cast<size_t>(offsets_.back()));
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (int32_t id = 0; id < n; ++id) {
+    for (VertexId v : store_->anchors(id)) ids_[cursor[v]++] = id;
   }
 }
 
 double SpiderIndex::AverageSpidersPerVertex() const {
-  if (at_vertex_.empty()) return 0.0;
-  int64_t total = 0;
-  for (const auto& list : at_vertex_) {
-    total += static_cast<int64_t>(list.size());
-  }
-  return static_cast<double>(total) / static_cast<double>(at_vertex_.size());
+  if (offsets_.size() <= 1) return 0.0;
+  return static_cast<double>(ids_.size()) /
+         static_cast<double>(offsets_.size() - 1);
 }
 
 }  // namespace spidermine

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "graph/labeled_graph.h"
-#include "spider/spider.h"
+#include "spider/spider_store.h"
 
 /// \file spider_index.h
 /// Anchor-side index over the mined spider set: Spider(v) of the paper's
@@ -13,33 +13,41 @@
 /// The growth engine consults it to find extension candidates at pattern
 /// boundaries, and CheckMerge uses anchor collisions to detect patterns
 /// that started sharing structure.
+///
+/// Stored CSR-flattened: one offset array plus one flat id array, instead
+/// of a vector-of-vectors. On a massive network that removes one heap
+/// allocation (and pointer chase) per graph vertex and makes the whole
+/// index two contiguous arrays.
 
 namespace spidermine {
 
-/// Immutable index from graph vertices to the ids of spiders anchored there.
+/// Immutable CSR index from graph vertices to the ids of spiders anchored
+/// there. Per-vertex id lists are ascending (build order is id order).
 class SpiderIndex {
  public:
-  /// Builds the index. \p spiders is borrowed and must outlive the index.
-  SpiderIndex(const std::vector<Spider>* spiders, int64_t num_vertices);
+  /// Builds the index over \p store (borrowed; must outlive the index).
+  SpiderIndex(const SpiderStore* store, int64_t num_vertices);
 
-  /// Ids (positions in the spider vector) of spiders anchored at \p v.
+  /// Ids (positions in the store) of spiders anchored at \p v, ascending.
   std::span<const int32_t> SpidersAt(VertexId v) const {
-    return {at_vertex_[v].data(), at_vertex_[v].size()};
+    return {ids_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
   }
 
-  /// The spider with id \p id.
-  const Spider& spider(int32_t id) const { return (*spiders_)[id]; }
+  /// The backing spider store.
+  const SpiderStore& store() const { return *store_; }
 
   /// Total number of spiders indexed.
-  int64_t size() const { return static_cast<int64_t>(spiders_->size()); }
+  int64_t size() const { return store_->size(); }
 
   /// Average number of spiders anchored per vertex (|S_all| / |V| of the
   /// paper's hit-probability argument).
   double AverageSpidersPerVertex() const;
 
  private:
-  const std::vector<Spider>* spiders_;
-  std::vector<std::vector<int32_t>> at_vertex_;
+  const SpiderStore* store_;
+  std::vector<int64_t> offsets_;  // size num_vertices + 1
+  std::vector<int32_t> ids_;      // flat anchor-incidence array
 };
 
 }  // namespace spidermine

@@ -1,0 +1,129 @@
+#include "spider/spider_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace spidermine {
+
+bool SpiderStore::IsAnchoredAt(int32_t id, VertexId vertex) const {
+  std::span<const VertexId> a = anchors(id);
+  return std::binary_search(a.begin(), a.end(), vertex);
+}
+
+int64_t SpiderStore::HeapBytes() const {
+  return static_cast<int64_t>(
+      head_labels_.capacity() * sizeof(LabelId) +
+      closed_.capacity() * sizeof(uint8_t) +
+      leaf_offsets_.capacity() * sizeof(int64_t) +
+      leaf_pool_.capacity() * sizeof(SpiderLeafKey) +
+      anchor_offsets_.capacity() * sizeof(int64_t) +
+      anchor_pool_.capacity() * sizeof(VertexId));
+}
+
+int32_t SpiderStore::Append(LabelId head_label,
+                            std::span<const SpiderLeafKey> leaves,
+                            std::span<const VertexId> anchors, bool closed) {
+  assert(std::is_sorted(leaves.begin(), leaves.end()));
+  assert(std::is_sorted(anchors.begin(), anchors.end()));
+  const int32_t id = static_cast<int32_t>(head_labels_.size());
+  head_labels_.push_back(head_label);
+  closed_.push_back(closed ? 1 : 0);
+  leaf_pool_.insert(leaf_pool_.end(), leaves.begin(), leaves.end());
+  leaf_offsets_.push_back(static_cast<int64_t>(leaf_pool_.size()));
+  anchor_pool_.insert(anchor_pool_.end(), anchors.begin(), anchors.end());
+  anchor_offsets_.push_back(static_cast<int64_t>(anchor_pool_.size()));
+  return id;
+}
+
+void SpiderStore::AppendPrefix(const SpiderStore& other, int64_t count) {
+  count = std::min(count, other.size());
+  if (count <= 0) return;
+  const int64_t leaf_end = other.leaf_offsets_[count];
+  const int64_t anchor_end = other.anchor_offsets_[count];
+  head_labels_.insert(head_labels_.end(), other.head_labels_.begin(),
+                      other.head_labels_.begin() + count);
+  closed_.insert(closed_.end(), other.closed_.begin(),
+                 other.closed_.begin() + count);
+  const int64_t leaf_base = static_cast<int64_t>(leaf_pool_.size());
+  leaf_pool_.insert(leaf_pool_.end(), other.leaf_pool_.begin(),
+                    other.leaf_pool_.begin() + leaf_end);
+  for (int64_t i = 1; i <= count; ++i) {
+    leaf_offsets_.push_back(leaf_base + other.leaf_offsets_[i]);
+  }
+  const int64_t anchor_base = static_cast<int64_t>(anchor_pool_.size());
+  anchor_pool_.insert(anchor_pool_.end(), other.anchor_pool_.begin(),
+                      other.anchor_pool_.begin() + anchor_end);
+  for (int64_t i = 1; i <= count; ++i) {
+    anchor_offsets_.push_back(anchor_base + other.anchor_offsets_[i]);
+  }
+}
+
+void SpiderStore::Reserve(int64_t num_spiders, int64_t total_leaves,
+                          int64_t total_anchors) {
+  head_labels_.reserve(static_cast<size_t>(num_spiders));
+  closed_.reserve(static_cast<size_t>(num_spiders));
+  leaf_offsets_.reserve(static_cast<size_t>(num_spiders) + 1);
+  leaf_pool_.reserve(static_cast<size_t>(total_leaves));
+  anchor_offsets_.reserve(static_cast<size_t>(num_spiders) + 1);
+  anchor_pool_.reserve(static_cast<size_t>(total_anchors));
+}
+
+Pattern SpiderStore::PatternOf(int32_t id) const {
+  Pattern p;
+  p.AddVertex(head_label(id));
+  for (const SpiderLeafKey& leaf : leaves(id)) {
+    VertexId leaf_vertex = p.AddVertex(leaf.second);
+    p.AddEdge(0, leaf_vertex, leaf.first);
+  }
+  return p;
+}
+
+Spider SpiderStore::Materialize(int32_t id) const {
+  Spider s;
+  s.radius = 1;
+  s.pattern = PatternOf(id);
+  std::span<const VertexId> a = anchors(id);
+  s.anchors.assign(a.begin(), a.end());
+  s.support = static_cast<int64_t>(s.anchors.size());
+  s.closed = closed(id);
+  // Canonical key: stars are canonicalized directly by (head, sorted
+  // (edge label, leaf label) pairs); no DFS-code search needed.
+  std::ostringstream key;
+  key << "h" << head_label(id);
+  for (const SpiderLeafKey& leaf : leaves(id)) {
+    key << "," << leaf.first << ":" << leaf.second;
+  }
+  s.canonical = key.str();
+  return s;
+}
+
+std::vector<Spider> SpiderStore::MaterializeAll() const {
+  std::vector<Spider> out;
+  out.reserve(static_cast<size_t>(size()));
+  for (int32_t id = 0; id < static_cast<int32_t>(size()); ++id) {
+    out.push_back(Materialize(id));
+  }
+  return out;
+}
+
+SpiderStore SpiderStore::FromSpiders(const std::vector<Spider>& spiders) {
+  SpiderStore store;
+  int64_t total_leaves = 0;
+  int64_t total_anchors = 0;
+  for (const Spider& s : spiders) {
+    total_leaves += s.pattern.NumVertices() - 1;
+    total_anchors += static_cast<int64_t>(s.anchors.size());
+  }
+  store.Reserve(static_cast<int64_t>(spiders.size()), total_leaves,
+                total_anchors);
+  for (const Spider& s : spiders) {
+    assert(s.pattern.NumEdges() == s.pattern.NumVertices() - 1 &&
+           "SpiderStore holds star-shaped spiders only");
+    std::vector<SpiderLeafKey> leaves = s.LeafKeys();
+    store.Append(s.pattern.Label(0), leaves, s.anchors, s.closed);
+  }
+  return store;
+}
+
+}  // namespace spidermine

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "spider/spider.h"
+
+/// \file spider_store.h
+/// Flat, arena-backed columnar storage for the mined r=1 spider set (stars):
+/// the canonical Stage I representation. A star is fully determined by its
+/// head label plus the sorted multiset of (edge label, leaf label) pairs, so
+/// the store keeps exactly that — one contiguous leaf pool and one
+/// contiguous anchor pool, with per-spider offset spans — instead of a
+/// `std::vector<Spider>` of individually heap-allocated patterns, anchor
+/// vectors and canonical strings. Per-spider overhead is constant (a few
+/// integers), iteration is cache-linear, and shard outputs concatenate with
+/// four bulk copies. The legacy `Spider` record remains the interchange type
+/// for general-radius ball spiders and can be materialized on demand.
+
+namespace spidermine {
+
+/// A star leaf as stored: the connecting edge's label plus the leaf vertex
+/// label. For edge-unlabeled graphs the edge label is always 0.
+using SpiderLeafKey = std::pair<EdgeLabelId, LabelId>;
+
+/// Columnar container of mined stars. Ids are dense [0, size()) in the
+/// canonical mined order; spans stay valid until the next mutating call.
+class SpiderStore {
+ public:
+  SpiderStore() = default;
+
+  /// Number of spiders stored.
+  int64_t size() const { return static_cast<int64_t>(head_labels_.size()); }
+  bool empty() const { return head_labels_.empty(); }
+
+  /// Head label of spider \p id.
+  LabelId head_label(int32_t id) const { return head_labels_[id]; }
+
+  /// Sorted (edge label, leaf label) pairs of spider \p id — the same
+  /// multiset `Spider::LeafKeys()` returns, without materialization.
+  std::span<const SpiderLeafKey> leaves(int32_t id) const {
+    return {leaf_pool_.data() + leaf_offsets_[id],
+            static_cast<size_t>(leaf_offsets_[id + 1] - leaf_offsets_[id])};
+  }
+
+  /// Sorted anchor vertices (head images) of spider \p id.
+  std::span<const VertexId> anchors(int32_t id) const {
+    return {anchor_pool_.data() + anchor_offsets_[id],
+            static_cast<size_t>(anchor_offsets_[id + 1] -
+                                anchor_offsets_[id])};
+  }
+
+  /// Support of spider \p id = number of distinct anchors.
+  int64_t support(int32_t id) const {
+    return anchor_offsets_[id + 1] - anchor_offsets_[id];
+  }
+
+  /// Closedness flag (no super-spider with the identical anchor set).
+  bool closed(int32_t id) const { return closed_[id] != 0; }
+  void set_closed(int32_t id, bool closed) { closed_[id] = closed ? 1 : 0; }
+
+  /// True iff \p vertex anchors spider \p id (binary search).
+  bool IsAnchoredAt(int32_t id, VertexId vertex) const;
+
+  /// Vertex count of the star pattern: 1 + number of leaves.
+  int32_t NumVerticesOf(int32_t id) const {
+    return 1 + static_cast<int32_t>(leaf_offsets_[id + 1] -
+                                    leaf_offsets_[id]);
+  }
+
+  /// Total anchor incidences across all spiders.
+  int64_t TotalAnchors() const {
+    return static_cast<int64_t>(anchor_pool_.size());
+  }
+
+  /// Heap footprint of the pools and columns, in bytes (capacity-based; the
+  /// O(B) Stage I memory bound is measured against this).
+  int64_t HeapBytes() const;
+
+  /// Appends a spider; returns its id. \p leaves must be sorted
+  /// non-decreasingly and \p anchors ascending.
+  int32_t Append(LabelId head_label, std::span<const SpiderLeafKey> leaves,
+                 std::span<const VertexId> anchors, bool closed = true);
+
+  /// Bulk-appends the first \p count spiders of \p other in order (the
+  /// admitted prefix of a shard). \p count is clamped to other.size().
+  void AppendPrefix(const SpiderStore& other, int64_t count);
+
+  /// Pre-sizes the pools (optional; Append works regardless).
+  void Reserve(int64_t num_spiders, int64_t total_leaves,
+               int64_t total_anchors);
+
+  /// Reconstructs the star pattern of spider \p id (vertex 0 = head).
+  Pattern PatternOf(int32_t id) const;
+
+  /// Materializes the legacy Spider record (pattern, anchors, canonical
+  /// key) for spider \p id.
+  Spider Materialize(int32_t id) const;
+
+  /// Materializes every spider, in id order.
+  std::vector<Spider> MaterializeAll() const;
+
+  /// Builds a store from star-shaped Spider records (every edge incident to
+  /// vertex 0), e.g. a star miner result or hand-built test fixtures.
+  static SpiderStore FromSpiders(const std::vector<Spider>& spiders);
+
+ private:
+  std::vector<LabelId> head_labels_;        // size n
+  std::vector<uint8_t> closed_;             // size n
+  std::vector<int64_t> leaf_offsets_{0};    // size n+1
+  std::vector<SpiderLeafKey> leaf_pool_;    // contiguous leaf arena
+  std::vector<int64_t> anchor_offsets_{0};  // size n+1
+  std::vector<VertexId> anchor_pool_;       // contiguous anchor arena
+};
+
+}  // namespace spidermine

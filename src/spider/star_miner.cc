@@ -2,17 +2,13 @@
 
 #include <algorithm>
 #include <map>
-#include <sstream>
-#include <unordered_map>
+#include <vector>
 
 namespace spidermine {
 
 namespace {
 
-/// A star leaf: the connecting edge's label plus the leaf vertex label.
-/// For edge-unlabeled graphs edge_label is always 0 and the enumeration
-/// degenerates to the plain vertex-label stars of Appendix B.
-using LeafKey = std::pair<EdgeLabelId, LabelId>;
+using LeafKey = SpiderLeafKey;
 
 /// Per-vertex neighbor leaf-key counts, sorted by key, for O(log d) lookup.
 /// Rows are independent, so construction fans out over the pool.
@@ -51,67 +47,86 @@ struct NeighborLeafCounts {
   }
 };
 
-/// Builds the Spider record for (head_label, leaf multiset).
-Spider MakeStar(LabelId head_label, const std::vector<LeafKey>& leaves,
-                std::vector<VertexId> anchors, int32_t radius) {
-  Spider s;
-  s.radius = radius;
-  s.pattern.AddVertex(head_label);
-  for (const LeafKey& leaf : leaves) {
-    VertexId leaf_vertex = s.pattern.AddVertex(leaf.second);
-    s.pattern.AddEdge(0, leaf_vertex, leaf.first);
-  }
-  s.anchors = std::move(anchors);
-  s.support = static_cast<int64_t>(s.anchors.size());
-  // Canonical key: stars are canonicalized directly by (head, sorted
-  // (edge label, leaf label) pairs); no DFS-code search needed.
-  std::ostringstream key;
-  key << "h" << head_label;
-  for (const LeafKey& leaf : leaves) {
-    key << "," << leaf.first << ":" << leaf.second;
-  }
-  s.canonical = key.str();
-  return s;
-}
+/// Automatic vertex-range grain for the root scans: large enough to
+/// amortize dispatch, small enough that a multi-million-vertex hub label
+/// splits across many workers.
+constexpr int64_t kAutoScanGrain = 65536;
 
-/// Enumeration state of one head-label shard. Shards never touch shared
-/// mutable state: each owns its result, which the driver concatenates in
-/// label order.
-struct ShardState {
-  const LabeledGraph* graph;
+/// One root-scan cell: a contiguous vertex range of one head label. Its
+/// output is a partial candidate-key histogram; per-label folds are integer
+/// sums in range order, so the merged counts are identical at any grain.
+struct ScanShard {
+  LabelId label = 0;
+  int64_t begin = 0;  // range into VerticesWithLabel(label)
+  int64_t end = 0;
+  std::map<LeafKey, int64_t> counts;  // key -> #anchors carrying the key
+};
+
+/// One enumeration shard: the subtree of all stars of `label` whose first
+/// (smallest) leaf key is `first_key`. Subtrees are independent; their
+/// outputs concatenate in (label, first key) order.
+struct EnumShard {
+  LabelId label = 0;
+  LeafKey first_key{0, 0};
+  // Counting-pass outputs (also filled by the emission pass when no budget
+  // is set and the counting pass is skipped).
+  int64_t count = 0;       ///< spiders in the subtree (capped at the budget)
+  bool keeps_all = false;  ///< the {first_key} star keeps every label anchor
+  int64_t attempts = 0;
+  bool limit_hit = false;
+  bool cancelled = false;
+  // Budget-fold output: exact admitted prefix length.
+  int64_t admitted = 0;
+  // Emission-pass output.
+  SpiderStore store;
+};
+
+/// Shared DFS of one subtree, in counting (`out == nullptr`) or emission
+/// mode. Both modes walk the identical tree in the identical order, so a
+/// counting pass followed by a prefix-limited emission pass reproduces the
+/// exact global enumeration prefix.
+struct SubtreeWalker {
   const StarMinerConfig* config;
   const NeighborLeafCounts* nbr_counts;
   const CancellationToken* token;
-  StarMineResult result;
-  bool stopped = false;
+  LabelId label;
+  int64_t limit;    // max spiders to produce
+  SpiderStore* out; // nullptr: count only
 
-  bool Emit(Spider spider) {
-    result.spiders.push_back(std::move(spider));
-    if (config->max_spiders > 0 &&
-        static_cast<int64_t>(result.spiders.size()) >= config->max_spiders) {
-      result.truncated = true;
+  int64_t produced = 0;
+  int64_t attempts = 0;
+  bool stopped = false;
+  bool limit_hit = false;
+  bool cancelled = false;
+
+  /// Produces one spider (appends in emission mode); false = stop walking.
+  bool Produce(const std::vector<LeafKey>& leaves,
+               const std::vector<VertexId>& anchors) {
+    if (out != nullptr) out->Append(label, leaves, anchors, /*closed=*/true);
+    ++produced;
+    if (produced >= limit) {
+      limit_hit = true;
       stopped = true;
       return false;
     }
     return true;
   }
 
-  /// Extends the star (head_label, leaves) by one more leaf with key
-  /// >= the last leaf key (canonical non-decreasing enumeration order).
-  /// \p parent_idx indexes the emitted parent spider (-1: none); a child
-  /// with the same anchor count marks it non-closed.
-  void Extend(LabelId head_label, std::vector<LeafKey>* leaves,
+  /// Extends the star (label, leaves) by one more leaf with key >= the last
+  /// leaf key (canonical non-decreasing enumeration order). \p parent_idx
+  /// is the subtree-local id of the produced parent; a child with the same
+  /// anchor count marks it non-closed.
+  void Extend(std::vector<LeafKey>* leaves,
               const std::vector<VertexId>& anchors,
               std::map<LeafKey, int32_t>* multiplicity, int64_t parent_idx) {
     if (stopped) return;
     if (token != nullptr && token->IsCancelled()) {
-      result.truncated = true;
+      cancelled = true;
       stopped = true;
       return;
     }
     if (static_cast<int32_t>(leaves->size()) >= config->max_leaves) return;
-    LeafKey min_next = leaves->empty() ? LeafKey{INT32_MIN, INT32_MIN}
-                                       : leaves->back();
+    const LeafKey min_next = leaves->back();
 
     // Gather candidate keys: keys >= min_next for which enough anchors
     // have one more matching neighbor than the star already uses.
@@ -126,7 +141,7 @@ struct ShardState {
     }
     for (const auto& [key, anchor_count] : viable_anchor_count) {
       if (stopped) return;
-      ++result.extension_attempts;
+      ++attempts;
       if (anchor_count < config->min_support) continue;
       // Materialize the surviving anchor list.
       std::vector<VertexId> next_anchors;
@@ -135,35 +150,51 @@ struct ShardState {
       for (VertexId v : anchors) {
         if (nbr_counts->Count(v, key) >= needed) next_anchors.push_back(v);
       }
-      if (parent_idx >= 0 && next_anchors.size() == anchors.size()) {
-        result.spiders[parent_idx].closed = false;
+      if (parent_idx >= 0 && next_anchors.size() == anchors.size() &&
+          out != nullptr) {
+        out->set_closed(parent_idx, false);
       }
       leaves->push_back(key);
       (*multiplicity)[key] = needed;
-      int64_t child_idx = static_cast<int64_t>(result.spiders.size());
-      if (!Emit(MakeStar(head_label, *leaves, next_anchors, 1))) return;
-      Extend(head_label, leaves, next_anchors, multiplicity, child_idx);
+      const int64_t child_idx = produced;
+      if (!Produce(*leaves, next_anchors)) return;
+      Extend(leaves, next_anchors, multiplicity, child_idx);
       (*multiplicity)[key] = needed - 1;
       if ((*multiplicity)[key] == 0) multiplicity->erase(key);
       leaves->pop_back();
     }
   }
-
-  /// Mines every frequent star headed by \p label.
-  void MineLabel(LabelId label) {
-    auto vertices = graph->VerticesWithLabel(label);
-    if (static_cast<int64_t>(vertices.size()) < config->min_support) return;
-    std::vector<VertexId> anchors(vertices.begin(), vertices.end());
-    int64_t parent_idx = -1;
-    if (config->include_single_vertex) {
-      parent_idx = static_cast<int64_t>(result.spiders.size());
-      if (!Emit(MakeStar(label, {}, anchors, 1))) return;
-    }
-    std::vector<LeafKey> leaves;
-    std::map<LeafKey, int32_t> multiplicity;
-    Extend(label, &leaves, anchors, &multiplicity, parent_idx);
-  }
 };
+
+/// Runs one enumeration shard. In counting mode fills count/keeps_all; in
+/// emission mode fills the shard's local store with its admitted prefix.
+void RunSubtree(const LabeledGraph& graph, const StarMinerConfig& config,
+                const NeighborLeafCounts& nbr_counts,
+                const CancellationToken* token, EnumShard* shard,
+                int64_t limit, bool emit) {
+  SubtreeWalker walker{&config, &nbr_counts, token, shard->label, limit,
+                       emit ? &shard->store : nullptr};
+  if (token != nullptr && token->IsCancelled()) {
+    shard->cancelled = true;
+    return;
+  }
+  auto label_vertices = graph.VerticesWithLabel(shard->label);
+  std::vector<VertexId> anchors;
+  for (VertexId v : label_vertices) {
+    if (nbr_counts.Count(v, shard->first_key) >= 1) anchors.push_back(v);
+  }
+  shard->keeps_all = anchors.size() == label_vertices.size();
+
+  std::vector<LeafKey> leaves{shard->first_key};
+  std::map<LeafKey, int32_t> multiplicity{{shard->first_key, 1}};
+  if (walker.Produce(leaves, anchors)) {
+    walker.Extend(&leaves, anchors, &multiplicity, /*parent_idx=*/0);
+  }
+  if (!emit) shard->count = walker.produced;
+  shard->attempts = walker.attempts;
+  shard->limit_hit |= walker.limit_hit;
+  shard->cancelled |= walker.cancelled;
+}
 
 }  // namespace
 
@@ -179,51 +210,207 @@ Result<StarMineResult> MineStarSpiders(const LabeledGraph& graph,
   }
   NeighborLeafCounts nbr_counts(graph, pool, token);
 
-  // One shard per head label, mined into pre-sized slots. A shard's output
-  // depends only on the graph and config, never on scheduling.
-  const int64_t num_labels = graph.NumLabels();
-  std::vector<ShardState> shards(static_cast<size_t>(num_labels));
-  auto mine_shard = [&](int64_t label) {
-    ShardState& shard = shards[static_cast<size_t>(label)];
-    shard.graph = &graph;
-    shard.config = &config;
-    shard.nbr_counts = &nbr_counts;
-    shard.token = token;
-    shard.MineLabel(static_cast<LabelId>(label));
-  };
-  if (pool != nullptr) {
-    // Grain 1: label shards are few and highly skewed (hub labels dominate).
-    pool->ParallelForChunks(
-        num_labels, /*grain=*/1,
-        [&mine_shard](int64_t begin, int64_t end) {
-          for (int64_t label = begin; label < end; ++label) mine_shard(label);
-        },
-        token);
-  } else {
-    for (int64_t label = 0; label < num_labels; ++label) mine_shard(label);
-  }
+  StarMineResult result;
+  const int64_t grain =
+      config.shard_grain > 0 ? config.shard_grain : kAutoScanGrain;
 
-  // Deterministic merge in label order.
-  StarMineResult merged;
-  for (ShardState& shard : shards) {
-    merged.extension_attempts += shard.result.extension_attempts;
-    merged.truncated |= shard.result.truncated;
-    if (merged.spiders.empty()) {
-      merged.spiders = std::move(shard.result.spiders);
-    } else {
-      merged.spiders.insert(
-          merged.spiders.end(),
-          std::make_move_iterator(shard.result.spiders.begin()),
-          std::make_move_iterator(shard.result.spiders.end()));
+  // ---- Frequent head labels, in label order.
+  std::vector<LabelId> freq_labels;
+  for (LabelId label = 0; label < graph.NumLabels(); ++label) {
+    if (graph.LabelCount(label) >= config.min_support) {
+      freq_labels.push_back(label);
     }
   }
-  if (config.max_spiders > 0 &&
-      static_cast<int64_t>(merged.spiders.size()) > config.max_spiders) {
-    merged.spiders.resize(static_cast<size_t>(config.max_spiders));
-    merged.truncated = true;
+
+  // ---- Root scans: label × vertex-range cells, fanned out over the pool.
+  // Each cell histograms the leaf keys present on its slice of the label's
+  // vertex list; the per-label fold below sums cells in range order.
+  std::vector<ScanShard> scans;
+  for (LabelId label : freq_labels) {
+    const int64_t n = graph.LabelCount(label);
+    for (int64_t begin = 0; begin < n; begin += grain) {
+      ScanShard cell;
+      cell.label = label;
+      cell.begin = begin;
+      cell.end = std::min(n, begin + grain);
+      scans.push_back(std::move(cell));
+    }
   }
-  if (token != nullptr && token->IsCancelled()) merged.truncated = true;
-  return merged;
+  result.num_scan_shards = static_cast<int64_t>(scans.size());
+  auto run_scan = [&graph, &nbr_counts, &scans](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      ScanShard& cell = scans[static_cast<size_t>(i)];
+      auto vertices = graph.VerticesWithLabel(cell.label);
+      for (int64_t j = cell.begin; j < cell.end; ++j) {
+        for (const auto& [key, count] : nbr_counts.counts[vertices[j]]) {
+          (void)count;
+          ++cell.counts[key];
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunks(static_cast<int64_t>(scans.size()), /*grain=*/1,
+                            run_scan, token);
+  } else {
+    run_scan(0, static_cast<int64_t>(scans.size()));
+  }
+
+  // ---- Per-label fold (serial, label order): merged candidate-key counts
+  // define the frequent first keys, each rooting one enumeration shard.
+  std::vector<EnumShard> enum_shards;
+  struct LabelPlan {
+    LabelId label;
+    size_t first_shard;
+    size_t num_shards;
+  };
+  std::vector<LabelPlan> plans;
+  {
+    size_t scan_idx = 0;
+    for (LabelId label : freq_labels) {
+      std::map<LeafKey, int64_t> merged;
+      while (scan_idx < scans.size() && scans[scan_idx].label == label) {
+        for (const auto& [key, count] : scans[scan_idx].counts) {
+          merged[key] += count;
+        }
+        ++scan_idx;
+      }
+      // Every candidate key is one root-level extension attempt, frequent
+      // or not (the serial level-wise miner counted them the same way).
+      result.extension_attempts += static_cast<int64_t>(merged.size());
+      LabelPlan plan{label, enum_shards.size(), 0};
+      for (const auto& [key, count] : merged) {
+        if (count < config.min_support) continue;
+        EnumShard shard;
+        shard.label = label;
+        shard.first_key = key;
+        enum_shards.push_back(std::move(shard));
+        ++plan.num_shards;
+      }
+      plans.push_back(plan);
+    }
+  }
+  result.num_enum_shards = static_cast<int64_t>(enum_shards.size());
+
+  const bool budgeted = config.max_spiders > 0;
+  auto run_shards = [&](bool emit) {
+    auto body = [&graph, &config, &nbr_counts, token, &enum_shards, budgeted,
+                 emit](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        EnumShard& shard = enum_shards[static_cast<size_t>(i)];
+        // Counting caps at budget + 1: one past the budget distinguishes "the
+        // subtree holds exactly the budget" (not truncated) from "more spiders
+        // exist beyond it" (truncated) while still bounding per-shard work.
+        const int64_t limit =
+            emit ? shard.admitted
+                 : (budgeted && config.max_spiders < INT64_MAX
+                        ? config.max_spiders + 1
+                        : INT64_MAX);
+        if (emit && limit <= 0) continue;
+        const int64_t counted_attempts = shard.attempts;
+        RunSubtree(graph, config, nbr_counts, token, &shard, limit, emit);
+        // The emission pass stops at the admitted prefix; the counting pass
+        // walked the full subtree (up to the cap), so its attempt count is
+        // the one comparable with an unbudgeted run over the same set.
+        if (emit && budgeted) shard.attempts = counted_attempts;
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelForChunks(static_cast<int64_t>(enum_shards.size()),
+                              /*grain=*/1, body, token);
+    } else {
+      body(0, static_cast<int64_t>(enum_shards.size()));
+    }
+  };
+
+  // ---- Deterministic global budget. With a budget, shards first COUNT
+  // (O(1) memory each, capped just past the budget), then a serial fold
+  // walks the canonical (label root, then subtrees in key order) sequence
+  // assigning each shard its exact admitted prefix; only those are emitted.
+  // Transient store memory is therefore O(max_spiders) regardless of the
+  // label count. Without a budget, a single emission pass admits all.
+  std::vector<int64_t> root_admitted(plans.size(), 0);
+  bool budget_truncated = false;
+  if (budgeted) {
+    run_shards(/*emit=*/false);
+    int64_t remaining = config.max_spiders;
+    int64_t full_total = 0;
+    for (size_t p = 0; p < plans.size(); ++p) {
+      if (config.include_single_vertex) {
+        ++full_total;
+        if (remaining > 0) {
+          root_admitted[p] = 1;
+          --remaining;
+        }
+      }
+      for (size_t s = 0; s < plans[p].num_shards; ++s) {
+        EnumShard& shard = enum_shards[plans[p].first_shard + s];
+        full_total += shard.count;
+        shard.admitted = std::min(shard.count, remaining);
+        remaining -= shard.admitted;
+      }
+    }
+    // Counting caps at budget + 1 per shard, so full_total exceeds the
+    // budget iff the true enumeration does: truncation needs no per-shard
+    // limit_hit flag (which also trips on an exactly-budget-sized subtree).
+    budget_truncated = full_total > config.max_spiders;
+    run_shards(/*emit=*/true);
+  } else {
+    for (auto& shard : enum_shards) shard.admitted = INT64_MAX;
+    for (size_t p = 0; p < plans.size(); ++p) {
+      root_admitted[p] = config.include_single_vertex ? 1 : 0;
+    }
+    run_shards(/*emit=*/true);
+  }
+
+  // ---- Final assembly: concatenate admitted prefixes in canonical
+  // (label, first key, DFS) order — the serial enumeration order.
+  {
+    int64_t total_spiders = 0;
+    int64_t total_leaves = 0;
+    int64_t total_anchors = 0;
+    for (size_t p = 0; p < plans.size(); ++p) {
+      if (root_admitted[p] > 0) {
+        ++total_spiders;
+        total_anchors += graph.LabelCount(plans[p].label);
+      }
+    }
+    for (const EnumShard& shard : enum_shards) {
+      total_spiders += shard.store.size();
+      total_anchors += shard.store.TotalAnchors();
+      for (int32_t id = 0; id < shard.store.size(); ++id) {
+        total_leaves += static_cast<int64_t>(shard.store.leaves(id).size());
+      }
+    }
+    result.store.Reserve(total_spiders, total_leaves, total_anchors);
+  }
+  for (size_t p = 0; p < plans.size(); ++p) {
+    const LabelPlan& plan = plans[p];
+    if (root_admitted[p] > 0) {
+      // The 0-leaf root star is closed iff no single-leaf extension keeps
+      // every label vertex as an anchor. keeps_all is computed by whichever
+      // pass ran, over the full frequent set, so the flag is independent of
+      // budget admission.
+      bool root_closed = true;
+      for (size_t s = 0; s < plan.num_shards; ++s) {
+        if (enum_shards[plan.first_shard + s].keeps_all) root_closed = false;
+      }
+      result.store.Append(plan.label, {}, graph.VerticesWithLabel(plan.label),
+                          root_closed);
+    }
+    for (size_t s = 0; s < plan.num_shards; ++s) {
+      const EnumShard& shard = enum_shards[plan.first_shard + s];
+      result.store.AppendPrefix(shard.store, shard.store.size());
+    }
+  }
+
+  for (const EnumShard& shard : enum_shards) {
+    result.extension_attempts += shard.attempts;
+    result.truncated |= shard.cancelled;
+  }
+  result.truncated |= budget_truncated;
+  if (token != nullptr && token->IsCancelled()) result.truncated = true;
+  return result;
 }
 
 }  // namespace spidermine

@@ -6,7 +6,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "graph/labeled_graph.h"
-#include "spider/spider.h"
+#include "spider/spider_store.h"
 
 /// \file star_miner.h
 /// Stage I of SpiderMine for r = 1 (the paper's own implementation choice:
@@ -14,11 +14,32 @@
 /// implementation", Appendix B). A 1-spider grown strictly outward is a
 /// star: a head label plus a multiset of leaf labels; this miner enumerates
 /// all frequent stars level-wise over the leaf multiset, maintaining anchor
-/// lists (head images) for support counting.
+/// lists (head images) for support counting, into a flat `SpiderStore`.
 ///
-/// Enumeration is sharded by head label: shards are independent, so they
-/// run in parallel on a ThreadPool and are concatenated in label order,
-/// making the result identical at any thread count.
+/// Work decomposes two-dimensionally so hub labels never serialize a shard:
+///
+///  1. **Scan shards (head label × vertex range).** The root of each
+///     label's enumeration tree needs, per candidate leaf key, the number
+///     of head vertices carrying that key — a linear scan over the label's
+///     vertex list. That scan splits into contiguous vertex ranges of at
+///     most `shard_grain` vertices; partial counts fold per label in range
+///     order. The fold is an integer sum, so the mined set is identical at
+///     any grain.
+///  2. **Enumeration shards (head label × first leaf key).** Every frequent
+///     first key roots an independent subtree of the level-wise
+///     enumeration; each subtree mines into its own local SpiderStore.
+///     Shard outputs concatenate in (label, first key, DFS) order — exactly
+///     the serial enumeration order — so results are identical at any
+///     thread count.
+///
+/// `max_spiders` is a deterministic **global** budget: shards first report
+/// their sizes (a counting pass with O(1) memory per shard), a serial
+/// coordinator fold walks shards in canonical order assigning each its
+/// exact admitted prefix, and only those prefixes are materialized. Stage I
+/// transient spider-store memory is therefore O(max_spiders), not
+/// O(num_labels × max_spiders), and the returned set is the exact prefix
+/// of the unlimited enumeration at any thread count or shard grain. The
+/// budgeted path trades at most one extra enumeration pass for that bound.
 ///
 /// General radii are handled by ball_miner.h; the star miner is the fast
 /// path the growth engine uses.
@@ -31,33 +52,41 @@ struct StarMinerConfig {
   int64_t min_support = 2;
   /// Maximum number of leaves per star (bounds the level-wise depth).
   int32_t max_leaves = 8;
-  /// Stop after this many spiders (<=0: unlimited). Enforced per label
-  /// shard and again on the concatenated result, so the returned prefix is
-  /// the same at any thread count. When hit, the result is truncated and
-  /// the flag below reports it. Note the per-shard enforcement: transient
-  /// work/memory can reach num_labels * max_spiders before the final trim
-  /// (a cross-shard early stop would make shard output timing-dependent);
-  /// treat this as an OOM backstop, not a precise work bound.
+  /// Global spider budget (<=0: unlimited). When hit, the result is the
+  /// exact prefix of the unlimited enumeration in canonical (label, first
+  /// key, DFS) order, and the flag below reports the truncation.
   int64_t max_spiders = 0;
   /// Include the 0-leaf single-vertex spiders (frequent labels). These are
   /// legitimate spiders and eligible seeds.
   bool include_single_vertex = true;
+  /// Vertex-range grain of the per-label root scans: each scan shard covers
+  /// at most this many head vertices. <= 0 selects an automatic grain. The
+  /// mined set is identical at any value.
+  int64_t shard_grain = 0;
 };
 
 /// Output of star mining.
 struct StarMineResult {
-  std::vector<Spider> spiders;
+  /// The mined spiders, in canonical order.
+  SpiderStore store;
   /// True when max_spiders (or cancellation) cut enumeration short.
   bool truncated = false;
   /// Number of level-wise extension attempts (mining work measure).
   int64_t extension_attempts = 0;
+  /// Scan shards run (label × vertex-range cells).
+  int64_t num_scan_shards = 0;
+  /// Enumeration shards run (label × first-leaf-key subtrees).
+  int64_t num_enum_shards = 0;
+
+  /// Materializes legacy Spider records (tests and interop).
+  std::vector<Spider> Spiders() const { return store.MaterializeAll(); }
 };
 
 /// Mines all frequent 1-spiders (stars) of \p graph. With a non-null
-/// \p pool, label shards run on the pool's workers; the mined set is
-/// independent of the thread count. A non-null \p token is polled inside
-/// shard enumeration: cancellation stops mining mid-shard and marks the
-/// result truncated.
+/// \p pool, scan and enumeration shards run on the pool's workers; the
+/// mined set is independent of the thread count and the shard grain. A
+/// non-null \p token is polled inside shard enumeration: cancellation stops
+/// mining mid-shard and marks the result truncated.
 Result<StarMineResult> MineStarSpiders(
     const LabeledGraph& graph, const StarMinerConfig& config,
     ThreadPool* pool = nullptr, const CancellationToken* token = nullptr);

@@ -13,6 +13,8 @@
 
 namespace spidermine {
 
+class ThreadPool;
+
 /// Inputs of the mining problem and knobs of the algorithm.
 struct MineConfig {
   // ---- Problem parameters (Definition 3). ----
@@ -41,6 +43,17 @@ struct MineConfig {
   /// write pre-sized output slots and every cross-worker fold happens on
   /// the coordinating thread in a stable order.
   int32_t num_threads = 1;
+  /// Caller-provided worker pool (borrowed; must outlive the Mine() call).
+  /// When non-null it is used instead of constructing a pool per Mine(),
+  /// so repeated runs — restart sweeps, benchmark loops — reuse one set of
+  /// threads; num_threads is then ignored. Results are identical either
+  /// way.
+  ThreadPool* pool = nullptr;
+  /// Stage I vertex-range shard grain (StarMinerConfig::shard_grain): root
+  /// scans of one head label split into ranges of at most this many
+  /// vertices. <= 0 selects an automatic grain. Mined results are
+  /// identical at any value.
+  int64_t stage1_shard_grain = 0;
 
   // ---- Randomization. ----
   /// RNG seed for the random spider draw. Each restart run r draws from an
@@ -52,7 +65,8 @@ struct MineConfig {
   /// Number of independent Stage II + III runs over the one-time Stage I
   /// spider set (paper Sec. 4.2.1: "we can run the remaining stages ...
   /// multiple times to increase the probability of obtaining the top-K
-  /// large patterns"). Results accumulate across runs.
+  /// large patterns"). Results accumulate across runs. 0 stops after
+  /// Stage I (no patterns; Stage I memory/latency measurement runs).
   int32_t restarts = 1;
 
   // ---- Engineering caps (0 = unlimited unless stated). ----
@@ -110,6 +124,9 @@ struct MineConfig {
 struct MineStats {
   int64_t num_spiders = 0;        ///< spiders mined in Stage I
   int64_t num_closed_spiders = 0; ///< spiders surviving the closed filter
+  int64_t stage1_store_bytes = 0; ///< SpiderStore arena footprint (bytes)
+  int64_t stage1_scan_shards = 0; ///< label x vertex-range scan shards
+  int64_t stage1_enum_shards = 0; ///< label x first-leaf-key subtree shards
   int64_t seed_count_m = 0;       ///< M actually used
   int64_t extend_calls = 0;       ///< SpiderExtend invocations
   int64_t growth_steps = 0;       ///< successful spider appends

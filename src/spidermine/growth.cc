@@ -15,14 +15,15 @@ namespace {
 /// A star leaf as the growth engine keys it: the connecting edge's label
 /// plus the leaf vertex label. For edge-unlabeled graphs the edge label is
 /// always 0 and everything degenerates to plain vertex-label handling.
-using LeafKey = std::pair<EdgeLabelId, LabelId>;
+/// Identical to the SpiderStore leaf representation, so store spans are
+/// consumed without materialization.
+using LeafKey = SpiderLeafKey;
 
 /// Sorted multiset difference a - b (b must be a sub-multiset of a for the
 /// difference to capture "new leaves"; extra b elements are ignored).
-template <typename T>
-std::vector<T> MultisetDifference(const std::vector<T>& a,
-                                  const std::vector<T>& b) {
-  std::vector<T> out;
+std::vector<LeafKey> MultisetDifference(std::span<const LeafKey> a,
+                                        std::span<const LeafKey> b) {
+  std::vector<LeafKey> out;
   size_t i = 0;
   size_t j = 0;
   while (i < a.size()) {
@@ -40,8 +41,8 @@ std::vector<T> MultisetDifference(const std::vector<T>& a,
 }
 
 /// True iff sorted multiset \p sub is contained in sorted multiset \p super.
-template <typename T>
-bool MultisetContains(const std::vector<T>& super, const std::vector<T>& sub) {
+bool MultisetContains(std::span<const LeafKey> super,
+                      std::span<const LeafKey> sub) {
   size_t i = 0;
   size_t j = 0;
   while (j < sub.size()) {
@@ -72,7 +73,7 @@ std::vector<LeafKey> PatternNeighborKeys(const Pattern& p, VertexId v) {
 
 /// Groups a sorted key multiset into (key, count) runs.
 std::vector<std::pair<LeafKey, int32_t>> GroupLabels(
-    const std::vector<LeafKey>& keys) {
+    std::span<const LeafKey> keys) {
   std::vector<std::pair<LeafKey, int32_t>> groups;
   for (const LeafKey& k : keys) {
     if (!groups.empty() && groups.back().first == k) {
@@ -259,14 +260,15 @@ int64_t GrowthEngine::Support(const GrowthPattern& gp) const {
                         ctx);
 }
 
-GrowthPattern GrowthEngine::BuildSeed(const Spider& spider,
+GrowthPattern GrowthEngine::BuildSeed(int32_t spider_id,
                                       LocalStats* local) const {
+  const SpiderStore& store = index_->store();
   GrowthPattern gp;
-  gp.pattern = spider.pattern;
+  gp.pattern = store.PatternOf(spider_id);
 
-  const std::vector<LeafKey> leaves = spider.LeafKeys();
+  const std::span<const LeafKey> leaves = store.leaves(spider_id);
   const auto groups = GroupLabels(leaves);
-  for (VertexId anchor : spider.anchors) {
+  for (VertexId anchor : store.anchors(spider_id)) {
     if (static_cast<int64_t>(gp.embeddings.size()) >=
         config_->max_embeddings_per_pattern) {
       ++local->embedding_cap_hits;
@@ -302,10 +304,10 @@ GrowthPattern GrowthEngine::BuildSeed(const Spider& spider,
   DedupEmbeddingsByImage(&gp.embeddings);
   gp.support = Support(gp);
   // Boundary: the outermost layer (leaves), or the head for 0-leaf spiders.
-  if (spider.pattern.NumVertices() == 1) {
+  if (gp.pattern.NumVertices() == 1) {
     gp.boundary = {0};
   } else {
-    for (VertexId v = 1; v < spider.pattern.NumVertices(); ++v) {
+    for (VertexId v = 1; v < gp.pattern.NumVertices(); ++v) {
       gp.boundary.push_back(v);
     }
   }
@@ -313,22 +315,22 @@ GrowthPattern GrowthEngine::BuildSeed(const Spider& spider,
   return gp;
 }
 
-GrowthPattern GrowthEngine::SeedFromSpider(const Spider& spider) {
+GrowthPattern GrowthEngine::SeedFromSpider(int32_t spider_id) {
   LocalStats local;
-  GrowthPattern gp = BuildSeed(spider, &local);
+  GrowthPattern gp = BuildSeed(spider_id, &local);
   local.FoldInto(stats_);
   gp.id = next_id_++;
   return gp;
 }
 
 std::vector<GrowthPattern> GrowthEngine::SeedPatterns(
-    const std::vector<const Spider*>& picks) {
+    const std::vector<int32_t>& picks) {
   const int64_t n = static_cast<int64_t>(picks.size());
   std::vector<GrowthPattern> out(picks.size());
   std::vector<LocalStats> local(picks.size());
   auto build = [this, &picks, &out, &local](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      out[i] = BuildSeed(*picks[i], &local[i]);
+      out[i] = BuildSeed(picks[i], &local[i]);
     }
   };
   if (pool_ != nullptr && n > 1) {
@@ -352,12 +354,12 @@ bool GrowthEngine::TryExtend(
     const std::vector<std::vector<VertexId>>& sorted_images,
     bool* support_preserved) const {
   ++ls->stats.extend_calls;
-  const Spider& spider = index_->spider(spider_id);
+  const SpiderStore& store = index_->store();
   const GrowthPattern& base = ls->pool[base_idx];
 
   const std::vector<LeafKey> np_labels =
       PatternNeighborKeys(base.pattern, v);
-  const std::vector<LeafKey> spider_leaves = spider.LeafKeys();
+  const std::span<const LeafKey> spider_leaves = store.leaves(spider_id);
   // Maximal Overlap (condition I): the spider must cover N_P(v).
   if (!MultisetContains(spider_leaves, np_labels)) return false;
   const std::vector<LeafKey> new_leaves =
@@ -384,7 +386,7 @@ bool GrowthEngine::TryExtend(
     if (cap_hit) break;
     const Embedding& e = base.embeddings[ei];
     VertexId gv = e[v];
-    if (!spider.IsAnchoredAt(gv)) continue;
+    if (!store.IsAnchoredAt(spider_id, gv)) continue;
     const std::vector<VertexId>& image = sorted_images[ei];
     std::vector<std::vector<VertexId>> avail(groups.size());
     for (VertexId x : graph_->Neighbors(gv)) {
@@ -507,11 +509,11 @@ void GrowthEngine::ExpandLineage(GrowthPattern input, Lineage* ls,
       for (VertexId gv : images) {
         for (int32_t sid : index_->SpidersAt(gv)) spider_ids.insert(sid);
       }
+      const SpiderStore& store = index_->store();
       for (int32_t sid : spider_ids) {
-        const Spider& s = index_->spider(sid);
-        if (config_->use_closed_spiders_only && !s.closed) continue;
-        if (s.pattern.Label(0) != label_v) continue;
-        const std::vector<LeafKey> leaves = s.LeafKeys();
+        if (config_->use_closed_spiders_only && !store.closed(sid)) continue;
+        if (store.head_label(sid) != label_v) continue;
+        const std::span<const LeafKey> leaves = store.leaves(sid);
         if (leaves.size() <= np_labels.size()) continue;
         if (!MultisetContains(leaves, np_labels)) continue;
         candidates.push_back(sid);
@@ -556,19 +558,21 @@ void GrowthEngine::ExpandLineage(GrowthPattern input, Lineage* ls,
 }
 
 void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
-  // Gather candidate pattern-id pairs per colliding key, current round
-  // first, then cross previous round (Buf_cur x Buf_pre). Keys are visited
-  // in sorted order so the merge sequence is independent of hash-map
-  // layout (and therefore of how the registry was assembled).
+  // ---- Bucket collection (serial): gather candidate pattern-id sets per
+  // colliding (spider, anchor) key, current round first, then cross the
+  // previous round (Buf_cur x Buf_pre), resolved to live pool entries.
+  // Keys are visited in sorted order so the merge sequence is independent
+  // of hash-map layout (and of how the registry was assembled).
+  struct Bucket {
+    uint64_t key = 0;
+    std::vector<int64_t> live;  // pool indices, in pattern-id order
+  };
   std::vector<uint64_t> keys;
   keys.reserve(rs->registry.size());
   for (const auto& [key, ids] : rs->registry) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
+  std::vector<Bucket> buckets;
   for (uint64_t key : keys) {
-    if (Cancelled()) {
-      rs->truncated = true;
-      break;
-    }
     std::vector<int64_t> all_ids = rs->registry[key];
     if (previous != nullptr) {
       auto it = previous->find(key);
@@ -579,40 +583,61 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
     std::sort(all_ids.begin(), all_ids.end());
     all_ids.erase(std::unique(all_ids.begin(), all_ids.end()), all_ids.end());
     if (all_ids.size() < 2) continue;
-
-    // Resolve to live pool entries.
-    std::vector<int64_t> live;
+    Bucket bucket;
+    bucket.key = key;
     for (int64_t id : all_ids) {
       auto it = rs->id_to_pool.find(id);
       if (it == rs->id_to_pool.end()) continue;
       if (rs->dead[it->second]) continue;
-      live.push_back(it->second);
+      bucket.live.push_back(it->second);
     }
-    if (live.size() < 2) continue;
+    if (bucket.live.size() < 2) continue;
+    buckets.push_back(std::move(bucket));
+  }
+  if (buckets.empty()) return;
 
+  // ---- Parallel phase: each anchor-collision bucket builds its union
+  // candidates against the pre-merge pool SNAPSHOT (read-only — no Admit
+  // happens until the fold below), writing into its own slot. Bucket
+  // outputs therefore depend only on the snapshot and the bucket, never on
+  // scheduling.
+  struct UnionCandidate {
+    Pattern pattern;
+    SpiderSetRepr spider_set;
+    std::vector<Embedding> embeddings;
+    std::vector<VertexId> boundary;  // from the first instance
+    int64_t support = 0;
+  };
+  struct BucketResult {
+    std::vector<UnionCandidate> candidates;
+    int64_t merge_attempts = 0;
+    int64_t iso_checks_run = 0;
+    bool cancelled = false;
+  };
+  std::vector<BucketResult> results(buckets.size());
+  auto build_bucket = [this, rs](const Bucket& bucket, BucketResult* out) {
     int32_t pairs_done = 0;
-    for (size_t i = 0; i < live.size() && pairs_done <
+    for (size_t i = 0; i < bucket.live.size() && pairs_done <
          config_->max_merge_pairs_per_key; ++i) {
-      for (size_t j = i + 1; j < live.size() && pairs_done <
+      for (size_t j = i + 1; j < bucket.live.size() && pairs_done <
            config_->max_merge_pairs_per_key; ++j) {
+        if (Cancelled()) {
+          out->cancelled = true;
+          return;
+        }
         ++pairs_done;
-        ++stats_->merge_attempts;
-        const int64_t ia = live[i];
-        const int64_t ib = live[j];
-        // NOTE: references into pool must be re-taken after Admit calls.
+        ++out->merge_attempts;
+        const GrowthPattern& a = rs->pool[bucket.live[i]];
+        const GrowthPattern& b = rs->pool[bucket.live[j]];
         // Collect overlapping embedding pairs.
         std::unordered_map<VertexId, std::vector<int32_t>> where;
-        {
-          const GrowthPattern& a = rs->pool[ia];
-          for (size_t ei = 0; ei < a.embeddings.size(); ++ei) {
-            for (VertexId gv : a.embeddings[ei]) {
-              where[gv].push_back(static_cast<int32_t>(ei));
-            }
+        for (size_t ei = 0; ei < a.embeddings.size(); ++ei) {
+          for (VertexId gv : a.embeddings[ei]) {
+            where[gv].push_back(static_cast<int32_t>(ei));
           }
         }
         std::vector<std::pair<int32_t, int32_t>> overlaps;
         {
-          const GrowthPattern& b = rs->pool[ib];
           std::unordered_set<int64_t> seen_pairs;
           for (size_t ej = 0; ej < b.embeddings.size(); ++ej) {
             for (VertexId gv : b.embeddings[ej]) {
@@ -634,17 +659,10 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
         }
         if (overlaps.empty()) continue;
 
-        // Build union instances and group them by structure.
-        struct UnionGroup {
-          Pattern pattern;
-          SpiderSetRepr spider_set;
-          std::vector<Embedding> embeddings;
-          std::vector<VertexId> boundary;  // from the first instance
-        };
-        std::vector<UnionGroup> unions;
+        // Build union instances and group them by structure (within the
+        // pair; cross-pair and cross-bucket dedup happens in the fold).
+        std::vector<UnionCandidate> unions;
         for (const auto& [ei, ej] : overlaps) {
-          const GrowthPattern& a = rs->pool[ia];
-          const GrowthPattern& b = rs->pool[ib];
           const Embedding& e1 = a.embeddings[ei];
           const Embedding& e2 = b.embeddings[ej];
           // Union vertex set, sorted for a deterministic mapping.
@@ -668,17 +686,17 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
           SpiderSetRepr repr =
               SpiderSetRepr::Compute(up, config_->spider_radius);
           // Find matching group (spider-set filter, then exact check).
-          UnionGroup* group = nullptr;
-          for (UnionGroup& g : unions) {
+          UnionCandidate* group = nullptr;
+          for (UnionCandidate& g : unions) {
             if (!(g.spider_set == repr)) continue;
-            ++stats_->iso_checks_run;
+            ++out->iso_checks_run;
             if (ArePatternsIsomorphic(g.pattern, up)) {
               group = &g;
               break;
             }
           }
           if (group == nullptr) {
-            UnionGroup g;
+            UnionCandidate g;
             g.pattern = std::move(up);
             g.spider_set = repr;
             // Boundary: images of both parents' frontier vertices.
@@ -703,39 +721,67 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
           group->embeddings.push_back(std::move(ue));
         }
 
-        for (UnionGroup& g : unions) {
+        for (UnionCandidate& g : unions) {
           DedupEmbeddingsByImage(&g.embeddings);
           SupportContext ctx;
           ctx.txn_of_vertex = config_->txn_of_vertex;
-          int64_t support = ComputeSupport(config_->support_measure,
-                                           g.pattern, g.embeddings, ctx);
-          if (support < config_->min_support) continue;
-          GrowthPattern merged;
-          merged.pattern = std::move(g.pattern);
-          merged.embeddings = std::move(g.embeddings);
-          merged.support = support;
-          merged.spider_set = g.spider_set;
-          merged.next_boundary = std::move(g.boundary);
-          merged.merged_ever = true;
-          merged.id = next_id_++;
-          int64_t dup = FindDuplicateIn(rs->pool, rs->dedup, merged,
-                                        &stats_->iso_checks_skipped,
-                                        &stats_->iso_checks_run);
-          if (dup >= 0) {
-            GrowthPattern& other = rs->pool[dup];
-            other.merged_ever = true;  // it is now a merge product
-            FoldEmbeddings(&other, std::move(merged.embeddings),
-                           config_->max_embeddings_per_pattern);
-            other.support = Support(other);
-            continue;
-          }
-          rs->Admit(std::move(merged));
-          ++stats_->merges;
-          rs->any_growth = true;
+          g.support = ComputeSupport(config_->support_measure, g.pattern,
+                                     g.embeddings, ctx);
+          if (g.support < config_->min_support) continue;
+          out->candidates.push_back(std::move(g));
         }
       }
     }
+  };
+  auto build_range = [&buckets, &results, &build_bucket](int64_t begin,
+                                                         int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      build_bucket(buckets[static_cast<size_t>(i)],
+                   &results[static_cast<size_t>(i)]);
+    }
+  };
+  if (pool_ != nullptr && buckets.size() > 1) {
+    // Grain 1: bucket costs are skewed (hot anchors collide more).
+    pool_->ParallelForChunks(static_cast<int64_t>(buckets.size()),
+                             /*grain=*/1, build_range, token_);
+  } else {
+    build_range(0, static_cast<int64_t>(buckets.size()));
   }
+
+  // ---- Serial fold in sorted key order: assign ids, dedup against the
+  // evolving pool (folding embeddings of duplicates) and admit. Identical
+  // at any thread count because candidates and fold order are.
+  for (size_t i = 0; i < results.size(); ++i) {
+    BucketResult& result = results[i];
+    stats_->merge_attempts += result.merge_attempts;
+    stats_->iso_checks_run += result.iso_checks_run;
+    if (result.cancelled) rs->truncated = true;
+    for (UnionCandidate& c : result.candidates) {
+      GrowthPattern merged;
+      merged.pattern = std::move(c.pattern);
+      merged.embeddings = std::move(c.embeddings);
+      merged.support = c.support;
+      merged.spider_set = c.spider_set;
+      merged.next_boundary = std::move(c.boundary);
+      merged.merged_ever = true;
+      merged.id = next_id_++;
+      int64_t dup = FindDuplicateIn(rs->pool, rs->dedup, merged,
+                                    &stats_->iso_checks_skipped,
+                                    &stats_->iso_checks_run);
+      if (dup >= 0) {
+        GrowthPattern& other = rs->pool[dup];
+        other.merged_ever = true;  // it is now a merge product
+        FoldEmbeddings(&other, std::move(merged.embeddings),
+                       config_->max_embeddings_per_pattern);
+        other.support = Support(other);
+        continue;
+      }
+      rs->Admit(std::move(merged));
+      ++stats_->merges;
+      rs->any_growth = true;
+    }
+  }
+  if (Cancelled()) rs->truncated = true;
 }
 
 GrowRoundResult GrowthEngine::GrowRound(std::vector<GrowthPattern> input,

@@ -23,9 +23,11 @@
 /// "lineage") is independent of every other lineage, so lineages run on
 /// ThreadPool workers, each writing into its own pre-sized slot with its own
 /// stat counters. The coordinating thread then folds lineages in input
-/// order -- cross-lineage dedup, id assignment, registry remap, and the
-/// CheckMerge pass all happen serially in a stable order -- so the round's
-/// output is identical at any thread count.
+/// order -- cross-lineage dedup, id assignment, and registry remap happen
+/// serially in a stable order. The CheckMerge pass builds each colliding
+/// anchor bucket's union candidates on the workers (every bucket reads the
+/// same pre-merge snapshot) and admits them in a serial sorted-key fold --
+/// so the round's output is identical at any thread count.
 
 namespace spidermine {
 
@@ -87,16 +89,16 @@ class GrowthEngine {
                const Deadline* deadline = nullptr, ThreadPool* pool = nullptr,
                const CancellationToken* token = nullptr);
 
-  /// Builds the initial GrowthPattern for a seed spider (embeddings
-  /// enumerated per anchor, boundary = outermost layer).
-  GrowthPattern SeedFromSpider(const Spider& spider);
+  /// Builds the initial GrowthPattern for the seed spider with store id
+  /// \p spider_id (embeddings enumerated per anchor, boundary = outermost
+  /// layer).
+  GrowthPattern SeedFromSpider(int32_t spider_id);
 
-  /// Builds seeds for every spider in \p picks, in order, fanning the
+  /// Builds seeds for every spider id in \p picks, in order, fanning the
   /// per-spider embedding enumeration out over the pool. Equivalent to
   /// calling SeedFromSpider on each pick in sequence (same ids, same
   /// stats), but parallel.
-  std::vector<GrowthPattern> SeedPatterns(
-      const std::vector<const Spider*>& picks);
+  std::vector<GrowthPattern> SeedPatterns(const std::vector<int32_t>& picks);
 
   /// One SpiderGrow round over \p input: every pattern is extended at every
   /// boundary vertex with every compatible spider (paper Algorithm 2), with
@@ -119,7 +121,7 @@ class GrowthEngine {
 
   /// Seed construction with stats written to \p local (worker-safe; no
   /// shared-state writes).
-  GrowthPattern BuildSeed(const Spider& spider, LocalStats* local) const;
+  GrowthPattern BuildSeed(int32_t spider_id, LocalStats* local) const;
 
   /// Runs the full intra-round expansion of one input pattern into \p ls,
   /// admitting at most \p pattern_cap patterns (the round's global
@@ -138,7 +140,11 @@ class GrowthEngine {
                  const std::vector<std::vector<VertexId>>& sorted_images,
                  bool* support_preserved) const;
 
-  /// Runs CheckMerge for all colliding registry keys (coordinator only).
+  /// Runs CheckMerge for all colliding registry keys. Per-key union-group
+  /// construction (the expensive part: overlap collection, union-instance
+  /// building, support counting) fans out over the pool against the
+  /// pre-merge pool snapshot; a serial fold then admits candidates in
+  /// sorted key order, so the outcome is identical at any thread count.
   void RunMerges(RoundState* rs, MergeRegistry* previous);
 
   const LabeledGraph* graph_;

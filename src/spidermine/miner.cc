@@ -1,6 +1,7 @@
 #include "spidermine/miner.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -123,15 +124,25 @@ Result<MineResult> SpiderMiner::Mine() {
   if (config_.num_threads < 0) {
     return Status::InvalidArgument("num_threads must be >= 0");
   }
+  if (config_.stage1_shard_grain < 0) {
+    return Status::InvalidArgument(
+        "stage1_shard_grain must be >= 0 (0 = automatic)");
+  }
 
   MineResult result;
   MineStats& stats = result.stats;
   WallTimer total_timer;
   Deadline deadline(config_.time_budget_seconds);
   // Every stage shares one pool and one deadline-bound token: expiry stops
-  // workers mid-stage, not just between rounds.
-  ThreadPool pool(config_.num_threads > 0 ? config_.num_threads
-                                          : ThreadPool::DefaultThreads());
+  // workers mid-stage, not just between rounds. A caller-provided pool is
+  // reused as-is (restart sweeps and benches pay thread spawn once).
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = config_.pool;
+  if (pool == nullptr) {
+    owned_pool.emplace(config_.num_threads > 0 ? config_.num_threads
+                                               : ThreadPool::DefaultThreads());
+    pool = &*owned_pool;
+  }
   CancellationToken cancel(&deadline);
 
   // ---------------- Stage I: mine all spiders. ----------------
@@ -140,17 +151,22 @@ Result<MineResult> SpiderMiner::Mine() {
   star_config.min_support = config_.min_support;
   star_config.max_leaves = config_.max_star_leaves;
   star_config.max_spiders = config_.max_spiders;
+  star_config.shard_grain = config_.stage1_shard_grain;
   SM_ASSIGN_OR_RETURN(StarMineResult stars,
-                      MineStarSpiders(*graph_, star_config, &pool, &cancel));
-  stats.num_spiders = static_cast<int64_t>(stars.spiders.size());
+                      MineStarSpiders(*graph_, star_config, pool, &cancel));
+  const SpiderStore& store = stars.store;
+  stats.num_spiders = store.size();
   stats.stage1_steps = stars.extension_attempts;
-  for (const Spider& s : stars.spiders) {
-    if (s.closed) ++stats.num_closed_spiders;
+  stats.stage1_store_bytes = store.HeapBytes();
+  stats.stage1_scan_shards = stars.num_scan_shards;
+  stats.stage1_enum_shards = stars.num_enum_shards;
+  for (int32_t id = 0; id < static_cast<int32_t>(store.size()); ++id) {
+    if (store.closed(id)) ++stats.num_closed_spiders;
   }
-  SpiderIndex index(&stars.spiders, graph_->NumVertices());
+  SpiderIndex index(&store, graph_->NumVertices());
   stats.stage1_seconds = stage_timer.ElapsedSeconds();
 
-  if (stars.spiders.empty()) {
+  if (store.empty()) {
     stats.total_seconds = total_timer.ElapsedSeconds();
     return result;  // nothing frequent at all
   }
@@ -167,16 +183,17 @@ Result<MineResult> SpiderMiner::Mine() {
     Result<int64_t> computed = ComputeSeedCount(
         graph_->NumVertices(), vmin, config_.k, config_.epsilon);
     // An unreachable epsilon falls back to drawing every spider.
-    m = computed.ok() ? *computed
-                      : static_cast<int64_t>(stars.spiders.size());
+    m = computed.ok() ? *computed : store.size();
   }
   stats.seed_count_m = m;
 
-  GrowthEngine engine(graph_, &index, &config_, &stats, &deadline, &pool,
+  GrowthEngine engine(graph_, &index, &config_, &stats, &deadline, pool,
                       &cancel);
   ResultCollector collector(&config_, &stats);
 
-  const int32_t total_runs = std::max(1, config_.restarts);
+  // restarts == 0 stops after Stage I; negatives clamp to the default 1.
+  const int32_t total_runs =
+      config_.restarts == 0 ? 0 : std::max(1, config_.restarts);
   for (int32_t run = 0; run < total_runs; ++run) {
     if (cancel.IsCancelled()) {
       stats.timed_out = true;
@@ -193,15 +210,17 @@ Result<MineResult> SpiderMiner::Mine() {
     std::vector<GrowthPattern> working;
     {
       size_t draw = std::min<size_t>(static_cast<size_t>(m),
-                                     stars.spiders.size());
-      std::vector<size_t> picks =
-          run_rng.SampleWithoutReplacement(stars.spiders.size(), draw);
-      std::vector<const Spider*> pick_ptrs;
-      pick_ptrs.reserve(picks.size());
-      for (size_t pick : picks) pick_ptrs.push_back(&stars.spiders[pick]);
+                                     static_cast<size_t>(store.size()));
+      std::vector<size_t> picks = run_rng.SampleWithoutReplacement(
+          static_cast<size_t>(store.size()), draw);
+      std::vector<int32_t> pick_ids;
+      pick_ids.reserve(picks.size());
+      for (size_t pick : picks) {
+        pick_ids.push_back(static_cast<int32_t>(pick));
+      }
       // Seed construction (per-anchor embedding enumeration) fans out over
       // the pool; ids and stats are assigned in pick order.
-      std::vector<GrowthPattern> seeds = engine.SeedPatterns(pick_ptrs);
+      std::vector<GrowthPattern> seeds = engine.SeedPatterns(pick_ids);
       for (GrowthPattern& seed : seeds) {
         if (seed.embeddings.empty()) continue;
         working.push_back(std::move(seed));
@@ -289,7 +308,7 @@ Result<MineResult> SpiderMiner::Mine() {
     // Per-pattern closure is independent: fan out over the pool, each
     // iteration touching only all[i] and its own edges-added slot.
     std::vector<int32_t> edges_added(limit, 0);
-    pool.ParallelForChunks(
+    pool->ParallelForChunks(
         static_cast<int64_t>(limit), /*grain=*/1,
         [this, &all, &edges_added](int64_t begin, int64_t end) {
           SupportContext support_context;

@@ -8,7 +8,9 @@ std::string MineStats::ToString() const {
   std::ostringstream os;
   os << "stage I: " << num_spiders << " spiders (" << num_closed_spiders
      << " closed) in " << stage1_seconds << "s, " << stage1_steps
-     << " extension attempts\n"
+     << " extension attempts, " << stage1_scan_shards << " scan + "
+     << stage1_enum_shards << " enum shards, store "
+     << stage1_store_bytes / 1024 << " KiB\n"
      << "stage II: M=" << seed_count_m << ", " << stage2_iterations
      << " iterations, " << merges << " merges (" << merge_attempts
      << " pairs examined), " << pruned_unmerged << " unmerged pruned, "

@@ -56,7 +56,7 @@ TEST(BallMinerTest, SupersetOfStarMinerAtRadiusOne) {
   // Every star spider must appear among ball spiders (same canonical key
   // space: head-tagged canonical form for balls vs star key -- compare via
   // structure: head label + leaf labels and no internal edges).
-  for (const Spider& star : stars->spiders) {
+  for (const Spider& star : stars->Spiders()) {
     bool found = false;
     for (const Spider& ball : balls->spiders) {
       if (ball.pattern.NumVertices() != star.pattern.NumVertices()) continue;
@@ -69,7 +69,8 @@ TEST(BallMinerTest, SupersetOfStarMinerAtRadiusOne) {
     }
     EXPECT_TRUE(found) << "missing star " << star.pattern.ToString();
   }
-  EXPECT_GE(balls->spiders.size(), stars->spiders.size());
+  EXPECT_GE(static_cast<int64_t>(balls->spiders.size()),
+            stars->store.size());
 }
 
 TEST(BallMinerTest, RadiusBoundsSpiderEccentricity) {

@@ -147,6 +147,50 @@ TEST_F(CliTest, MineVariantsAndMaximalFlags) {
   EXPECT_NE(out.str().find("variant groups:"), std::string::npos);
 }
 
+TEST_F(CliTest, MineRejectsNegativeThreadsWithClearError) {
+  const std::string path = Track(TempPath("cli_mine_threads.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=50", "--labels=5",
+                      "--out=" + path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  Status status = CmdMine({path, "--threads=-1"}, out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--threads"), std::string::npos);
+  EXPECT_NE(status.message().find("-1"), std::string::npos);
+}
+
+TEST_F(CliTest, MineRejectsNegativeShardGrainWithClearError) {
+  const std::string path = Track(TempPath("cli_mine_grain.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=50", "--labels=5",
+                      "--out=" + path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  Status status = CmdMine({path, "--shard-grain=-5"}, out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--shard-grain"), std::string::npos);
+}
+
+TEST_F(CliTest, MineClampsAbsurdThreadAndGrainValues) {
+  // Absurd-but-positive values are clamped, not rejected: the run must
+  // succeed (and results are identical at any accepted value anyway).
+  const std::string path = Track(TempPath("cli_mine_clamp.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=60", "--avg-degree=1.5",
+                      "--labels=6", "--out=" + path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  Status status = CmdMine({path, "--support=3", "--k=2",
+                           "--threads=999999999", "--shard-grain=4"},
+                          out);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.str().find("top "), std::string::npos);
+}
+
 TEST_F(CliTest, MineRejectsBadMeasure) {
   const std::string path = Track(TempPath("cli_mine3.smg"));
   std::ostringstream gen_out;

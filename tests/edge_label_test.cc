@@ -204,7 +204,7 @@ TEST(EdgeLabelTest, StarMinerSeparatesLeavesByEdgeLabel) {
 
   int single_leaf_stars_at_hub = 0;
   bool combined = false;
-  for (const Spider& s : result->spiders) {
+  for (const Spider& s : result->Spiders()) {
     if (s.pattern.Label(0) != 0) continue;
     if (s.pattern.NumVertices() == 2) ++single_leaf_stars_at_hub;
     if (s.pattern.NumVertices() == 3) {

@@ -4,6 +4,7 @@
 
 #include "graph/graph_builder.h"
 #include "spider/star_miner.h"
+#include "spider_test_util.h"
 
 namespace spidermine {
 namespace {
@@ -33,26 +34,23 @@ struct Fixture {
     stars = std::move(MineStarSpiders(graph, star_config)).value();
     config.min_support = 2;
     config.spider_radius = 1;
-    index = std::make_unique<SpiderIndex>(&stars.spiders,
+    index = std::make_unique<SpiderIndex>(&stars.store,
                                           graph.NumVertices());
     engine = std::make_unique<GrowthEngine>(&graph, index.get(), &config,
                                             &stats);
   }
 
-  const Spider* FindStar(LabelId head, std::vector<LabelId> leaves) const {
-    std::sort(leaves.begin(), leaves.end());
-    for (const Spider& s : stars.spiders) {
-      if (s.pattern.Label(0) == head && s.LeafLabels() == leaves) return &s;
-    }
-    return nullptr;
+  /// Store id of the star (head, leaf-label multiset), or -1 when absent.
+  int32_t FindStar(LabelId head, std::vector<LabelId> leaves) const {
+    return spidermine::FindStar(stars.store, head, std::move(leaves));
   }
 };
 
 TEST(GrowthTest, SeedFromSpiderBuildsAnchoredEmbeddings) {
   Fixture f(TwoPaths());
-  const Spider* s = f.FindStar(1, {0, 2});
-  ASSERT_NE(s, nullptr);
-  GrowthPattern seed = f.engine->SeedFromSpider(*s);
+  int32_t s = f.FindStar(1, {0, 2});
+  ASSERT_NE(s, -1);
+  GrowthPattern seed = f.engine->SeedFromSpider(s);
   EXPECT_EQ(seed.pattern.NumVertices(), 3);
   ASSERT_EQ(seed.embeddings.size(), 2u);  // one per path copy
   EXPECT_EQ(seed.support, 2);
@@ -66,9 +64,9 @@ TEST(GrowthTest, SeedFromSpiderBuildsAnchoredEmbeddings) {
 
 TEST(GrowthTest, SeedFromSingleVertexSpiderHasHeadBoundary) {
   Fixture f(TwoPaths());
-  const Spider* s = f.FindStar(2, {});
-  ASSERT_NE(s, nullptr);
-  GrowthPattern seed = f.engine->SeedFromSpider(*s);
+  int32_t s = f.FindStar(2, {});
+  ASSERT_NE(s, -1);
+  GrowthPattern seed = f.engine->SeedFromSpider(s);
   EXPECT_EQ(seed.pattern.NumVertices(), 1);
   EXPECT_EQ(seed.boundary, (std::vector<VertexId>{0}));
   EXPECT_EQ(seed.embeddings.size(), 2u);
@@ -76,10 +74,10 @@ TEST(GrowthTest, SeedFromSingleVertexSpiderHasHeadBoundary) {
 
 TEST(GrowthTest, GrowRoundExtendsPatternOutward) {
   Fixture f(TwoPaths());
-  const Spider* s = f.FindStar(1, {0, 2});
-  ASSERT_NE(s, nullptr);
+  int32_t s = f.FindStar(1, {0, 2});
+  ASSERT_NE(s, -1);
   std::vector<GrowthPattern> working;
-  working.push_back(f.engine->SeedFromSpider(*s));
+  working.push_back(f.engine->SeedFromSpider(s));
   MergeRegistry previous;
   GrowRoundResult round =
       f.engine->GrowRound(std::move(working), /*enable_merging=*/false,
@@ -98,10 +96,10 @@ TEST(GrowthTest, GrowRoundExtendsPatternOutward) {
 
 TEST(GrowthTest, RepeatedRoundsReachFullPath) {
   Fixture f(TwoPaths());
-  const Spider* s = f.FindStar(2, {1, 3});
-  ASSERT_NE(s, nullptr);
+  int32_t s = f.FindStar(2, {1, 3});
+  ASSERT_NE(s, -1);
   std::vector<GrowthPattern> working;
-  working.push_back(f.engine->SeedFromSpider(*s));
+  working.push_back(f.engine->SeedFromSpider(s));
   MergeRegistry previous;
   for (int round = 0; round < 3; ++round) {
     GrowRoundResult r =
@@ -117,10 +115,10 @@ TEST(GrowthTest, RepeatedRoundsReachFullPath) {
 
 TEST(GrowthTest, NonClosedSubPatternsAreDropped) {
   Fixture f(TwoPaths());
-  const Spider* s = f.FindStar(2, {1, 3});
-  ASSERT_NE(s, nullptr);
+  int32_t s = f.FindStar(2, {1, 3});
+  ASSERT_NE(s, -1);
   std::vector<GrowthPattern> working;
-  working.push_back(f.engine->SeedFromSpider(*s));
+  working.push_back(f.engine->SeedFromSpider(s));
   MergeRegistry previous;
   GrowRoundResult r = f.engine->GrowRound(std::move(working), false,
                                           &previous);
@@ -140,13 +138,13 @@ TEST(GrowthTest, NonClosedSubPatternsAreDropped) {
 TEST(GrowthTest, MergeDetectedWhenSeedsCollide) {
   Fixture f(TwoPaths());
   // Two seeds growing toward each other along the path.
-  const Spider* left = f.FindStar(1, {0, 2});
-  const Spider* right = f.FindStar(3, {2, 4});
-  ASSERT_NE(left, nullptr);
-  ASSERT_NE(right, nullptr);
+  int32_t left = f.FindStar(1, {0, 2});
+  int32_t right = f.FindStar(3, {2, 4});
+  ASSERT_NE(left, -1);
+  ASSERT_NE(right, -1);
   std::vector<GrowthPattern> working;
-  working.push_back(f.engine->SeedFromSpider(*left));
-  working.push_back(f.engine->SeedFromSpider(*right));
+  working.push_back(f.engine->SeedFromSpider(left));
+  working.push_back(f.engine->SeedFromSpider(right));
   MergeRegistry previous;
   GrowRoundResult r =
       f.engine->GrowRound(std::move(working), /*enable_merging=*/true,
@@ -164,10 +162,10 @@ TEST(GrowthTest, MergeDetectedWhenSeedsCollide) {
 
 TEST(GrowthTest, ExhaustedFlagSetAtFixpoint) {
   Fixture f(TwoPaths());
-  const Spider* s = f.FindStar(2, {1, 3});
-  ASSERT_NE(s, nullptr);
+  int32_t s = f.FindStar(2, {1, 3});
+  ASSERT_NE(s, -1);
   std::vector<GrowthPattern> working;
-  working.push_back(f.engine->SeedFromSpider(*s));
+  working.push_back(f.engine->SeedFromSpider(s));
   MergeRegistry previous;
   for (int round = 0; round < 4; ++round) {
     GrowRoundResult r =
@@ -183,9 +181,9 @@ TEST(GrowthTest, ExhaustedFlagSetAtFixpoint) {
 
 TEST(GrowthTest, SupportRecomputationMatchesMeasure) {
   Fixture f(TwoPaths());
-  const Spider* s = f.FindStar(1, {0, 2});
-  ASSERT_NE(s, nullptr);
-  GrowthPattern seed = f.engine->SeedFromSpider(*s);
+  int32_t s = f.FindStar(1, {0, 2});
+  ASSERT_NE(s, -1);
+  GrowthPattern seed = f.engine->SeedFromSpider(s);
   EXPECT_EQ(f.engine->Support(seed), seed.support);
 }
 

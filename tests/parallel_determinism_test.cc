@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "gen/barabasi_albert.h"
 #include "gen/erdos_renyi.h"
 #include "gen/injection.h"
@@ -111,6 +112,82 @@ TEST(ParallelDeterminismTest, RestartsUseIndependentSubstreams) {
   config.restarts = 3;
   config.seed_count_override = 4;
   ExpectIdenticalAcrossThreadCounts(g, config);
+}
+
+TEST(ParallelDeterminismTest, ShardGrainAndThreadsMatrixIdentical) {
+  // Shard-grain invariance: the transcript must be byte-identical across
+  // {1, 2, 8} threads x {tiny, default, huge} Stage I vertex-range grains.
+  LabeledGraph g = ErGraphWithInjection(606);
+  MineConfig config = BaseConfig();
+  config.num_threads = 1;
+  config.stage1_shard_grain = 0;
+  Result<MineResult> reference = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  const std::string expected = Transcript(*reference);
+  EXPECT_FALSE(reference->patterns.empty());
+  for (int32_t threads : {1, 2, 8}) {
+    for (int64_t grain : {int64_t{3}, int64_t{0}, int64_t{1} << 20}) {
+      config.num_threads = threads;
+      config.stage1_shard_grain = grain;
+      Result<MineResult> run = SpiderMiner(&g, config).Mine();
+      ASSERT_TRUE(run.ok()) << run.status();
+      EXPECT_EQ(Transcript(*run), expected)
+          << "diverged at threads=" << threads << " grain=" << grain;
+      EXPECT_EQ(run->stats.num_spiders, reference->stats.num_spiders);
+      EXPECT_EQ(run->stats.stage1_steps, reference->stats.stage1_steps);
+      EXPECT_EQ(run->stats.growth_steps, reference->stats.growth_steps);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, GlobalSpiderBudgetIsGrainAndThreadInvariant) {
+  // With max_spiders set, the admitted prefix (and hence everything
+  // downstream) must not depend on threads or grain either.
+  LabeledGraph g = ScaleFreeGraphWithInjection(707);
+  MineConfig config = BaseConfig();
+  config.max_spiders = 40;
+  config.num_threads = 1;
+  Result<MineResult> reference = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_EQ(reference->stats.num_spiders, 40);
+  const std::string expected = Transcript(*reference);
+  for (int32_t threads : {2, 8}) {
+    for (int64_t grain : {int64_t{5}, int64_t{0}}) {
+      config.num_threads = threads;
+      config.stage1_shard_grain = grain;
+      Result<MineResult> run = SpiderMiner(&g, config).Mine();
+      ASSERT_TRUE(run.ok()) << run.status();
+      EXPECT_EQ(Transcript(*run), expected)
+          << "budgeted run diverged at threads=" << threads
+          << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, CallerProvidedPoolReusedAcrossMines) {
+  // One externally owned pool serves several Mine() calls (the bench-sweep
+  // / restart reuse path) and produces the same transcript as per-Mine
+  // pool construction.
+  LabeledGraph g = ErGraphWithInjection(808);
+  MineConfig config = BaseConfig();
+  config.num_threads = 4;
+  Result<MineResult> owned = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(owned.ok());
+  ThreadPool shared_pool(4);
+  config.pool = &shared_pool;
+  for (int run = 0; run < 3; ++run) {
+    Result<MineResult> result = SpiderMiner(&g, config).Mine();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(Transcript(*result), Transcript(*owned))
+        << "shared-pool run " << run << " diverged";
+  }
+}
+
+TEST(ParallelDeterminismTest, NegativeShardGrainRejected) {
+  LabeledGraph g = ErGraphWithInjection(909);
+  MineConfig config = BaseConfig();
+  config.stage1_shard_grain = -7;
+  EXPECT_FALSE(SpiderMiner(&g, config).Mine().ok());
 }
 
 TEST(ParallelDeterminismTest, ZeroThreadsMeansHardwareDefault) {

@@ -92,15 +92,16 @@ TEST_P(RandomScenario, StarSupportIsAntiMonotone) {
   config.max_leaves = 4;
   Result<StarMineResult> result = MineStarSpiders(g, config);
   ASSERT_TRUE(result.ok());
+  const std::vector<Spider> spiders = result->Spiders();
   // Index stars by (head, leaves) for sub-star lookup.
-  for (const Spider& s : result->spiders) {
+  for (const Spider& s : spiders) {
     std::vector<LabelId> leaves = s.LeafLabels();
     if (leaves.empty()) continue;
     // Dropping the last leaf gives a sub-star that must also be frequent
     // with support >= the super-star's.
     std::vector<LabelId> sub(leaves.begin(), leaves.end() - 1);
     bool found = false;
-    for (const Spider& t : result->spiders) {
+    for (const Spider& t : spiders) {
       if (t.pattern.Label(0) == s.pattern.Label(0) &&
           t.LeafLabels() == sub) {
         EXPECT_GE(t.support, s.support);
@@ -123,7 +124,7 @@ TEST_P(RandomScenario, StarAnchorsAdmitEmbeddings) {
   Result<StarMineResult> result = MineStarSpiders(g, config);
   ASSERT_TRUE(result.ok());
   int32_t checked = 0;
-  for (const Spider& s : result->spiders) {
+  for (const Spider& s : result->Spiders()) {
     if (s.pattern.NumVertices() < 2 || checked >= 5) continue;
     ++checked;
     for (size_t i = 0; i < std::min<size_t>(s.anchors.size(), 3); ++i) {

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "spider/spider_store.h"
+
+/// \file spider_test_util.h
+/// Shared SpiderStore test helpers. Transcripts are compared run-vs-run
+/// (never against literal goldens), so every suite must agree on one
+/// canonical format — keep the single definition here.
+
+namespace spidermine {
+
+/// Canonical text transcript of a mined store (order-sensitive): head
+/// label, (edge label, leaf label) pairs, anchors (or just the support
+/// when \p with_anchors is false — large-graph suites), closed flag.
+inline std::string StoreTranscript(const SpiderStore& store,
+                                   bool with_anchors = true) {
+  std::string out;
+  for (int32_t id = 0; id < static_cast<int32_t>(store.size()); ++id) {
+    out += "h" + std::to_string(store.head_label(id));
+    for (const SpiderLeafKey& key : store.leaves(id)) {
+      out += "," + std::to_string(key.first) + ":" +
+             std::to_string(key.second);
+    }
+    if (with_anchors) {
+      out += "|a";
+      for (VertexId v : store.anchors(id)) out += std::to_string(v) + ";";
+    } else {
+      out += "|s" + std::to_string(store.support(id));
+    }
+    out += store.closed(id) ? "|c" : "|o";
+    out += "\n";
+  }
+  return out;
+}
+
+/// Store id of the star (head, leaf-label multiset), or -1 when absent.
+inline int32_t FindStar(const SpiderStore& store, LabelId head,
+                        std::vector<LabelId> leaves) {
+  std::sort(leaves.begin(), leaves.end());
+  for (int32_t id = 0; id < static_cast<int32_t>(store.size()); ++id) {
+    if (store.head_label(id) != head) continue;
+    std::vector<LabelId> labels;
+    for (const SpiderLeafKey& key : store.leaves(id)) {
+      labels.push_back(key.second);
+    }
+    std::sort(labels.begin(), labels.end());
+    if (labels == leaves) return id;
+  }
+  return -1;
+}
+
+}  // namespace spidermine

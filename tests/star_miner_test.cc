@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <string>
 
 #include "graph/graph_builder.h"
+#include "spider_test_util.h"
 
 namespace spidermine {
 namespace {
@@ -35,15 +38,6 @@ LabeledGraph TwoStars() {
   return std::move(b.Build()).value();
 }
 
-const Spider* FindStar(const StarMineResult& result, LabelId head,
-                       std::vector<LabelId> leaves) {
-  std::sort(leaves.begin(), leaves.end());
-  for (const Spider& s : result.spiders) {
-    if (s.pattern.Label(0) == head && s.LeafLabels() == leaves) return &s;
-  }
-  return nullptr;
-}
-
 TEST(StarMinerTest, FindsAllFrequentStars) {
   LabeledGraph g = TwoStars();
   StarMinerConfig config;
@@ -52,18 +46,18 @@ TEST(StarMinerTest, FindsAllFrequentStars) {
   ASSERT_TRUE(result.ok());
   // Expected frequent stars with head 0 (anchors: vertices 0 and 4):
   // {}, {1}, {2}, {1,1}, {1,2}, {1,1,2}.
-  EXPECT_NE(FindStar(*result, 0, {}), nullptr);
-  EXPECT_NE(FindStar(*result, 0, {1}), nullptr);
-  EXPECT_NE(FindStar(*result, 0, {2}), nullptr);
-  EXPECT_NE(FindStar(*result, 0, {1, 1}), nullptr);
-  EXPECT_NE(FindStar(*result, 0, {1, 2}), nullptr);
-  EXPECT_NE(FindStar(*result, 0, {1, 1, 2}), nullptr);
+  EXPECT_NE(FindStar(result->store, 0, {}), -1);
+  EXPECT_NE(FindStar(result->store, 0, {1}), -1);
+  EXPECT_NE(FindStar(result->store, 0, {2}), -1);
+  EXPECT_NE(FindStar(result->store, 0, {1, 1}), -1);
+  EXPECT_NE(FindStar(result->store, 0, {1, 2}), -1);
+  EXPECT_NE(FindStar(result->store, 0, {1, 1, 2}), -1);
   // Leaves of label 1 anchor stars with head 1 and leaf 0.
-  EXPECT_NE(FindStar(*result, 1, {0}), nullptr);
+  EXPECT_NE(FindStar(result->store, 1, {0}), -1);
   // Isolated label-3 vertices are single-vertex spiders only.
-  const Spider* singleton3 = FindStar(*result, 3, {});
-  ASSERT_NE(singleton3, nullptr);
-  EXPECT_EQ(singleton3->support, 2);
+  int32_t singleton3 = FindStar(result->store, 3, {});
+  ASSERT_NE(singleton3, -1);
+  EXPECT_EQ(result->store.support(singleton3), 2);
 }
 
 TEST(StarMinerTest, AnchorListsAreCorrect) {
@@ -72,13 +66,16 @@ TEST(StarMinerTest, AnchorListsAreCorrect) {
   config.min_support = 2;
   Result<StarMineResult> result = MineStarSpiders(g, config);
   ASSERT_TRUE(result.ok());
-  const Spider* full = FindStar(*result, 0, {1, 1, 2});
-  ASSERT_NE(full, nullptr);
-  EXPECT_EQ(full->anchors, (std::vector<VertexId>{0, 4}));
-  EXPECT_EQ(full->support, 2);
-  EXPECT_TRUE(full->IsAnchoredAt(0));
-  EXPECT_TRUE(full->IsAnchoredAt(4));
-  EXPECT_FALSE(full->IsAnchoredAt(1));
+  int32_t full = FindStar(result->store, 0, {1, 1, 2});
+  ASSERT_NE(full, -1);
+  const SpiderStore& store = result->store;
+  std::span<const VertexId> anchors = store.anchors(full);
+  EXPECT_EQ((std::vector<VertexId>(anchors.begin(), anchors.end())),
+            (std::vector<VertexId>{0, 4}));
+  EXPECT_EQ(store.support(full), 2);
+  EXPECT_TRUE(store.IsAnchoredAt(full, 0));
+  EXPECT_TRUE(store.IsAnchoredAt(full, 4));
+  EXPECT_FALSE(store.IsAnchoredAt(full, 1));
 }
 
 TEST(StarMinerTest, InfrequentStarsExcluded) {
@@ -88,8 +85,8 @@ TEST(StarMinerTest, InfrequentStarsExcluded) {
   Result<StarMineResult> result = MineStarSpiders(g, config);
   ASSERT_TRUE(result.ok());
   // Only heads with >= 3 anchors survive: label 1 has 4 vertices.
-  EXPECT_EQ(FindStar(*result, 0, {}), nullptr);
-  EXPECT_NE(FindStar(*result, 1, {}), nullptr);
+  EXPECT_EQ(FindStar(result->store, 0, {}), -1);
+  EXPECT_NE(FindStar(result->store, 1, {}), -1);
 }
 
 TEST(StarMinerTest, ClosedFlagMarksMaximalStars) {
@@ -99,13 +96,13 @@ TEST(StarMinerTest, ClosedFlagMarksMaximalStars) {
   Result<StarMineResult> result = MineStarSpiders(g, config);
   ASSERT_TRUE(result.ok());
   // {1} extends to {1,1} keeping both anchors => non-closed.
-  const Spider* sub = FindStar(*result, 0, {1});
-  ASSERT_NE(sub, nullptr);
-  EXPECT_FALSE(sub->closed);
+  int32_t sub = FindStar(result->store, 0, {1});
+  ASSERT_NE(sub, -1);
+  EXPECT_FALSE(result->store.closed(sub));
   // The maximal star is closed.
-  const Spider* full = FindStar(*result, 0, {1, 1, 2});
-  ASSERT_NE(full, nullptr);
-  EXPECT_TRUE(full->closed);
+  int32_t full = FindStar(result->store, 0, {1, 1, 2});
+  ASSERT_NE(full, -1);
+  EXPECT_TRUE(result->store.closed(full));
 }
 
 TEST(StarMinerTest, MaxLeavesBoundsSize) {
@@ -115,10 +112,11 @@ TEST(StarMinerTest, MaxLeavesBoundsSize) {
   config.max_leaves = 1;
   Result<StarMineResult> result = MineStarSpiders(g, config);
   ASSERT_TRUE(result.ok());
-  for (const Spider& s : result->spiders) {
-    EXPECT_LE(s.pattern.NumVertices(), 2);
+  for (int32_t id = 0; id < static_cast<int32_t>(result->store.size());
+       ++id) {
+    EXPECT_LE(result->store.NumVerticesOf(id), 2);
   }
-  EXPECT_EQ(FindStar(*result, 0, {1, 1}), nullptr);
+  EXPECT_EQ(FindStar(result->store, 0, {1, 1}), -1);
 }
 
 TEST(StarMinerTest, MaxSpidersTruncates) {
@@ -129,7 +127,7 @@ TEST(StarMinerTest, MaxSpidersTruncates) {
   Result<StarMineResult> result = MineStarSpiders(g, config);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->truncated);
-  EXPECT_EQ(result->spiders.size(), 3u);
+  EXPECT_EQ(result->store.size(), 3);
 }
 
 TEST(StarMinerTest, ExcludeSingleVertexSpiders) {
@@ -139,8 +137,9 @@ TEST(StarMinerTest, ExcludeSingleVertexSpiders) {
   config.include_single_vertex = false;
   Result<StarMineResult> result = MineStarSpiders(g, config);
   ASSERT_TRUE(result.ok());
-  for (const Spider& s : result->spiders) {
-    EXPECT_GE(s.pattern.NumVertices(), 2);
+  for (int32_t id = 0; id < static_cast<int32_t>(result->store.size());
+       ++id) {
+    EXPECT_GE(result->store.NumVerticesOf(id), 2);
   }
 }
 
@@ -160,7 +159,7 @@ TEST(StarMinerTest, StarPatternStructureIsStar) {
   config.min_support = 2;
   Result<StarMineResult> result = MineStarSpiders(g, config);
   ASSERT_TRUE(result.ok());
-  for (const Spider& s : result->spiders) {
+  for (const Spider& s : result->Spiders()) {
     EXPECT_EQ(s.radius, 1);
     EXPECT_EQ(s.pattern.NumEdges(), s.pattern.NumVertices() - 1);
     for (VertexId v = 1; v < s.pattern.NumVertices(); ++v) {
@@ -170,12 +169,101 @@ TEST(StarMinerTest, StarPatternStructureIsStar) {
   }
 }
 
+TEST(StarMinerTest, MaxSpidersIsExactGlobalPrefix) {
+  // The global budget must return the exact prefix of the unlimited
+  // enumeration in canonical order -- not a per-label truncation.
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  Result<StarMineResult> full = MineStarSpiders(g, config);
+  ASSERT_TRUE(full.ok());
+  const int64_t total = full->store.size();
+  ASSERT_GT(total, 4);
+  for (int64_t budget = 1; budget <= total; ++budget) {
+    config.max_spiders = budget;
+    Result<StarMineResult> capped = MineStarSpiders(g, config);
+    ASSERT_TRUE(capped.ok());
+    ASSERT_EQ(capped->store.size(), budget);
+    // Closed flags of the last admitted spiders may differ (their closing
+    // children can fall beyond the budget), so compare structure + anchors
+    // field by field rather than the flag-bearing transcript.
+    for (int32_t id = 0; id < static_cast<int32_t>(budget); ++id) {
+      EXPECT_EQ(capped->store.head_label(id), full->store.head_label(id));
+      std::span<const SpiderLeafKey> a = capped->store.leaves(id);
+      std::span<const SpiderLeafKey> b = full->store.leaves(id);
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+      std::span<const VertexId> aa = capped->store.anchors(id);
+      std::span<const VertexId> bb = full->store.anchors(id);
+      EXPECT_TRUE(std::equal(aa.begin(), aa.end(), bb.begin(), bb.end()));
+    }
+    EXPECT_EQ(capped->truncated, budget < total);
+  }
+}
+
+TEST(StarMinerTest, ExactBudgetInOneShardIsNotTruncated) {
+  // Two disjoint label-0 edges: with roots excluded, exactly one frequent
+  // star ({0}, leaf 0) in a single enumeration shard. A budget equal to
+  // the full enumeration must not report truncation even though one shard
+  // holds the entire budget.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  LabeledGraph g = std::move(b.Build()).value();
+  StarMinerConfig config;
+  config.min_support = 2;
+  config.include_single_vertex = false;
+  Result<StarMineResult> full = MineStarSpiders(g, config);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->store.size(), 1);
+  config.max_spiders = 1;
+  Result<StarMineResult> capped = MineStarSpiders(g, config);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->store.size(), 1);
+  EXPECT_FALSE(capped->truncated);
+}
+
+TEST(StarMinerTest, NonBindingBudgetKeepsAttemptsComparable) {
+  // A budget the enumeration fits inside exactly must yield the same set
+  // AND the same work counter as the unbudgeted run (the counting pass's
+  // attempts, not the prefix-stopped emission pass's).
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  Result<StarMineResult> unbudgeted = MineStarSpiders(g, config);
+  ASSERT_TRUE(unbudgeted.ok());
+  config.max_spiders = unbudgeted->store.size();
+  Result<StarMineResult> budgeted = MineStarSpiders(g, config);
+  ASSERT_TRUE(budgeted.ok());
+  EXPECT_FALSE(budgeted->truncated);
+  EXPECT_EQ(budgeted->store.size(), unbudgeted->store.size());
+  EXPECT_EQ(budgeted->extension_attempts, unbudgeted->extension_attempts);
+}
+
+TEST(StarMinerTest, ShardGrainDoesNotChangeResult) {
+  LabeledGraph g = TwoStars();
+  StarMinerConfig config;
+  config.min_support = 2;
+  Result<StarMineResult> reference = MineStarSpiders(g, config);
+  ASSERT_TRUE(reference.ok());
+  const std::string expected = StoreTranscript(reference->store);
+  ThreadPool pool(4);
+  for (int64_t grain : {int64_t{1}, int64_t{2}, int64_t{1} << 20}) {
+    config.shard_grain = grain;
+    Result<StarMineResult> run = MineStarSpiders(g, config, &pool);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(StoreTranscript(run->store), expected)
+        << "diverged at shard_grain=" << grain;
+    EXPECT_EQ(run->extension_attempts, reference->extension_attempts);
+  }
+}
+
 TEST(StarMinerTest, EmptyGraphYieldsNothing) {
   GraphBuilder b;
   LabeledGraph g = std::move(b.Build()).value();
   Result<StarMineResult> result = MineStarSpiders(g, {});
   ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->spiders.empty());
+  EXPECT_TRUE(result->store.empty());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "gen/barabasi_albert.h"
 #include "gen/callgraph_sim.h"
 #include "gen/dblp_sim.h"
@@ -29,6 +30,38 @@ namespace {
 bool HasExtension(const std::string& path, std::string_view ext) {
   return path.size() >= ext.size() &&
          path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+/// Upper clamps for the parallelism flags: values beyond these cannot help
+/// (more threads than the machine meaningfully schedules; a grain larger
+/// than any vertex list is one shard anyway) and are treated as "as large
+/// as useful" rather than an error.
+constexpr int64_t kMaxShardGrainFlag = int64_t{1} << 31;
+
+/// Validates `--threads`: negatives are rejected with a clear error,
+/// absurdly large values are clamped to 8x the hardware threads (capped at
+/// 1024). 0 = all hardware threads.
+Result<int32_t> ValidateThreadsFlag(int64_t threads) {
+  if (threads < 0) {
+    return Status::InvalidArgument(
+        StrCat("--threads must be >= 0 (got ", threads,
+               "); 0 selects all hardware threads"));
+  }
+  const int64_t max_threads = std::min<int64_t>(
+      1024, 8LL * std::max(1, ThreadPool::DefaultThreads()));
+  return static_cast<int32_t>(std::min(threads, max_threads));
+}
+
+/// Validates `--shard-grain`: negatives are rejected with a clear error,
+/// absurdly large values are clamped. 0 = automatic grain. Mined results
+/// are identical at any accepted value.
+Result<int64_t> ValidateShardGrainFlag(int64_t grain) {
+  if (grain < 0) {
+    return Status::InvalidArgument(
+        StrCat("--shard-grain must be >= 0 (got ", grain,
+               "); 0 selects the automatic vertex-range grain"));
+  }
+  return std::min(grain, kMaxShardGrainFlag);
 }
 
 Result<SupportMeasureKind> ParseMeasure(const std::string& name) {
@@ -163,6 +196,9 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
       .AddInt("threads", 1,
               "worker threads for all stages (0 = all cores); results are "
               "identical at any value")
+      .AddInt("shard-grain", 0,
+              "Stage I vertex-range shard grain (0 = auto); results are "
+              "identical at any value")
       .AddString("measure", "vertex-mis",
                  "support measure: vertex-mis | edge-mis | mni | count")
       .AddDouble("time-budget", 0.0, "wall-clock budget seconds (0 = off)")
@@ -190,7 +226,10 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
   config.vmin = flags.GetInt("vmin");
   config.rng_seed = static_cast<uint64_t>(flags.GetInt("seed"));
   config.restarts = static_cast<int32_t>(flags.GetInt("restarts"));
-  config.num_threads = static_cast<int32_t>(flags.GetInt("threads"));
+  SM_ASSIGN_OR_RETURN(config.num_threads,
+                      ValidateThreadsFlag(flags.GetInt("threads")));
+  SM_ASSIGN_OR_RETURN(config.stage1_shard_grain,
+                      ValidateShardGrainFlag(flags.GetInt("shard-grain")));
   config.time_budget_seconds = flags.GetDouble("time-budget");
   config.enforce_dmax_on_results = flags.GetBool("strict-dmax");
   SM_ASSIGN_OR_RETURN(config.support_measure,
