@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "graph/labeled_graph.h"
 #include "spidermine/config.h"
 #include "spidermine/miner.h"
+#include "spidermine/session.h"
 
 namespace spidermine::bench {
 
@@ -53,6 +55,41 @@ inline double RunSpiderMine(const LabeledGraph& graph, MineConfig config,
   Result<MineResult> result = miner.Mine();
   double seconds = timer.ElapsedSeconds();
   if (result.ok()) *out = std::move(result).value();
+  return seconds;
+}
+
+/// Timed session build (the cold Stage I pass); returns wall seconds and
+/// fills \p out on success (nullopt on failure).
+inline double BuildMiningSession(const LabeledGraph& graph,
+                                 SessionConfig config,
+                                 std::optional<MiningSession>* out) {
+  WallTimer timer;
+  Result<MiningSession> session = MiningSession::Create(&graph, config);
+  double seconds = timer.ElapsedSeconds();
+  if (session.ok()) {
+    out->emplace(std::move(session).value());
+  } else {
+    std::fprintf(stderr, "session build failed: %s\n",
+                 session.status().ToString().c_str());
+    out->reset();
+  }
+  return seconds;
+}
+
+/// Timed warm query against an existing session; returns wall seconds and
+/// fills \p out. The sessions-vs-fused amortization the serving API buys is
+/// exactly (cold stage1 seconds) / (this).
+inline double RunSessionQuery(MiningSession* session, const TopKQuery& query,
+                              QueryResult* out) {
+  WallTimer timer;
+  Result<QueryResult> result = session->RunQuery(query);
+  double seconds = timer.ElapsedSeconds();
+  if (result.ok()) {
+    *out = std::move(result).value();
+  } else {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+  }
   return seconds;
 }
 

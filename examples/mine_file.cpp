@@ -1,17 +1,21 @@
-// Command-line miner: run SpiderMine over a graph file and export the
-// top-K patterns.
+// Command-line miner: open a MiningSession over a graph file (Stage I runs
+// once) and export the top-K patterns of one or more queries.
 //
 //   $ ./examples/mine_file --input graph.lg --sigma 2 --k 10 --dmax 8 \
-//         --out patterns.txt
+//         --runs 3 --out patterns.txt
 //
 // The input format is the LG-style text of graph_io.h ("v <id> <label>" /
 // "e <u> <v>"). With no --input, a demo graph is generated so the binary
 // is runnable standalone. Patterns are written in pattern_io.h format.
+// --runs N issues N queries (seeds seed, seed+1, ...) against the ONE
+// cached Stage I spider set and exports the accumulated best patterns —
+// the session amortization the fused SpiderMiner::Mine() shim cannot give.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "gen/erdos_renyi.h"
@@ -21,7 +25,7 @@
 #include "graph/graph_io.h"
 #include "pattern/pattern_io.h"
 #include "spidermine/closed_filter.h"
-#include "spidermine/miner.h"
+#include "spidermine/session.h"
 
 namespace {
 
@@ -35,9 +39,10 @@ void Usage(const char* argv0) {
       "  --epsilon F      error bound in (0,1) (default 0.1)\n"
       "  --vmin N         large-pattern vertex floor (default |V|/10)\n"
       "  --support NAME   mis-vertex | mis-edge | mni (default mis-vertex)\n"
-      "  --restarts N     stage II+III repetitions (default 1)\n"
-      "  --budget SECONDS wall-clock budget (default 120)\n"
-      "  --seed N         RNG seed (default 42)\n"
+      "  --restarts N     stage II+III repetitions per query (default 1)\n"
+      "  --runs N         queries against the one session (default 1)\n"
+      "  --budget SECONDS per-query wall-clock budget (default 120)\n"
+      "  --seed N         RNG seed of the first query (default 42)\n"
       "  --closed-only    post-filter to closed patterns\n",
       argv0);
 }
@@ -49,9 +54,12 @@ int main(int argc, char** argv) {
 
   std::string input_path;
   std::string out_path;
-  MineConfig config;
-  config.time_budget_seconds = 120;
-  config.dmax = 8;
+  SessionConfig session_config;
+  TopKQuery query;
+  query.time_budget_seconds = 120;
+  query.dmax = 8;
+  int runs = 1;
+  uint64_t base_seed = 42;
   bool closed_only = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -68,31 +76,33 @@ int main(int argc, char** argv) {
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--sigma") {
-      config.min_support = std::atoll(next());
+      session_config.min_support = std::atoll(next());
     } else if (arg == "--k") {
-      config.k = std::atoi(next());
+      query.k = std::atoi(next());
     } else if (arg == "--dmax") {
-      config.dmax = std::atoi(next());
+      query.dmax = std::atoi(next());
     } else if (arg == "--epsilon") {
-      config.epsilon = std::atof(next());
+      query.epsilon = std::atof(next());
     } else if (arg == "--vmin") {
-      config.vmin = std::atoll(next());
+      query.vmin = std::atoll(next());
     } else if (arg == "--restarts") {
-      config.restarts = std::atoi(next());
+      query.restarts = std::atoi(next());
+    } else if (arg == "--runs") {
+      runs = std::atoi(next());
     } else if (arg == "--budget") {
-      config.time_budget_seconds = std::atof(next());
+      query.time_budget_seconds = std::atof(next());
     } else if (arg == "--seed") {
-      config.rng_seed = static_cast<uint64_t>(std::atoll(next()));
+      base_seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--closed-only") {
       closed_only = true;
     } else if (arg == "--support") {
       std::string name = next();
       if (name == "mis-vertex") {
-        config.support_measure = SupportMeasureKind::kGreedyMisVertex;
+        query.support_measure = SupportMeasureKind::kGreedyMisVertex;
       } else if (name == "mis-edge") {
-        config.support_measure = SupportMeasureKind::kGreedyMisEdge;
+        query.support_measure = SupportMeasureKind::kGreedyMisEdge;
       } else if (name == "mni") {
-        config.support_measure = SupportMeasureKind::kMinImage;
+        query.support_measure = SupportMeasureKind::kMinImage;
       } else {
         std::fprintf(stderr, "unknown support measure '%s'\n", name.c_str());
         return 2;
@@ -121,7 +131,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "no --input; generating a 400-vertex demo graph with a "
                  "planted pattern\n");
-    Rng rng(config.rng_seed);
+    Rng rng(base_seed);
     GraphBuilder builder = GenerateErdosRenyi(400, 2.0, 30, &rng);
     Pattern planted = RandomConnectedPattern(14, 0.15, 30, &rng);
     PatternInjector injector(&builder);
@@ -138,23 +148,40 @@ int main(int argc, char** argv) {
                static_cast<long long>(graph.NumEdges()),
                static_cast<int>(graph.NumLabels()));
 
-  SpiderMiner miner(&graph, config);
-  Result<MineResult> result = miner.Mine();
-  if (!result.ok()) {
-    std::fprintf(stderr, "mining failed: %s\n",
-                 result.status().ToString().c_str());
+  // One session: Stage I over the file happens here, once.
+  Result<MiningSession> session =
+      MiningSession::Create(&graph, session_config);
+  if (!session.ok()) {
+    std::fprintf(stderr, "stage I failed: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
-  std::vector<MinedPattern> patterns = std::move(result->patterns);
-  if (closed_only) patterns = FilterToClosed(std::move(patterns));
+  std::fprintf(stderr, "stage I: %lld spiders in %.2fs (mined once)\n",
+               static_cast<long long>(session->stage1_stats().num_spiders),
+               session->stage1_stats().stage1_seconds);
 
-  std::fprintf(stderr,
-               "mined %zu patterns (%lld spiders, M=%lld, %.2fs%s)\n",
-               patterns.size(),
-               static_cast<long long>(result->stats.num_spiders),
-               static_cast<long long>(result->stats.seed_count_m),
-               result->stats.total_seconds,
-               result->stats.timed_out ? ", budget hit" : "");
+  // N queries against the cached store; patterns of all runs accumulate
+  // under the engine's own dedup/ordering semantics (AccumulateTopK), so
+  // one pattern recovered by every run fills a single top-K slot.
+  std::vector<MinedPattern> patterns;
+  for (int run = 0; run < (runs < 1 ? 1 : runs); ++run) {
+    query.rng_seed = base_seed + static_cast<uint64_t>(run);
+    Result<QueryResult> result = session->RunQuery(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "query %d (seed=%llu): %zu patterns, M=%lld, %.2fs%s\n",
+                 run + 1, static_cast<unsigned long long>(query.rng_seed),
+                 result->patterns.size(),
+                 static_cast<long long>(result->stats.seed_count_m),
+                 result->stats.total_seconds,
+                 result->stats.timed_out ? ", budget hit" : "");
+    AccumulateTopK(&patterns, std::move(result->patterns), query.k);
+  }
+  if (closed_only) patterns = FilterToClosed(std::move(patterns));
 
   std::vector<Pattern> shapes;
   std::vector<int64_t> supports;

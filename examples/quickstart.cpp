@@ -1,10 +1,13 @@
-// Quickstart: mine the top-K largest frequent patterns from a synthetic
-// network in ~30 lines of API surface.
+// Quickstart: mine Stage I once, then answer several top-K queries from
+// the cached spider set in ~40 lines of API surface.
 //
 //   $ ./examples/quickstart
 //
 // Builds a small Erdos-Renyi background, plants a 16-vertex pattern three
-// times, runs SpiderMine and prints the recovered top patterns.
+// times, opens a MiningSession (the one-time Stage I pass over the
+// network) and serves three queries against it — the serving shape the
+// paper's cost split suggests: Stage I is the expensive pass, Stages
+// II+III are cheap and randomized, so rerun them per request.
 
 #include <cstdio>
 
@@ -13,7 +16,7 @@
 #include "gen/injection.h"
 #include "gen/pattern_factory.h"
 #include "graph/graph_builder.h"
-#include "spidermine/miner.h"
+#include "spidermine/session.h"
 
 int main() {
   using namespace spidermine;
@@ -45,39 +48,50 @@ int main() {
               static_cast<long long>(graph->NumEdges()),
               planted.NumVertices());
 
-  // 2. Configure SpiderMine (paper Algorithm 1 inputs).
-  MineConfig config;
-  config.min_support = 2;   // sigma
-  config.k = 5;             // top-K
-  config.epsilon = 0.1;     // success probability >= 1 - epsilon
-  config.dmax = 8;          // pattern diameter bound
-  config.vmin = 16;         // "large" means >= 16 vertices
-  config.rng_seed = 7;
-
-  // 3. Mine.
-  SpiderMiner miner(&*graph, config);
-  Result<MineResult> result = miner.Mine();
-  if (!result.ok()) {
-    std::fprintf(stderr, "mining failed: %s\n",
-                 result.status().ToString().c_str());
+  // 2. Open a session: Stage I (mine all r-spiders) runs exactly once
+  //    here, no matter how many queries follow.
+  SessionConfig session_config;
+  session_config.min_support = 2;  // sigma floor of the mined spider set
+  Result<MiningSession> session =
+      MiningSession::Create(&*graph, session_config);
+  if (!session.ok()) {
+    std::fprintf(stderr, "stage I failed: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
+  std::printf("stage I mined %lld spiders once (%.3fs); serving queries\n",
+              static_cast<long long>(session->stage1_stats().num_spiders),
+              session->stage1_stats().stage1_seconds);
 
-  // 4. Inspect the result.
-  const MineStats& stats = result->stats;
-  std::printf("stage I mined %lld spiders; drew M=%lld seeds; "
-              "%lld merges; %.3fs total\n",
-              static_cast<long long>(stats.num_spiders),
-              static_cast<long long>(stats.seed_count_m),
-              static_cast<long long>(stats.merges), stats.total_seconds);
-  std::printf("top-%zu patterns (size = |E| per the paper):\n",
-              result->patterns.size());
-  for (size_t i = 0; i < result->patterns.size(); ++i) {
-    const MinedPattern& p = result->patterns[i];
-    std::printf("  #%zu: |V|=%d |E|=%d support=%lld%s\n", i + 1,
-                p.NumVertices(), p.NumEdges(),
-                static_cast<long long>(p.support),
-                p.from_merge ? " (recovered via merge)" : "");
+  // 3. Serve top-K queries against the cached store. Each query may vary
+  //    k, dmax, vmin, the rng seed, restarts — everything query-scoped.
+  for (uint64_t seed : {7, 8, 9}) {
+    TopKQuery query;
+    query.k = 5;            // top-K
+    query.epsilon = 0.1;    // success probability >= 1 - epsilon
+    query.dmax = 8;         // pattern diameter bound
+    query.vmin = 16;        // "large" means >= 16 vertices
+    query.rng_seed = seed;
+    Result<QueryResult> result = session->RunQuery(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const MineStats& stats = result->stats;
+    std::printf("query(seed=%llu): M=%lld seeds, %lld merges, %.3fs, "
+                "top-%zu:\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<long long>(stats.seed_count_m),
+                static_cast<long long>(stats.merges), stats.total_seconds,
+                result->patterns.size());
+    for (size_t i = 0; i < result->patterns.size(); ++i) {
+      const MinedPattern& p = result->patterns[i];
+      std::printf("  #%zu: |V|=%d |E|=%d support=%lld%s\n", i + 1,
+                  p.NumVertices(), p.NumEdges(),
+                  static_cast<long long>(p.support),
+                  p.from_merge ? " (recovered via merge)" : "");
+    }
   }
   return 0;
 }

@@ -1,147 +1,24 @@
 #include "graph/binary_io.h"
 
-#include <cstring>
-#include <fstream>
-
-#include "common/crc32.h"
 #include "common/strings.h"
+#include "graph/binary_format.h"
 #include "graph/graph_builder.h"
 
 namespace spidermine {
 
 namespace {
 
+using binary_format::AppendI32;
+using binary_format::AppendU32;
+using binary_format::AppendU64;
+using binary_format::Reader;
+
 constexpr char kGraphMagic[4] = {'S', 'M', 'G', '1'};
 constexpr char kPatternMagic[4] = {'S', 'M', 'P', '1'};
-constexpr uint32_t kFormatVersion = 2;
-constexpr size_t kHeaderSize = 20;
-
-void AppendU32(std::string* out, uint32_t value) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
-  }
-}
-
-void AppendU64(std::string* out, uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
-  }
-}
-
-void AppendI32(std::string* out, int32_t value) {
-  AppendU32(out, static_cast<uint32_t>(value));
-}
-
-// Bounds-checked little-endian reader over a byte string.
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  bool ReadU32(uint32_t* out) {
-    if (pos_ + 4 > bytes_.size()) return false;
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    *out = v;
-    return true;
-  }
-
-  bool ReadU64(uint64_t* out) {
-    if (pos_ + 8 > bytes_.size()) return false;
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    *out = v;
-    return true;
-  }
-
-  bool ReadI32(int32_t* out) {
-    uint32_t v = 0;
-    if (!ReadU32(&v)) return false;
-    *out = static_cast<int32_t>(v);
-    return true;
-  }
-
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-
- private:
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
-
-std::string WrapPayload(const char magic[4], const std::string& payload) {
-  std::string out;
-  out.reserve(kHeaderSize + payload.size());
-  out.append(magic, 4);
-  AppendU32(&out, kFormatVersion);
-  AppendU64(&out, payload.size());
-  AppendU32(&out, Crc32(payload));
-  out += payload;
-  return out;
-}
-
-// Validates header framing and returns the payload view.
-Result<std::string_view> UnwrapPayload(const std::string& bytes,
-                                       const char magic[4]) {
-  if (bytes.size() < kHeaderSize) {
-    return Status::IoError(StrCat("file too short: ", bytes.size(),
-                                  " bytes < ", kHeaderSize, "-byte header"));
-  }
-  if (std::memcmp(bytes.data(), magic, 4) != 0) {
-    return Status::IoError(
-        StrCat("bad magic; expected ", std::string(magic, 4)));
-  }
-  Reader header(std::string_view(bytes).substr(4, kHeaderSize - 4));
-  uint32_t version = 0, crc = 0;
-  uint64_t length = 0;
-  header.ReadU32(&version);
-  header.ReadU64(&length);
-  header.ReadU32(&crc);
-  if (version != kFormatVersion) {
-    return Status::IoError(StrCat("unsupported format version ", version));
-  }
-  if (bytes.size() != kHeaderSize + length) {
-    return Status::IoError(StrCat("length mismatch: header says ", length,
-                                  " payload bytes, file has ",
-                                  bytes.size() - kHeaderSize));
-  }
-  std::string_view payload = std::string_view(bytes).substr(kHeaderSize);
-  if (Crc32(payload) != crc) {
-    return Status::IoError("payload checksum mismatch (corrupted file)");
-  }
-  return payload;
-}
-
-Status WriteFile(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError(StrCat("cannot open '", path, "' for writing"));
-  }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) {
-    return Status::IoError(StrCat("short write to '", path, "'"));
-  }
-  return Status::Ok();
-}
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IoError(StrCat("cannot open '", path, "' for reading"));
-  }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    return Status::IoError(StrCat("read error on '", path, "'"));
-  }
-  return bytes;
-}
+// Graph and pattern payloads changed together historically; they version
+// independently from here on.
+constexpr uint32_t kGraphFormatVersion = 2;
+constexpr uint32_t kPatternFormatVersion = 2;
 
 }  // namespace
 
@@ -161,12 +38,13 @@ std::string GraphToBinary(const LabeledGraph& graph) {
       }
     }
   }
-  return WrapPayload(kGraphMagic, payload);
+  return binary_format::WrapPayload(kGraphMagic, payload, kGraphFormatVersion);
 }
 
 Result<LabeledGraph> GraphFromBinary(const std::string& bytes) {
   SM_ASSIGN_OR_RETURN(std::string_view payload,
-                      UnwrapPayload(bytes, kGraphMagic));
+                      binary_format::UnwrapPayload(bytes, kGraphMagic,
+                                                   kGraphFormatVersion));
   Reader reader(payload);
   uint64_t n = 0, m = 0;
   if (!reader.ReadU64(&n) || !reader.ReadU64(&m)) {
@@ -214,11 +92,11 @@ Result<LabeledGraph> GraphFromBinary(const std::string& bytes) {
 }
 
 Status SaveGraphBinary(const LabeledGraph& graph, const std::string& path) {
-  return WriteFile(path, GraphToBinary(graph));
+  return binary_format::WriteFile(path, GraphToBinary(graph));
 }
 
 Result<LabeledGraph> LoadGraphBinary(const std::string& path) {
-  SM_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  SM_ASSIGN_OR_RETURN(std::string bytes, binary_format::ReadFile(path));
   return GraphFromBinary(bytes);
 }
 
@@ -234,12 +112,14 @@ std::string PatternToBinary(const Pattern& pattern) {
     AppendI32(&payload, e.v);
     AppendI32(&payload, e.label);
   }
-  return WrapPayload(kPatternMagic, payload);
+  return binary_format::WrapPayload(kPatternMagic, payload,
+                                    kPatternFormatVersion);
 }
 
 Result<Pattern> PatternFromBinary(const std::string& bytes) {
   SM_ASSIGN_OR_RETURN(std::string_view payload,
-                      UnwrapPayload(bytes, kPatternMagic));
+                      binary_format::UnwrapPayload(bytes, kPatternMagic,
+                                                   kPatternFormatVersion));
   Reader reader(payload);
   uint32_t n = 0, m = 0;
   if (!reader.ReadU32(&n) || !reader.ReadU32(&m)) {
@@ -280,11 +160,11 @@ Result<Pattern> PatternFromBinary(const std::string& bytes) {
 }
 
 Status SavePatternBinary(const Pattern& pattern, const std::string& path) {
-  return WriteFile(path, PatternToBinary(pattern));
+  return binary_format::WriteFile(path, PatternToBinary(pattern));
 }
 
 Result<Pattern> LoadPatternBinary(const std::string& path) {
-  SM_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  SM_ASSIGN_OR_RETURN(std::string bytes, binary_format::ReadFile(path));
   return PatternFromBinary(bytes);
 }
 

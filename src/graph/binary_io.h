@@ -9,7 +9,7 @@
 /// \file binary_io.h
 /// Versioned, checksummed binary persistence for graphs and patterns.
 ///
-/// Layout (all integers little-endian):
+/// Layout (all integers little-endian; framing in graph/binary_format.h):
 ///
 ///   [0..3]   magic "SMG1" (graph) or "SMP1" (pattern)
 ///   [4..7]   uint32 format version (currently 2)
@@ -22,7 +22,8 @@
 /// 32-bit counts. Loads
 /// verify magic, version, length and CRC before decoding and fail with
 /// kIoError on any mismatch, so truncated or corrupted files are never
-/// silently accepted.
+/// silently accepted. Stage I spider-store artifacts share the same
+/// framing; their codec lives with the store (spider/spider_store_io.h).
 
 namespace spidermine {
 

@@ -75,6 +75,12 @@ class LabeledGraph {
     return label_offsets_[label + 1] - label_offsets_[label];
   }
 
+  /// Deterministic 64-bit content hash over vertex labels, adjacency and
+  /// edge labels (FNV-1a). Two graphs with equal hashes are equal with
+  /// overwhelming probability; used to bind saved Stage I artifacts to
+  /// the exact network they were mined over.
+  uint64_t ContentHash() const;
+
  private:
   friend class GraphBuilder;
 

@@ -1,0 +1,232 @@
+#include "spider/spider_store_io.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "graph/binary_format.h"
+
+namespace spidermine {
+
+namespace {
+
+using binary_format::AppendI32;
+using binary_format::AppendI64;
+using binary_format::AppendU32;
+using binary_format::AppendU64;
+using binary_format::AppendU8;
+using binary_format::Reader;
+
+constexpr char kSpiderStoreMagic[4] = {'S', 'M', 'S', '1'};
+constexpr uint32_t kStage1FormatVersion = 1;
+
+/// Fixed payload bytes ahead of the per-spider columns: the Stage1Meta
+/// fields (8+4+4+8+8+8+1) plus the three totals (3 x 8).
+constexpr uint64_t kFixedPayloadBytes = 41 + 24;
+
+}  // namespace
+
+// Stage1 payload:
+//   int64  min_support        int32 spider_radius   int32 max_star_leaves
+//   int64  max_spiders        uint64 num_graph_vertices
+//   uint64 graph_hash         uint8 truncated
+//   uint64 n  uint64 total_leaves  uint64 total_anchors
+//   n x int32 head labels     n x uint8 closed flags
+//   n x uint32 leaf counts    n x uint32 anchor counts
+//   total_leaves x (int32 edge label, int32 leaf label)
+//   total_anchors x int32 anchor vertex
+std::string SpiderStoreToBinary(const SpiderStore& store,
+                                const Stage1Meta& meta) {
+  std::string payload;
+  AppendI64(&payload, meta.min_support);
+  AppendI32(&payload, meta.spider_radius);
+  AppendI32(&payload, meta.max_star_leaves);
+  AppendI64(&payload, meta.max_spiders);
+  AppendU64(&payload, static_cast<uint64_t>(meta.num_graph_vertices));
+  AppendU64(&payload, meta.graph_hash);
+  AppendU8(&payload, meta.truncated ? 1 : 0);
+
+  const int64_t n = store.size();
+  int64_t total_leaves = 0;
+  for (int32_t id = 0; id < static_cast<int32_t>(n); ++id) {
+    total_leaves += static_cast<int64_t>(store.leaves(id).size());
+  }
+  AppendU64(&payload, static_cast<uint64_t>(n));
+  AppendU64(&payload, static_cast<uint64_t>(total_leaves));
+  AppendU64(&payload, static_cast<uint64_t>(store.TotalAnchors()));
+  for (int32_t id = 0; id < static_cast<int32_t>(n); ++id) {
+    AppendI32(&payload, store.head_label(id));
+  }
+  for (int32_t id = 0; id < static_cast<int32_t>(n); ++id) {
+    AppendU8(&payload, store.closed(id) ? 1 : 0);
+  }
+  for (int32_t id = 0; id < static_cast<int32_t>(n); ++id) {
+    AppendU32(&payload, static_cast<uint32_t>(store.leaves(id).size()));
+  }
+  for (int32_t id = 0; id < static_cast<int32_t>(n); ++id) {
+    AppendU32(&payload, static_cast<uint32_t>(store.anchors(id).size()));
+  }
+  for (int32_t id = 0; id < static_cast<int32_t>(n); ++id) {
+    for (const SpiderLeafKey& leaf : store.leaves(id)) {
+      AppendI32(&payload, leaf.first);
+      AppendI32(&payload, leaf.second);
+    }
+  }
+  for (int32_t id = 0; id < static_cast<int32_t>(n); ++id) {
+    for (VertexId anchor : store.anchors(id)) AppendI32(&payload, anchor);
+  }
+  return binary_format::WrapPayload(kSpiderStoreMagic, payload,
+                                    kStage1FormatVersion);
+}
+
+Result<Stage1Artifact> SpiderStoreFromBinary(const std::string& bytes) {
+  SM_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      binary_format::UnwrapPayload(bytes, kSpiderStoreMagic,
+                                   kStage1FormatVersion));
+  Reader reader(payload);
+  Stage1Artifact artifact;
+  Stage1Meta& meta = artifact.meta;
+  uint8_t truncated = 0;
+  uint64_t graph_vertices = 0;
+  if (!reader.ReadI64(&meta.min_support) ||
+      !reader.ReadI32(&meta.spider_radius) ||
+      !reader.ReadI32(&meta.max_star_leaves) ||
+      !reader.ReadI64(&meta.max_spiders) || !reader.ReadU64(&graph_vertices) ||
+      !reader.ReadU64(&meta.graph_hash) || !reader.ReadU8(&truncated)) {
+    return Status::IoError("truncated stage1 payload (meta)");
+  }
+  meta.num_graph_vertices = static_cast<int64_t>(graph_vertices);
+  meta.truncated = truncated != 0;
+  if (meta.min_support < 1 || meta.spider_radius < 1 ||
+      meta.max_star_leaves < 0 || meta.max_spiders < 0 ||
+      meta.num_graph_vertices < 0) {
+    return Status::IoError("stage1 meta fields out of range");
+  }
+
+  uint64_t n = 0, total_leaves = 0, total_anchors = 0;
+  if (!reader.ReadU64(&n) || !reader.ReadU64(&total_leaves) ||
+      !reader.ReadU64(&total_anchors)) {
+    return Status::IoError("truncated stage1 payload (counts)");
+  }
+  // Guard against absurd counts (and the size arithmetic overflowing)
+  // before trusting them: every spider/leaf/anchor costs >= 1 byte.
+  if (n > payload.size() || total_leaves > payload.size() ||
+      total_anchors > payload.size()) {
+    return Status::IoError(StrCat("implausible counts n=", n, " leaves=",
+                                  total_leaves, " anchors=", total_anchors,
+                                  " for a ", payload.size(),
+                                  "-byte payload"));
+  }
+  const uint64_t need = kFixedPayloadBytes + n * (4 + 1 + 4 + 4) +
+                        total_leaves * 8 + total_anchors * 4;
+  if (payload.size() != need) {
+    return Status::IoError(StrCat("stage1 payload size mismatch: expects ",
+                                  need, " bytes, got ", payload.size()));
+  }
+
+  std::vector<LabelId> head_labels(n);
+  std::vector<uint8_t> closed(n);
+  std::vector<uint32_t> leaf_counts(n);
+  std::vector<uint32_t> anchor_counts(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!reader.ReadI32(&head_labels[i])) {
+      return Status::IoError("truncated stage1 payload (head labels)");
+    }
+    if (head_labels[i] < 0) {
+      return Status::IoError(StrCat("negative head label ", head_labels[i]));
+    }
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!reader.ReadU8(&closed[i])) {
+      return Status::IoError("truncated stage1 payload (closed flags)");
+    }
+  }
+  uint64_t leaf_sum = 0, anchor_sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t count = 0;
+    if (!reader.ReadU32(&count)) {
+      return Status::IoError("truncated stage1 payload (leaf counts)");
+    }
+    leaf_counts[i] = count;
+    leaf_sum += count;
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t count = 0;
+    if (!reader.ReadU32(&count)) {
+      return Status::IoError("truncated stage1 payload (anchor counts)");
+    }
+    if (count == 0) {
+      return Status::IoError(StrCat("spider ", i, " has no anchors"));
+    }
+    anchor_counts[i] = count;
+    anchor_sum += count;
+  }
+  if (leaf_sum != total_leaves || anchor_sum != total_anchors) {
+    return Status::IoError("stage1 per-spider counts disagree with totals");
+  }
+
+  std::vector<SpiderLeafKey> leaf_pool(total_leaves);
+  for (uint64_t i = 0; i < total_leaves; ++i) {
+    int32_t edge_label = 0, leaf_label = 0;
+    if (!reader.ReadI32(&edge_label) || !reader.ReadI32(&leaf_label)) {
+      return Status::IoError("truncated stage1 payload (leaves)");
+    }
+    if (edge_label < 0 || leaf_label < 0) {
+      return Status::IoError("negative leaf label in stage1 payload");
+    }
+    leaf_pool[i] = {edge_label, leaf_label};
+  }
+  std::vector<VertexId> anchor_pool(total_anchors);
+  for (uint64_t i = 0; i < total_anchors; ++i) {
+    if (!reader.ReadI32(&anchor_pool[i])) {
+      return Status::IoError("truncated stage1 payload (anchors)");
+    }
+    if (anchor_pool[i] < 0 ||
+        static_cast<int64_t>(anchor_pool[i]) >= meta.num_graph_vertices) {
+      return Status::IoError(StrCat("anchor vertex ", anchor_pool[i],
+                                    " outside the declared ",
+                                    meta.num_graph_vertices,
+                                    "-vertex graph"));
+    }
+  }
+
+  // Rebuild through Append, enforcing its preconditions (sorted leaf keys,
+  // ascending anchors).
+  artifact.store.Reserve(static_cast<int64_t>(n),
+                         static_cast<int64_t>(total_leaves),
+                         static_cast<int64_t>(total_anchors));
+  uint64_t leaf_pos = 0, anchor_pos = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::span<const SpiderLeafKey> leaves{leaf_pool.data() + leaf_pos,
+                                          leaf_counts[i]};
+    std::span<const VertexId> anchors{anchor_pool.data() + anchor_pos,
+                                      anchor_counts[i]};
+    leaf_pos += leaf_counts[i];
+    anchor_pos += anchor_counts[i];
+    for (size_t j = 1; j < leaves.size(); ++j) {
+      if (leaves[j] < leaves[j - 1]) {
+        return Status::IoError(StrCat("spider ", i, " leaf keys not sorted"));
+      }
+    }
+    for (size_t j = 1; j < anchors.size(); ++j) {
+      if (anchors[j] <= anchors[j - 1]) {
+        return Status::IoError(
+            StrCat("spider ", i, " anchors not strictly ascending"));
+      }
+    }
+    artifact.store.Append(head_labels[i], leaves, anchors, closed[i] != 0);
+  }
+  return artifact;
+}
+
+Status SaveSpiderStoreBinary(const SpiderStore& store, const Stage1Meta& meta,
+                             const std::string& path) {
+  return binary_format::WriteFile(path, SpiderStoreToBinary(store, meta));
+}
+
+Result<Stage1Artifact> LoadSpiderStoreBinary(const std::string& path) {
+  SM_ASSIGN_OR_RETURN(std::string bytes, binary_format::ReadFile(path));
+  return SpiderStoreFromBinary(bytes);
+}
+
+}  // namespace spidermine

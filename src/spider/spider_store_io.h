@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "spider/spider_store.h"
+
+/// \file spider_store_io.h
+/// Binary persistence of the Stage I spider set — the artifact
+/// `MiningSession::SaveStage1`/`LoadStage1` round-trip so the one-time
+/// mining pass can be precomputed offline (CLI `stage1`) and queried
+/// repeatedly (CLI `query`). Uses the shared versioned + CRC-checked
+/// framing of graph/binary_format.h with magic "SMS1"; conventional file
+/// extension `.sm1`. Loads reject corrupt or truncated files AND
+/// structurally invalid content (unsorted leaf keys, non-ascending
+/// anchors, negative labels) through Result<>, so a damaged artifact can
+/// never produce a store the growth engine's binary searches would
+/// silently misread.
+
+namespace spidermine {
+
+/// Provenance of a saved Stage I artifact: the mining parameters that
+/// produced the spider set (MiningSession::LoadStage1 restores them as the
+/// session's floor) plus the identity of the graph it was mined over (size
+/// and content hash, so an artifact is never silently applied to a
+/// different network).
+struct Stage1Meta {
+  int64_t min_support = 2;
+  int32_t spider_radius = 1;
+  int32_t max_star_leaves = 8;
+  int64_t max_spiders = 0;
+  int64_t num_graph_vertices = 0;
+  /// LabeledGraph::ContentHash() of the mined network.
+  /// MiningSession::SaveStage1 always records it and LoadStage1 requires
+  /// an exact match, so an artifact can never be served against a
+  /// different graph (callers building metas by hand must fill it in).
+  uint64_t graph_hash = 0;
+  /// True when a spider budget or time budget truncated the mined set.
+  bool truncated = false;
+};
+
+/// A deserialized Stage I artifact: the spider store plus its provenance.
+struct Stage1Artifact {
+  SpiderStore store;
+  Stage1Meta meta;
+};
+
+/// Serializes \p store and its provenance to an in-memory byte string.
+/// Deterministic: identical stores and meta produce identical bytes.
+std::string SpiderStoreToBinary(const SpiderStore& store,
+                                const Stage1Meta& meta);
+
+/// Decodes a byte string produced by SpiderStoreToBinary. Fails with
+/// kIoError on framing/CRC mismatches and on structurally invalid content.
+Result<Stage1Artifact> SpiderStoreFromBinary(const std::string& bytes);
+
+/// Writes \p store + \p meta to \p path in the binary format. Overwrites.
+Status SaveSpiderStoreBinary(const SpiderStore& store, const Stage1Meta& meta,
+                             const std::string& path);
+
+/// Loads an artifact written by SaveSpiderStoreBinary.
+Result<Stage1Artifact> LoadSpiderStoreBinary(const std::string& path);
+
+}  // namespace spidermine

@@ -4,22 +4,78 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "support/support_measure.h"
 
 /// \file config.h
 /// User-facing parameters of SpiderMine (paper Algorithm 1 inputs) plus the
 /// engineering caps that bound memory on pathological inputs. Every cap
 /// records its trigger in MineStats so truncation is never silent.
+///
+/// The parameters split along the paper's cost structure (Sec. 4.2.1):
+/// Stage I (mining all r-spiders) is a one-time pass over the massive
+/// network, while Stages II/III are randomized and cheap enough to rerun
+/// per query. `SessionConfig` carries the graph-scoped knobs that shape the
+/// Stage I artifacts a `MiningSession` caches; `QueryConfig` carries the
+/// per-query knobs of Stages II+III. The legacy fused `MineConfig` remains
+/// as the input of the `SpiderMiner::Mine()` compatibility shim and
+/// decomposes into the two via SessionPart()/QueryPart().
 
 namespace spidermine {
 
 class ThreadPool;
 
-/// Inputs of the mining problem and knobs of the algorithm.
-struct MineConfig {
-  // ---- Problem parameters (Definition 3). ----
-  /// Support threshold sigma.
+/// Graph-scoped parameters: everything that determines the Stage I spider
+/// set (and therefore must be fixed for the lifetime of a MiningSession).
+struct SessionConfig {
+  /// Support floor sigma of the mined spider set. Queries may ask for any
+  /// min_support >= this floor; lower values would need spiders the session
+  /// never mined.
   int64_t min_support = 2;
+  /// Spider radius r (the paper recommends 1 or 2; the growth engine's
+  /// fast path implements r = 1).
+  int32_t spider_radius = 1;
+  /// Star miner: max leaves per spider.
+  int32_t max_star_leaves = 8;
+  /// Star miner: global spider budget (0 = unlimited). Deterministic: the
+  /// admitted set is the exact prefix of the unlimited enumeration.
+  int64_t max_spiders = 0;
+
+  // ---- Parallelism. ----
+  /// Worker threads for Stage I star shards and for every query's growth
+  /// stages. 1 = serial; 0 = all hardware threads. Results are identical at
+  /// any value (see ARCHITECTURE.md, threading model).
+  int32_t num_threads = 1;
+  /// Caller-provided worker pool (borrowed; must outlive the session).
+  /// When non-null it is used instead of constructing a session-owned pool;
+  /// num_threads is then ignored. Results are identical either way.
+  ThreadPool* pool = nullptr;
+  /// Stage I vertex-range shard grain (StarMinerConfig::shard_grain): root
+  /// scans of one head label split into ranges of at most this many
+  /// vertices. <= 0 selects an automatic grain. Mined results are
+  /// identical at any value.
+  int64_t stage1_shard_grain = 0;
+  /// Wall-clock budget for Stage I mining in seconds (0 = unlimited). An
+  /// expired budget yields a truncated (but usable) spider set, reported
+  /// via the session's stage1 stats.
+  double stage1_time_budget_seconds = 0.0;
+
+  /// Transaction setting: transaction id per vertex of the (disjoint-union)
+  /// input graph; enables SupportMeasureKind::kTransaction in queries.
+  /// Borrowed; must outlive the session.
+  const std::vector<int32_t>* txn_of_vertex = nullptr;
+
+  /// Field-range validation. Sessions refuse to build on failure.
+  Status Validate() const;
+};
+
+/// Query-scoped parameters: the Stage II+III knobs of one top-K query.
+/// Every field may differ between queries on the same session.
+struct QueryConfig {
+  // ---- Problem parameters (Definition 3). ----
+  /// Support threshold sigma for this query. 0 selects the session's mined
+  /// floor; explicit values must be >= that floor.
+  int64_t min_support = 0;
   /// Number of top patterns to return (K).
   int32_t k = 10;
   /// Error bound epsilon: the returned set contains the true top-K with
@@ -27,33 +83,12 @@ struct MineConfig {
   double epsilon = 0.1;
   /// Pattern diameter upper bound Dmax.
   int32_t dmax = 4;
-  /// Spider radius r (the paper recommends 1 or 2; the growth engine's
-  /// fast path implements r = 1).
-  int32_t spider_radius = 1;
   /// User lower bound Vmin on the vertex count of a "large" pattern;
   /// 0 selects the paper's example default |V(G)|/10.
   int64_t vmin = 0;
   /// Support definition (overlap handling); see support_measure.h.
+  /// kTransaction requires the session to carry txn_of_vertex.
   SupportMeasureKind support_measure = SupportMeasureKind::kGreedyMisVertex;
-
-  // ---- Parallelism. ----
-  /// Worker threads for Stage I star shards, per-lineage growth, seeding
-  /// and closure. 1 = serial; 0 = all hardware threads. Mined results are
-  /// identical at any value (see ARCHITECTURE.md, threading model): workers
-  /// write pre-sized output slots and every cross-worker fold happens on
-  /// the coordinating thread in a stable order.
-  int32_t num_threads = 1;
-  /// Caller-provided worker pool (borrowed; must outlive the Mine() call).
-  /// When non-null it is used instead of constructing a pool per Mine(),
-  /// so repeated runs — restart sweeps, benchmark loops — reuse one set of
-  /// threads; num_threads is then ignored. Results are identical either
-  /// way.
-  ThreadPool* pool = nullptr;
-  /// Stage I vertex-range shard grain (StarMinerConfig::shard_grain): root
-  /// scans of one head label split into ranges of at most this many
-  /// vertices. <= 0 selects an automatic grain. Mined results are
-  /// identical at any value.
-  int64_t stage1_shard_grain = 0;
 
   // ---- Randomization. ----
   /// RNG seed for the random spider draw. Each restart run r draws from an
@@ -62,11 +97,11 @@ struct MineConfig {
   uint64_t rng_seed = 42;
   /// Overrides the computed number M of seed spiders when > 0.
   int64_t seed_count_override = 0;
-  /// Number of independent Stage II + III runs over the one-time Stage I
+  /// Number of independent Stage II + III runs over the session's cached
   /// spider set (paper Sec. 4.2.1: "we can run the remaining stages ...
   /// multiple times to increase the probability of obtaining the top-K
-  /// large patterns"). Results accumulate across runs. 0 stops after
-  /// Stage I (no patterns; Stage I memory/latency measurement runs).
+  /// large patterns"). Results accumulate across runs. 0 returns no
+  /// patterns (seed-count math only); negatives clamp to the default 1.
   int32_t restarts = 1;
 
   // ---- Engineering caps (0 = unlimited unless stated). ----
@@ -76,10 +111,6 @@ struct MineConfig {
   int64_t max_patterns_per_round = 4000;
   /// Per-anchor cap on seed-spider embedding enumeration.
   int64_t max_seed_embeddings_per_anchor = 20;
-  /// Star miner: max leaves per spider.
-  int32_t max_star_leaves = 8;
-  /// Star miner: total spider cap (0 = unlimited).
-  int64_t max_spiders = 0;
   /// Merge detection: max pattern pairs examined per shared spider anchor.
   int32_t max_merge_pairs_per_key = 8;
   /// Merge: max overlapping embedding pairs turned into union instances
@@ -89,7 +120,7 @@ struct MineConfig {
   int32_t stage3_max_rounds = 64;
   /// Cap on the accumulated result list (kept sorted by size).
   int64_t max_results = 10000;
-  /// Wall-clock budget in seconds (0 = unlimited).
+  /// Wall-clock budget for this query in seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
 
   // ---- Behavioral switches. ----
@@ -115,12 +146,65 @@ struct MineConfig {
   bool enforce_dmax_on_results = false;
   /// Ablation: skip the Stage II "keep only merged patterns" pruning.
   bool keep_unmerged = false;
-  /// Transaction setting: transaction id per vertex of the (disjoint-union)
-  /// input graph; enables SupportMeasureKind::kTransaction.
-  const std::vector<int32_t>* txn_of_vertex = nullptr;
+
+  /// Field-range validation (session-independent parts; the min_support
+  /// floor and txn_of_vertex checks need the session and run in RunQuery).
+  /// A failed query never touches session state.
+  Status Validate() const;
 };
 
-/// Counters and timings of one Mine() run.
+/// Legacy fused configuration of `SpiderMiner::Mine()` (build a session,
+/// run one query, throw the session away). New code should construct
+/// SessionConfig + QueryConfig directly; this type is kept so existing
+/// callers and the CLI `mine` subcommand compile unchanged.
+struct MineConfig {
+  int64_t min_support = 2;
+  int32_t k = 10;
+  double epsilon = 0.1;
+  int32_t dmax = 4;
+  int32_t spider_radius = 1;
+  int64_t vmin = 0;
+  SupportMeasureKind support_measure = SupportMeasureKind::kGreedyMisVertex;
+
+  int32_t num_threads = 1;
+  ThreadPool* pool = nullptr;
+  int64_t stage1_shard_grain = 0;
+
+  uint64_t rng_seed = 42;
+  int64_t seed_count_override = 0;
+  int32_t restarts = 1;
+
+  int64_t max_embeddings_per_pattern = 10000;
+  int64_t max_patterns_per_round = 4000;
+  int64_t max_seed_embeddings_per_anchor = 20;
+  int32_t max_star_leaves = 8;
+  int64_t max_spiders = 0;
+  int32_t max_merge_pairs_per_key = 8;
+  int32_t max_union_instances = 256;
+  int32_t stage3_max_rounds = 64;
+  int64_t max_results = 10000;
+  double time_budget_seconds = 0.0;
+
+  bool use_closed_spiders_only = true;
+  bool close_internal_edges = true;
+  int64_t closure_window = 0;  // 0 resolves to max(64, 8 * k)
+  bool enforce_dmax_on_results = false;
+  bool keep_unmerged = false;
+  const std::vector<int32_t>* txn_of_vertex = nullptr;
+
+  /// The graph-scoped slice: Stage I knobs, parallelism, the transaction
+  /// map. The fused time budget becomes the Stage I budget; the shim hands
+  /// the remaining time to the query.
+  SessionConfig SessionPart() const;
+  /// The query-scoped slice. min_support maps to 0 (= session floor), so
+  /// the shim's query always runs at exactly the mined threshold.
+  QueryConfig QueryPart() const;
+};
+
+/// Counters and timings of one Mine() run or one session query. Stage I
+/// fields are populated by the session (exactly once per session); query
+/// stats leave them 0, which is how tests assert that serving R queries
+/// re-mines nothing.
 struct MineStats {
   int64_t num_spiders = 0;        ///< spiders mined in Stage I
   int64_t num_closed_spiders = 0; ///< spiders surviving the closed filter
@@ -147,6 +231,10 @@ struct MineStats {
   double stage2_seconds = 0.0;
   double stage3_seconds = 0.0;
   double total_seconds = 0.0;
+
+  /// Copies the Stage I fields of \p stage1 into this (the shim's merge of
+  /// session stats into a legacy MineResult).
+  void FoldStage1(const MineStats& stage1);
 
   /// Multi-line human-readable rendering (tools and example output).
   std::string ToString() const;

@@ -237,12 +237,14 @@ struct GrowthEngine::RoundState {
 };
 
 GrowthEngine::GrowthEngine(const LabeledGraph* graph, const SpiderIndex* index,
-                           const MineConfig* config, MineStats* stats,
+                           const SessionConfig* session,
+                           const QueryConfig* query, MineStats* stats,
                            const Deadline* deadline, ThreadPool* pool,
                            const CancellationToken* token)
     : graph_(graph),
       index_(index),
-      config_(config),
+      session_(session),
+      query_(query),
       stats_(stats),
       deadline_(deadline),
       pool_(pool),
@@ -255,8 +257,8 @@ bool GrowthEngine::Cancelled() const {
 
 int64_t GrowthEngine::Support(const GrowthPattern& gp) const {
   SupportContext ctx;
-  ctx.txn_of_vertex = config_->txn_of_vertex;
-  return ComputeSupport(config_->support_measure, gp.pattern, gp.embeddings,
+  ctx.txn_of_vertex = session_->txn_of_vertex;
+  return ComputeSupport(query_->support_measure, gp.pattern, gp.embeddings,
                         ctx);
 }
 
@@ -270,7 +272,7 @@ GrowthPattern GrowthEngine::BuildSeed(int32_t spider_id,
   const auto groups = GroupLabels(leaves);
   for (VertexId anchor : store.anchors(spider_id)) {
     if (static_cast<int64_t>(gp.embeddings.size()) >=
-        config_->max_embeddings_per_pattern) {
+        query_->max_embeddings_per_pattern) {
       ++local->embedding_cap_hits;
       break;
     }
@@ -296,9 +298,9 @@ GrowthPattern GrowthEngine::BuildSeed(int32_t spider_id,
           for (VertexId x : leafs) e.push_back(x);
           gp.embeddings.push_back(std::move(e));
           ++emitted_here;
-          return emitted_here < config_->max_seed_embeddings_per_anchor &&
+          return emitted_here < query_->max_seed_embeddings_per_anchor &&
                  static_cast<int64_t>(gp.embeddings.size()) <
-                     config_->max_embeddings_per_pattern;
+                     query_->max_embeddings_per_pattern;
         });
   }
   DedupEmbeddingsByImage(&gp.embeddings);
@@ -311,7 +313,7 @@ GrowthPattern GrowthEngine::BuildSeed(int32_t spider_id,
       gp.boundary.push_back(v);
     }
   }
-  gp.spider_set = SpiderSetRepr::Compute(gp.pattern, config_->spider_radius);
+  gp.spider_set = SpiderSetRepr::Compute(gp.pattern, session_->spider_radius);
   return gp;
 }
 
@@ -405,7 +407,7 @@ bool GrowthEngine::TryExtend(
           q.embeddings.push_back(std::move(extended));
           emitted_for_anchor = true;
           if (static_cast<int64_t>(q.embeddings.size()) >=
-              config_->max_embeddings_per_pattern) {
+              query_->max_embeddings_per_pattern) {
             cap_hit = true;
             return false;
           }
@@ -414,13 +416,13 @@ bool GrowthEngine::TryExtend(
     if (emitted_for_anchor) anchors_used.push_back(gv);
   }
   if (cap_hit) ++ls->stats.embedding_cap_hits;
-  if (static_cast<int64_t>(q.embeddings.size()) < config_->min_support &&
-      config_->support_measure != SupportMeasureKind::kTransaction) {
+  if (static_cast<int64_t>(q.embeddings.size()) < query_->min_support &&
+      query_->support_measure != SupportMeasureKind::kTransaction) {
     return false;
   }
   DedupEmbeddingsByImage(&q.embeddings);
   q.support = Support(q);
-  if (q.support < config_->min_support) return false;
+  if (q.support < query_->min_support) return false;
   if (q.support == base.support) *support_preserved = true;
 
   ++ls->stats.growth_steps;
@@ -430,13 +432,13 @@ bool GrowthEngine::TryExtend(
   // have a changed r-ball; new leaves are computed fresh by Updated().
   {
     const std::vector<int32_t> dist =
-        q.pattern.BfsDistances(v, config_->spider_radius);
+        q.pattern.BfsDistances(v, session_->spider_radius);
     std::vector<VertexId> changed;
     for (VertexId x = 0; x < base.pattern.NumVertices(); ++x) {
       if (dist[x] >= 0) changed.push_back(x);
     }
     q.spider_set =
-        base.spider_set.Updated(q.pattern, config_->spider_radius, changed);
+        base.spider_set.Updated(q.pattern, session_->spider_radius, changed);
   }
 
   int64_t dup = FindDuplicateIn(ls->pool, ls->dedup, q,
@@ -449,7 +451,7 @@ bool GrowthEngine::TryExtend(
     // closedness checks compare against the up-to-date value.
     GrowthPattern& other = ls->pool[dup];
     FoldEmbeddings(&other, std::move(q.embeddings),
-                   config_->max_embeddings_per_pattern);
+                   query_->max_embeddings_per_pattern);
     other.support = Support(other);
     other.merged_ever |= base.merged_ever;
     return false;
@@ -511,7 +513,7 @@ void GrowthEngine::ExpandLineage(GrowthPattern input, Lineage* ls,
       }
       const SpiderStore& store = index_->store();
       for (int32_t sid : spider_ids) {
-        if (config_->use_closed_spiders_only && !store.closed(sid)) continue;
+        if (query_->use_closed_spiders_only && !store.closed(sid)) continue;
         if (store.head_label(sid) != label_v) continue;
         const std::span<const LeafKey> leaves = store.leaves(sid);
         if (leaves.size() <= np_labels.size()) continue;
@@ -596,10 +598,34 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
   }
   if (buckets.empty()) return;
 
-  // ---- Parallel phase: each anchor-collision bucket builds its union
+  // ---- Pair flattening: the pairs a bucket examines are the first
+  // max_merge_pairs_per_key (i, j) combinations of its live list in
+  // lexicographic order — a deterministic prefix that can be enumerated up
+  // front. Flattening them into one task list lets the parallel phase
+  // schedule PAIRS, not buckets, so one hot anchor shared by many patterns
+  // (the common case on hub vertices) no longer serializes the pass.
+  struct PairTask {
+    int64_t a = 0;  // pool indices of the examined pair
+    int64_t b = 0;
+  };
+  std::vector<PairTask> tasks;
+  for (const Bucket& bucket : buckets) {
+    int32_t pairs_done = 0;
+    for (size_t i = 0; i < bucket.live.size() && pairs_done <
+         query_->max_merge_pairs_per_key; ++i) {
+      for (size_t j = i + 1; j < bucket.live.size() && pairs_done <
+           query_->max_merge_pairs_per_key; ++j) {
+        ++pairs_done;
+        tasks.push_back({bucket.live[i], bucket.live[j]});
+      }
+    }
+  }
+  if (tasks.empty()) return;
+
+  // ---- Parallel phase: each examined pattern pair builds its union
   // candidates against the pre-merge pool SNAPSHOT (read-only — no Admit
-  // happens until the fold below), writing into its own slot. Bucket
-  // outputs therefore depend only on the snapshot and the bucket, never on
+  // happens until the fold below), writing into its own slot. Pair outputs
+  // therefore depend only on the snapshot and the pair, never on
   // scheduling.
   struct UnionCandidate {
     Pattern pattern;
@@ -608,151 +634,145 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
     std::vector<VertexId> boundary;  // from the first instance
     int64_t support = 0;
   };
-  struct BucketResult {
+  struct PairResult {
     std::vector<UnionCandidate> candidates;
     int64_t merge_attempts = 0;
     int64_t iso_checks_run = 0;
     bool cancelled = false;
   };
-  std::vector<BucketResult> results(buckets.size());
-  auto build_bucket = [this, rs](const Bucket& bucket, BucketResult* out) {
-    int32_t pairs_done = 0;
-    for (size_t i = 0; i < bucket.live.size() && pairs_done <
-         config_->max_merge_pairs_per_key; ++i) {
-      for (size_t j = i + 1; j < bucket.live.size() && pairs_done <
-           config_->max_merge_pairs_per_key; ++j) {
-        if (Cancelled()) {
-          out->cancelled = true;
-          return;
-        }
-        ++pairs_done;
-        ++out->merge_attempts;
-        const GrowthPattern& a = rs->pool[bucket.live[i]];
-        const GrowthPattern& b = rs->pool[bucket.live[j]];
-        // Collect overlapping embedding pairs.
-        std::unordered_map<VertexId, std::vector<int32_t>> where;
-        for (size_t ei = 0; ei < a.embeddings.size(); ++ei) {
-          for (VertexId gv : a.embeddings[ei]) {
-            where[gv].push_back(static_cast<int32_t>(ei));
-          }
-        }
-        std::vector<std::pair<int32_t, int32_t>> overlaps;
-        {
-          std::unordered_set<int64_t> seen_pairs;
-          for (size_t ej = 0; ej < b.embeddings.size(); ++ej) {
-            for (VertexId gv : b.embeddings[ej]) {
-              auto it = where.find(gv);
-              if (it == where.end()) continue;
-              for (int32_t ei : it->second) {
-                int64_t pk = (static_cast<int64_t>(ei) << 32) |
-                             static_cast<int64_t>(ej);
-                if (seen_pairs.insert(pk).second) {
-                  overlaps.emplace_back(ei, static_cast<int32_t>(ej));
-                }
-              }
-            }
-            if (static_cast<int32_t>(overlaps.size()) >=
-                config_->max_union_instances) {
-              break;
+  std::vector<PairResult> results(tasks.size());
+  auto build_pair = [this, rs](const PairTask& task, PairResult* out) {
+    if (Cancelled()) {
+      out->cancelled = true;
+      return;
+    }
+    ++out->merge_attempts;
+    const GrowthPattern& a = rs->pool[task.a];
+    const GrowthPattern& b = rs->pool[task.b];
+    // Collect overlapping embedding pairs.
+    std::unordered_map<VertexId, std::vector<int32_t>> where;
+    for (size_t ei = 0; ei < a.embeddings.size(); ++ei) {
+      for (VertexId gv : a.embeddings[ei]) {
+        where[gv].push_back(static_cast<int32_t>(ei));
+      }
+    }
+    std::vector<std::pair<int32_t, int32_t>> overlaps;
+    {
+      std::unordered_set<int64_t> seen_pairs;
+      for (size_t ej = 0; ej < b.embeddings.size(); ++ej) {
+        for (VertexId gv : b.embeddings[ej]) {
+          auto it = where.find(gv);
+          if (it == where.end()) continue;
+          for (int32_t ei : it->second) {
+            int64_t pk = (static_cast<int64_t>(ei) << 32) |
+                         static_cast<int64_t>(ej);
+            if (seen_pairs.insert(pk).second) {
+              overlaps.emplace_back(ei, static_cast<int32_t>(ej));
             }
           }
         }
-        if (overlaps.empty()) continue;
-
-        // Build union instances and group them by structure (within the
-        // pair; cross-pair and cross-bucket dedup happens in the fold).
-        std::vector<UnionCandidate> unions;
-        for (const auto& [ei, ej] : overlaps) {
-          const Embedding& e1 = a.embeddings[ei];
-          const Embedding& e2 = b.embeddings[ej];
-          // Union vertex set, sorted for a deterministic mapping.
-          std::vector<VertexId> verts = e1;
-          verts.insert(verts.end(), e2.begin(), e2.end());
-          std::sort(verts.begin(), verts.end());
-          verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
-          std::unordered_map<VertexId, VertexId> pos;
-          Pattern up;
-          for (size_t t = 0; t < verts.size(); ++t) {
-            pos[verts[t]] = static_cast<VertexId>(t);
-            up.AddVertex(graph_->Label(verts[t]));
-          }
-          for (const auto& [pu, pv] : a.pattern.Edges()) {
-            up.AddEdge(pos[e1[pu]], pos[e1[pv]], a.pattern.EdgeLabel(pu, pv));
-          }
-          for (const auto& [pu, pv] : b.pattern.Edges()) {
-            up.AddEdge(pos[e2[pu]], pos[e2[pv]], b.pattern.EdgeLabel(pu, pv));
-          }
-          Embedding ue(verts.begin(), verts.end());
-          SpiderSetRepr repr =
-              SpiderSetRepr::Compute(up, config_->spider_radius);
-          // Find matching group (spider-set filter, then exact check).
-          UnionCandidate* group = nullptr;
-          for (UnionCandidate& g : unions) {
-            if (!(g.spider_set == repr)) continue;
-            ++out->iso_checks_run;
-            if (ArePatternsIsomorphic(g.pattern, up)) {
-              group = &g;
-              break;
-            }
-          }
-          if (group == nullptr) {
-            UnionCandidate g;
-            g.pattern = std::move(up);
-            g.spider_set = repr;
-            // Boundary: images of both parents' frontier vertices.
-            auto add_boundary = [&](const GrowthPattern& parent,
-                                    const Embedding& pe) {
-              for (VertexId pv : parent.boundary) {
-                g.boundary.push_back(pos[pe[pv]]);
-              }
-              for (VertexId pv : parent.next_boundary) {
-                g.boundary.push_back(pos[pe[pv]]);
-              }
-            };
-            add_boundary(a, e1);
-            add_boundary(b, e2);
-            std::sort(g.boundary.begin(), g.boundary.end());
-            g.boundary.erase(
-                std::unique(g.boundary.begin(), g.boundary.end()),
-                g.boundary.end());
-            unions.push_back(std::move(g));
-            group = &unions.back();
-          }
-          group->embeddings.push_back(std::move(ue));
-        }
-
-        for (UnionCandidate& g : unions) {
-          DedupEmbeddingsByImage(&g.embeddings);
-          SupportContext ctx;
-          ctx.txn_of_vertex = config_->txn_of_vertex;
-          g.support = ComputeSupport(config_->support_measure, g.pattern,
-                                     g.embeddings, ctx);
-          if (g.support < config_->min_support) continue;
-          out->candidates.push_back(std::move(g));
+        if (static_cast<int32_t>(overlaps.size()) >=
+            query_->max_union_instances) {
+          break;
         }
       }
     }
-  };
-  auto build_range = [&buckets, &results, &build_bucket](int64_t begin,
-                                                         int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      build_bucket(buckets[static_cast<size_t>(i)],
-                   &results[static_cast<size_t>(i)]);
+    if (overlaps.empty()) return;
+
+    // Build union instances and group them by structure (within the
+    // pair; cross-pair and cross-bucket dedup happens in the fold).
+    std::vector<UnionCandidate> unions;
+    for (const auto& [ei, ej] : overlaps) {
+      const Embedding& e1 = a.embeddings[ei];
+      const Embedding& e2 = b.embeddings[ej];
+      // Union vertex set, sorted for a deterministic mapping.
+      std::vector<VertexId> verts = e1;
+      verts.insert(verts.end(), e2.begin(), e2.end());
+      std::sort(verts.begin(), verts.end());
+      verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+      std::unordered_map<VertexId, VertexId> pos;
+      Pattern up;
+      for (size_t t = 0; t < verts.size(); ++t) {
+        pos[verts[t]] = static_cast<VertexId>(t);
+        up.AddVertex(graph_->Label(verts[t]));
+      }
+      for (const auto& [pu, pv] : a.pattern.Edges()) {
+        up.AddEdge(pos[e1[pu]], pos[e1[pv]], a.pattern.EdgeLabel(pu, pv));
+      }
+      for (const auto& [pu, pv] : b.pattern.Edges()) {
+        up.AddEdge(pos[e2[pu]], pos[e2[pv]], b.pattern.EdgeLabel(pu, pv));
+      }
+      Embedding ue(verts.begin(), verts.end());
+      SpiderSetRepr repr =
+          SpiderSetRepr::Compute(up, session_->spider_radius);
+      // Find matching group (spider-set filter, then exact check).
+      UnionCandidate* group = nullptr;
+      for (UnionCandidate& g : unions) {
+        if (!(g.spider_set == repr)) continue;
+        ++out->iso_checks_run;
+        if (ArePatternsIsomorphic(g.pattern, up)) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        UnionCandidate g;
+        g.pattern = std::move(up);
+        g.spider_set = repr;
+        // Boundary: images of both parents' frontier vertices.
+        auto add_boundary = [&](const GrowthPattern& parent,
+                                const Embedding& pe) {
+          for (VertexId pv : parent.boundary) {
+            g.boundary.push_back(pos[pe[pv]]);
+          }
+          for (VertexId pv : parent.next_boundary) {
+            g.boundary.push_back(pos[pe[pv]]);
+          }
+        };
+        add_boundary(a, e1);
+        add_boundary(b, e2);
+        std::sort(g.boundary.begin(), g.boundary.end());
+        g.boundary.erase(
+            std::unique(g.boundary.begin(), g.boundary.end()),
+            g.boundary.end());
+        unions.push_back(std::move(g));
+        group = &unions.back();
+      }
+      group->embeddings.push_back(std::move(ue));
+    }
+
+    for (UnionCandidate& g : unions) {
+      DedupEmbeddingsByImage(&g.embeddings);
+      SupportContext ctx;
+      ctx.txn_of_vertex = session_->txn_of_vertex;
+      g.support = ComputeSupport(query_->support_measure, g.pattern,
+                                 g.embeddings, ctx);
+      if (g.support < query_->min_support) continue;
+      out->candidates.push_back(std::move(g));
     }
   };
-  if (pool_ != nullptr && buckets.size() > 1) {
-    // Grain 1: bucket costs are skewed (hot anchors collide more).
-    pool_->ParallelForChunks(static_cast<int64_t>(buckets.size()),
+  auto build_range = [&tasks, &results, &build_pair](int64_t begin,
+                                                     int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      build_pair(tasks[static_cast<size_t>(i)],
+                 &results[static_cast<size_t>(i)]);
+    }
+  };
+  if (pool_ != nullptr && tasks.size() > 1) {
+    // Grain 1: pair costs are skewed (embedding-list sizes vary widely).
+    pool_->ParallelForChunks(static_cast<int64_t>(tasks.size()),
                              /*grain=*/1, build_range, token_);
   } else {
-    build_range(0, static_cast<int64_t>(buckets.size()));
+    build_range(0, static_cast<int64_t>(tasks.size()));
   }
 
-  // ---- Serial fold in sorted key order: assign ids, dedup against the
-  // evolving pool (folding embeddings of duplicates) and admit. Identical
-  // at any thread count because candidates and fold order are.
+  // ---- Serial fold in sorted (key, pair) order — the same order the old
+  // per-bucket serial pass produced candidates in: assign ids, dedup
+  // against the evolving pool (folding embeddings of duplicates) and
+  // admit. Identical at any thread count because candidates and fold
+  // order are.
   for (size_t i = 0; i < results.size(); ++i) {
-    BucketResult& result = results[i];
+    PairResult& result = results[i];
     stats_->merge_attempts += result.merge_attempts;
     stats_->iso_checks_run += result.iso_checks_run;
     if (result.cancelled) rs->truncated = true;
@@ -772,7 +792,7 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
         GrowthPattern& other = rs->pool[dup];
         other.merged_ever = true;  // it is now a merge product
         FoldEmbeddings(&other, std::move(merged.embeddings),
-                       config_->max_embeddings_per_pattern);
+                       query_->max_embeddings_per_pattern);
         other.support = Support(other);
         continue;
       }
@@ -805,9 +825,9 @@ GrowRoundResult GrowthEngine::GrowRound(std::vector<GrowthPattern> input,
   // count, so it is identical at any thread count.
   constexpr int64_t kLineageCapFloor = 16;
   const int64_t lineage_cap = std::max<int64_t>(
-      std::min<int64_t>(config_->max_patterns_per_round, kLineageCapFloor),
-      n > 0 ? config_->max_patterns_per_round / n
-            : config_->max_patterns_per_round);
+      std::min<int64_t>(query_->max_patterns_per_round, kLineageCapFloor),
+      n > 0 ? query_->max_patterns_per_round / n
+            : query_->max_patterns_per_round);
   auto expand = [this, &input, &lineages, lineage_cap](int64_t begin,
                                                        int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
@@ -868,7 +888,7 @@ GrowRoundResult GrowthEngine::GrowRound(std::vector<GrowthPattern> input,
       if (dup >= 0) {
         GrowthPattern& other = rs.pool[dup];
         FoldEmbeddings(&other, std::move(child.embeddings),
-                       config_->max_embeddings_per_pattern);
+                       query_->max_embeddings_per_pattern);
         support_dirty.push_back(dup);
         other.merged_ever |= child.merged_ever;
         // A non-closed verdict from any lineage applies to the shared
@@ -878,7 +898,7 @@ GrowRoundResult GrowthEngine::GrowRound(std::vector<GrowthPattern> input,
         continue;
       }
       if (static_cast<int64_t>(rs.pool.size()) >=
-          config_->max_patterns_per_round) {
+          query_->max_patterns_per_round) {
         // Global budget exhausted: this lineage's remaining children are
         // (transitive) extensions of what was just dropped, so skip them
         // wholesale; one cap hit per lineage keeps the counter readable.

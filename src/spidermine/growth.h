@@ -78,15 +78,20 @@ using MergeRegistry = std::unordered_map<uint64_t, std::vector<int64_t>>;
 /// Executes growth rounds against a fixed graph + spider set.
 class GrowthEngine {
  public:
-  /// All references are borrowed and must outlive the engine. A non-null
-  /// \p deadline is polled inside rounds so the configured time budget
-  /// bounds even a single expensive round. A non-null \p pool parallelizes
-  /// seeding and per-lineage round expansion (results stay identical at any
-  /// thread count); \p token adds cooperative mid-round cancellation on the
-  /// workers.
+  /// All references are borrowed and must outlive the engine. \p session
+  /// carries the graph-scoped parameters (spider radius, transaction map);
+  /// \p query the per-query knobs — its min_support must already be
+  /// resolved to a concrete threshold (MiningSession::RunQuery maps the
+  /// 0 = "session floor" sentinel before constructing an engine). A
+  /// non-null \p deadline is polled inside rounds so the configured time
+  /// budget bounds even a single expensive round. A non-null \p pool
+  /// parallelizes seeding and per-lineage round expansion (results stay
+  /// identical at any thread count); \p token adds cooperative mid-round
+  /// cancellation on the workers.
   GrowthEngine(const LabeledGraph* graph, const SpiderIndex* index,
-               const MineConfig* config, MineStats* stats,
-               const Deadline* deadline = nullptr, ThreadPool* pool = nullptr,
+               const SessionConfig* session, const QueryConfig* query,
+               MineStats* stats, const Deadline* deadline = nullptr,
+               ThreadPool* pool = nullptr,
                const CancellationToken* token = nullptr);
 
   /// Builds the initial GrowthPattern for the seed spider with store id
@@ -140,16 +145,19 @@ class GrowthEngine {
                  const std::vector<std::vector<VertexId>>& sorted_images,
                  bool* support_preserved) const;
 
-  /// Runs CheckMerge for all colliding registry keys. Per-key union-group
-  /// construction (the expensive part: overlap collection, union-instance
-  /// building, support counting) fans out over the pool against the
-  /// pre-merge pool snapshot; a serial fold then admits candidates in
-  /// sorted key order, so the outcome is identical at any thread count.
+  /// Runs CheckMerge for all colliding registry keys. The examined pattern
+  /// pairs (the expensive part: overlap collection, union-instance
+  /// building, support counting) are flattened across buckets and fan out
+  /// over the pool individually against the pre-merge pool snapshot, so a
+  /// single hot anchor bucket no longer serializes the pass; a serial fold
+  /// then admits candidates in sorted (key, pair) order, so the outcome is
+  /// identical at any thread count.
   void RunMerges(RoundState* rs, MergeRegistry* previous);
 
   const LabeledGraph* graph_;
   const SpiderIndex* index_;
-  const MineConfig* config_;
+  const SessionConfig* session_;
+  const QueryConfig* query_;
   MineStats* stats_;
   const Deadline* deadline_;
   ThreadPool* pool_;

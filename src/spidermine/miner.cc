@@ -1,394 +1,46 @@
 #include "spidermine/miner.h"
 
 #include <algorithm>
-#include <optional>
-#include <unordered_map>
 
-#include "common/logging.h"
-#include "common/rng.h"
-#include "common/strings.h"
-#include "common/thread_pool.h"
 #include "common/timer.h"
-#include "pattern/spider_set.h"
-#include "pattern/vf2.h"
-#include "spider/spider_index.h"
-#include "spider/star_miner.h"
-#include "spidermine/closure.h"
-#include "spidermine/growth.h"
-#include "spidermine/seed_count.h"
 
 namespace spidermine {
-
-namespace {
-
-/// Size-ordering used for the paper's "list sorted by size": edge count
-/// first (the paper's |P|), then vertex count, then support.
-bool LargerPattern(const MinedPattern& a, const MinedPattern& b) {
-  if (a.NumEdges() != b.NumEdges()) return a.NumEdges() > b.NumEdges();
-  if (a.NumVertices() != b.NumVertices()) {
-    return a.NumVertices() > b.NumVertices();
-  }
-  return a.support > b.support;
-}
-
-/// Accumulates every discovered pattern, deduplicating by spider-set +
-/// exact isomorphism, keeping the best-support variant.
-class ResultCollector {
- public:
-  ResultCollector(const MineConfig* config, MineStats* stats)
-      : config_(config), stats_(stats) {}
-
-  void Add(const GrowthPattern& gp) {
-    uint64_t digest = gp.spider_set.digest();
-    auto [it, inserted] = buckets_.try_emplace(digest);
-    for (int64_t idx : it->second) {
-      MinedPattern& existing = results_[idx];
-      ++stats_->iso_checks_run;
-      if (ArePatternsIsomorphic(existing.pattern, gp.pattern)) {
-        if (gp.support > existing.support) {
-          existing.support = gp.support;
-          existing.embeddings = gp.embeddings;
-        }
-        existing.from_merge |= gp.merged_ever;
-        return;
-      }
-    }
-    MinedPattern mp;
-    mp.pattern = gp.pattern;
-    mp.embeddings = gp.embeddings;
-    mp.support = gp.support;
-    mp.from_merge = gp.merged_ever;
-    it->second.push_back(static_cast<int64_t>(results_.size()));
-    results_.push_back(std::move(mp));
-    if (static_cast<int64_t>(results_.size()) >
-        config_->max_results + kCompactionSlack) {
-      Compact();
-    }
-  }
-
-  std::vector<MinedPattern> TakeSorted() {
-    std::sort(results_.begin(), results_.end(), LargerPattern);
-    return std::move(results_);
-  }
-
- private:
-  static constexpr int64_t kCompactionSlack = 1024;
-
-  void Compact() {
-    std::sort(results_.begin(), results_.end(), LargerPattern);
-    results_.resize(static_cast<size_t>(config_->max_results));
-    buckets_.clear();
-    for (size_t i = 0; i < results_.size(); ++i) {
-      SpiderSetRepr repr = SpiderSetRepr::Compute(results_[i].pattern,
-                                                  config_->spider_radius);
-      buckets_[repr.digest()].push_back(static_cast<int64_t>(i));
-    }
-  }
-
-  const MineConfig* config_;
-  MineStats* stats_;
-  std::vector<MinedPattern> results_;
-  std::unordered_map<uint64_t, std::vector<int64_t>> buckets_;
-};
-
-/// Stride between per-run RNG substream seeds. Runs must not share a
-/// stream: with a shared stream the amount of randomness run r consumes
-/// would depend on earlier runs' control flow, while independent substreams
-/// keep every run's draws fixed regardless of scheduling or truncation.
-constexpr uint64_t kRunSeedStride = 0x9e3779b97f4a7c15ULL;  // 2^64 / phi
-
-}  // namespace
 
 SpiderMiner::SpiderMiner(const LabeledGraph* graph, MineConfig config)
     : graph_(graph), config_(config) {}
 
 Result<MineResult> SpiderMiner::Mine() {
-  if (config_.min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (config_.k < 1) return Status::InvalidArgument("k must be >= 1");
-  if (config_.dmax < 1) return Status::InvalidArgument("dmax must be >= 1");
-  if (config_.spider_radius != 1) {
-    return Status::InvalidArgument(
-        "the growth engine implements spider_radius = 1 (the paper's own "
-        "implementation choice); use MineBallSpiders for larger radii");
-  }
-  if (config_.epsilon <= 0.0 || config_.epsilon >= 1.0) {
-    return Status::InvalidArgument("epsilon must be in (0, 1)");
-  }
-  if (config_.support_measure == SupportMeasureKind::kTransaction &&
-      config_.txn_of_vertex == nullptr) {
+  SessionConfig session_config = config_.SessionPart();
+  TopKQuery query = config_.QueryPart();
+  // Validate both halves before mining anything: an invalid query must fail
+  // fast, not after a full Stage I pass.
+  SM_RETURN_NOT_OK(session_config.Validate());
+  SM_RETURN_NOT_OK(query.Validate());
+  if (query.support_measure == SupportMeasureKind::kTransaction &&
+      session_config.txn_of_vertex == nullptr) {
     return Status::InvalidArgument(
         "transaction support requires txn_of_vertex");
   }
-  if (config_.num_threads < 0) {
-    return Status::InvalidArgument("num_threads must be >= 0");
+
+  WallTimer total_timer;
+  SM_ASSIGN_OR_RETURN(MiningSession session,
+                      MiningSession::Create(graph_, session_config));
+  // The fused time budget spans all stages: the query gets whatever Stage I
+  // left over (a hair above zero when Stage I consumed it all, so the
+  // query's deadline trips immediately instead of meaning "unlimited").
+  if (config_.time_budget_seconds > 0) {
+    query.time_budget_seconds =
+        std::max(config_.time_budget_seconds -
+                     session.stage1_stats().stage1_seconds,
+                 1e-9);
   }
-  if (config_.stage1_shard_grain < 0) {
-    return Status::InvalidArgument(
-        "stage1_shard_grain must be >= 0 (0 = automatic)");
-  }
+  SM_ASSIGN_OR_RETURN(QueryResult query_result, session.RunQuery(query));
 
   MineResult result;
-  MineStats& stats = result.stats;
-  WallTimer total_timer;
-  Deadline deadline(config_.time_budget_seconds);
-  // Every stage shares one pool and one deadline-bound token: expiry stops
-  // workers mid-stage, not just between rounds. A caller-provided pool is
-  // reused as-is (restart sweeps and benches pay thread spawn once).
-  std::optional<ThreadPool> owned_pool;
-  ThreadPool* pool = config_.pool;
-  if (pool == nullptr) {
-    owned_pool.emplace(config_.num_threads > 0 ? config_.num_threads
-                                               : ThreadPool::DefaultThreads());
-    pool = &*owned_pool;
-  }
-  CancellationToken cancel(&deadline);
-
-  // ---------------- Stage I: mine all spiders. ----------------
-  WallTimer stage_timer;
-  StarMinerConfig star_config;
-  star_config.min_support = config_.min_support;
-  star_config.max_leaves = config_.max_star_leaves;
-  star_config.max_spiders = config_.max_spiders;
-  star_config.shard_grain = config_.stage1_shard_grain;
-  SM_ASSIGN_OR_RETURN(StarMineResult stars,
-                      MineStarSpiders(*graph_, star_config, pool, &cancel));
-  const SpiderStore& store = stars.store;
-  stats.num_spiders = store.size();
-  stats.stage1_steps = stars.extension_attempts;
-  stats.stage1_store_bytes = store.HeapBytes();
-  stats.stage1_scan_shards = stars.num_scan_shards;
-  stats.stage1_enum_shards = stars.num_enum_shards;
-  for (int32_t id = 0; id < static_cast<int32_t>(store.size()); ++id) {
-    if (store.closed(id)) ++stats.num_closed_spiders;
-  }
-  SpiderIndex index(&store, graph_->NumVertices());
-  stats.stage1_seconds = stage_timer.ElapsedSeconds();
-
-  if (store.empty()) {
-    stats.total_seconds = total_timer.ElapsedSeconds();
-    return result;  // nothing frequent at all
-  }
-
-  // ------ Stages II + III, repeated `restarts` times over the one-time
-  // Stage I spider set (paper Sec. 4.2.1: re-running the randomized stages
-  // boosts the success probability; results accumulate). ------
-  int64_t m = config_.seed_count_override;
-  if (m <= 0) {
-    int64_t vmin = config_.vmin > 0
-                       ? config_.vmin
-                       : std::max<int64_t>(1, graph_->NumVertices() / 10);
-    vmin = std::min(vmin, graph_->NumVertices());
-    Result<int64_t> computed = ComputeSeedCount(
-        graph_->NumVertices(), vmin, config_.k, config_.epsilon);
-    // An unreachable epsilon falls back to drawing every spider.
-    m = computed.ok() ? *computed : store.size();
-  }
-  stats.seed_count_m = m;
-
-  GrowthEngine engine(graph_, &index, &config_, &stats, &deadline, pool,
-                      &cancel);
-  ResultCollector collector(&config_, &stats);
-
-  // restarts == 0 stops after Stage I; negatives clamp to the default 1.
-  const int32_t total_runs =
-      config_.restarts == 0 ? 0 : std::max(1, config_.restarts);
-  for (int32_t run = 0; run < total_runs; ++run) {
-    if (cancel.IsCancelled()) {
-      stats.timed_out = true;
-      break;
-    }
-    // ---------------- Stage II: identify large patterns. ----------------
-    stage_timer.Restart();
-    // RandomSeed: draw M spiders uniformly without replacement. Each run
-    // draws from its own substream (rng_seed xor run * stride), so the
-    // draws of run r never depend on how much randomness earlier runs
-    // consumed -- a prerequisite for deterministic parallel execution.
-    Rng run_rng(config_.rng_seed ^
-                (kRunSeedStride * static_cast<uint64_t>(run)));
-    std::vector<GrowthPattern> working;
-    {
-      size_t draw = std::min<size_t>(static_cast<size_t>(m),
-                                     static_cast<size_t>(store.size()));
-      std::vector<size_t> picks = run_rng.SampleWithoutReplacement(
-          static_cast<size_t>(store.size()), draw);
-      std::vector<int32_t> pick_ids;
-      pick_ids.reserve(picks.size());
-      for (size_t pick : picks) {
-        pick_ids.push_back(static_cast<int32_t>(pick));
-      }
-      // Seed construction (per-anchor embedding enumeration) fans out over
-      // the pool; ids and stats are assigned in pick order.
-      std::vector<GrowthPattern> seeds = engine.SeedPatterns(pick_ids);
-      for (GrowthPattern& seed : seeds) {
-        if (seed.embeddings.empty()) continue;
-        working.push_back(std::move(seed));
-      }
-    }
-
-    MergeRegistry previous;
-    const int32_t iterations =
-        std::max(1, config_.dmax / (2 * config_.spider_radius));
-    for (int32_t iter = 0; iter < iterations; ++iter) {
-      if (cancel.IsCancelled()) {
-        stats.timed_out = true;
-        break;
-      }
-      GrowRoundResult round =
-          engine.GrowRound(std::move(working), /*enable_merging=*/true,
-                           &previous);
-      working = std::move(round.patterns);
-      ++stats.stage2_iterations;
-    }
-
-    // Prune unmerged patterns (Algorithm 1 line 10). If no merge happened
-    // at all (possible when caps or the time budget truncated Stage II),
-    // keep the largest unmerged survivors instead of returning nothing --
-    // an engineering fallback outside the paper's algorithm, reported via
-    // pruned_unmerged staying 0.
-    if (!config_.keep_unmerged) {
-      bool any_merged = std::any_of(
-          working.begin(), working.end(),
-          [](const GrowthPattern& gp) { return gp.merged_ever; });
-      if (any_merged) {
-        size_t before = working.size();
-        std::erase_if(working, [](const GrowthPattern& gp) {
-          return !gp.merged_ever;
-        });
-        stats.pruned_unmerged +=
-            static_cast<int64_t>(before - working.size());
-      } else if (static_cast<int64_t>(working.size()) > 4 * config_.k) {
-        std::sort(working.begin(), working.end(),
-                  [](const GrowthPattern& a, const GrowthPattern& b) {
-                    return a.pattern.NumEdges() > b.pattern.NumEdges();
-                  });
-        working.resize(static_cast<size_t>(4 * config_.k));
-      }
-    }
-    stats.stage2_seconds += stage_timer.ElapsedSeconds();
-
-    // ---------------- Stage III: recover full patterns. ----------------
-    stage_timer.Restart();
-    for (const GrowthPattern& gp : working) collector.Add(gp);
-
-    for (int32_t round = 0; round < config_.stage3_max_rounds; ++round) {
-      if (working.empty()) break;
-      if (cancel.IsCancelled()) {
-        stats.timed_out = true;
-        break;
-      }
-      GrowRoundResult grown =
-          engine.GrowRound(std::move(working), /*enable_merging=*/true,
-                           &previous);
-      ++stats.stage3_rounds;
-      working.clear();
-      for (GrowthPattern& gp : grown.patterns) {
-        collector.Add(gp);
-        if (!gp.exhausted) working.push_back(std::move(gp));
-      }
-      if (!grown.any_growth) break;
-    }
-    for (const GrowthPattern& gp : working) collector.Add(gp);
-    stats.stage3_seconds += stage_timer.ElapsedSeconds();
-  }
-
-  std::vector<MinedPattern> all = collector.TakeSorted();
-
-  // Internal-edge closure (closure.h): restore frequent cycle-closing edges
-  // the star-based growth could not add, then re-deduplicate (closure can
-  // make previously distinct patterns isomorphic).
-  if (config_.close_internal_edges) {
-    const int64_t window =
-        config_.closure_window > 0
-            ? config_.closure_window
-            : std::max<int64_t>(64, 8LL * config_.k);
-    const size_t limit =
-        std::min(all.size(), static_cast<size_t>(window));
-    // Per-pattern closure is independent: fan out over the pool, each
-    // iteration touching only all[i] and its own edges-added slot.
-    std::vector<int32_t> edges_added(limit, 0);
-    pool->ParallelForChunks(
-        static_cast<int64_t>(limit), /*grain=*/1,
-        [this, &all, &edges_added](int64_t begin, int64_t end) {
-          SupportContext support_context;
-          support_context.txn_of_vertex = config_.txn_of_vertex;
-          for (int64_t i = begin; i < end; ++i) {
-            MinedPattern& mp = all[static_cast<size_t>(i)];
-            // Growth tracks only the embeddings reachable along its own
-            // path (an occurrence list), which under-counts the surviving
-            // support of a candidate closure edge. Re-enumerate the full
-            // E[P] first.
-            Vf2Options vf2_options;
-            vf2_options.max_embeddings = config_.max_embeddings_per_pattern;
-            std::vector<Embedding> full =
-                FindEmbeddings(mp.pattern, *graph_, vf2_options);
-            if (!full.empty()) {
-              DedupEmbeddingsByImage(&full);
-              mp.embeddings = std::move(full);
-              mp.support = ComputeSupport(config_.support_measure,
-                                          mp.pattern, mp.embeddings,
-                                          support_context);
-            }
-            edges_added[static_cast<size_t>(i)] = CloseInternalEdges(
-                *graph_, &mp.pattern, &mp.embeddings,
-                config_.support_measure, config_.min_support, &mp.support,
-                support_context);
-          }
-        },
-        &cancel);
-    for (size_t i = 0; i < limit; ++i) {
-      stats.closure_edges_added += edges_added[i];
-    }
-    if (stats.closure_edges_added > 0) {
-      std::sort(all.begin(), all.end(), LargerPattern);
-      std::vector<MinedPattern> deduped;
-      for (MinedPattern& mp : all) {
-        bool duplicate = false;
-        for (MinedPattern& kept : deduped) {
-          if (kept.NumEdges() != mp.NumEdges() ||
-              kept.NumVertices() != mp.NumVertices()) {
-            continue;
-          }
-          ++stats.iso_checks_run;
-          if (ArePatternsIsomorphic(kept.pattern, mp.pattern)) {
-            if (mp.support > kept.support) {
-              kept.support = mp.support;
-              kept.embeddings = mp.embeddings;
-            }
-            kept.from_merge |= mp.from_merge;
-            duplicate = true;
-            break;
-          }
-        }
-        if (!duplicate) deduped.push_back(std::move(mp));
-        // Dedup cost is bounded: only the top window can reach the final K.
-        if (static_cast<int64_t>(deduped.size()) > 4 * config_.k + 16) break;
-      }
-      all = std::move(deduped);
-    }
-  }
-
-  if (config_.enforce_dmax_on_results) {
-    std::erase_if(all, [this](const MinedPattern& mp) {
-      return mp.pattern.Diameter() > config_.dmax;
-    });
-  }
-  if (static_cast<int64_t>(all.size()) > config_.k) {
-    all.resize(static_cast<size_t>(config_.k));
-  }
-  result.patterns = std::move(all);
-  // The token may have tripped inside a stage (star shards, lineages,
-  // closure) without any between-round check observing it.
-  if (config_.time_budget_seconds > 0 && cancel.IsCancelled()) {
-    stats.timed_out = true;
-  }
-  stats.total_seconds = total_timer.ElapsedSeconds();
-  Log(LogLevel::kInfo,
-      StrCat("SpiderMine: ", stats.num_spiders, " spiders, M=",
-             stats.seed_count_m, ", merges=", stats.merges, ", returned ",
-             result.patterns.size(), " patterns in ", stats.total_seconds,
-             "s"));
+  result.patterns = std::move(query_result.patterns);
+  result.stats = query_result.stats;
+  result.stats.FoldStage1(session.stage1_stats());
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
   return result;
 }
 

@@ -1,36 +1,27 @@
 #pragma once
 
-#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
 #include "graph/labeled_graph.h"
-#include "pattern/embedding.h"
-#include "pattern/pattern.h"
 #include "spidermine/config.h"
+#include "spidermine/session.h"
 
 /// \file miner.h
-/// The SpiderMine driver (paper Algorithm 1): Stage I mines all r-spiders,
-/// Stage II draws M random seed spiders and grows them for Dmax/(2r)
-/// iterations with merging, keeping only merge products, and Stage III
-/// grows the survivors to a fixpoint and returns the K largest patterns.
+/// The legacy single-shot SpiderMine driver (paper Algorithm 1), kept as a
+/// thin compatibility shim over the session API: `Mine()` builds a
+/// `MiningSession` (Stage I), runs one `TopKQuery` (Stages II+III) and
+/// merges the stats back into the fused `MineResult` shape. Results are
+/// byte-identical to the pre-session driver.
+///
+/// Deprecation path: new code — anything that mines a graph more than once,
+/// sweeps query parameters, or serves interactive requests — should hold a
+/// `MiningSession` (spidermine/session.h) and call `RunQuery` per request;
+/// Stage I then runs once per graph instead of once per call. SpiderMiner
+/// remains supported for one-shot mining and existing callers, but new
+/// knobs land on SessionConfig/QueryConfig first.
 
 namespace spidermine {
-
-/// One returned pattern.
-struct MinedPattern {
-  Pattern pattern;
-  /// Embeddings known for the pattern (capped; see MineConfig).
-  std::vector<Embedding> embeddings;
-  /// Support under the configured measure.
-  int64_t support = 0;
-  /// True when the pattern descends from a Stage II merge.
-  bool from_merge = false;
-
-  /// Paper's |P|: edge count.
-  int32_t NumEdges() const { return pattern.NumEdges(); }
-  int32_t NumVertices() const { return pattern.NumVertices(); }
-};
 
 /// Output of a Mine() run.
 struct MineResult {
@@ -40,7 +31,7 @@ struct MineResult {
   MineStats stats;
 };
 
-/// Runs SpiderMine over a single network.
+/// Runs SpiderMine over a single network: one session, one query.
 class SpiderMiner {
  public:
   /// \p graph is borrowed and must outlive the miner.

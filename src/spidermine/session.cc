@@ -1,0 +1,533 @@
+#include "spidermine/session.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "pattern/spider_set.h"
+#include "pattern/vf2.h"
+#include "spider/spider_store_io.h"
+#include "spider/star_miner.h"
+#include "spidermine/closure.h"
+#include "spidermine/growth.h"
+#include "spidermine/seed_count.h"
+
+namespace spidermine {
+
+namespace {
+
+/// Size-ordering used for the paper's "list sorted by size": edge count
+/// first (the paper's |P|), then vertex count, then support.
+bool LargerPattern(const MinedPattern& a, const MinedPattern& b) {
+  if (a.NumEdges() != b.NumEdges()) return a.NumEdges() > b.NumEdges();
+  if (a.NumVertices() != b.NumVertices()) {
+    return a.NumVertices() > b.NumVertices();
+  }
+  return a.support > b.support;
+}
+
+/// Accumulates every discovered pattern, deduplicating by spider-set +
+/// exact isomorphism, keeping the best-support variant.
+class ResultCollector {
+ public:
+  ResultCollector(const QueryConfig* query, int32_t spider_radius,
+                  MineStats* stats)
+      : query_(query), spider_radius_(spider_radius), stats_(stats) {}
+
+  void Add(const GrowthPattern& gp) {
+    uint64_t digest = gp.spider_set.digest();
+    auto [it, inserted] = buckets_.try_emplace(digest);
+    for (int64_t idx : it->second) {
+      MinedPattern& existing = results_[idx];
+      ++stats_->iso_checks_run;
+      if (ArePatternsIsomorphic(existing.pattern, gp.pattern)) {
+        if (gp.support > existing.support) {
+          existing.support = gp.support;
+          existing.embeddings = gp.embeddings;
+        }
+        existing.from_merge |= gp.merged_ever;
+        return;
+      }
+    }
+    MinedPattern mp;
+    mp.pattern = gp.pattern;
+    mp.embeddings = gp.embeddings;
+    mp.support = gp.support;
+    mp.from_merge = gp.merged_ever;
+    it->second.push_back(static_cast<int64_t>(results_.size()));
+    results_.push_back(std::move(mp));
+    if (static_cast<int64_t>(results_.size()) >
+        query_->max_results + kCompactionSlack) {
+      Compact();
+    }
+  }
+
+  std::vector<MinedPattern> TakeSorted() {
+    std::sort(results_.begin(), results_.end(), LargerPattern);
+    return std::move(results_);
+  }
+
+ private:
+  static constexpr int64_t kCompactionSlack = 1024;
+
+  void Compact() {
+    std::sort(results_.begin(), results_.end(), LargerPattern);
+    results_.resize(static_cast<size_t>(query_->max_results));
+    buckets_.clear();
+    for (size_t i = 0; i < results_.size(); ++i) {
+      SpiderSetRepr repr =
+          SpiderSetRepr::Compute(results_[i].pattern, spider_radius_);
+      buckets_[repr.digest()].push_back(static_cast<int64_t>(i));
+    }
+  }
+
+  const QueryConfig* query_;
+  int32_t spider_radius_;
+  MineStats* stats_;
+  std::vector<MinedPattern> results_;
+  std::unordered_map<uint64_t, std::vector<int64_t>> buckets_;
+};
+
+/// Stride between per-run RNG substream seeds. Runs must not share a
+/// stream: with a shared stream the amount of randomness run r consumes
+/// would depend on earlier runs' control flow, while independent substreams
+/// keep every run's draws fixed regardless of scheduling or truncation.
+constexpr uint64_t kRunSeedStride = 0x9e3779b97f4a7c15ULL;  // 2^64 / phi
+
+}  // namespace
+
+void AccumulateTopK(std::vector<MinedPattern>* accumulated,
+                    std::vector<MinedPattern> more, int64_t k) {
+  for (MinedPattern& candidate : more) {
+    bool duplicate = false;
+    for (MinedPattern& kept : *accumulated) {
+      if (kept.NumEdges() != candidate.NumEdges() ||
+          kept.NumVertices() != candidate.NumVertices()) {
+        continue;
+      }
+      if (ArePatternsIsomorphic(kept.pattern, candidate.pattern)) {
+        // Same fold semantics as the in-query ResultCollector: best
+        // support wins, the merge provenance flag is sticky either way.
+        if (candidate.support > kept.support) {
+          candidate.from_merge |= kept.from_merge;
+          kept = std::move(candidate);
+        } else {
+          kept.from_merge |= candidate.from_merge;
+        }
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) accumulated->push_back(std::move(candidate));
+  }
+  std::sort(accumulated->begin(), accumulated->end(), LargerPattern);
+  if (k > 0 && static_cast<int64_t>(accumulated->size()) > k) {
+    accumulated->resize(static_cast<size_t>(k));
+  }
+}
+
+Result<MiningSession> MiningSession::Create(const LabeledGraph* graph,
+                                            SessionConfig config) {
+  SM_RETURN_NOT_OK(config.Validate());
+  MiningSession session;
+  session.graph_ = graph;
+  session.config_ = config;
+  session.pool_ = config.pool;
+  if (session.pool_ == nullptr) {
+    session.owned_pool_ = std::make_unique<ThreadPool>(
+        config.num_threads > 0 ? config.num_threads
+                               : ThreadPool::DefaultThreads());
+    session.pool_ = session.owned_pool_.get();
+  }
+
+  // ---------------- Stage I: mine all spiders, exactly once. -------------
+  WallTimer stage_timer;
+  Deadline deadline(config.stage1_time_budget_seconds);
+  CancellationToken cancel(&deadline);
+  StarMinerConfig star_config;
+  star_config.min_support = config.min_support;
+  star_config.max_leaves = config.max_star_leaves;
+  star_config.max_spiders = config.max_spiders;
+  star_config.shard_grain = config.stage1_shard_grain;
+  SM_ASSIGN_OR_RETURN(
+      StarMineResult stars,
+      MineStarSpiders(*graph, star_config, session.pool_, &cancel));
+  session.store_ = std::make_unique<SpiderStore>(std::move(stars.store));
+  session.stage1_truncated_ = stars.truncated;
+
+  MineStats& stats = session.stage1_stats_;
+  const SpiderStore& store = *session.store_;
+  stats.num_spiders = store.size();
+  stats.stage1_steps = stars.extension_attempts;
+  stats.stage1_store_bytes = store.HeapBytes();
+  stats.stage1_scan_shards = stars.num_scan_shards;
+  stats.stage1_enum_shards = stars.num_enum_shards;
+  for (int32_t id = 0; id < static_cast<int32_t>(store.size()); ++id) {
+    if (store.closed(id)) ++stats.num_closed_spiders;
+  }
+  session.index_ =
+      std::make_unique<SpiderIndex>(session.store_.get(),
+                                    graph->NumVertices());
+  stats.stage1_seconds = stage_timer.ElapsedSeconds();
+  stats.total_seconds = stats.stage1_seconds;
+  if (config.stage1_time_budget_seconds > 0 && cancel.IsCancelled()) {
+    stats.timed_out = true;
+  }
+  return session;
+}
+
+Result<MiningSession> MiningSession::FromStore(const LabeledGraph* graph,
+                                               SessionConfig config,
+                                               SpiderStore store) {
+  SM_RETURN_NOT_OK(config.Validate());
+  // Anchors are graph vertex ids: an out-of-range anchor would corrupt the
+  // index build and every downstream neighborhood scan, so a store is
+  // checked against the graph it claims to describe before adoption.
+  for (int32_t id = 0; id < static_cast<int32_t>(store.size()); ++id) {
+    for (VertexId anchor : store.anchors(id)) {
+      if (anchor < 0 || anchor >= graph->NumVertices()) {
+        return Status::InvalidArgument(
+            StrCat("spider ", id, " anchored at vertex ", anchor,
+                   ", outside the graph's ", graph->NumVertices(),
+                   " vertices (store/graph mismatch)"));
+      }
+    }
+  }
+
+  MiningSession session;
+  session.graph_ = graph;
+  session.config_ = config;
+  session.pool_ = config.pool;
+  if (session.pool_ == nullptr) {
+    session.owned_pool_ = std::make_unique<ThreadPool>(
+        config.num_threads > 0 ? config.num_threads
+                               : ThreadPool::DefaultThreads());
+    session.pool_ = session.owned_pool_.get();
+  }
+  WallTimer stage_timer;
+  session.store_ = std::make_unique<SpiderStore>(std::move(store));
+  MineStats& stats = session.stage1_stats_;
+  stats.num_spiders = session.store_->size();
+  stats.stage1_store_bytes = session.store_->HeapBytes();
+  for (int32_t id = 0; id < static_cast<int32_t>(session.store_->size());
+       ++id) {
+    if (session.store_->closed(id)) ++stats.num_closed_spiders;
+  }
+  session.index_ =
+      std::make_unique<SpiderIndex>(session.store_.get(),
+                                    graph->NumVertices());
+  stats.stage1_seconds = stage_timer.ElapsedSeconds();
+  stats.total_seconds = stats.stage1_seconds;
+  return session;
+}
+
+Status MiningSession::SaveStage1(const std::string& path) const {
+  Stage1Meta meta;
+  meta.min_support = config_.min_support;
+  meta.spider_radius = config_.spider_radius;
+  meta.max_star_leaves = config_.max_star_leaves;
+  meta.max_spiders = config_.max_spiders;
+  meta.num_graph_vertices = graph_->NumVertices();
+  meta.graph_hash = graph_->ContentHash();
+  meta.truncated = stage1_truncated_;
+  return SaveSpiderStoreBinary(*store_, meta, path);
+}
+
+Result<MiningSession> MiningSession::LoadStage1(const LabeledGraph* graph,
+                                                SessionConfig config,
+                                                const std::string& path) {
+  SM_ASSIGN_OR_RETURN(Stage1Artifact artifact, LoadSpiderStoreBinary(path));
+  if (artifact.meta.num_graph_vertices != graph->NumVertices()) {
+    return Status::InvalidArgument(
+        StrCat("stage1 artifact was mined over a ",
+               artifact.meta.num_graph_vertices,
+               "-vertex graph; the provided graph has ",
+               graph->NumVertices(), " vertices"));
+  }
+  // Same size is not same graph: anchors and labels are meaningless on a
+  // different network, so the artifact is bound to the mined graph's
+  // content hash (every writer records it; no unhashed artifacts exist).
+  if (artifact.meta.graph_hash != graph->ContentHash()) {
+    return Status::InvalidArgument(
+        StrCat("stage1 artifact was mined over a different graph (content "
+               "hash mismatch: artifact ", artifact.meta.graph_hash,
+               ", provided graph ", graph->ContentHash(), ")"));
+  }
+  // The artifact's mining parameters describe the stored set and override
+  // whatever the caller guessed; parallelism knobs stay the caller's.
+  config.min_support = artifact.meta.min_support;
+  config.spider_radius = artifact.meta.spider_radius;
+  config.max_star_leaves = artifact.meta.max_star_leaves;
+  config.max_spiders = artifact.meta.max_spiders;
+  SM_ASSIGN_OR_RETURN(
+      MiningSession session,
+      FromStore(graph, config, std::move(artifact.store)));
+  session.stage1_truncated_ = artifact.meta.truncated;
+  return session;
+}
+
+Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) {
+  SM_RETURN_NOT_OK(query.Validate());
+  QueryConfig q = query;
+  if (q.min_support == 0) q.min_support = config_.min_support;
+  if (q.min_support < config_.min_support) {
+    return Status::InvalidArgument(
+        StrCat("query min_support ", q.min_support,
+               " is below the session's mined floor ", config_.min_support,
+               "; spiders below the floor were never mined"));
+  }
+  if (q.support_measure == SupportMeasureKind::kTransaction &&
+      config_.txn_of_vertex == nullptr) {
+    return Status::InvalidArgument(
+        "transaction support requires txn_of_vertex");
+  }
+
+  QueryResult result;
+  MineStats& stats = result.stats;
+  WallTimer total_timer;
+  Deadline deadline(q.time_budget_seconds);
+  CancellationToken cancel(&deadline);
+  const SpiderStore& store = *store_;
+
+  if (store.empty()) {
+    stats.total_seconds = total_timer.ElapsedSeconds();
+    ++queries_run_;
+    return result;  // nothing frequent at all
+  }
+
+  // ------ Stages II + III, repeated `restarts` times over the session's
+  // one-time Stage I spider set (paper Sec. 4.2.1: re-running the
+  // randomized stages boosts the success probability; results accumulate
+  // within the query). ------
+  int64_t m = q.seed_count_override;
+  if (m <= 0) {
+    int64_t vmin = q.vmin > 0
+                       ? q.vmin
+                       : std::max<int64_t>(1, graph_->NumVertices() / 10);
+    vmin = std::min(vmin, graph_->NumVertices());
+    Result<int64_t> computed =
+        ComputeSeedCount(graph_->NumVertices(), vmin, q.k, q.epsilon);
+    // An unreachable epsilon falls back to drawing every spider.
+    m = computed.ok() ? *computed : store.size();
+  }
+  stats.seed_count_m = m;
+
+  GrowthEngine engine(graph_, index_.get(), &config_, &q, &stats, &deadline,
+                      pool_, &cancel);
+  ResultCollector collector(&q, config_.spider_radius, &stats);
+
+  // restarts == 0 stops before Stage II; negatives clamp to the default 1.
+  const int32_t total_runs = q.restarts == 0 ? 0 : std::max(1, q.restarts);
+  WallTimer stage_timer;
+  for (int32_t run = 0; run < total_runs; ++run) {
+    if (cancel.IsCancelled()) {
+      stats.timed_out = true;
+      break;
+    }
+    // ---------------- Stage II: identify large patterns. ----------------
+    stage_timer.Restart();
+    // RandomSeed: draw M spiders uniformly without replacement. Each run
+    // draws from its own substream (rng_seed xor run * stride), so the
+    // draws of run r never depend on how much randomness earlier runs
+    // consumed -- a prerequisite for deterministic parallel execution.
+    Rng run_rng(q.rng_seed ^ (kRunSeedStride * static_cast<uint64_t>(run)));
+    std::vector<GrowthPattern> working;
+    {
+      size_t draw = std::min<size_t>(static_cast<size_t>(m),
+                                     static_cast<size_t>(store.size()));
+      std::vector<size_t> picks = run_rng.SampleWithoutReplacement(
+          static_cast<size_t>(store.size()), draw);
+      std::vector<int32_t> pick_ids;
+      pick_ids.reserve(picks.size());
+      for (size_t pick : picks) {
+        pick_ids.push_back(static_cast<int32_t>(pick));
+      }
+      // Seed construction (per-anchor embedding enumeration) fans out over
+      // the pool; ids and stats are assigned in pick order.
+      std::vector<GrowthPattern> seeds = engine.SeedPatterns(pick_ids);
+      for (GrowthPattern& seed : seeds) {
+        if (seed.embeddings.empty()) continue;
+        working.push_back(std::move(seed));
+      }
+    }
+
+    MergeRegistry previous;
+    const int32_t iterations =
+        std::max(1, q.dmax / (2 * config_.spider_radius));
+    for (int32_t iter = 0; iter < iterations; ++iter) {
+      if (cancel.IsCancelled()) {
+        stats.timed_out = true;
+        break;
+      }
+      GrowRoundResult round =
+          engine.GrowRound(std::move(working), /*enable_merging=*/true,
+                           &previous);
+      working = std::move(round.patterns);
+      ++stats.stage2_iterations;
+    }
+
+    // Prune unmerged patterns (Algorithm 1 line 10). If no merge happened
+    // at all (possible when caps or the time budget truncated Stage II),
+    // keep the largest unmerged survivors instead of returning nothing --
+    // an engineering fallback outside the paper's algorithm, reported via
+    // pruned_unmerged staying 0.
+    if (!q.keep_unmerged) {
+      bool any_merged = std::any_of(
+          working.begin(), working.end(),
+          [](const GrowthPattern& gp) { return gp.merged_ever; });
+      if (any_merged) {
+        size_t before = working.size();
+        std::erase_if(working, [](const GrowthPattern& gp) {
+          return !gp.merged_ever;
+        });
+        stats.pruned_unmerged +=
+            static_cast<int64_t>(before - working.size());
+      } else if (static_cast<int64_t>(working.size()) > 4 * q.k) {
+        std::sort(working.begin(), working.end(),
+                  [](const GrowthPattern& a, const GrowthPattern& b) {
+                    return a.pattern.NumEdges() > b.pattern.NumEdges();
+                  });
+        working.resize(static_cast<size_t>(4 * q.k));
+      }
+    }
+    stats.stage2_seconds += stage_timer.ElapsedSeconds();
+
+    // ---------------- Stage III: recover full patterns. ----------------
+    stage_timer.Restart();
+    for (const GrowthPattern& gp : working) collector.Add(gp);
+
+    for (int32_t round = 0; round < q.stage3_max_rounds; ++round) {
+      if (working.empty()) break;
+      if (cancel.IsCancelled()) {
+        stats.timed_out = true;
+        break;
+      }
+      GrowRoundResult grown =
+          engine.GrowRound(std::move(working), /*enable_merging=*/true,
+                           &previous);
+      ++stats.stage3_rounds;
+      working.clear();
+      for (GrowthPattern& gp : grown.patterns) {
+        collector.Add(gp);
+        if (!gp.exhausted) working.push_back(std::move(gp));
+      }
+      if (!grown.any_growth) break;
+    }
+    for (const GrowthPattern& gp : working) collector.Add(gp);
+    stats.stage3_seconds += stage_timer.ElapsedSeconds();
+  }
+
+  std::vector<MinedPattern> all = collector.TakeSorted();
+
+  // Internal-edge closure (closure.h): restore frequent cycle-closing edges
+  // the star-based growth could not add, then re-deduplicate (closure can
+  // make previously distinct patterns isomorphic).
+  if (q.close_internal_edges) {
+    const int64_t window = q.closure_window > 0
+                               ? q.closure_window
+                               : std::max<int64_t>(64, 8LL * q.k);
+    const size_t limit = std::min(all.size(), static_cast<size_t>(window));
+    // Per-pattern closure is independent: fan out over the pool, each
+    // iteration touching only all[i] and its own edges-added slot.
+    std::vector<int32_t> edges_added(limit, 0);
+    pool_->ParallelForChunks(
+        static_cast<int64_t>(limit), /*grain=*/1,
+        [this, &q, &all, &edges_added](int64_t begin, int64_t end) {
+          SupportContext support_context;
+          support_context.txn_of_vertex = config_.txn_of_vertex;
+          for (int64_t i = begin; i < end; ++i) {
+            MinedPattern& mp = all[static_cast<size_t>(i)];
+            // Growth tracks only the embeddings reachable along its own
+            // path (an occurrence list), which under-counts the surviving
+            // support of a candidate closure edge. Re-enumerate the full
+            // E[P] first.
+            Vf2Options vf2_options;
+            vf2_options.max_embeddings = q.max_embeddings_per_pattern;
+            std::vector<Embedding> full =
+                FindEmbeddings(mp.pattern, *graph_, vf2_options);
+            if (!full.empty()) {
+              DedupEmbeddingsByImage(&full);
+              mp.embeddings = std::move(full);
+              mp.support = ComputeSupport(q.support_measure, mp.pattern,
+                                          mp.embeddings, support_context);
+            }
+            edges_added[static_cast<size_t>(i)] = CloseInternalEdges(
+                *graph_, &mp.pattern, &mp.embeddings, q.support_measure,
+                q.min_support, &mp.support, support_context);
+          }
+        },
+        &cancel);
+    for (size_t i = 0; i < limit; ++i) {
+      stats.closure_edges_added += edges_added[i];
+    }
+    if (stats.closure_edges_added > 0) {
+      std::sort(all.begin(), all.end(), LargerPattern);
+      std::vector<MinedPattern> deduped;
+      for (MinedPattern& mp : all) {
+        bool duplicate = false;
+        for (MinedPattern& kept : deduped) {
+          if (kept.NumEdges() != mp.NumEdges() ||
+              kept.NumVertices() != mp.NumVertices()) {
+            continue;
+          }
+          ++stats.iso_checks_run;
+          if (ArePatternsIsomorphic(kept.pattern, mp.pattern)) {
+            if (mp.support > kept.support) {
+              kept.support = mp.support;
+              kept.embeddings = mp.embeddings;
+            }
+            kept.from_merge |= mp.from_merge;
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) deduped.push_back(std::move(mp));
+        // Dedup cost is bounded: only the top window can reach the final K.
+        if (static_cast<int64_t>(deduped.size()) > 4 * q.k + 16) break;
+      }
+      all = std::move(deduped);
+    }
+  }
+
+  // An elevated query threshold (> the session floor) is enforced on the
+  // final list as well: seeds drawn from the cached floor-level store (and
+  // closure's full-embedding recounts) can carry support in [floor, sigma)
+  // that growth — which only checks extensions — never re-tests. Gated so
+  // floor-level queries stay byte-identical to the legacy fused driver,
+  // which deliberately returns closure-demoted patterns.
+  if (q.min_support > config_.min_support) {
+    std::erase_if(all, [&q](const MinedPattern& mp) {
+      return mp.support < q.min_support;
+    });
+  }
+
+  if (q.enforce_dmax_on_results) {
+    std::erase_if(all, [&q](const MinedPattern& mp) {
+      return mp.pattern.Diameter() > q.dmax;
+    });
+  }
+  if (static_cast<int64_t>(all.size()) > q.k) {
+    all.resize(static_cast<size_t>(q.k));
+  }
+  result.patterns = std::move(all);
+  // The token may have tripped inside a stage (lineages, closure) without
+  // any between-round check observing it.
+  if (q.time_budget_seconds > 0 && cancel.IsCancelled()) {
+    stats.timed_out = true;
+  }
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  ++queries_run_;
+  Log(LogLevel::kInfo,
+      StrCat("MiningSession: query #", queries_run_, " over ",
+             stage1_stats_.num_spiders, " cached spiders, M=",
+             stats.seed_count_m, ", merges=", stats.merges, ", returned ",
+             result.patterns.size(), " patterns in ", stats.total_seconds,
+             "s"));
+  return result;
+}
+
+}  // namespace spidermine

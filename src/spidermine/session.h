@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "graph/labeled_graph.h"
+#include "pattern/embedding.h"
+#include "pattern/pattern.h"
+#include "spider/spider_index.h"
+#include "spider/spider_store.h"
+#include "spidermine/config.h"
+
+/// \file session.h
+/// The serving front door of SpiderMine: mine Stage I once, answer many
+/// top-K queries against the cached spider set.
+///
+/// The paper's cost split (Sec. 4.2.1) is that Stage I — mining all
+/// r-spiders of the massive network — is a one-time pass, while Stages
+/// II/III are randomized and cheap enough to rerun "multiple times to
+/// increase the probability of obtaining the top-K large patterns". A
+/// `MiningSession` owns the graph plus the Stage I artifacts (the columnar
+/// `SpiderStore`, the CSR `SpiderIndex`, the closed-spider flags, the
+/// worker pool) built exactly once; `RunQuery` executes Stages II+III
+/// against that cache with per-query k, min_support (any value >= the
+/// session's mined floor), rng_seed, restarts, dmax and caps. Queries are
+/// validated via Result<> up front, so a bad query returns an error and
+/// never invalidates the session, and each query result is byte-identical
+/// to a standalone `SpiderMiner::Mine()` with the same parameters at any
+/// thread count.
+///
+/// Stage I artifacts round-trip to disk (`SaveStage1` / `LoadStage1`,
+/// graph/binary_io.h): the CLI `stage1` subcommand precomputes the spider
+/// set offline and `query` answers repeated top-K requests against the
+/// saved artifact without re-mining.
+
+namespace spidermine {
+
+/// A top-K query: alias of the query-scoped config slice (config.h).
+using TopKQuery = QueryConfig;
+
+/// One returned pattern.
+struct MinedPattern {
+  Pattern pattern;
+  /// Embeddings known for the pattern (capped; see QueryConfig).
+  std::vector<Embedding> embeddings;
+  /// Support under the configured measure.
+  int64_t support = 0;
+  /// True when the pattern descends from a Stage II merge.
+  bool from_merge = false;
+
+  /// Paper's |P|: edge count.
+  int32_t NumEdges() const { return pattern.NumEdges(); }
+  int32_t NumVertices() const { return pattern.NumVertices(); }
+};
+
+/// Merges \p more into \p accumulated under the engine's own semantics:
+/// exact-isomorphism dedup keeping the best-support variant, the size
+/// ordering queries return (edge count, then vertices, then support), and
+/// truncation to \p k (0 = no cap). The cross-query accumulation loop of
+/// the paper's restart argument — run the randomized stages repeatedly,
+/// keep the best of everything seen — packaged so callers don't re-derive
+/// the ordering or dedup policy.
+void AccumulateTopK(std::vector<MinedPattern>* accumulated,
+                    std::vector<MinedPattern> more, int64_t k);
+
+/// Output of one RunQuery call.
+struct QueryResult {
+  /// Top-K patterns, sorted by size (edge count) descending, ties broken by
+  /// vertex count then support.
+  std::vector<MinedPattern> patterns;
+  /// Query-side counters only: the stage1_* fields and num_spiders stay 0,
+  /// which is how callers (and tests) assert that serving a query re-mines
+  /// nothing — Stage I work lives in MiningSession::stage1_stats().
+  MineStats stats;
+};
+
+/// A graph-scoped mining session: Stage I mined (or loaded) once at
+/// construction, Stages II+III executed per query. Not thread-safe:
+/// serialize RunQuery calls (each query already fans out internally over
+/// the session's worker pool).
+class MiningSession {
+ public:
+  /// Mines Stage I of \p graph (borrowed; must outlive the session) under
+  /// \p config and builds the anchor index. Fails on invalid configuration;
+  /// an expired stage1_time_budget_seconds yields a truncated but usable
+  /// spider set (stage1_stats().timed_out).
+  static Result<MiningSession> Create(const LabeledGraph* graph,
+                                      SessionConfig config);
+
+  /// Builds a session around an already-mined \p store (e.g. deserialized).
+  /// Validates that every anchor is a vertex of \p graph. The store is
+  /// adopted; config describes how it was mined (min_support is the floor
+  /// queries are checked against).
+  static Result<MiningSession> FromStore(const LabeledGraph* graph,
+                                         SessionConfig config,
+                                         SpiderStore store);
+
+  /// Writes the session's Stage I artifact (spider store + mining
+  /// parameters) to \p path in the versioned, checksummed binary format of
+  /// graph/binary_io.h. Overwrites.
+  Status SaveStage1(const std::string& path) const;
+
+  /// Rebuilds a session from a SaveStage1 artifact. The artifact's mining
+  /// parameters (support floor, radius, leaf/spider caps) override the
+  /// corresponding fields of \p config — they describe the stored set —
+  /// while the parallelism knobs of \p config are honored. Fails with
+  /// kIoError on corrupt/truncated files and kInvalidArgument when the
+  /// artifact was mined over a different graph.
+  static Result<MiningSession> LoadStage1(const LabeledGraph* graph,
+                                          SessionConfig config,
+                                          const std::string& path);
+
+  /// Runs Stages II+III against the cached spider set. Validation errors
+  /// (bad k/dmax/epsilon, min_support below the mined floor, transaction
+  /// measure without a transaction map) return early without touching any
+  /// session state; the session remains fully usable. Identical queries
+  /// return byte-identical results, on this session or any other session
+  /// with the same graph + SessionConfig, at any thread count.
+  Result<QueryResult> RunQuery(const TopKQuery& query);
+
+  /// The cached Stage I spider set.
+  const SpiderStore& store() const { return *store_; }
+  /// The anchor index over the store.
+  const SpiderIndex& index() const { return *index_; }
+  /// Stage I counters/timings, populated exactly once at construction.
+  const MineStats& stage1_stats() const { return stage1_stats_; }
+  /// True when a Stage I budget or spider cap truncated the mined set.
+  bool stage1_truncated() const { return stage1_truncated_; }
+  /// The session's graph-scoped configuration.
+  const SessionConfig& config() const { return config_; }
+  /// Queries served so far (successful RunQuery calls).
+  int64_t queries_run() const { return queries_run_; }
+  /// The borrowed input network.
+  const LabeledGraph& graph() const { return *graph_; }
+
+ private:
+  MiningSession() = default;
+
+  const LabeledGraph* graph_ = nullptr;
+  SessionConfig config_;
+  /// Owned worker pool when config_.pool is null (unique_ptr: the session
+  /// stays movable while GrowthEngine borrows a stable address).
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+  /// unique_ptr so the SpiderIndex's back-pointer survives session moves.
+  std::unique_ptr<SpiderStore> store_;
+  std::unique_ptr<SpiderIndex> index_;
+  MineStats stage1_stats_;
+  bool stage1_truncated_ = false;
+  int64_t queries_run_ = 0;
+};
+
+}  // namespace spidermine

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "graph/binary_io.h"
+#include "spider/spider_store_io.h"
 
 namespace spidermine::cli {
 namespace {
@@ -201,6 +203,120 @@ TEST_F(CliTest, MineRejectsBadMeasure) {
   std::ostringstream out;
   Status status = CmdMine({path, "--measure=bogus"}, out);
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, Stage1WritesArtifactAndReportsSpiders) {
+  const std::string graph_path = Track(TempPath("cli_stage1.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=150", "--avg-degree=1.5",
+                      "--labels=12", "--seed=5", "--inject-vertices=10",
+                      "--inject-count=3", "--out=" + graph_path},
+                     gen_out)
+                  .ok());
+  const std::string artifact = Track(TempPath("cli_stage1.sm1"));
+  std::ostringstream out;
+  Status status =
+      CmdStage1({graph_path, "--support=3", "--out=" + artifact}, out);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_TRUE(std::filesystem::exists(artifact));
+  EXPECT_NE(out.str().find("stage1: mined "), std::string::npos);
+
+  Result<Stage1Artifact> loaded = LoadSpiderStoreBinary(artifact);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_GT(loaded->store.size(), 0);
+  EXPECT_EQ(loaded->meta.min_support, 3);
+}
+
+TEST_F(CliTest, Stage1RequiresOut) {
+  const std::string graph_path = Track(TempPath("cli_stage1_noout.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=50", "--labels=5",
+                      "--out=" + graph_path},
+                     gen_out)
+                  .ok());
+  std::ostringstream out;
+  Status status = CmdStage1({graph_path}, out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, QueryAnswersTwiceByteIdenticallyAndMatchesMine) {
+  const std::string graph_path = Track(TempPath("cli_query.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=180", "--avg-degree=1.5",
+                      "--labels=12", "--seed=5", "--inject-vertices=10",
+                      "--inject-count=3", "--out=" + graph_path},
+                     gen_out)
+                  .ok());
+  const std::string artifact = Track(TempPath("cli_query.sm1"));
+  std::ostringstream stage1_out;
+  ASSERT_TRUE(
+      CmdStage1({graph_path, "--support=3", "--out=" + artifact}, stage1_out)
+          .ok());
+
+  const std::vector<std::string> query_args = {
+      graph_path, artifact, "--k=5", "--dmax=4", "--vmin=10", "--seed=2"};
+  std::ostringstream first, second;
+  ASSERT_TRUE(CmdQuery(query_args, first).ok());
+  ASSERT_TRUE(CmdQuery(query_args, second).ok());
+  EXPECT_EQ(first.str(), second.str())
+      << "identical queries must print byte-identical output";
+  EXPECT_NE(first.str().find("cached spiders"), std::string::npos);
+
+  // The query's pattern rows match a one-shot `mine` with the same
+  // parameters (headers differ; rows are the contract).
+  std::ostringstream mine_out;
+  ASSERT_TRUE(CmdMine({graph_path, "--support=3", "--k=5", "--dmax=4",
+                       "--vmin=10", "--seed=2"},
+                      mine_out)
+                  .ok());
+  auto rows = [](const std::string& text) {
+    return text.substr(text.find('\n') + 1);
+  };
+  EXPECT_EQ(rows(first.str()), rows(mine_out.str()));
+}
+
+TEST_F(CliTest, QueryRejectsSupportBelowArtifactFloor) {
+  const std::string graph_path = Track(TempPath("cli_query_floor.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=80", "--labels=6",
+                      "--out=" + graph_path},
+                     gen_out)
+                  .ok());
+  const std::string artifact = Track(TempPath("cli_query_floor.sm1"));
+  std::ostringstream stage1_out;
+  ASSERT_TRUE(
+      CmdStage1({graph_path, "--support=3", "--out=" + artifact}, stage1_out)
+          .ok());
+  std::ostringstream out;
+  Status status = CmdQuery({graph_path, artifact, "--support=2"}, out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("floor"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryRejectsCorruptArtifact) {
+  const std::string graph_path = Track(TempPath("cli_query_corrupt.smg"));
+  std::ostringstream gen_out;
+  ASSERT_TRUE(CmdGen({"--model=er", "--vertices=80", "--labels=6",
+                      "--out=" + graph_path},
+                     gen_out)
+                  .ok());
+  const std::string artifact = Track(TempPath("cli_query_corrupt.sm1"));
+  std::ostringstream stage1_out;
+  ASSERT_TRUE(
+      CmdStage1({graph_path, "--support=2", "--out=" + artifact}, stage1_out)
+          .ok());
+  // Flip one payload byte: the checksum must reject the artifact.
+  std::ifstream in(artifact, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() - 1] = static_cast<char>(bytes.back() ^ 0x40);
+  std::ofstream rewrite(artifact, std::ios::binary | std::ios::trunc);
+  rewrite.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  rewrite.close();
+  std::ostringstream out;
+  Status status = CmdQuery({graph_path, artifact}, out);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
 TEST_F(CliTest, BaselineSubdueRuns) {

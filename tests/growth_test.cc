@@ -23,7 +23,8 @@ LabeledGraph TwoPaths() {
 struct Fixture {
   LabeledGraph graph;
   StarMineResult stars;
-  MineConfig config;
+  SessionConfig session_config;
+  QueryConfig query_config;
   MineStats stats;
   std::unique_ptr<SpiderIndex> index;
   std::unique_ptr<GrowthEngine> engine;
@@ -32,11 +33,13 @@ struct Fixture {
     StarMinerConfig star_config;
     star_config.min_support = 2;
     stars = std::move(MineStarSpiders(graph, star_config)).value();
-    config.min_support = 2;
-    config.spider_radius = 1;
+    session_config.min_support = 2;
+    session_config.spider_radius = 1;
+    query_config.min_support = 2;  // engines take a resolved threshold
     index = std::make_unique<SpiderIndex>(&stars.store,
                                           graph.NumVertices());
-    engine = std::make_unique<GrowthEngine>(&graph, index.get(), &config,
+    engine = std::make_unique<GrowthEngine>(&graph, index.get(),
+                                            &session_config, &query_config,
                                             &stats);
   }
 

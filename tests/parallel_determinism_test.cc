@@ -12,6 +12,7 @@
 #include "gen/pattern_factory.h"
 #include "graph/graph_builder.h"
 #include "pattern/dfs_code.h"
+#include "spider_test_util.h"
 #include "spidermine/miner.h"
 
 /// End-to-end determinism of the parallel pipeline: the mined pattern set,
@@ -23,17 +24,9 @@
 namespace spidermine {
 namespace {
 
-/// A canonical transcript of a mine result: per-pattern minimum DFS code +
-/// support + embedding count, in result order. Two runs with identical
-/// transcripts returned the same patterns, supports and ordering.
+/// Canonical transcript of a mine result (shared spider_test_util format).
 std::string Transcript(const MineResult& result) {
-  std::string out;
-  for (const MinedPattern& p : result.patterns) {
-    out += StrCat("V=", p.NumVertices(), " E=", p.NumEdges(),
-                  " sup=", p.support, " emb=", p.embeddings.size(), " ",
-                  DfsCodeToString(MinimumDfsCode(p.pattern)), "\n");
-  }
-  return out;
+  return PatternsTranscript(result.patterns);
 }
 
 LabeledGraph ErGraphWithInjection(uint64_t seed) {
@@ -161,6 +154,41 @@ TEST(ParallelDeterminismTest, GlobalSpiderBudgetIsGrainAndThreadInvariant) {
           << "budgeted run diverged at threads=" << threads
           << " grain=" << grain;
     }
+  }
+}
+
+TEST(ParallelDeterminismTest, CheckMergePairPassIdenticalUnderMergePressure) {
+  // The CheckMerge pass schedules individual pattern PAIRS on the pool (one
+  // hot anchor bucket no longer serializes it). Crank up merge pressure —
+  // many seeds, a generous pair cap, several planted copies sharing
+  // structure — and require the transcript AND the pair-level work counters
+  // to be byte-identical across thread counts.
+  Rng rng(4242);
+  GraphBuilder builder = GenerateErdosRenyi(220, 2.0, 10, &rng);
+  Pattern planted = RandomConnectedPattern(12, 0.15, 10, &rng);
+  PatternInjector injector(&builder);
+  ASSERT_TRUE(injector.Inject(planted, 4, &rng).ok());
+  LabeledGraph g = std::move(builder.Build()).value();
+
+  MineConfig config = BaseConfig();
+  config.seed_count_override = 24;
+  config.max_merge_pairs_per_key = 32;
+  config.num_threads = 1;
+  Result<MineResult> serial = SpiderMiner(&g, config).Mine();
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  // Vacuous without real merge work.
+  EXPECT_GT(serial->stats.merges, 0);
+  EXPECT_GT(serial->stats.merge_attempts, 1);
+  const std::string reference = Transcript(*serial);
+  for (int32_t threads : {2, 8}) {
+    config.num_threads = threads;
+    Result<MineResult> parallel = SpiderMiner(&g, config).Mine();
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(Transcript(*parallel), reference)
+        << "merge-heavy run diverged at num_threads=" << threads;
+    EXPECT_EQ(parallel->stats.merges, serial->stats.merges);
+    EXPECT_EQ(parallel->stats.merge_attempts, serial->stats.merge_attempts);
+    EXPECT_EQ(parallel->stats.iso_checks_run, serial->stats.iso_checks_run);
   }
 }
 

@@ -1,0 +1,296 @@
+#include "spidermine/session.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+#include "pattern/vf2.h"
+#include "spider_test_util.h"
+#include "spidermine/miner.h"
+
+/// The MiningSession contract: Stage I runs exactly once per session, every
+/// query against the cached store is byte-identical to a standalone Mine()
+/// with the same parameters (at any thread count), and a bad query returns
+/// an error without invalidating the session.
+
+namespace spidermine {
+namespace {
+
+LabeledGraph TestGraph(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder = GenerateErdosRenyi(200, 2.0, 14, &rng);
+  Pattern planted = RandomConnectedPattern(10, 0.15, 14, &rng);
+  PatternInjector injector(&builder);
+  EXPECT_TRUE(injector.Inject(planted, 3, &rng).ok());
+  return std::move(builder.Build()).value();
+}
+
+SessionConfig BaseSessionConfig() {
+  SessionConfig config;
+  config.min_support = 3;
+  return config;
+}
+
+TopKQuery BaseQuery(uint64_t rng_seed) {
+  TopKQuery query;
+  query.k = 8;
+  query.dmax = 4;
+  query.vmin = 8;
+  query.rng_seed = rng_seed;
+  query.seed_count_override = 10;
+  return query;
+}
+
+/// The legacy fused config equivalent to BaseSessionConfig + BaseQuery.
+MineConfig EquivalentMineConfig(uint64_t rng_seed) {
+  MineConfig config;
+  config.min_support = 3;
+  config.k = 8;
+  config.dmax = 4;
+  config.vmin = 8;
+  config.rng_seed = rng_seed;
+  config.seed_count_override = 10;
+  return config;
+}
+
+TEST(SessionTest, NQueriesMatchNIndependentMinesAtOneAndEightThreads) {
+  LabeledGraph g = TestGraph(11);
+  const std::vector<uint64_t> seeds = {7, 8, 9, 1234};
+  for (int32_t threads : {1, 8}) {
+    SessionConfig session_config = BaseSessionConfig();
+    session_config.num_threads = threads;
+    Result<MiningSession> session =
+        MiningSession::Create(&g, session_config);
+    ASSERT_TRUE(session.ok()) << session.status();
+    for (uint64_t seed : seeds) {
+      Result<QueryResult> query_result =
+          session->RunQuery(BaseQuery(seed));
+      ASSERT_TRUE(query_result.ok()) << query_result.status();
+      MineConfig mine_config = EquivalentMineConfig(seed);
+      mine_config.num_threads = threads;
+      Result<MineResult> standalone = SpiderMiner(&g, mine_config).Mine();
+      ASSERT_TRUE(standalone.ok()) << standalone.status();
+      EXPECT_FALSE(standalone->patterns.empty());
+      EXPECT_EQ(PatternsTranscript(query_result->patterns),
+                PatternsTranscript(standalone->patterns))
+          << "session query diverged from standalone Mine() at seed="
+          << seed << " threads=" << threads;
+      EXPECT_EQ(query_result->stats.growth_steps,
+                standalone->stats.growth_steps);
+      EXPECT_EQ(query_result->stats.merges, standalone->stats.merges);
+    }
+    EXPECT_EQ(session->queries_run(),
+              static_cast<int64_t>(seeds.size()));
+  }
+}
+
+TEST(SessionTest, StageOneRunsExactlyOncePerSession) {
+  LabeledGraph g = TestGraph(22);
+  Result<MiningSession> session =
+      MiningSession::Create(&g, BaseSessionConfig());
+  ASSERT_TRUE(session.ok()) << session.status();
+  // Stage I work happened at construction...
+  EXPECT_GT(session->stage1_stats().num_spiders, 0);
+  EXPECT_GT(session->stage1_stats().stage1_steps, 0);
+  EXPECT_GT(session->stage1_stats().stage1_scan_shards, 0);
+  const int64_t spiders = session->store().size();
+  // ...and never again: every query's stats carry zero Stage I counters
+  // and the cached store is untouched.
+  for (uint64_t seed : {1, 2, 3}) {
+    Result<QueryResult> result = session->RunQuery(BaseQuery(seed));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->stats.stage1_steps, 0);
+    EXPECT_EQ(result->stats.num_spiders, 0);
+    EXPECT_EQ(result->stats.stage1_scan_shards, 0);
+    EXPECT_GT(result->stats.growth_steps, 0);
+    EXPECT_EQ(session->store().size(), spiders);
+  }
+}
+
+TEST(SessionTest, RepeatedIdenticalQueriesAreByteIdentical) {
+  LabeledGraph g = TestGraph(33);
+  Result<MiningSession> session =
+      MiningSession::Create(&g, BaseSessionConfig());
+  ASSERT_TRUE(session.ok()) << session.status();
+  Result<QueryResult> first = session->RunQuery(BaseQuery(5));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->patterns.empty());
+  for (int i = 0; i < 3; ++i) {
+    Result<QueryResult> again = session->RunQuery(BaseQuery(5));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(PatternsTranscript(again->patterns),
+              PatternsTranscript(first->patterns));
+  }
+}
+
+TEST(SessionTest, QueriesVaryKnobsWithoutRemining) {
+  // The serving scenario: one session, queries sweeping k / support /
+  // restarts / dmax. All must succeed against the one cached store.
+  LabeledGraph g = TestGraph(44);
+  Result<MiningSession> session =
+      MiningSession::Create(&g, BaseSessionConfig());
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  TopKQuery query = BaseQuery(7);
+  query.k = 2;
+  Result<QueryResult> small_k = session->RunQuery(query);
+  ASSERT_TRUE(small_k.ok());
+  EXPECT_LE(small_k->patterns.size(), 2u);
+
+  query = BaseQuery(7);
+  query.min_support = 4;  // above the mined floor: allowed
+  Result<QueryResult> high_support = session->RunQuery(query);
+  ASSERT_TRUE(high_support.ok());
+  for (const MinedPattern& p : high_support->patterns) {
+    EXPECT_GE(p.support, 4);
+  }
+
+  query = BaseQuery(7);
+  query.restarts = 3;
+  Result<QueryResult> restarted = session->RunQuery(query);
+  ASSERT_TRUE(restarted.ok());
+  EXPECT_EQ(restarted->stats.stage2_iterations, 3 * 2);  // dmax/(2r) = 2
+
+  query = BaseQuery(7);
+  query.dmax = 6;
+  EXPECT_TRUE(session->RunQuery(query).ok());
+}
+
+TEST(SessionTest, BadQueryNeverInvalidatesTheSession) {
+  LabeledGraph g = TestGraph(55);
+  Result<MiningSession> session =
+      MiningSession::Create(&g, BaseSessionConfig());
+  ASSERT_TRUE(session.ok()) << session.status();
+  Result<QueryResult> reference = session->RunQuery(BaseQuery(5));
+  ASSERT_TRUE(reference.ok());
+
+  TopKQuery bad = BaseQuery(5);
+  bad.k = 0;
+  EXPECT_FALSE(session->RunQuery(bad).ok());
+  bad = BaseQuery(5);
+  bad.dmax = 0;
+  EXPECT_FALSE(session->RunQuery(bad).ok());
+  bad = BaseQuery(5);
+  bad.epsilon = 2.0;
+  EXPECT_FALSE(session->RunQuery(bad).ok());
+  bad = BaseQuery(5);
+  bad.min_support = 2;  // below the mined floor of 3
+  Result<QueryResult> below_floor = session->RunQuery(bad);
+  ASSERT_FALSE(below_floor.ok());
+  EXPECT_EQ(below_floor.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(below_floor.status().message().find("floor"),
+            std::string::npos);
+  bad = BaseQuery(5);
+  bad.support_measure = SupportMeasureKind::kTransaction;  // no txn map
+  EXPECT_FALSE(session->RunQuery(bad).ok());
+
+  // Failed queries counted nothing and changed nothing: the next good
+  // query is byte-identical to the first.
+  EXPECT_EQ(session->queries_run(), 1);
+  Result<QueryResult> after = session->RunQuery(BaseQuery(5));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(PatternsTranscript(after->patterns),
+            PatternsTranscript(reference->patterns));
+}
+
+TEST(SessionTest, MinSupportZeroMeansSessionFloor) {
+  LabeledGraph g = TestGraph(66);
+  Result<MiningSession> session =
+      MiningSession::Create(&g, BaseSessionConfig());
+  ASSERT_TRUE(session.ok()) << session.status();
+  TopKQuery query = BaseQuery(5);
+  query.min_support = 0;
+  Result<QueryResult> defaulted = session->RunQuery(query);
+  query.min_support = 3;  // the explicit floor
+  Result<QueryResult> explicit_floor = session->RunQuery(query);
+  ASSERT_TRUE(defaulted.ok());
+  ASSERT_TRUE(explicit_floor.ok());
+  EXPECT_EQ(PatternsTranscript(defaulted->patterns),
+            PatternsTranscript(explicit_floor->patterns));
+}
+
+TEST(SessionTest, InvalidSessionConfigRejected) {
+  LabeledGraph g = TestGraph(77);
+  SessionConfig config = BaseSessionConfig();
+  config.min_support = 0;
+  EXPECT_FALSE(MiningSession::Create(&g, config).ok());
+  config = BaseSessionConfig();
+  config.spider_radius = 3;
+  EXPECT_FALSE(MiningSession::Create(&g, config).ok());
+  config = BaseSessionConfig();
+  config.num_threads = -1;
+  EXPECT_FALSE(MiningSession::Create(&g, config).ok());
+  config = BaseSessionConfig();
+  config.stage1_shard_grain = -5;
+  EXPECT_FALSE(MiningSession::Create(&g, config).ok());
+}
+
+TEST(SessionTest, EmptyGraphSessionServesEmptyQueries) {
+  LabeledGraph g = std::move(GraphBuilder().Build()).value();
+  Result<MiningSession> session =
+      MiningSession::Create(&g, BaseSessionConfig());
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_TRUE(session->store().empty());
+  Result<QueryResult> result = session->RunQuery(BaseQuery(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->patterns.empty());
+}
+
+TEST(SessionTest, AccumulateTopKDedupsAcrossQueries) {
+  // Cross-query accumulation: the same pattern recovered by every run must
+  // occupy ONE slot (best support kept), and the list stays in the
+  // engine's size order under the cap.
+  LabeledGraph g = TestGraph(99);
+  Result<MiningSession> session =
+      MiningSession::Create(&g, BaseSessionConfig());
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::vector<MinedPattern> accumulated;
+  for (uint64_t seed : {5, 6, 5}) {  // seed 5 twice: identical results
+    Result<QueryResult> result = session->RunQuery(BaseQuery(seed));
+    ASSERT_TRUE(result.ok());
+    AccumulateTopK(&accumulated, std::move(result->patterns), /*k=*/8);
+  }
+  ASSERT_FALSE(accumulated.empty());
+  EXPECT_LE(accumulated.size(), 8u);
+  for (size_t i = 1; i < accumulated.size(); ++i) {
+    EXPECT_GE(accumulated[i - 1].NumEdges(), accumulated[i].NumEdges());
+  }
+  // No two accumulated patterns are isomorphic.
+  for (size_t i = 0; i < accumulated.size(); ++i) {
+    for (size_t j = i + 1; j < accumulated.size(); ++j) {
+      if (accumulated[i].NumEdges() != accumulated[j].NumEdges() ||
+          accumulated[i].NumVertices() != accumulated[j].NumVertices()) {
+        continue;
+      }
+      EXPECT_FALSE(ArePatternsIsomorphic(accumulated[i].pattern,
+                                         accumulated[j].pattern))
+          << "duplicate pattern survived accumulation at " << i << "," << j;
+    }
+  }
+}
+
+TEST(SessionTest, SessionSurvivesMove) {
+  // MiningSession is returned by value through Result<>; the index's
+  // back-pointer into the store must survive the moves.
+  LabeledGraph g = TestGraph(88);
+  Result<MiningSession> created =
+      MiningSession::Create(&g, BaseSessionConfig());
+  ASSERT_TRUE(created.ok());
+  Result<QueryResult> before = created->RunQuery(BaseQuery(5));
+  ASSERT_TRUE(before.ok());
+  MiningSession moved = std::move(*created);
+  EXPECT_EQ(&moved.index().store(), &moved.store());
+  Result<QueryResult> after = moved.RunQuery(BaseQuery(5));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(PatternsTranscript(after->patterns),
+            PatternsTranscript(before->patterns));
+}
+
+}  // namespace
+}  // namespace spidermine

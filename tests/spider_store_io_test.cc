@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/rng.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+#include "spider/spider_store_io.h"
+#include "spider_test_util.h"
+#include "spidermine/session.h"
+
+/// SpiderStore / Stage I artifact persistence: save -> load must reproduce
+/// the store (and therefore query results) byte-identically, and corrupted
+/// or truncated artifacts must be rejected through Result<>, never
+/// half-decoded.
+
+namespace spidermine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+LabeledGraph TestGraph(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder = GenerateErdosRenyi(180, 2.0, 12, &rng);
+  Pattern planted = RandomConnectedPattern(9, 0.15, 12, &rng);
+  PatternInjector injector(&builder);
+  EXPECT_TRUE(injector.Inject(planted, 3, &rng).ok());
+  return std::move(builder.Build()).value();
+}
+
+SessionConfig MinedConfig() {
+  SessionConfig config;
+  config.min_support = 3;
+  return config;
+}
+
+TopKQuery SmallQuery(uint64_t seed) {
+  TopKQuery query;
+  query.k = 5;
+  query.dmax = 4;
+  query.vmin = 8;
+  query.rng_seed = seed;
+  query.seed_count_override = 8;
+  return query;
+}
+
+Stage1Meta MetaFor(const LabeledGraph& g) {
+  Stage1Meta meta;
+  meta.min_support = 3;
+  meta.num_graph_vertices = g.NumVertices();
+  return meta;
+}
+
+TEST(SpiderStoreIoTest, RoundTripReproducesStoreByteIdentically) {
+  LabeledGraph g = TestGraph(101);
+  Result<MiningSession> session = MiningSession::Create(&g, MinedConfig());
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_GT(session->store().size(), 0);
+
+  const std::string bytes =
+      SpiderStoreToBinary(session->store(), MetaFor(g));
+  Result<Stage1Artifact> back = SpiderStoreFromBinary(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  // Store content identical (canonical transcript), and re-serializing the
+  // loaded store reproduces the exact bytes.
+  EXPECT_EQ(StoreTranscript(back->store),
+            StoreTranscript(session->store()));
+  EXPECT_EQ(SpiderStoreToBinary(back->store, back->meta), bytes);
+  EXPECT_EQ(back->meta.min_support, 3);
+  EXPECT_EQ(back->meta.num_graph_vertices, g.NumVertices());
+}
+
+TEST(SpiderStoreIoTest, SaveLoadSessionServesByteIdenticalQueries) {
+  LabeledGraph g = TestGraph(202);
+  Result<MiningSession> mined = MiningSession::Create(&g, MinedConfig());
+  ASSERT_TRUE(mined.ok()) << mined.status();
+  const std::string path = TempPath("sm_stage1_roundtrip.sm1");
+  ASSERT_TRUE(mined->SaveStage1(path).ok());
+
+  Result<MiningSession> loaded =
+      MiningSession::LoadStage1(&g, SessionConfig{}, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  // The artifact's mining parameters override the default-constructed
+  // SessionConfig guess.
+  EXPECT_EQ(loaded->config().min_support, 3);
+  EXPECT_EQ(loaded->store().size(), mined->store().size());
+
+  for (uint64_t seed : {5, 6}) {
+    Result<QueryResult> a = mined->RunQuery(SmallQuery(seed));
+    Result<QueryResult> b = loaded->RunQuery(SmallQuery(seed));
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_FALSE(a->patterns.empty());
+    EXPECT_EQ(PatternsTranscript(b->patterns),
+              PatternsTranscript(a->patterns))
+        << "loaded-session query diverged at seed=" << seed;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SpiderStoreIoTest, RejectsCorruptHeader) {
+  LabeledGraph g = TestGraph(303);
+  Result<MiningSession> session = MiningSession::Create(&g, MinedConfig());
+  ASSERT_TRUE(session.ok());
+  std::string bytes = SpiderStoreToBinary(session->store(), MetaFor(g));
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  Result<Stage1Artifact> r1 = SpiderStoreFromBinary(bad_magic);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r1.status().message().find("magic"), std::string::npos);
+
+  std::string bad_version = bytes;
+  bad_version[4] = 9;
+  Result<Stage1Artifact> r2 = SpiderStoreFromBinary(bad_version);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("version"), std::string::npos);
+
+  std::string bad_crc = bytes;
+  bad_crc[16] = static_cast<char>(bad_crc[16] ^ 0x01);
+  Result<Stage1Artifact> r3 = SpiderStoreFromBinary(bad_crc);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_NE(r3.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SpiderStoreIoTest, RejectsTruncatedFile) {
+  LabeledGraph g = TestGraph(404);
+  Result<MiningSession> session = MiningSession::Create(&g, MinedConfig());
+  ASSERT_TRUE(session.ok());
+  std::string bytes = SpiderStoreToBinary(session->store(), MetaFor(g));
+  // Every truncation point must be rejected (header, meta, each column).
+  for (size_t keep : {size_t{10}, size_t{25}, size_t{60},
+                      bytes.size() / 2, bytes.size() - 3}) {
+    Result<Stage1Artifact> r = SpiderStoreFromBinary(bytes.substr(0, keep));
+    EXPECT_FALSE(r.ok()) << "accepted a " << keep << "-byte truncation of a "
+                         << bytes.size() << "-byte artifact";
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST(SpiderStoreIoTest, RejectsEveryPayloadByteFlip) {
+  // Flip one byte at every payload position in turn; the CRC must reject
+  // each corruption before any structural decoding happens.
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex(i % 2);
+  for (int i = 0; i < 5; ++i) b.AddEdge(i, i + 1);
+  LabeledGraph g = std::move(b.Build()).value();
+  SessionConfig config;
+  config.min_support = 1;
+  Result<MiningSession> session = MiningSession::Create(&g, config);
+  ASSERT_TRUE(session.ok());
+  Stage1Meta meta = MetaFor(g);
+  meta.min_support = 1;
+  std::string bytes = SpiderStoreToBinary(session->store(), meta);
+  for (size_t pos = 20; pos < bytes.size(); ++pos) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x40);
+    Result<Stage1Artifact> r = SpiderStoreFromBinary(corrupted);
+    EXPECT_FALSE(r.ok()) << "corruption at byte " << pos << " was accepted";
+  }
+}
+
+TEST(SpiderStoreIoTest, LoadStage1RejectsGraphMismatch) {
+  LabeledGraph g = TestGraph(505);
+  Result<MiningSession> session = MiningSession::Create(&g, MinedConfig());
+  ASSERT_TRUE(session.ok());
+  const std::string path = TempPath("sm_stage1_mismatch.sm1");
+  ASSERT_TRUE(session->SaveStage1(path).ok());
+
+  Rng rng(99);
+  LabeledGraph other =
+      std::move(GenerateErdosRenyi(50, 2.0, 5, &rng).Build()).value();
+  Result<MiningSession> loaded =
+      MiningSession::LoadStage1(&other, SessionConfig{}, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("-vertex graph"),
+            std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SpiderStoreIoTest, LoadStage1RejectsSameSizeDifferentGraph) {
+  // Equal vertex counts must not be mistaken for the same network: the
+  // artifact is bound to the graph's content hash.
+  LabeledGraph a = TestGraph(606);
+  Result<MiningSession> session = MiningSession::Create(&a, MinedConfig());
+  ASSERT_TRUE(session.ok());
+  const std::string path = TempPath("sm_stage1_samesize.sm1");
+  ASSERT_TRUE(session->SaveStage1(path).ok());
+
+  LabeledGraph b = TestGraph(607);  // same construction, different seed
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  Result<MiningSession> loaded =
+      MiningSession::LoadStage1(&b, SessionConfig{}, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("hash mismatch"),
+            std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SpiderStoreIoTest, LoadMissingFileFails) {
+  Result<Stage1Artifact> r =
+      LoadSpiderStoreBinary("/nonexistent/dir/stage1.sm1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace spidermine

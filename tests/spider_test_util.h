@@ -4,14 +4,31 @@
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
+#include "pattern/dfs_code.h"
 #include "spider/spider_store.h"
+#include "spidermine/session.h"
 
 /// \file spider_test_util.h
-/// Shared SpiderStore test helpers. Transcripts are compared run-vs-run
-/// (never against literal goldens), so every suite must agree on one
-/// canonical format — keep the single definition here.
+/// Shared SpiderStore / mined-result test helpers. Transcripts are compared
+/// run-vs-run (never against literal goldens), so every suite must agree on
+/// one canonical format — keep the single definitions here.
 
 namespace spidermine {
+
+/// Canonical transcript of a mined pattern list: per-pattern minimum DFS
+/// code + support + embedding count, in result order. Two runs with
+/// identical transcripts returned the same patterns, supports and ordering.
+inline std::string PatternsTranscript(
+    const std::vector<MinedPattern>& patterns) {
+  std::string out;
+  for (const MinedPattern& p : patterns) {
+    out += StrCat("V=", p.NumVertices(), " E=", p.NumEdges(),
+                  " sup=", p.support, " emb=", p.embeddings.size(), " ",
+                  DfsCodeToString(MinimumDfsCode(p.pattern)), "\n");
+  }
+  return out;
+}
 
 /// Canonical text transcript of a mined store (order-sensitive): head
 /// label, (edge label, leaf label) pairs, anchors (or just the support

@@ -21,6 +21,7 @@
 #include "graph/graph_io.h"
 #include "graph/graph_metrics.h"
 #include "spidermine/miner.h"
+#include "spidermine/session.h"
 #include "spidermine/variants.h"
 
 namespace spidermine::cli {
@@ -265,6 +266,145 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
   return Status::Ok();
 }
 
+Status CmdStage1(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags("spidermine stage1",
+                "mine the Stage I spider set once and save it to --out; "
+                "`query` then answers top-K requests without re-mining");
+  flags.AddInt("support", 2, "support floor sigma of the mined spider set")
+      .AddInt("max-leaves", 8, "max leaves per star spider")
+      .AddInt("max-spiders", 0, "global spider budget (0 = unlimited)")
+      .AddInt("threads", 1,
+              "worker threads (0 = all cores); results are identical at "
+              "any value")
+      .AddInt("shard-grain", 0,
+              "Stage I vertex-range shard grain (0 = auto); results are "
+              "identical at any value")
+      .AddDouble("time-budget", 0.0,
+                 "Stage I wall-clock budget seconds (0 = off); an expired "
+                 "budget saves a truncated but usable artifact")
+      .AddBool("stats", false, "print Stage I statistics")
+      .AddString("out", "", "artifact output path (conventionally .sm1)");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("expected exactly one graph file\n", flags.Usage()));
+  }
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    return Status::InvalidArgument(
+        StrCat("--out is required\n", flags.Usage()));
+  }
+  SM_ASSIGN_OR_RETURN(LabeledGraph graph,
+                      LoadGraphAuto(flags.positional()[0]));
+
+  SessionConfig config;
+  config.min_support = flags.GetInt("support");
+  config.max_star_leaves = static_cast<int32_t>(flags.GetInt("max-leaves"));
+  config.max_spiders = flags.GetInt("max-spiders");
+  SM_ASSIGN_OR_RETURN(config.num_threads,
+                      ValidateThreadsFlag(flags.GetInt("threads")));
+  SM_ASSIGN_OR_RETURN(config.stage1_shard_grain,
+                      ValidateShardGrainFlag(flags.GetInt("shard-grain")));
+  config.stage1_time_budget_seconds = flags.GetDouble("time-budget");
+
+  SM_ASSIGN_OR_RETURN(MiningSession session,
+                      MiningSession::Create(&graph, config));
+  SM_RETURN_NOT_OK(session.SaveStage1(out_path));
+  const MineStats& stats = session.stage1_stats();
+  out << "stage1: mined " << stats.num_spiders << " spiders ("
+      << stats.num_closed_spiders << " closed) in " << stats.stage1_seconds
+      << "s" << (session.stage1_truncated() ? " (truncated)" : "")
+      << "; wrote " << out_path << " ("
+      << stats.stage1_store_bytes / 1024 << " KiB store)\n";
+  if (flags.GetBool("stats")) out << stats.ToString();
+  return Status::Ok();
+}
+
+Status CmdQuery(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags("spidermine query",
+                "answer a top-K query against a saved stage1 artifact");
+  flags.AddInt("support", 0,
+               "query support threshold (0 = the artifact's mined floor; "
+               "values below the floor are rejected)")
+      .AddInt("k", 10, "number of top patterns K")
+      .AddInt("dmax", 4, "pattern diameter bound Dmax")
+      .AddDouble("epsilon", 0.1, "error bound epsilon")
+      .AddInt("vmin", 0, "minimum large-pattern vertices (0 = |V|/10)")
+      .AddInt("seed", 42, "rng seed")
+      .AddInt("restarts", 1, "independent stage II+III runs")
+      .AddInt("threads", 1,
+              "worker threads (0 = all cores); results are identical at "
+              "any value")
+      .AddString("measure", "vertex-mis",
+                 "support measure: vertex-mis | edge-mis | mni | count")
+      .AddDouble("time-budget", 0.0, "wall-clock budget seconds (0 = off)")
+      .AddBool("strict-dmax", false,
+               "drop results whose diameter exceeds dmax (Definition 2)")
+      .AddBool("maximal", false, "keep only maximal patterns")
+      .AddBool("variants", false, "print Fig.23-style variant groups")
+      .AddBool("stats", false, "print query statistics")
+      .AddString("out", "",
+                 "write top patterns to <out>.<rank>.smp (binary pattern "
+                 "files; empty = do not save)");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().size() != 2) {
+    return Status::InvalidArgument(
+        StrCat("expected <graph file> <stage1 artifact>\n", flags.Usage()));
+  }
+  SM_ASSIGN_OR_RETURN(LabeledGraph graph,
+                      LoadGraphAuto(flags.positional()[0]));
+
+  SessionConfig session_config;
+  SM_ASSIGN_OR_RETURN(session_config.num_threads,
+                      ValidateThreadsFlag(flags.GetInt("threads")));
+  SM_ASSIGN_OR_RETURN(
+      MiningSession session,
+      MiningSession::LoadStage1(&graph, session_config,
+                                flags.positional()[1]));
+
+  TopKQuery query;
+  query.min_support = flags.GetInt("support");
+  query.k = static_cast<int32_t>(flags.GetInt("k"));
+  query.dmax = static_cast<int32_t>(flags.GetInt("dmax"));
+  query.epsilon = flags.GetDouble("epsilon");
+  query.vmin = flags.GetInt("vmin");
+  query.rng_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  query.restarts = static_cast<int32_t>(flags.GetInt("restarts"));
+  query.time_budget_seconds = flags.GetDouble("time-budget");
+  query.enforce_dmax_on_results = flags.GetBool("strict-dmax");
+  SM_ASSIGN_OR_RETURN(query.support_measure,
+                      ParseMeasure(flags.GetString("measure")));
+
+  SM_ASSIGN_OR_RETURN(QueryResult result, session.RunQuery(query));
+
+  std::vector<MinedPattern> patterns = std::move(result.patterns);
+  if (flags.GetBool("maximal")) patterns = FilterMaximal(std::move(patterns));
+
+  out << "top " << patterns.size() << " patterns ("
+      << SupportMeasureName(query.support_measure) << " support, "
+      << session.store().size() << " cached spiders):\n";
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    PrintPatternRow(out, i + 1, patterns[i].pattern, patterns[i].support);
+  }
+  if (flags.GetBool("variants")) {
+    std::vector<VariantGroup> groups = GroupVariants(patterns);
+    out << "variant groups:\n" << VariantGroupsToString(patterns, groups);
+  }
+  if (flags.GetBool("stats")) {
+    out << result.stats.ToString();
+  }
+  if (!flags.GetString("out").empty()) {
+    const std::string& prefix = flags.GetString("out");
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      const std::string path = StrCat(prefix, ".", i + 1, ".smp");
+      SM_RETURN_NOT_OK(SavePatternBinary(patterns[i].pattern, path));
+    }
+    out << "wrote " << patterns.size() << " pattern files to " << prefix
+        << ".*.smp\n";
+  }
+  return Status::Ok();
+}
+
 Status CmdBaseline(const std::vector<std::string>& args, std::ostream& out) {
   FlagSet flags("spidermine baseline", "run a comparison miner");
   flags.AddString("algo", "subdue", "subdue | seus | grew | complete")
@@ -354,7 +494,8 @@ Status CmdConvert(const std::vector<std::string>& args, std::ostream& out) {
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
   static constexpr char kUsage[] =
-      "usage: spidermine <gen|stats|mine|baseline|convert> [flags]\n"
+      "usage: spidermine <gen|stats|mine|stage1|query|baseline|convert> "
+      "[flags]\n"
       "run `spidermine <subcommand> --help` semantics: any flag error "
       "prints the subcommand's flag list\n";
   if (args.empty()) {
@@ -370,6 +511,10 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdStats(rest, out);
   } else if (command == "mine") {
     status = CmdMine(rest, out);
+  } else if (command == "stage1") {
+    status = CmdStage1(rest, out);
+  } else if (command == "query") {
+    status = CmdQuery(rest, out);
   } else if (command == "baseline") {
     status = CmdBaseline(rest, out);
   } else if (command == "convert") {

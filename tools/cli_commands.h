@@ -17,6 +17,10 @@
 ///            with optional pattern injection, write it to a file
 ///   stats    print structural statistics of a graph file
 ///   mine     run SpiderMine over a graph file and print the top-K patterns
+///            (one-shot: Stage I + one query)
+///   stage1   mine Stage I once and save the spider-store artifact (.sm1)
+///   query    answer a top-K query against a saved stage1 artifact without
+///            re-mining; repeated queries take milliseconds-to-seconds
 ///   baseline run a comparison miner (subdue / seus / grew / complete)
 ///   convert  convert between the text (.lg) and binary (.smg) formats
 
@@ -38,6 +42,8 @@ Status SaveGraphAuto(const LabeledGraph& graph, const std::string& path);
 Status CmdGen(const std::vector<std::string>& args, std::ostream& out);
 Status CmdStats(const std::vector<std::string>& args, std::ostream& out);
 Status CmdMine(const std::vector<std::string>& args, std::ostream& out);
+Status CmdStage1(const std::vector<std::string>& args, std::ostream& out);
+Status CmdQuery(const std::vector<std::string>& args, std::ostream& out);
 Status CmdBaseline(const std::vector<std::string>& args, std::ostream& out);
 Status CmdConvert(const std::vector<std::string>& args, std::ostream& out);
 

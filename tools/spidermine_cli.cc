@@ -6,6 +6,8 @@
 //       --inject-vertices=25 --inject-count=3 --out=/tmp/g.smg
 //   spidermine stats /tmp/g.smg
 //   spidermine mine /tmp/g.smg --support=3 --k=10 --dmax=4 --variants --stats
+//   spidermine stage1 /tmp/g.smg --support=3 --out=/tmp/g.sm1
+//   spidermine query /tmp/g.smg /tmp/g.sm1 --k=10 --dmax=4 --seed=7
 //   spidermine baseline /tmp/g.smg --algo=subdue
 //   spidermine convert /tmp/g.smg /tmp/g.lg
 
