@@ -15,16 +15,28 @@
 // with a Stage I budget, demonstrating the O(max_spiders) global-budget
 // memory bound (vs the old num_labels x max_spiders transient blowup):
 //
-//   $ ./bench_parallel_scaling --model=ba --vertices=2000000 \
-//       --max-spiders=200000 --stage1-only --max-threads=8
+//   $ ./bench_parallel_scaling --model=ba --vertices=2000000 --max-spiders=200000 --stage1-only --max-threads=8
 //
 // One ThreadPool per thread count is built up front and handed to the
 // session via SessionConfig::pool, so the rows measure mining, not thread
 // spawning.
+//
+// With --concurrent-queries=K the bench instead measures the serving
+// throughput of ONE session under concurrent load (RunQuery is const and
+// thread-safe): for each in-flight count 1, 2, 4, ... K it fires a fixed
+// batch of distinct-seed queries from that many caller threads and emits
+// queries/sec vs in-flight JSON — the trajectory the `serve` subcommand's
+// win is tracked by:
+//
+//   $ ./bench_parallel_scaling --vertices=20000 --concurrent-queries=8
+//   {"bench":"concurrent_queries","inflight":1,"qps":...}
+//   {"bench":"concurrent_queries","inflight":2,"qps":...}
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -59,7 +71,13 @@ int Run(int argc, const char* const* argv) {
       .AddInt("shard-grain", 0, "Stage I vertex-range shard grain (0 = auto)")
       .AddBool("stage1-only", false,
                "stop after Stage I (memory/scaling runs on huge graphs)")
-      .AddInt("max-threads", 8, "largest thread count measured (doubling)");
+      .AddInt("max-threads", 8, "largest thread count measured (doubling)")
+      .AddInt("concurrent-queries", 0,
+              "serving-throughput mode: measure queries/sec on ONE session "
+              "at 1,2,4.. up to this many in-flight queries (0 = off)")
+      .AddInt("queries-per-round", 0,
+              "total queries per concurrent-queries row (0 = 4x the largest "
+              "in-flight count)");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -98,9 +116,14 @@ int Run(int argc, const char* const* argv) {
   }
   const LabeledGraph& graph = *built;
 
+  const auto concurrent =
+      static_cast<int32_t>(flags.GetInt("concurrent-queries"));
   bench::Banner("parallel_scaling",
-                "cold stage1 + warm query seconds vs --threads; "
-                "deterministic workload");
+                concurrent > 0
+                    ? "serving throughput (queries/sec) vs in-flight "
+                      "queries on one session"
+                    : "cold stage1 + warm query seconds vs --threads; "
+                      "deterministic workload");
 
   SessionConfig session_config;
   session_config.min_support = flags.GetInt("support");
@@ -113,6 +136,67 @@ int Run(int argc, const char* const* argv) {
   query.rng_seed = static_cast<uint64_t>(flags.GetInt("seed"));
   query.seed_count_override = flags.GetInt("seed-count");
   const bool stage1_only = flags.GetBool("stage1-only");
+
+  if (concurrent > 0) {
+    // ---- Serving-throughput mode: one session, concurrent RunQuery. ----
+    // Full hardware parallelism inside the session pool; the sweep varies
+    // only how many queries are in flight at once.
+    session_config.num_threads = 0;
+    std::optional<MiningSession> session;
+    const double cold_seconds =
+        bench::BuildMiningSession(graph, session_config, &session);
+    if (!session.has_value()) return 1;
+    int64_t total_queries = flags.GetInt("queries-per-round");
+    if (total_queries <= 0) total_queries = 4LL * concurrent;
+    double baseline_qps = 0.0;
+    for (int32_t inflight = 1; inflight <= concurrent; inflight *= 2) {
+      const SessionServingStats before = session->serving_stats();
+      std::atomic<int64_t> next{0};
+      std::atomic<int64_t> failed{0};
+      WallTimer timer;
+      std::vector<std::thread> callers;
+      callers.reserve(static_cast<size_t>(inflight));
+      for (int32_t c = 0; c < inflight; ++c) {
+        // Callers drain a shared work list of distinct-seed queries (a
+        // mixed serving workload, not one cached query repeated).
+        callers.emplace_back([&session, &query, &next, &failed,
+                              total_queries] {
+          for (;;) {
+            const int64_t i = next.fetch_add(1);
+            if (i >= total_queries) return;
+            TopKQuery q = query;
+            q.rng_seed = query.rng_seed + static_cast<uint64_t>(i);
+            if (!session->RunQuery(q).ok()) failed.fetch_add(1);
+          }
+        });
+      }
+      for (std::thread& caller : callers) caller.join();
+      const double wall = timer.ElapsedSeconds();
+      const SessionServingStats after = session->serving_stats();
+      const int64_t served = after.queries_run - before.queries_run;
+      const double qps = wall > 0.0 ? static_cast<double>(served) / wall : 0.0;
+      const double mean_latency =
+          served > 0
+              ? (after.total_query_seconds - before.total_query_seconds) /
+                    static_cast<double>(served)
+              : 0.0;
+      if (inflight == 1) baseline_qps = qps;
+      std::printf(
+          "{\"bench\":\"concurrent_queries\",\"model\":\"%s\","
+          "\"vertices\":%lld,\"edges\":%lld,\"pool_threads\":%d,"
+          "\"inflight\":%d,\"queries\":%lld,\"failed\":%lld,"
+          "\"cold_seconds\":%.4f,\"wall_seconds\":%.4f,\"qps\":%.3f,"
+          "\"mean_query_seconds\":%.4f,\"throughput_speedup\":%.3f}\n",
+          model.c_str(), static_cast<long long>(graph.NumVertices()),
+          static_cast<long long>(graph.NumEdges()),
+          ThreadPool::DefaultThreads(), inflight,
+          static_cast<long long>(served),
+          static_cast<long long>(failed.load()), cold_seconds, wall, qps,
+          mean_latency, baseline_qps > 0.0 ? qps / baseline_qps : 0.0);
+      std::fflush(stdout);
+    }
+    return 0;
+  }
 
   std::vector<int32_t> thread_counts = {1};
   const int32_t max_threads =

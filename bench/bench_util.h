@@ -47,12 +47,17 @@ inline void Banner(const char* artifact, const char* description) {
   std::printf("# === %s ===\n# %s\n", artifact, description);
 }
 
-/// Timed SpiderMine run; returns total seconds and fills \p out.
+/// Timed SpiderMine run; returns total seconds and fills \p out. Kept on
+/// the deprecated fused shim on purpose: the figure harnesses reproduce
+/// the paper's one-shot runs (warning silenced locally).
 inline double RunSpiderMine(const LabeledGraph& graph, MineConfig config,
                             MineResult* out) {
   WallTimer timer;
   SpiderMiner miner(&graph, config);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   Result<MineResult> result = miner.Mine();
+#pragma GCC diagnostic pop
   double seconds = timer.ElapsedSeconds();
   if (result.ok()) *out = std::move(result).value();
   return seconds;

@@ -73,7 +73,13 @@ int main() {
   config.vmin = 4;
   config.rng_seed = 7;
   config.restarts = 4;
+  // This example deliberately shows the legacy one-shot shim (graph mined
+  // once, thrown away); the session API (spidermine/session.h, see the
+  // other examples) is the primary path when a graph serves many queries.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   Result<MineResult> result = SpiderMiner(&*graph, config).Mine();
+#pragma GCC diagnostic pop
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());

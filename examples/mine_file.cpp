@@ -1,8 +1,7 @@
 // Command-line miner: open a MiningSession over a graph file (Stage I runs
 // once) and export the top-K patterns of one or more queries.
 //
-//   $ ./examples/mine_file --input graph.lg --sigma 2 --k 10 --dmax 8 \
-//         --runs 3 --out patterns.txt
+//   $ ./examples/mine_file --input graph.lg --sigma 2 --k 10 --dmax 8 --runs 3 --out patterns.txt
 //
 // The input format is the LG-style text of graph_io.h ("v <id> <label>" /
 // "e <u> <v>"). With no --input, a demo graph is generated so the binary

@@ -14,7 +14,7 @@
 #include "baselines/subdue.h"
 #include "gen/dblp_sim.h"
 #include "graph/degree_stats.h"
-#include "spidermine/miner.h"
+#include "spidermine/session.h"
 
 namespace {
 
@@ -58,22 +58,44 @@ int main() {
                 static_cast<long long>(hist[l]));
   }
 
-  // Paper settings for DBLP: min support 4, K = 20, Vmin = |V|/10.
-  MineConfig config;
-  config.min_support = 4;
-  config.k = 20;
-  config.dmax = 8;
-  config.vmin = g.NumVertices() / 10;
-  config.rng_seed = 11;
-  config.time_budget_seconds = 90;
-  Result<MineResult> mined = SpiderMiner(&g, config).Mine();
+  // Paper settings for DBLP: min support 4, K = 20, Vmin = |V|/10. One
+  // MiningSession pays the Stage I spider pass once; the top-K question
+  // is then a cheap randomized query, rerun below with a second seed to
+  // boost the success probability (Sec. 4.2.1) without re-mining —
+  // exactly how the `serve` subcommand answers many users.
+  SessionConfig session_config;
+  session_config.min_support = 4;
+  Result<MiningSession> session = MiningSession::Create(&g, session_config);
+  if (!session.ok()) {
+    std::fprintf(stderr, "session build failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
+  TopKQuery query;
+  query.k = 20;
+  query.dmax = 8;
+  query.vmin = g.NumVertices() / 10;
+  query.rng_seed = 11;
+  query.time_budget_seconds = 90;
+  Result<QueryResult> mined = session->RunQuery(query);
   if (!mined.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  mined.status().ToString().c_str());
     return 1;
   }
+  // Warm rerun on the cached spider set: accumulate the best of both
+  // draws (AccumulateTopK dedups isomorphic recoveries, keeps best
+  // support). A tighter budget suffices — the expensive Stage I pass is
+  // already paid.
+  query.rng_seed = 12;
+  query.time_budget_seconds = 30;
+  Result<QueryResult> rerun = session->RunQuery(query);
+  if (rerun.ok()) {
+    AccumulateTopK(&mined->patterns, std::move(rerun->patterns), query.k);
+  }
   std::printf("\nSpiderMine: %zu large collaborative patterns "
-              "(largest |V|=%d)\n",
+              "(largest |V|=%d; 2 query draws on one Stage I pass)\n",
               mined->patterns.size(),
               mined->patterns.empty() ? 0
                                       : mined->patterns.front().NumVertices());

@@ -14,7 +14,7 @@
 
 #include "gen/callgraph_sim.h"
 #include "graph/degree_stats.h"
-#include "spidermine/miner.h"
+#include "spidermine/session.h"
 
 int main() {
   using namespace spidermine;
@@ -35,15 +35,27 @@ int main() {
               static_cast<int>(g.NumLabels()),
               static_cast<long long>(degrees.max));
 
-  // Paper settings for Jeti: minimum support 10.
-  MineConfig config;
-  config.min_support = 10;
-  config.k = 10;
-  config.dmax = 8;
-  config.vmin = 10;
-  config.rng_seed = 23;
-  config.time_budget_seconds = 60;
-  Result<MineResult> mined = SpiderMiner(&g, config).Mine();
+  // Paper settings for Jeti: minimum support 10. The session API is the
+  // primary entry point: Stage I (all r-spiders of the call graph) is
+  // mined once at session construction, and every subsequent analysis
+  // question — different K, seed, diameter — is a cheap RunQuery against
+  // the cached spider set (docs/SERVING.md).
+  SessionConfig session_config;
+  session_config.min_support = 10;
+  Result<MiningSession> session = MiningSession::Create(&g, session_config);
+  if (!session.ok()) {
+    std::fprintf(stderr, "session build failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
+  TopKQuery query;
+  query.k = 10;
+  query.dmax = 8;
+  query.vmin = 10;
+  query.rng_seed = 23;
+  query.time_budget_seconds = 60;
+  Result<QueryResult> mined = session->RunQuery(query);
   if (!mined.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  mined.status().ToString().c_str());

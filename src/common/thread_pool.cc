@@ -80,12 +80,24 @@ void ThreadPool::ParallelForChunks(
   // Chunked dynamic scheduling: workers (and this thread) claim the next
   // chunk from a shared cursor. Scheduling order varies between runs, but
   // callers write only to pre-sized per-index slots, so results do not.
+  //
+  // Completion is a per-call latch, NOT pool-global WaitIdle(): with
+  // several concurrent callers (in-flight queries sharing a session pool)
+  // a global wait would block each call on every other caller's tasks --
+  // and `body`, captured by reference, must stay alive until precisely
+  // this call's helpers have finished.
   const int64_t chunk_size = grain;
-  auto cursor = std::make_shared<std::atomic<int64_t>>(0);
-  auto run_chunks = [cursor, n, chunk_size, token, &body] {
+  struct CallLatch {
+    std::atomic<int64_t> cursor{0};
+    std::mutex mu;
+    std::condition_variable done;
+    int32_t pending_helpers = 0;
+  };
+  auto latch = std::make_shared<CallLatch>();
+  auto run_chunks = [latch, n, chunk_size, token, &body] {
     for (;;) {
       if (token != nullptr && token->IsCancelled()) return;
-      const int64_t begin = cursor->fetch_add(chunk_size);
+      const int64_t begin = latch->cursor.fetch_add(chunk_size);
       if (begin >= n) return;
       body(begin, std::min(n, begin + chunk_size));
     }
@@ -94,9 +106,17 @@ void ThreadPool::ParallelForChunks(
   const int64_t num_chunks = (n + chunk_size - 1) / chunk_size;
   const int32_t helpers = static_cast<int32_t>(
       std::min<int64_t>(num_threads_, num_chunks - 1));
-  for (int32_t t = 0; t < helpers; ++t) Schedule(run_chunks);
+  latch->pending_helpers = helpers;
+  for (int32_t t = 0; t < helpers; ++t) {
+    Schedule([latch, run_chunks] {
+      run_chunks();
+      std::unique_lock<std::mutex> lock(latch->mu);
+      if (--latch->pending_helpers == 0) latch->done.notify_all();
+    });
+  }
   run_chunks();  // the caller helps
-  WaitIdle();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->done.wait(lock, [&latch] { return latch->pending_helpers == 0; });
 }
 
 void ThreadPool::ParallelFor(int64_t n,

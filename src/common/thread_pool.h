@@ -19,6 +19,14 @@
 /// determinism of *results* is preserved by having callers write to
 /// pre-sized output slots, so scheduling order never influences output.
 ///
+/// Concurrent callers: one pool may be shared by any number of caller
+/// threads (the serving scenario: many in-flight queries fanning out over
+/// one session pool). Schedule() is thread-safe, and each
+/// ParallelFor/ParallelForChunks call tracks its own helper tasks with a
+/// per-call latch, so a call returns exactly when *its* iterations are
+/// done -- never blocking on (or being blocked by) another caller's work.
+/// WaitIdle() remains pool-global: it observes every caller's tasks.
+///
 /// Cooperative cancellation: long-running stages poll a CancellationToken
 /// (optionally bound to a Deadline) so a time budget stops workers
 /// mid-stage instead of only between stages.
@@ -84,7 +92,9 @@ class ThreadPool {
   /// distributed in contiguous chunks to limit synchronization. When
   /// \p token is non-null and becomes cancelled, chunks not yet started are
   /// skipped (iterations already running finish; callers observe partial
-  /// output only through their own slots).
+  /// output only through their own slots). Safe to call concurrently from
+  /// multiple threads on one pool: the call waits only for its own
+  /// iterations (per-call latch), not for other callers' tasks.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
                    const CancellationToken* token = nullptr);
 
@@ -92,8 +102,8 @@ class ThreadPool {
   /// `body(begin, end)` over contiguous ranges of at most \p grain
   /// iterations (grain < 1 selects an automatic ~4-chunks-per-thread
   /// grain). Use a large grain for cheap iterations to amortize dispatch,
-  /// grain = 1 for expensive skewed iterations. Cancellation as in
-  /// ParallelFor.
+  /// grain = 1 for expensive skewed iterations. Cancellation and
+  /// concurrent-caller safety as in ParallelFor.
   void ParallelForChunks(int64_t n, int64_t grain,
                          const std::function<void(int64_t, int64_t)>& body,
                          const CancellationToken* token = nullptr);

@@ -27,6 +27,11 @@ class ThreadPool;
 
 /// Graph-scoped parameters: everything that determines the Stage I spider
 /// set (and therefore must be fixed for the lifetime of a MiningSession).
+/// The session copies this struct at construction; the two borrowed
+/// pointers (`pool`, `txn_of_vertex`) stay owned by the caller and must
+/// outlive the session — every other field is a value. After
+/// construction the stored config is immutable, which is one leg of the
+/// concurrent-RunQuery contract (docs/SERVING.md).
 struct SessionConfig {
   /// Support floor sigma of the mined spider set. Queries may ask for any
   /// min_support >= this floor; lower values would need spiders the session
@@ -70,7 +75,10 @@ struct SessionConfig {
 };
 
 /// Query-scoped parameters: the Stage II+III knobs of one top-K query.
-/// Every field may differ between queries on the same session.
+/// Every field may differ between queries on the same session, including
+/// concurrent ones: RunQuery copies the struct up front, so the caller
+/// may reuse or mutate it the moment the call returns (values only — no
+/// borrowed state; the transaction map lives on SessionConfig).
 struct QueryConfig {
   // ---- Problem parameters (Definition 3). ----
   /// Support threshold sigma for this query. 0 selects the session's mined
@@ -156,40 +164,53 @@ struct QueryConfig {
 /// Legacy fused configuration of `SpiderMiner::Mine()` (build a session,
 /// run one query, throw the session away). New code should construct
 /// SessionConfig + QueryConfig directly; this type is kept so existing
-/// callers and the CLI `mine` subcommand compile unchanged.
+/// callers and the CLI `mine` subcommand compile unchanged. Every field
+/// is the fused spelling of one SessionConfig or QueryConfig field — the
+/// authoritative documentation lives on those two structs; ownership of
+/// the borrowed pointers (`pool`, `txn_of_vertex`) matches SessionConfig:
+/// both must outlive the Mine() call.
 struct MineConfig {
-  int64_t min_support = 2;
-  int32_t k = 10;
-  double epsilon = 0.1;
-  int32_t dmax = 4;
-  int32_t spider_radius = 1;
-  int64_t vmin = 0;
+  // ---- Problem parameters -> QueryConfig (min_support also sets the
+  // ---- session floor; spider_radius is session-scoped).
+  int64_t min_support = 2;       ///< sigma: SessionPart floor AND query threshold
+  int32_t k = 10;                ///< top-K
+  double epsilon = 0.1;          ///< error bound
+  int32_t dmax = 4;              ///< pattern diameter bound
+  int32_t spider_radius = 1;     ///< r (session-scoped; 1 = star fast path)
+  int64_t vmin = 0;              ///< large-pattern floor (0 = |V(G)|/10)
   SupportMeasureKind support_measure = SupportMeasureKind::kGreedyMisVertex;
 
-  int32_t num_threads = 1;
-  ThreadPool* pool = nullptr;
-  int64_t stage1_shard_grain = 0;
+  // ---- Parallelism -> SessionConfig.
+  int32_t num_threads = 1;          ///< worker threads (0 = all cores)
+  ThreadPool* pool = nullptr;       ///< borrowed pool (overrides num_threads)
+  int64_t stage1_shard_grain = 0;   ///< Stage I scan-shard grain (0 = auto)
 
-  uint64_t rng_seed = 42;
-  int64_t seed_count_override = 0;
-  int32_t restarts = 1;
+  // ---- Randomization -> QueryConfig.
+  uint64_t rng_seed = 42;           ///< seed of the Stage II spider draw
+  int64_t seed_count_override = 0;  ///< fixed M when > 0 (0 = paper formula)
+  int32_t restarts = 1;             ///< independent Stage II+III runs
 
+  // ---- Engineering caps -> QueryConfig (star caps -> SessionConfig).
   int64_t max_embeddings_per_pattern = 10000;
   int64_t max_patterns_per_round = 4000;
   int64_t max_seed_embeddings_per_anchor = 20;
-  int32_t max_star_leaves = 8;
-  int64_t max_spiders = 0;
+  int32_t max_star_leaves = 8;      ///< session-scoped star cap
+  int64_t max_spiders = 0;          ///< session-scoped global spider budget
   int32_t max_merge_pairs_per_key = 8;
   int32_t max_union_instances = 256;
   int32_t stage3_max_rounds = 64;
   int64_t max_results = 10000;
+  /// Fused budget spanning ALL stages: the shim gives Stage I the whole
+  /// budget and the query whatever Stage I left over.
   double time_budget_seconds = 0.0;
 
+  // ---- Behavioral switches -> QueryConfig.
   bool use_closed_spiders_only = true;
   bool close_internal_edges = true;
   int64_t closure_window = 0;  // 0 resolves to max(64, 8 * k)
   bool enforce_dmax_on_results = false;
   bool keep_unmerged = false;
+  /// Borrowed transaction map (session-scoped); must outlive the call.
   const std::vector<int32_t>* txn_of_vertex = nullptr;
 
   /// The graph-scoped slice: Stage I knobs, parallelism, the transaction

@@ -19,7 +19,11 @@
 /// `MiningSession` (spidermine/session.h) and call `RunQuery` per request;
 /// Stage I then runs once per graph instead of once per call. SpiderMiner
 /// remains supported for one-shot mining and existing callers, but new
-/// knobs land on SessionConfig/QueryConfig first.
+/// knobs land on SessionConfig/QueryConfig first. `Mine()` carries a
+/// [[deprecated]] attribute with that migration note; translation units
+/// whose purpose is the shim itself (its contract tests, the fused `mine`
+/// subcommand, the bench baseline) silence the warning locally with
+/// `#pragma GCC diagnostic ignored "-Wdeprecated-declarations"`.
 
 namespace spidermine {
 
@@ -39,6 +43,11 @@ class SpiderMiner {
 
   /// Executes the three stages. Fails on invalid configuration; resource
   /// caps do not fail the run but are reported in MineResult::stats.
+  [[deprecated(
+      "SpiderMiner::Mine() re-runs Stage I on every call; hold a "
+      "MiningSession (spidermine/session.h) and call RunQuery per request "
+      "instead -- Stage I is then paid once per graph. See "
+      "docs/SERVING.md.")]]
   Result<MineResult> Mine();
 
  private:

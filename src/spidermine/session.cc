@@ -270,7 +270,29 @@ Result<MiningSession> MiningSession::LoadStage1(const LabeledGraph* graph,
   return session;
 }
 
-Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) {
+int64_t MiningSession::queries_run() const {
+  std::lock_guard<std::mutex> lock(serving_->mu);
+  return serving_->stats.queries_run;
+}
+
+SessionServingStats MiningSession::serving_stats() const {
+  std::lock_guard<std::mutex> lock(serving_->mu);
+  return serving_->stats;
+}
+
+int64_t MiningSession::FoldQueryIntoAggregate(const QueryResult& result) const {
+  std::lock_guard<std::mutex> lock(serving_->mu);
+  SessionServingStats& agg = serving_->stats;
+  ++agg.queries_run;
+  agg.patterns_returned += static_cast<int64_t>(result.patterns.size());
+  if (result.stats.timed_out) ++agg.timed_out_queries;
+  agg.total_query_seconds += result.stats.total_seconds;
+  agg.max_query_seconds =
+      std::max(agg.max_query_seconds, result.stats.total_seconds);
+  return agg.queries_run;
+}
+
+Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
   SM_RETURN_NOT_OK(query.Validate());
   QueryConfig q = query;
   if (q.min_support == 0) q.min_support = config_.min_support;
@@ -295,7 +317,7 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) {
 
   if (store.empty()) {
     stats.total_seconds = total_timer.ElapsedSeconds();
-    ++queries_run_;
+    FoldQueryIntoAggregate(result);
     return result;  // nothing frequent at all
   }
 
@@ -520,9 +542,9 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) {
     stats.timed_out = true;
   }
   stats.total_seconds = total_timer.ElapsedSeconds();
-  ++queries_run_;
+  const int64_t sequence = FoldQueryIntoAggregate(result);
   Log(LogLevel::kInfo,
-      StrCat("MiningSession: query #", queries_run_, " over ",
+      StrCat("MiningSession: query #", sequence, " over ",
              stage1_stats_.num_spiders, " cached spiders, M=",
              stats.seed_count_m, ", merges=", stats.merges, ", returned ",
              result.patterns.size(), " patterns in ", stats.total_seconds,

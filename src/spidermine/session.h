@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,10 +34,26 @@
 /// to a standalone `SpiderMiner::Mine()` with the same parameters at any
 /// thread count.
 ///
+/// Thread-safety contract (see docs/SERVING.md for the full statement):
+/// after construction every Stage I artifact -- the store, the index, the
+/// closed flags, the graph pointer and the SessionConfig -- is immutable,
+/// and `RunQuery` is `const`: any number of threads may call it
+/// concurrently on one session. Each query owns all of its mutable state
+/// (GrowthEngine, RNG, collectors, stats); the only cross-query state is
+/// the serving aggregate (`serving_stats()`, `queries_run()`), folded
+/// under a mutex after each query completes. Concurrent queries share the
+/// session's worker pool; ThreadPool's per-call latches keep each query's
+/// parallel loops independent, so a query's result is byte-identical to
+/// the same query run with the session serialized -- concurrency changes
+/// wall-clock interleaving, never output. Moving a MiningSession while
+/// queries are in flight is undefined behavior (move it only before
+/// serving starts).
+///
 /// Stage I artifacts round-trip to disk (`SaveStage1` / `LoadStage1`,
 /// graph/binary_io.h): the CLI `stage1` subcommand precomputes the spider
-/// set offline and `query` answers repeated top-K requests against the
-/// saved artifact without re-mining.
+/// set offline, `query` answers repeated top-K requests against the saved
+/// artifact without re-mining, and `serve` keeps one session resident,
+/// answering newline-delimited JSON queries concurrently (tools/serve_loop.h).
 
 namespace spidermine {
 
@@ -78,10 +96,33 @@ struct QueryResult {
   MineStats stats;
 };
 
+/// Aggregate serving counters of one session, folded (under the session's
+/// mutex) from each successful query's per-query stats. A snapshot type:
+/// `MiningSession::serving_stats()` returns a copy taken under the lock,
+/// so readers never observe a half-folded query.
+struct SessionServingStats {
+  /// Successful RunQuery calls (failed validations count nothing).
+  int64_t queries_run = 0;
+  /// Sum of patterns returned across those queries.
+  int64_t patterns_returned = 0;
+  /// Queries whose time budget expired (MineStats::timed_out).
+  int64_t timed_out_queries = 0;
+  /// Sum of per-query wall seconds (MineStats::total_seconds). Under
+  /// concurrent serving this exceeds elapsed wall time — it is the served
+  /// compute, not the serving duration.
+  double total_query_seconds = 0.0;
+  /// Slowest single query so far, in seconds.
+  double max_query_seconds = 0.0;
+
+  /// One-line human-readable rendering (serve loop reports, tools).
+  std::string ToString() const;
+};
+
 /// A graph-scoped mining session: Stage I mined (or loaded) once at
-/// construction, Stages II+III executed per query. Not thread-safe:
-/// serialize RunQuery calls (each query already fans out internally over
-/// the session's worker pool).
+/// construction, Stages II+III executed per query. Thread-safe for
+/// serving: `RunQuery` is const and may be called concurrently from any
+/// number of threads (each query fans out internally over the shared
+/// worker pool; see the thread-safety contract in the file comment).
 class MiningSession {
  public:
   /// Mines Stage I of \p graph (borrowed; must outlive the session) under
@@ -115,12 +156,15 @@ class MiningSession {
                                           const std::string& path);
 
   /// Runs Stages II+III against the cached spider set. Validation errors
-  /// (bad k/dmax/epsilon, min_support below the mined floor, transaction
-  /// measure without a transaction map) return early without touching any
-  /// session state; the session remains fully usable. Identical queries
-  /// return byte-identical results, on this session or any other session
-  /// with the same graph + SessionConfig, at any thread count.
-  Result<QueryResult> RunQuery(const TopKQuery& query);
+  /// (kInvalidArgument: bad k/dmax/epsilon, min_support below the mined
+  /// floor, transaction measure without a transaction map) return early
+  /// without touching any session state; the session remains fully usable.
+  /// Identical queries return byte-identical results, on this session or
+  /// any other session with the same graph + SessionConfig, at any thread
+  /// count — and regardless of what other queries run concurrently: the
+  /// method is const, reads only the immutable Stage I artifacts, and
+  /// folds its counters into the serving aggregate under a mutex.
+  Result<QueryResult> RunQuery(const TopKQuery& query) const;
 
   /// The cached Stage I spider set.
   const SpiderStore& store() const { return *store_; }
@@ -132,13 +176,28 @@ class MiningSession {
   bool stage1_truncated() const { return stage1_truncated_; }
   /// The session's graph-scoped configuration.
   const SessionConfig& config() const { return config_; }
-  /// Queries served so far (successful RunQuery calls).
-  int64_t queries_run() const { return queries_run_; }
+  /// Queries served so far (successful RunQuery calls). Thread-safe; under
+  /// concurrent serving the value is a point-in-time snapshot.
+  int64_t queries_run() const;
+  /// Snapshot of the aggregate serving counters (thread-safe copy).
+  SessionServingStats serving_stats() const;
   /// The borrowed input network.
   const LabeledGraph& graph() const { return *graph_; }
 
  private:
-  MiningSession() = default;
+  /// The cross-query mutable state, mutex-guarded and heap-held so the
+  /// session stays movable (std::mutex is not). Everything else a query
+  /// touches is either immutable after construction or query-local.
+  struct ServingAggregate {
+    mutable std::mutex mu;
+    SessionServingStats stats;
+  };
+
+  MiningSession() : serving_(std::make_unique<ServingAggregate>()) {}
+
+  /// Folds one finished query into the serving aggregate; returns the
+  /// query's 1-based serving sequence number (for the log line).
+  int64_t FoldQueryIntoAggregate(const QueryResult& result) const;
 
   const LabeledGraph* graph_ = nullptr;
   SessionConfig config_;
@@ -151,7 +210,7 @@ class MiningSession {
   std::unique_ptr<SpiderIndex> index_;
   MineStats stage1_stats_;
   bool stage1_truncated_ = false;
-  int64_t queries_run_ = 0;
+  std::unique_ptr<ServingAggregate> serving_;
 };
 
 }  // namespace spidermine

@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "spidermine/config.h"
+#include "spidermine/session.h"
 
 namespace spidermine {
 
@@ -76,6 +77,20 @@ QueryConfig MineConfig::QueryPart() const {
   query.enforce_dmax_on_results = enforce_dmax_on_results;
   query.keep_unmerged = keep_unmerged;
   return query;
+}
+
+std::string SessionServingStats::ToString() const {
+  std::ostringstream os;
+  const double mean =
+      queries_run > 0 ? total_query_seconds / static_cast<double>(queries_run)
+                      : 0.0;
+  os << queries_run << " queries served, " << patterns_returned
+     << " patterns returned, latency mean/max " << mean << "/"
+     << max_query_seconds << "s";
+  if (timed_out_queries > 0) {
+    os << ", " << timed_out_queries << " hit their time budget";
+  }
+  return os.str();
 }
 
 void MineStats::FoldStage1(const MineStats& stage1) {

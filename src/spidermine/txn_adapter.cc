@@ -33,7 +33,12 @@ Result<MineResult> MineTransactions(const TransactionGraph& txn,
   config.support_measure = SupportMeasureKind::kTransaction;
   config.txn_of_vertex = &txn.txn_of_vertex;
   SpiderMiner miner(&txn.graph, config);
+  // The adapter mirrors the shim's one-shot shape; the session migration
+  // for transaction mining rides on its callers, not here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   return miner.Mine();
+#pragma GCC diagnostic pop
 }
 
 }  // namespace spidermine

@@ -8,6 +8,11 @@
 #include "spider/ball_miner.h"
 #include "spider/star_miner.h"
 #include "spidermine/miner.h"
+
+// This suite exercises the deprecated SpiderMiner::Mine() shim on purpose
+// (its compatibility contract is the thing under test); silence the
+// session-API migration warning for the whole file.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "spidermine/oracle.h"
 
 /// \file edge_label_test.cc

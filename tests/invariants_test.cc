@@ -13,6 +13,11 @@
 #include "pattern/spider_set.h"
 #include "spidermine/closure.h"
 #include "spidermine/miner.h"
+
+// This suite exercises the deprecated SpiderMiner::Mine() shim on purpose
+// (its compatibility contract is the thing under test); silence the
+// session-API migration warning for the whole file.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "spidermine/oracle.h"
 #include "spidermine/variants.h"
 

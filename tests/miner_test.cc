@@ -1,5 +1,10 @@
 #include "spidermine/miner.h"
 
+// This suite exercises the deprecated SpiderMiner::Mine() shim on purpose
+// (its compatibility contract is the thing under test); silence the
+// session-API migration warning for the whole file.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"

@@ -12,6 +12,11 @@
 #include "pattern/vf2.h"
 #include "spidermine/miner.h"
 
+// This suite exercises the deprecated SpiderMiner::Mine() shim on purpose
+// (its compatibility contract is the thing under test); silence the
+// session-API migration warning for the whole file.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace spidermine {
 namespace {
 

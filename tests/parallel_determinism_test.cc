@@ -15,6 +15,11 @@
 #include "spider_test_util.h"
 #include "spidermine/miner.h"
 
+// This suite exercises the deprecated SpiderMiner::Mine() shim on purpose
+// (its compatibility contract is the thing under test); silence the
+// session-API migration warning for the whole file.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 /// End-to-end determinism of the parallel pipeline: the mined pattern set,
 /// supports and ordering must be byte-identical for any thread count with
 /// the same rng_seed. Every cross-thread fold in the pipeline happens on

@@ -1,0 +1,249 @@
+#include "tools/serve_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gen/erdos_renyi.h"
+#include "gen/injection.h"
+#include "gen/pattern_factory.h"
+#include "graph/graph_builder.h"
+#include "spidermine/session.h"
+
+/// The serve protocol over string streams: one response line per request
+/// line, ids echoed (concurrent queries complete out of order), malformed
+/// requests answered rather than fatal, shutdown acknowledged last, and
+/// concurrent serving returning exactly the responses of --max-inflight=1.
+
+namespace spidermine::cli {
+namespace {
+
+LabeledGraph TestGraph() {
+  Rng rng(11);
+  GraphBuilder builder = GenerateErdosRenyi(200, 2.0, 14, &rng);
+  Pattern planted = RandomConnectedPattern(10, 0.15, 14, &rng);
+  PatternInjector injector(&builder);
+  EXPECT_TRUE(injector.Inject(planted, 3, &rng).ok());
+  return std::move(builder.Build()).value();
+}
+
+Result<MiningSession> TestSession(const LabeledGraph* graph) {
+  SessionConfig config;
+  config.min_support = 3;
+  config.num_threads = 2;
+  return MiningSession::Create(graph, config);
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  for (const std::string& line : Split(text, '\n')) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(ServeJsonTest, ParsesFlatObjects) {
+  Result<JsonObject> object = ParseJsonObject(
+      "  {\"id\": 7, \"k\": 3, \"measure\": \"mni\", \"strict_dmax\": true, "
+      "\"note\": null, \"epsilon\": 0.25}  ");
+  ASSERT_TRUE(object.ok()) << object.status();
+  EXPECT_EQ(object->size(), 6u);
+  EXPECT_EQ(object->at("id").kind, JsonValue::Kind::kNumber);
+  EXPECT_EQ(object->at("id").number_value, 7.0);
+  EXPECT_EQ(object->at("measure").string_value, "mni");
+  EXPECT_TRUE(object->at("strict_dmax").bool_value);
+  EXPECT_EQ(object->at("note").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(object->at("epsilon").number_value, 0.25);
+  Result<JsonObject> empty = ParseJsonObject("{}");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ServeJsonTest, ParsesStringEscapes) {
+  Result<JsonObject> object =
+      ParseJsonObject("{\"id\": \"a\\\"b\\\\c\\n\\u0041\"}");
+  ASSERT_TRUE(object.ok()) << object.status();
+  EXPECT_EQ(object->at("id").string_value, "a\"b\\c\nA");
+}
+
+TEST(ServeJsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "[1,2]", "{\"k\":}", "{\"k\":1,}", "{\"k\":1} trailing",
+        "{\"k\":1,\"k\":2}", "{\"nested\":{\"x\":1}}", "{\"a\":[1]}",
+        "{\"s\":\"unterminated}", "{\"u\":\"\\ud800\"}", "{k:1}",
+        // Truncated requests must error, not read past the line.
+        "{", "{\"a\":1,", "{\"a\":", "{\"a\"",
+        // strtod-isms that are not JSON numbers (inf/nan would also be
+        // echoed back as invalid response JSON).
+        "{\"id\":inf}", "{\"id\":nan}", "{\"id\":0x1A}", "{\"id\":-}",
+        "{\"id\":1.}", "{\"id\":1e}", "{\"id\":1e300000}"}) {
+    Result<JsonObject> object = ParseJsonObject(bad);
+    EXPECT_FALSE(object.ok()) << "accepted: " << bad;
+    EXPECT_EQ(object.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ServeJsonTest, EscapeRoundTripsControlCharacters) {
+  EXPECT_EQ(EscapeJsonString("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(EscapeJsonString(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ServeJsonTest, QueryFromJsonMapsEveryKey) {
+  Result<JsonObject> object = ParseJsonObject(
+      "{\"support\": 4, \"k\": 3, \"dmax\": 6, \"epsilon\": 0.2, "
+      "\"vmin\": 9, \"seed\": 99, \"seed_count\": 12, \"restarts\": 2, "
+      "\"time_budget\": 1.5, \"measure\": \"count\", "
+      "\"strict_dmax\": true, \"id\": 1}");
+  ASSERT_TRUE(object.ok()) << object.status();
+  Result<TopKQuery> query = QueryFromJson(*object);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->min_support, 4);
+  EXPECT_EQ(query->k, 3);
+  EXPECT_EQ(query->dmax, 6);
+  EXPECT_EQ(query->epsilon, 0.2);
+  EXPECT_EQ(query->vmin, 9);
+  EXPECT_EQ(query->rng_seed, 99u);
+  EXPECT_EQ(query->seed_count_override, 12);
+  EXPECT_EQ(query->restarts, 2);
+  EXPECT_EQ(query->time_budget_seconds, 1.5);
+  EXPECT_EQ(query->support_measure, SupportMeasureKind::kEmbeddingCount);
+  EXPECT_TRUE(query->enforce_dmax_on_results);
+}
+
+TEST(ServeJsonTest, QueryFromJsonRejectsUnknownAndMistyped) {
+  Result<JsonObject> unknown = ParseJsonObject("{\"topk\": 5}");
+  ASSERT_TRUE(unknown.ok());
+  Result<TopKQuery> q1 = QueryFromJson(*unknown);
+  EXPECT_FALSE(q1.ok());
+  EXPECT_NE(q1.status().message().find("topk"), std::string::npos);
+
+  Result<JsonObject> mistyped = ParseJsonObject("{\"k\": \"ten\"}");
+  ASSERT_TRUE(mistyped.ok());
+  EXPECT_FALSE(QueryFromJson(*mistyped).ok());
+
+  Result<JsonObject> fractional = ParseJsonObject("{\"k\": 2.5}");
+  ASSERT_TRUE(fractional.ok());
+  EXPECT_FALSE(QueryFromJson(*fractional).ok());
+
+  // int32 fields reject out-of-range values instead of wrapping:
+  // 2^32 + 3 would otherwise narrow to a "valid" k = 3.
+  Result<JsonObject> wide = ParseJsonObject("{\"k\": 4294967299}");
+  ASSERT_TRUE(wide.ok());
+  Result<TopKQuery> q2 = QueryFromJson(*wide);
+  EXPECT_FALSE(q2.ok());
+  EXPECT_NE(q2.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(ServeLoopTest, AnswersEveryRequestAndShutsDownLast) {
+  LabeledGraph g = TestGraph();
+  Result<MiningSession> session = TestSession(&g);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  std::istringstream in(
+      "{\"id\": 1, \"k\": 3, \"seed\": 2, \"vmin\": 8, \"seed_count\": 10}\n"
+      "\n"
+      "{\"id\": \"text-id\", \"k\": 2, \"seed\": 5, \"vmin\": 8, "
+      "\"seed_count\": 10}\n"
+      "{\"id\": 9, \"k\": 0}\n"
+      "not json\n"
+      "{\"id\": 10, \"cmd\": \"shutdown\"}\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  ServeOptions options;
+  options.max_inflight = 2;
+  ServeStats stats;
+  Status status =
+      RunServeLoop(*session, in, out, err, options, &stats);
+  ASSERT_TRUE(status.ok()) << status;
+
+  std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 5u);  // one response per non-empty request line
+  // The shutdown acknowledgment is the final line, after the drain.
+  EXPECT_EQ(lines.back(),
+            "{\"id\":10,\"line\":6,\"ok\":true,\"shutdown\":true}");
+  auto contains = [&lines](std::string_view needle) {
+    return std::any_of(lines.begin(), lines.end(),
+                       [needle](const std::string& line) {
+                         return line.find(needle) != std::string::npos;
+                       });
+  };
+  // "line" is the physical input line: the blank line 2 advances it
+  // (that is what keeps client-side correlation unambiguous).
+  EXPECT_TRUE(contains("\"id\":1,\"line\":1,\"ok\":true"));
+  EXPECT_TRUE(contains("\"id\":\"text-id\",\"line\":3,\"ok\":true"));
+  EXPECT_TRUE(contains("\"id\":9,\"line\":4,\"ok\":false"));  // k=0 rejected
+  // Unparseable lines echo id null; "line" still pins them to line 5.
+  EXPECT_TRUE(contains(
+      "{\"id\":null,\"line\":5,\"ok\":false,\"error\":\"InvalidArgument: "
+      "bad JSON"));
+
+  EXPECT_EQ(stats.requests, 5);
+  EXPECT_EQ(stats.answered, 3);  // 2 queries + shutdown ack
+  EXPECT_EQ(stats.errors, 2);
+  EXPECT_TRUE(stats.shutdown_requested);
+  EXPECT_EQ(session->queries_run(), 2);
+  EXPECT_NE(err.str().find("serve: 5 requests"), std::string::npos);
+}
+
+TEST(ServeLoopTest, ConcurrentServingMatchesSerialResponses) {
+  LabeledGraph g = TestGraph();
+  Result<MiningSession> serial_session = TestSession(&g);
+  Result<MiningSession> concurrent_session = TestSession(&g);
+  ASSERT_TRUE(serial_session.ok());
+  ASSERT_TRUE(concurrent_session.ok());
+
+  // The same 6 requests; responses are keyed by id, so after sorting the
+  // two transports must agree byte-for-byte except the per-query
+  // "seconds" timing, which is rewritten to a fixed token first.
+  std::string requests;
+  for (int i = 1; i <= 6; ++i) {
+    requests += StrCat("{\"id\": ", i, ", \"k\": 3, \"seed\": ", 100 + i,
+                       ", \"vmin\": 8, \"seed_count\": 10}\n");
+  }
+  auto run = [&requests](const MiningSession& session, int32_t inflight) {
+    std::istringstream in(requests);
+    std::ostringstream out;
+    std::ostringstream err;
+    ServeOptions options;
+    options.max_inflight = inflight;
+    options.summary = false;
+    ServeStats stats;
+    Status status = RunServeLoop(session, in, out, err, options, &stats);
+    EXPECT_TRUE(status.ok()) << status;
+    EXPECT_EQ(stats.answered, 6);
+    std::vector<std::string> lines = Lines(out.str());
+    for (std::string& line : lines) {
+      size_t begin = line.find("\"seconds\":");
+      size_t end = line.find(",\"timed_out\"");
+      EXPECT_NE(begin, std::string::npos);
+      EXPECT_NE(end, std::string::npos);
+      line.replace(begin, end - begin, "\"seconds\":X");
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+
+  std::vector<std::string> serial = run(*serial_session, 1);
+  std::vector<std::string> concurrent = run(*concurrent_session, 4);
+  EXPECT_EQ(serial, concurrent);
+}
+
+TEST(ServeLoopTest, RejectsInvalidInflight) {
+  LabeledGraph g = TestGraph();
+  Result<MiningSession> session = TestSession(&g);
+  ASSERT_TRUE(session.ok());
+  std::istringstream in("");
+  std::ostringstream out, err;
+  ServeOptions options;
+  options.max_inflight = 0;
+  Status status = RunServeLoop(*session, in, out, err, options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace spidermine::cli

@@ -14,6 +14,11 @@
 #include "spider_test_util.h"
 #include "spidermine/miner.h"
 
+// This suite exercises the deprecated SpiderMiner::Mine() shim on purpose
+// (its compatibility contract is the thing under test); silence the
+// session-API migration warning for the whole file.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 /// The MiningSession contract: Stage I runs exactly once per session, every
 /// query against the cached store is byte-identical to a standalone Mine()
 /// with the same parameters (at any thread count), and a bad query returns

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace spidermine {
@@ -115,6 +116,41 @@ TEST(ThreadPoolTest, ParallelForChunksGrainBoundsRangeSize) {
                          });
   EXPECT_LE(max_range.load(), 7);
   EXPECT_GT(max_range.load(), 0);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersStayIndependent) {
+  // The serving configuration: several caller threads run parallel loops
+  // on ONE shared pool at once (concurrent queries on a session pool).
+  // Each call must cover exactly its own iterations and return when they
+  // are done — the per-call latch, not a pool-global wait.
+  ThreadPool pool(2);
+  constexpr int kCallers = 4;
+  const int64_t n = 20011;
+  std::vector<std::vector<int64_t>> out(
+      kCallers, std::vector<int64_t>(static_cast<size_t>(n), 0));
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &out, c, n] {
+      for (int round = 0; round < 3; ++round) {
+        pool.ParallelForChunks(
+            n, /*grain=*/64,
+            [&out, c, round](int64_t begin, int64_t end) {
+              for (int64_t i = begin; i < end; ++i) {
+                out[static_cast<size_t>(c)][static_cast<size_t>(i)] =
+                    i + c + round;
+              }
+            });
+        // The call must not return before its own iterations finished:
+        // every slot holds this round's value right here.
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(out[static_cast<size_t>(c)][static_cast<size_t>(i)],
+                    i + c + round)
+              << "caller " << c << " round " << round << " index " << i;
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
 }
 
 TEST(CancellationTokenTest, StartsUncancelledAndLatchesOnRequest) {

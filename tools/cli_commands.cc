@@ -1,6 +1,8 @@
 #include "tools/cli_commands.h"
 
 #include <algorithm>
+#include <iostream>
+#include <optional>
 
 #include "baselines/complete_miner.h"
 #include "baselines/grew.h"
@@ -23,6 +25,7 @@
 #include "spidermine/miner.h"
 #include "spidermine/session.h"
 #include "spidermine/variants.h"
+#include "tools/serve_loop.h"
 
 namespace spidermine::cli {
 
@@ -65,6 +68,15 @@ Result<int64_t> ValidateShardGrainFlag(int64_t grain) {
   return std::min(grain, kMaxShardGrainFlag);
 }
 
+void PrintPatternRow(std::ostream& out, size_t rank, const Pattern& pattern,
+                     int64_t support) {
+  out << rank << ". |V|=" << pattern.NumVertices()
+      << " |E|=" << pattern.NumEdges() << " support=" << support << "  "
+      << pattern.ToString() << "\n";
+}
+
+}  // namespace
+
 Result<SupportMeasureKind> ParseMeasure(const std::string& name) {
   if (name == "vertex-mis") return SupportMeasureKind::kGreedyMisVertex;
   if (name == "edge-mis") return SupportMeasureKind::kGreedyMisEdge;
@@ -74,15 +86,6 @@ Result<SupportMeasureKind> ParseMeasure(const std::string& name) {
       StrCat("unknown measure '", name,
              "' (expected vertex-mis, edge-mis, mni or count)"));
 }
-
-void PrintPatternRow(std::ostream& out, size_t rank, const Pattern& pattern,
-                     int64_t support) {
-  out << rank << ". |V|=" << pattern.NumVertices()
-      << " |E|=" << pattern.NumEdges() << " support=" << support << "  "
-      << pattern.ToString() << "\n";
-}
-
-}  // namespace
 
 Result<LabeledGraph> LoadGraphAuto(const std::string& path) {
   if (HasExtension(path, ".smg")) return LoadGraphBinary(path);
@@ -237,7 +240,12 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
                       ParseMeasure(flags.GetString("measure")));
 
   SpiderMiner miner(&graph, config);
+  // `mine` IS the one-shot fused path the shim exists for; the session
+  // lifecycle is served by `stage1` / `query` / `serve`.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   SM_ASSIGN_OR_RETURN(MineResult result, miner.Mine());
+#pragma GCC diagnostic pop
 
   std::vector<MinedPattern> patterns = std::move(result.patterns);
   if (flags.GetBool("maximal")) patterns = FilterMaximal(std::move(patterns));
@@ -405,6 +413,77 @@ Status CmdQuery(const std::vector<std::string>& args, std::ostream& out) {
   return Status::Ok();
 }
 
+Status CmdServe(const std::vector<std::string>& args, std::istream& in,
+                std::ostream& out, std::ostream& err) {
+  FlagSet flags("spidermine serve",
+                "answer newline-delimited JSON top-K queries from a "
+                "resident session (see docs/CLI.md for the schema)");
+  flags.AddInt("support", 2,
+               "support floor sigma when mining at startup (a stage1 "
+               "artifact carries its own floor and ignores this)")
+      .AddInt("max-leaves", 8, "max leaves per star spider (mining only)")
+      .AddInt("max-spiders", 0,
+              "global spider budget when mining (0 = unlimited)")
+      .AddInt("threads", 1,
+              "worker threads shared by all in-flight queries (0 = all "
+              "cores); results are identical at any value")
+      .AddInt("shard-grain", 0,
+              "Stage I vertex-range shard grain (0 = auto; mining only)")
+      .AddInt("max-inflight", 1,
+              "queries executed concurrently on the session")
+      .AddString("socket", "",
+                 "serve over a unix domain socket at this path instead of "
+                 "stdin/stdout")
+      .AddBool("quiet", false, "suppress the end-of-loop summary line");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().size() != 1 && flags.positional().size() != 2) {
+    return Status::InvalidArgument(
+        StrCat("expected <graph file> [<stage1 artifact>]\n", flags.Usage()));
+  }
+  const int64_t inflight = flags.GetInt("max-inflight");
+  if (inflight < 1 || inflight > 1024) {
+    return Status::InvalidArgument(
+        StrCat("--max-inflight must be in [1, 1024] (got ", inflight, ")"));
+  }
+  SM_ASSIGN_OR_RETURN(LabeledGraph graph,
+                      LoadGraphAuto(flags.positional()[0]));
+
+  SessionConfig config;
+  SM_ASSIGN_OR_RETURN(config.num_threads,
+                      ValidateThreadsFlag(flags.GetInt("threads")));
+  std::optional<MiningSession> session;
+  if (flags.positional().size() == 2) {
+    // Warm start: adopt a precomputed artifact (its mining parameters
+    // override the config's Stage I knobs).
+    SM_ASSIGN_OR_RETURN(
+        MiningSession loaded,
+        MiningSession::LoadStage1(&graph, config, flags.positional()[1]));
+    session.emplace(std::move(loaded));
+  } else {
+    // Cold start: mine Stage I here, once, before serving begins.
+    config.min_support = flags.GetInt("support");
+    config.max_star_leaves = static_cast<int32_t>(flags.GetInt("max-leaves"));
+    config.max_spiders = flags.GetInt("max-spiders");
+    SM_ASSIGN_OR_RETURN(config.stage1_shard_grain,
+                        ValidateShardGrainFlag(flags.GetInt("shard-grain")));
+    SM_ASSIGN_OR_RETURN(MiningSession mined,
+                        MiningSession::Create(&graph, config));
+    session.emplace(std::move(mined));
+  }
+  err << "serve: session ready, " << session->store().size()
+      << " cached spiders (support floor "
+      << session->config().min_support << "), max "
+      << inflight << " in-flight queries\n";
+
+  ServeOptions options;
+  options.max_inflight = static_cast<int32_t>(inflight);
+  options.summary = !flags.GetBool("quiet");
+  if (!flags.GetString("socket").empty()) {
+    return RunServeSocket(*session, flags.GetString("socket"), err, options);
+  }
+  return RunServeLoop(*session, in, out, err, options);
+}
+
 Status CmdBaseline(const std::vector<std::string>& args, std::ostream& out) {
   FlagSet flags("spidermine baseline", "run a comparison miner");
   flags.AddString("algo", "subdue", "subdue | seus | grew | complete")
@@ -494,8 +573,8 @@ Status CmdConvert(const std::vector<std::string>& args, std::ostream& out) {
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
   static constexpr char kUsage[] =
-      "usage: spidermine <gen|stats|mine|stage1|query|baseline|convert> "
-      "[flags]\n"
+      "usage: spidermine <gen|stats|mine|stage1|query|serve|baseline|"
+      "convert> [flags]\n"
       "run `spidermine <subcommand> --help` semantics: any flag error "
       "prints the subcommand's flag list\n";
   if (args.empty()) {
@@ -515,6 +594,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdStage1(rest, out);
   } else if (command == "query") {
     status = CmdQuery(rest, out);
+  } else if (command == "serve") {
+    status = CmdServe(rest, std::cin, out, err);
   } else if (command == "baseline") {
     status = CmdBaseline(rest, out);
   } else if (command == "convert") {

@@ -1,16 +1,19 @@
 #pragma once
 
+#include <istream>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "graph/labeled_graph.h"
+#include "support/support_measure.h"
 
 /// \file cli_commands.h
 /// The spidermine command-line tool, factored as a library so each
 /// subcommand is unit-testable without spawning processes. The `main`
-/// binary (spidermine_cli.cc) only dispatches to RunCli.
+/// binary (spidermine_cli.cc) only dispatches to RunCli. Full user-facing
+/// reference with copy-pasteable examples: docs/CLI.md.
 ///
 /// Subcommands:
 ///   gen      generate a synthetic network (ER / BA / DBLP-sim / Jeti-sim)
@@ -21,6 +24,8 @@
 ///   stage1   mine Stage I once and save the spider-store artifact (.sm1)
 ///   query    answer a top-K query against a saved stage1 artifact without
 ///            re-mining; repeated queries take milliseconds-to-seconds
+///   serve    keep one session resident and answer newline-delimited JSON
+///            top-K queries concurrently (stdin/stdout or a unix socket)
 ///   baseline run a comparison miner (subdue / seus / grew / complete)
 ///   convert  convert between the text (.lg) and binary (.smg) formats
 
@@ -30,6 +35,11 @@ namespace spidermine::cli {
 /// \p out and errors/usage to \p err; returns the process exit code.
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err);
+
+/// Parses a support-measure flag/request value ("vertex-mis", "edge-mis",
+/// "mni", "count"); kInvalidArgument naming the unknown value otherwise.
+/// Shared by the mine/query flag parsing and the serve JSON schema.
+Result<SupportMeasureKind> ParseMeasure(const std::string& name);
 
 /// Loads a graph choosing the decoder by file extension: ".smg" = binary
 /// (graph/binary_io.h), anything else = LG text (graph/graph_io.h).
@@ -46,5 +56,15 @@ Status CmdStage1(const std::vector<std::string>& args, std::ostream& out);
 Status CmdQuery(const std::vector<std::string>& args, std::ostream& out);
 Status CmdBaseline(const std::vector<std::string>& args, std::ostream& out);
 Status CmdConvert(const std::vector<std::string>& args, std::ostream& out);
+
+/// `serve`: builds (or loads) a session, then answers newline-delimited
+/// JSON queries from \p in on \p out until EOF or {"cmd":"shutdown"},
+/// running up to --max-inflight queries concurrently; diagnostics and the
+/// final latency summary go to \p err. With --socket=<path> the loop runs
+/// over a unix domain socket instead of \p in / \p out. The streams are
+/// parameters (RunCli passes std::cin/std::cout) so tests drive the full
+/// command without a process. See tools/serve_loop.h for the protocol.
+Status CmdServe(const std::vector<std::string>& args, std::istream& in,
+                std::ostream& out, std::ostream& err);
 
 }  // namespace spidermine::cli

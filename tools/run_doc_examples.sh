@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Executes every `$ `-prefixed example line of the CLI documentation, in
+# file order, from the repository root. The docs promise the examples are
+# copy-pasteable against a fresh `cmake --build build`; CI runs this
+# script so a flag rename or output change cannot silently rot them.
+#
+#   $ tools/run_doc_examples.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -x build/spidermine ]]; then
+  echo "error: build/spidermine not found; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+for doc in docs/SERVING.md docs/CLI.md; do
+  echo "=== ${doc}"
+  # Each example is a single line beginning "$ "; pipelines are allowed.
+  while IFS= read -r example; do
+    echo "+ ${example}"
+    bash -c "${example}"
+  done < <(sed -n 's/^\$ //p' "${doc}")
+done
+echo "OK: every documented example ran successfully"

@@ -1,0 +1,698 @@
+#include "tools/serve_loop.h"
+
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "tools/cli_commands.h"
+
+namespace spidermine::cli {
+
+namespace {
+
+// ------------------------------------------------------------- JSON parse
+
+/// Shared cursor of the line parser; every error reports the byte offset.
+struct JsonCursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\r' ||
+            text[pos] == '\n')) {
+      ++pos;
+    }
+  }
+  bool AtEnd() {
+    SkipWs();
+    return pos >= text.size();
+  }
+  Status Fail(std::string_view what) const {
+    return Status::InvalidArgument(
+        StrCat("bad JSON request at byte ", pos, ": ", what));
+  }
+};
+
+/// Parses a JSON string literal (cursor on the opening quote). Handles the
+/// standard escapes including \uXXXX for BMP code points (encoded as
+/// UTF-8); surrogate pairs are rejected — the serve protocol has no use
+/// for astral-plane identifiers and the restriction keeps the parser
+/// obviously correct.
+Result<std::string> ParseString(JsonCursor* c) {
+  if (c->pos >= c->text.size() || c->text[c->pos] != '"') {
+    return c->Fail("expected '\"'");
+  }
+  ++c->pos;
+  std::string out;
+  while (true) {
+    if (c->pos >= c->text.size()) return c->Fail("unterminated string");
+    char ch = c->text[c->pos];
+    if (ch == '"') {
+      ++c->pos;
+      return out;
+    }
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      return c->Fail("raw control character inside string");
+    }
+    if (ch != '\\') {
+      out.push_back(ch);
+      ++c->pos;
+      continue;
+    }
+    ++c->pos;
+    if (c->pos >= c->text.size()) return c->Fail("unterminated escape");
+    char esc = c->text[c->pos];
+    ++c->pos;
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (c->pos + 4 > c->text.size()) return c->Fail("truncated \\u escape");
+        uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = c->text[c->pos + static_cast<size_t>(i)];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<uint32_t>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<uint32_t>(h - 'A' + 10);
+          else return c->Fail("non-hex digit in \\u escape");
+        }
+        c->pos += 4;
+        if (code >= 0xD800 && code <= 0xDFFF) {
+          return c->Fail("surrogate-pair \\u escapes are not supported");
+        }
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return c->Fail(StrCat("unknown escape '\\", std::string(1, esc), "'"));
+    }
+  }
+}
+
+Result<JsonValue> ParseValue(JsonCursor* c) {
+  c->SkipWs();
+  if (c->pos >= c->text.size()) return c->Fail("expected a value");
+  JsonValue value;
+  char ch = c->text[c->pos];
+  if (ch == '"') {
+    SM_ASSIGN_OR_RETURN(value.string_value, ParseString(c));
+    value.kind = JsonValue::Kind::kString;
+    return value;
+  }
+  if (ch == '{' || ch == '[') {
+    return c->Fail(
+        "nested objects/arrays are not part of the serve request schema "
+        "(flat key/value objects only; see docs/CLI.md)");
+  }
+  auto literal = [c](std::string_view word) {
+    return c->text.substr(c->pos, word.size()) == word;
+  };
+  if (literal("true")) {
+    c->pos += 4;
+    value.kind = JsonValue::Kind::kBool;
+    value.bool_value = true;
+    return value;
+  }
+  if (literal("false")) {
+    c->pos += 5;
+    value.kind = JsonValue::Kind::kBool;
+    value.bool_value = false;
+    return value;
+  }
+  if (literal("null")) {
+    c->pos += 4;
+    value.kind = JsonValue::Kind::kNull;
+    return value;
+  }
+  // Number. The token is matched against the JSON number grammar first —
+  // strtod alone would also accept inf/nan/hex, which are not JSON and
+  // would be echoed back as invalid response lines.
+  const std::string_view text = c->text;
+  size_t p = c->pos;
+  auto digit = [&text](size_t i) {
+    return i < text.size() && text[i] >= '0' && text[i] <= '9';
+  };
+  if (p < text.size() && text[p] == '-') ++p;
+  const size_t int_begin = p;
+  while (digit(p)) ++p;
+  if (p == int_begin) return c->Fail("expected a value");
+  if (p < text.size() && text[p] == '.') {
+    ++p;
+    const size_t frac_begin = p;
+    while (digit(p)) ++p;
+    if (p == frac_begin) return c->Fail("digits required after '.'");
+  }
+  if (p < text.size() && (text[p] == 'e' || text[p] == 'E')) {
+    ++p;
+    if (p < text.size() && (text[p] == '+' || text[p] == '-')) ++p;
+    const size_t exp_begin = p;
+    while (digit(p)) ++p;
+    if (p == exp_begin) return c->Fail("digits required in exponent");
+  }
+  const std::string token(text.substr(c->pos, p - c->pos));
+  double parsed = std::strtod(token.c_str(), nullptr);
+  if (!std::isfinite(parsed)) return c->Fail("number out of range");
+  c->pos = p;
+  value.kind = JsonValue::Kind::kNumber;
+  value.number_value = parsed;
+  return value;
+}
+
+const JsonValue* Find(const JsonObject& object, std::string_view key) {
+  auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+// ------------------------------------------------------------ JSON render
+
+/// Renders a number the way the protocol echoes ids: integers without a
+/// fraction, everything else with enough digits to round-trip.
+std::string NumberToJson(double value) {
+  if (value == std::floor(value) && std::abs(value) < 9.0e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string ValueToJson(const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return value.bool_value ? "true" : "false";
+    case JsonValue::Kind::kNumber: return NumberToJson(value.number_value);
+    case JsonValue::Kind::kString:
+      return StrCat("\"", EscapeJsonString(value.string_value), "\"");
+  }
+  return "null";
+}
+
+/// The response "id": the request's id verbatim, or null when the request
+/// carried none (or did not parse far enough to have one). The fallback
+/// is deliberately NOT the request sequence number — that could collide
+/// with another request's explicit numeric id; the separate "line" field
+/// is the always-unambiguous correlation key.
+std::string RenderId(const JsonValue* id) {
+  return id != nullptr ? ValueToJson(*id) : "null";
+}
+
+/// The response envelope shared by every response shape: the echoed id
+/// plus the 1-based request line number.
+std::string ResponseHead(const std::string& id_json, int64_t line) {
+  return StrCat("{\"id\":", id_json, ",\"line\":", line);
+}
+
+std::string ErrorResponse(const std::string& id_json, int64_t line,
+                          const Status& status) {
+  return StrCat(ResponseHead(id_json, line), ",\"ok\":false,\"error\":\"",
+                EscapeJsonString(status.ToString()), "\"}");
+}
+
+std::string OkResponse(const std::string& id_json, int64_t request_line,
+                       const QueryResult& result, double seconds) {
+  std::string line =
+      StrCat(ResponseHead(id_json, request_line), ",\"ok\":true,\"patterns\":[");
+  for (size_t i = 0; i < result.patterns.size(); ++i) {
+    const MinedPattern& p = result.patterns[i];
+    if (i > 0) line += ",";
+    line += StrCat("{\"vertices\":", p.NumVertices(),
+                   ",\"edges\":", p.NumEdges(), ",\"support\":", p.support,
+                   ",\"pattern\":\"", EscapeJsonString(p.pattern.ToString()),
+                   "\"}");
+  }
+  char seconds_text[32];
+  std::snprintf(seconds_text, sizeof(seconds_text), "%.6f", seconds);
+  line += StrCat("],\"count\":", result.patterns.size(),
+                 ",\"seconds\":", seconds_text, ",\"timed_out\":",
+                 result.stats.timed_out ? "true" : "false", "}");
+  return line;
+}
+
+}  // namespace
+
+Result<JsonObject> ParseJsonObject(std::string_view line) {
+  JsonCursor c{line};
+  c.SkipWs();
+  if (c.pos >= c.text.size() || c.text[c.pos] != '{') {
+    return c.Fail("expected '{' (one JSON object per line)");
+  }
+  ++c.pos;
+  JsonObject object;
+  c.SkipWs();
+  if (c.pos < c.text.size() && c.text[c.pos] == '}') {
+    ++c.pos;
+  } else {
+    while (true) {
+      c.SkipWs();
+      SM_ASSIGN_OR_RETURN(std::string key, ParseString(&c));
+      c.SkipWs();
+      if (c.pos >= c.text.size() || c.text[c.pos] != ':') {
+        return c.Fail("expected ':' after key");
+      }
+      ++c.pos;
+      SM_ASSIGN_OR_RETURN(JsonValue value, ParseValue(&c));
+      if (!object.emplace(std::move(key), std::move(value)).second) {
+        return c.Fail("duplicate key");
+      }
+      c.SkipWs();
+      if (c.pos >= c.text.size()) return c.Fail("unterminated object");
+      if (c.text[c.pos] == ',') {
+        ++c.pos;
+        continue;
+      }
+      if (c.text[c.pos] == '}') {
+        ++c.pos;
+        break;
+      }
+      return c.Fail("expected ',' or '}'");
+    }
+  }
+  if (!c.AtEnd()) return c.Fail("trailing garbage after object");
+  return object;
+}
+
+std::string EscapeJsonString(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char ch : raw) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buffer;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+Result<TopKQuery> QueryFromJson(const JsonObject& request) {
+  TopKQuery query;
+  auto integer = [](std::string_view key, const JsonValue& value,
+                    int64_t* out) -> Status {
+    if (value.kind != JsonValue::Kind::kNumber) {
+      return Status::InvalidArgument(StrCat("\"", key, "\" must be a number"));
+    }
+    double d = value.number_value;
+    if (d != std::floor(d) || std::abs(d) > 9.0e15) {
+      return Status::InvalidArgument(
+          StrCat("\"", key, "\" must be an integer"));
+    }
+    *out = static_cast<int64_t>(d);
+    return Status::Ok();
+  };
+  // int32 fields reject out-of-range values loudly — a silent
+  // static_cast would wrap 2^32+3 to k=3 and "succeed" wrongly.
+  auto integer32 = [&integer](std::string_view key, const JsonValue& value,
+                              int32_t* out) -> Status {
+    int64_t wide = 0;
+    SM_RETURN_NOT_OK(integer(key, value, &wide));
+    if (wide < std::numeric_limits<int32_t>::min() ||
+        wide > std::numeric_limits<int32_t>::max()) {
+      return Status::InvalidArgument(
+          StrCat("\"", key, "\" is out of range (", wide, ")"));
+    }
+    *out = static_cast<int32_t>(wide);
+    return Status::Ok();
+  };
+  for (const auto& [key, value] : request) {
+    int64_t n = 0;
+    if (key == "id" || key == "cmd") {
+      continue;  // protocol envelope, not query parameters
+    } else if (key == "support") {
+      SM_RETURN_NOT_OK(integer(key, value, &query.min_support));
+    } else if (key == "k") {
+      SM_RETURN_NOT_OK(integer32(key, value, &query.k));
+    } else if (key == "dmax") {
+      SM_RETURN_NOT_OK(integer32(key, value, &query.dmax));
+    } else if (key == "vmin") {
+      SM_RETURN_NOT_OK(integer(key, value, &query.vmin));
+    } else if (key == "seed") {
+      SM_RETURN_NOT_OK(integer(key, value, &n));
+      query.rng_seed = static_cast<uint64_t>(n);
+    } else if (key == "seed_count") {
+      SM_RETURN_NOT_OK(integer(key, value, &query.seed_count_override));
+    } else if (key == "restarts") {
+      SM_RETURN_NOT_OK(integer32(key, value, &query.restarts));
+    } else if (key == "epsilon") {
+      if (value.kind != JsonValue::Kind::kNumber) {
+        return Status::InvalidArgument("\"epsilon\" must be a number");
+      }
+      query.epsilon = value.number_value;
+    } else if (key == "time_budget") {
+      if (value.kind != JsonValue::Kind::kNumber) {
+        return Status::InvalidArgument("\"time_budget\" must be a number");
+      }
+      query.time_budget_seconds = value.number_value;
+    } else if (key == "measure") {
+      if (value.kind != JsonValue::Kind::kString) {
+        return Status::InvalidArgument("\"measure\" must be a string");
+      }
+      SM_ASSIGN_OR_RETURN(query.support_measure,
+                          ParseMeasure(value.string_value));
+    } else if (key == "strict_dmax") {
+      if (value.kind != JsonValue::Kind::kBool) {
+        return Status::InvalidArgument("\"strict_dmax\" must be a boolean");
+      }
+      query.enforce_dmax_on_results = value.bool_value;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown request key \"", key,
+                 "\" (see the serve schema in docs/CLI.md)"));
+    }
+  }
+  return query;
+}
+
+Status RunServeLoop(const MiningSession& session, std::istream& in,
+                    std::ostream& out, std::ostream& err,
+                    const ServeOptions& options, ServeStats* stats) {
+  if (options.max_inflight < 1) {
+    return Status::InvalidArgument(
+        StrCat("max_inflight must be >= 1 (got ", options.max_inflight, ")"));
+  }
+  WallTimer timer;
+  ServeStats local;
+
+  // One response line per request line, written atomically and flushed
+  // immediately (clients block on responses; concurrent queries complete
+  // out of order and interleave here).
+  std::mutex out_mu;
+  auto emit = [&out, &out_mu, &local](const std::string& line, bool answered) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << line << "\n" << std::flush;
+    if (answered) {
+      ++local.answered;
+    } else {
+      ++local.errors;
+    }
+  };
+
+  // A bounded job queue feeding max_inflight worker threads, each running
+  // RunQuery on the shared (const, thread-safe) session. The bound gives
+  // back-pressure: a client streaming thousands of requests holds at most
+  // 2x max_inflight parsed queries in memory.
+  struct Job {
+    int64_t line = 0;  // 1-based physical input line (the correlation key)
+    std::string id_json;
+    TopKQuery query;
+  };
+  std::deque<Job> queue;
+  std::mutex queue_mu;
+  std::condition_variable can_push;
+  std::condition_variable can_pop;
+  bool closed = false;
+  const size_t queue_cap = 2 * static_cast<size_t>(options.max_inflight);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options.max_inflight));
+  for (int32_t w = 0; w < options.max_inflight; ++w) {
+    workers.emplace_back([&session, &queue, &queue_mu, &can_push, &can_pop,
+                          &closed, &emit] {
+      for (;;) {
+        Job job;
+        {
+          std::unique_lock<std::mutex> lock(queue_mu);
+          can_pop.wait(lock, [&] { return !queue.empty() || closed; });
+          if (queue.empty()) return;  // closed and drained
+          job = std::move(queue.front());
+          queue.pop_front();
+        }
+        can_push.notify_one();
+        WallTimer query_timer;
+        Result<QueryResult> result = session.RunQuery(job.query);
+        const double seconds = query_timer.ElapsedSeconds();
+        if (result.ok()) {
+          emit(OkResponse(job.id_json, job.line, *result, seconds), true);
+        } else {
+          emit(ErrorResponse(job.id_json, job.line, result.status()), false);
+        }
+      }
+    });
+  }
+
+  std::string line;
+  std::string shutdown_id_json;
+  int64_t shutdown_line = 0;
+  // The response "line" key is the PHYSICAL 1-based input line number —
+  // blank lines advance it (they just get no response) so a client can
+  // correlate by counting its own output lines; local.requests counts
+  // only actual requests for the stats.
+  int64_t physical_line = 0;
+  while (std::getline(in, line)) {
+    ++physical_line;
+    if (StripAsciiWhitespace(line).empty()) continue;
+    ++local.requests;
+    Result<JsonObject> request = ParseJsonObject(line);
+    if (!request.ok()) {
+      emit(ErrorResponse("null", physical_line, request.status()), false);
+      continue;
+    }
+    const std::string id_json = RenderId(Find(*request, "id"));
+    if (const JsonValue* cmd = Find(*request, "cmd")) {
+      if (cmd->kind == JsonValue::Kind::kString &&
+          cmd->string_value == "shutdown") {
+        local.shutdown_requested = true;
+        shutdown_id_json = id_json;
+        shutdown_line = physical_line;
+        break;  // drain in-flight queries below, then acknowledge
+      }
+      emit(ErrorResponse(
+               id_json, physical_line,
+               Status::InvalidArgument(
+                   "unknown \"cmd\" (only \"shutdown\" exists)")),
+           false);
+      continue;
+    }
+    Result<TopKQuery> query = QueryFromJson(*request);
+    if (!query.ok()) {
+      emit(ErrorResponse(id_json, physical_line, query.status()), false);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(queue_mu);
+      can_push.wait(lock, [&] { return queue.size() < queue_cap; });
+      queue.push_back(Job{physical_line, id_json, *std::move(query)});
+    }
+    can_pop.notify_one();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu);
+    closed = true;
+  }
+  can_pop.notify_all();
+  for (std::thread& worker : workers) worker.join();
+
+  // The shutdown acknowledgment is the last response line: once the client
+  // reads it, every query it sent has been answered.
+  if (local.shutdown_requested) {
+    emit(StrCat(ResponseHead(shutdown_id_json, shutdown_line),
+                ",\"ok\":true,\"shutdown\":true}"),
+         true);
+  }
+
+  local.wall_seconds = timer.ElapsedSeconds();
+  if (options.summary) {
+    err << "serve: " << local.requests << " requests in "
+        << local.wall_seconds << "s (" << local.answered << " answered, "
+        << local.errors << " errors); session total: "
+        << session.serving_stats().ToString() << "\n";
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::Ok();
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+/// Minimal read-side streambuf over a connected socket fd.
+class FdInBuf : public std::streambuf {
+ public:
+  explicit FdInBuf(int fd) : fd_(fd) { setg(buffer_, buffer_, buffer_); }
+
+ protected:
+  int underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::read(fd_, buffer_, sizeof(buffer_));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(buffer_, buffer_, buffer_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  int fd_;
+  char buffer_[4096];
+};
+
+/// Minimal write-side streambuf over a connected socket fd.
+class FdOutBuf : public std::streambuf {
+ public:
+  explicit FdOutBuf(int fd) : fd_(fd) { setp(buffer_, buffer_ + sizeof(buffer_)); }
+
+ protected:
+  int overflow(int ch) override {
+    if (Flush() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+  int sync() override { return Flush(); }
+
+ private:
+  int Flush() {
+    const char* data = pbase();
+    size_t left = static_cast<size_t>(pptr() - pbase());
+    while (left > 0) {
+      ssize_t n = ::write(fd_, data, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      data += n;
+      left -= static_cast<size_t>(n);
+    }
+    setp(buffer_, buffer_ + sizeof(buffer_));
+    return 0;
+  }
+
+  int fd_;
+  char buffer_[4096];
+};
+
+}  // namespace
+
+Status RunServeSocket(const MiningSession& session,
+                      const std::string& socket_path, std::ostream& err,
+                      const ServeOptions& options) {
+  if (options.max_inflight < 1) {
+    return Status::InvalidArgument(
+        StrCat("max_inflight must be >= 1 (got ", options.max_inflight, ")"));
+  }
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(address.sun_path)) {
+    return Status::InvalidArgument(
+        StrCat("socket path is too long for sun_path (",
+               socket_path.size(), " >= ", sizeof(address.sun_path), ")"));
+  }
+  std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  // Replace only a genuinely stale *socket* at the path — a typo'd
+  // --socket pointing at a regular file must not delete it.
+  struct stat existing{};
+  if (::lstat(socket_path.c_str(), &existing) == 0) {
+    if (!S_ISSOCK(existing.st_mode)) {
+      return Status::InvalidArgument(
+          StrCat("refusing to replace ", socket_path,
+                 ": it exists and is not a socket"));
+    }
+    ::unlink(socket_path.c_str());
+  }
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Status::IoError(StrCat("socket(): ", std::strerror(errno)));
+  }
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listener);
+    return Status::IoError(
+        StrCat("bind/listen(", socket_path, "): ", detail));
+  }
+  err << "serve: listening on unix socket " << socket_path
+      << " (send {\"cmd\":\"shutdown\"} to stop)\n";
+
+  Status status = Status::Ok();
+  for (;;) {
+    int connection;
+    do {
+      connection = ::accept(listener, nullptr, nullptr);
+    } while (connection < 0 && errno == EINTR);
+    if (connection < 0) {
+      status = Status::IoError(StrCat("accept(): ", std::strerror(errno)));
+      break;
+    }
+    FdInBuf in_buf(connection);
+    FdOutBuf out_buf(connection);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    ServeStats connection_stats;
+    status = RunServeLoop(session, in, out, err, options, &connection_stats);
+    out.flush();
+    ::close(connection);
+    if (!status.ok() || connection_stats.shutdown_requested) break;
+  }
+  ::close(listener);
+  ::unlink(socket_path.c_str());
+  return status;
+}
+
+#else  // no unix sockets on this platform
+
+Status RunServeSocket(const MiningSession&, const std::string&,
+                      std::ostream&, const ServeOptions&) {
+  return Status::InvalidArgument(
+      "--socket requires unix domain sockets, unavailable on this platform; "
+      "use the stdin/stdout transport");
+}
+
+#endif
+
+}  // namespace spidermine::cli

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "spidermine/session.h"
+
+/// \file serve_loop.h
+/// The long-lived query-serving loop behind `spidermine serve`: one
+/// resident `MiningSession`, newline-delimited JSON requests in,
+/// newline-delimited JSON responses out, up to `max_inflight` queries
+/// executing concurrently on the session (RunQuery is const and
+/// thread-safe; see spidermine/session.h and docs/SERVING.md).
+///
+/// The loop is a library so it is unit-testable over string streams and
+/// reusable by the unix-socket transport. Protocol (full schema with
+/// examples in docs/CLI.md):
+///
+///   request:  {"id": 1, "k": 5, "dmax": 4, "seed": 7}
+///   response: {"id":1,"line":1,"ok":true,"patterns":[{"vertices":..,
+///              "edges":..,"support":..,"pattern":".."}],"seconds":..,
+///              "timed_out":false}
+///   error:    {"id":1,"line":1,"ok":false,"error":"..."}
+///   shutdown: {"cmd": "shutdown"}   (drains in-flight queries, then exits;
+///             the acknowledgment is the final response line)
+///
+/// Concurrent queries complete out of order, so every response carries
+/// two correlation keys: "id" echoes the request's id verbatim (null when
+/// the request had none or did not parse), and "line" is the 1-based
+/// PHYSICAL input line number (blank lines advance it; they just get no
+/// response) — always present and always unambiguous, even when
+/// client-chosen ids collide.
+
+namespace spidermine::cli {
+
+/// A parsed flat JSON value: the serve protocol needs null/bool/number/
+/// string only; nested containers are rejected at parse time.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+};
+
+/// A flat JSON object (string keys, scalar values), in key order.
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one request line as a flat JSON object. kInvalidArgument (with
+/// the offending position/context) on malformed input, nested
+/// objects/arrays, duplicate keys, or trailing garbage.
+Result<JsonObject> ParseJsonObject(std::string_view line);
+
+/// Escapes \p raw for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string EscapeJsonString(std::string_view raw);
+
+/// Builds a TopKQuery from a parsed request object. Recognized keys:
+/// "support", "k", "dmax", "epsilon", "vmin", "seed", "seed_count",
+/// "restarts", "time_budget" (numbers), "measure" (string),
+/// "strict_dmax" (bool) — each optional, defaulting as the `query`
+/// subcommand does; "id" and "cmd" are protocol keys and ignored here.
+/// kInvalidArgument on unknown keys, wrong value types, or non-integral
+/// values for integer fields (range errors surface later, from
+/// QueryConfig::Validate / RunQuery, so the error texts stay identical to
+/// the CLI's).
+Result<TopKQuery> QueryFromJson(const JsonObject& request);
+
+/// Options of one serve loop.
+struct ServeOptions {
+  /// Queries allowed to execute concurrently on the session (the worker
+  /// count of the loop). Must be >= 1.
+  int32_t max_inflight = 1;
+  /// Print the end-of-loop aggregate line (requests, errors, latency,
+  /// session serving stats) to the error stream.
+  bool summary = true;
+};
+
+/// Counters of one serve loop, filled when the loop exits.
+struct ServeStats {
+  int64_t requests = 0;       ///< request lines read (incl. malformed)
+  int64_t answered = 0;       ///< responses with "ok":true
+  int64_t errors = 0;         ///< responses with "ok":false
+  double wall_seconds = 0.0;  ///< loop duration
+  bool shutdown_requested = false;  ///< exited via {"cmd":"shutdown"}
+};
+
+/// Runs the serve loop: reads newline-delimited JSON requests from \p in
+/// until EOF or a shutdown command, answers each on \p out (exactly one
+/// response line per request line, interleaved by completion order), and
+/// executes up to `options.max_inflight` queries concurrently against
+/// \p session. Malformed requests produce an "ok":false response and
+/// never abort the loop. Returns kInvalidArgument only for invalid
+/// \p options; request-level failures are protocol responses, not
+/// statuses.
+Status RunServeLoop(const MiningSession& session, std::istream& in,
+                    std::ostream& out, std::ostream& err,
+                    const ServeOptions& options, ServeStats* stats = nullptr);
+
+/// Serves over a unix domain socket at \p socket_path instead of
+/// stdin/stdout: binds (replacing a stale socket file — an existing path
+/// that is NOT a socket is refused with kInvalidArgument, never deleted),
+/// accepts one connection at a time, and runs the serve loop on each
+/// connection until a client sends {"cmd":"shutdown"}. Within a
+/// connection, queries still execute up to max_inflight at once.
+/// kIoError on socket failures.
+Status RunServeSocket(const MiningSession& session,
+                      const std::string& socket_path, std::ostream& err,
+                      const ServeOptions& options);
+
+}  // namespace spidermine::cli
