@@ -1,0 +1,103 @@
+#include "common/mapped_file.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "common/strings.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPIDERMINE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace spidermine {
+
+MappedFile::~MappedFile() { Release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+void MappedFile::Release() {
+#if SPIDERMINE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    munmap(data_, size_);
+  }
+#endif
+  if (!mapped_ && data_ != nullptr) {
+    std::free(data_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+#if SPIDERMINE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    const bool regular = fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+    if (!regular) {
+      ::close(fd);
+      return Status::IoError(StrCat("'", path, "' is not a regular file"));
+    }
+    MappedFile file;
+    file.size_ = static_cast<size_t>(st.st_size);
+    if (file.size_ == 0) {
+      ::close(fd);
+      return file;
+    }
+    void* addr = mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr != MAP_FAILED) {
+      file.data_ = addr;
+      file.mapped_ = true;
+      return file;
+    }
+    // mmap refused the file (unusual filesystem); fall through to the
+    // heap-buffer path, which serves the same bytes without sharing.
+  }
+#endif
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IoError(StrCat("cannot open '", path, "' for reading"));
+  }
+  const std::streamoff length = in.tellg();
+  if (length < 0) {
+    return Status::IoError(StrCat("cannot size '", path, "'"));
+  }
+  in.seekg(0);
+  MappedFile file;
+  file.size_ = static_cast<size_t>(length);
+  if (file.size_ == 0) return file;
+  file.data_ = std::malloc(file.size_);
+  if (file.data_ == nullptr) {
+    file.size_ = 0;
+    return Status::IoError(
+        StrCat("cannot allocate ", length, " bytes for '", path, "'"));
+  }
+  in.read(static_cast<char*>(file.data_),
+          static_cast<std::streamsize>(file.size_));
+  if (!in) {
+    return Status::IoError(StrCat("short read on '", path, "'"));
+  }
+  return file;
+}
+
+}  // namespace spidermine

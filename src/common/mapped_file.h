@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+
+/// \file mapped_file.h
+/// Read-only memory-mapped file access for the zero-copy Stage I artifact
+/// path (spider/spider_store_mmap.h). On POSIX hosts the file is mmap'd
+/// PROT_READ, so N processes serving the same artifact share one copy of
+/// the bytes in page cache instead of N heap copies, and "loading" is an
+/// mmap + header check instead of a copy-deserialization pass. Hosts
+/// without mmap (or files mmap refuses, e.g. some pseudo-filesystems)
+/// fall back transparently to reading the file into a heap buffer — same
+/// interface, same bytes, no page-cache sharing.
+
+namespace spidermine {
+
+/// An open read-only mapping (or heap copy) of one file. Movable, not
+/// copyable; the bytes stay valid and immutable until destruction. Spans
+/// handed out by bytes() are invalidated by destruction/move-from.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Opens \p path read-only and maps (or reads) its entire content.
+  /// kIoError when the file cannot be opened, stat'd, or read. An empty
+  /// file yields an empty, valid mapping.
+  static Result<MappedFile> Open(const std::string& path);
+
+  /// The file's bytes. Valid for the lifetime of this object.
+  std::span<const uint8_t> bytes() const {
+    return {static_cast<const uint8_t*>(data_), size_};
+  }
+
+  size_t size() const { return size_; }
+
+  /// True when the bytes are an actual mmap (page-cache shared) rather
+  /// than the heap-buffer fallback.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+
+  void Release();
+};
+
+}  // namespace spidermine

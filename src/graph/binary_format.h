@@ -168,6 +168,16 @@ inline Status WriteFile(const std::string& path, const std::string& bytes) {
   return Status::Ok();
 }
 
+/// Reads the first four bytes of \p path (the format magic) without
+/// loading the file, so callers can dispatch between codecs. Empty string
+/// when the file is missing or shorter than four bytes.
+inline std::string PeekMagic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4];
+  if (!in || !in.read(magic, 4)) return std::string();
+  return std::string(magic, 4);
+}
+
 inline Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {

@@ -344,6 +344,19 @@ std::string WlRefinementString(const Pattern& pattern) {
   return os.str();
 }
 
+uint64_t PatternIsoHash(const Pattern& pattern) {
+  const std::string key = WlRefinementString(pattern);
+  // FNV-1a: deterministic across platforms and runs (std::hash is not
+  // guaranteed either), so hashes can participate in byte-identical
+  // serving results.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h == 0 ? 1 : h;  // reserve 0 as the "not computed" sentinel
+}
+
 std::string DfsCodeToString(const DfsCode& code) {
   std::ostringstream os;
   os << "r" << code.root_label;

@@ -71,6 +71,14 @@ std::string WlRefinementString(const Pattern& pattern);
 /// Serializes a code to a compact string usable as a hash/map key.
 std::string DfsCodeToString(const DfsCode& code);
 
+/// 64-bit isomorphism-invariant fingerprint: FNV-1a over
+/// WlRefinementString. Isomorphic patterns always hash equal (WL is
+/// invariant and has no budgeted fallback, unlike CanonicalString), so a
+/// hash mismatch certifies non-isomorphism and dedup loops use it to skip
+/// the exact VF2 test; equal hashes still require VF2 confirmation.
+/// Never returns 0, so callers can use 0 as a "not yet computed" sentinel.
+uint64_t PatternIsoHash(const Pattern& pattern);
+
 /// Isomorphism-invariant key: DfsCodeToString of the minimum DFS code, or
 /// a "wl:"-prefixed WlRefinementString when the exact search would blow up
 /// (budget 200k states). Equal keys for isomorphic patterns always hold;

@@ -19,10 +19,16 @@ SpiderIndex::SpiderIndex(const SpiderStore* store, int64_t num_vertices)
   }
 }
 
+SpiderIndex::SpiderIndex(const SpiderStore* store,
+                         std::span<const int64_t> offsets,
+                         std::span<const int32_t> ids)
+    : store_(store), borrowed_(true), b_offsets_(offsets), b_ids_(ids) {}
+
 double SpiderIndex::AverageSpidersPerVertex() const {
-  if (offsets_.size() <= 1) return 0.0;
-  return static_cast<double>(ids_.size()) /
-         static_cast<double>(offsets_.size() - 1);
+  std::span<const int64_t> offsets = offsets_col();
+  if (offsets.size() <= 1) return 0.0;
+  return static_cast<double>(ids_col().size()) /
+         static_cast<double>(offsets.size() - 1);
 }
 
 }  // namespace spidermine

@@ -17,7 +17,11 @@
 /// Stored CSR-flattened: one offset array plus one flat id array, instead
 /// of a vector-of-vectors. On a massive network that removes one heap
 /// allocation (and pointer chase) per graph vertex and makes the whole
-/// index two contiguous arrays.
+/// index two contiguous arrays. Because it is two flat arrays, the index
+/// also persists verbatim inside the `.sm2` Stage I artifact
+/// (spider/spider_store_mmap.h) and can be BORROWED back as spans over the
+/// mapped file — a serving replica skips the O(total anchors) rebuild
+/// entirely.
 
 namespace spidermine {
 
@@ -28,10 +32,22 @@ class SpiderIndex {
   /// Builds the index over \p store (borrowed; must outlive the index).
   SpiderIndex(const SpiderStore* store, int64_t num_vertices);
 
+  /// Adopts prebuilt CSR arrays as non-owning spans (the zero-copy mmap
+  /// path). \p offsets must have num_vertices + 1 non-decreasing entries
+  /// starting at 0 and ending at ids.size(); \p ids entries must be valid
+  /// store ids. The backing memory (and \p store) must outlive the index.
+  SpiderIndex(const SpiderStore* store, std::span<const int64_t> offsets,
+              std::span<const int32_t> ids);
+
+  /// True when the CSR arrays are borrowed spans (mmap mode).
+  bool is_borrowed() const { return borrowed_; }
+
   /// Ids (positions in the store) of spiders anchored at \p v, ascending.
   std::span<const int32_t> SpidersAt(VertexId v) const {
-    return {ids_.data() + offsets_[v],
-            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+    std::span<const int64_t> offsets = offsets_col();
+    return ids_col().subspan(static_cast<size_t>(offsets[v]),
+                             static_cast<size_t>(offsets[v + 1] -
+                                                 offsets[v]));
   }
 
   /// The backing spider store.
@@ -40,14 +56,28 @@ class SpiderIndex {
   /// Total number of spiders indexed.
   int64_t size() const { return store_->size(); }
 
+  // ---- Whole-array views (the `.sm2` writer). ----
+  std::span<const int64_t> offsets() const { return offsets_col(); }
+  std::span<const int32_t> ids() const { return ids_col(); }
+
   /// Average number of spiders anchored per vertex (|S_all| / |V| of the
   /// paper's hit-probability argument).
   double AverageSpidersPerVertex() const;
 
  private:
+  std::span<const int64_t> offsets_col() const {
+    return borrowed_ ? b_offsets_ : std::span<const int64_t>(offsets_);
+  }
+  std::span<const int32_t> ids_col() const {
+    return borrowed_ ? b_ids_ : std::span<const int32_t>(ids_);
+  }
+
   const SpiderStore* store_;
-  std::vector<int64_t> offsets_;  // size num_vertices + 1
-  std::vector<int32_t> ids_;      // flat anchor-incidence array
+  std::vector<int64_t> offsets_;  // size num_vertices + 1 (owning mode)
+  std::vector<int32_t> ids_;      // flat anchor-incidence array (owning)
+  bool borrowed_ = false;
+  std::span<const int64_t> b_offsets_;
+  std::span<const int32_t> b_ids_;
 };
 
 }  // namespace spidermine

@@ -6,12 +6,40 @@
 
 namespace spidermine {
 
+SpiderStore SpiderStore::Borrowed(std::span<const LabelId> head_labels,
+                                  std::span<const uint8_t> closed,
+                                  std::span<const int64_t> leaf_offsets,
+                                  std::span<const SpiderLeafKey> leaf_pool,
+                                  std::span<const int64_t> anchor_offsets,
+                                  std::span<const VertexId> anchor_pool) {
+  assert(closed.size() == head_labels.size());
+  assert(leaf_offsets.size() == head_labels.size() + 1);
+  assert(anchor_offsets.size() == head_labels.size() + 1);
+  SpiderStore store;
+  store.borrowed_ = true;
+  store.b_head_labels_ = head_labels;
+  store.b_closed_ = closed;
+  store.b_leaf_offsets_ = leaf_offsets;
+  store.b_leaf_pool_ = leaf_pool;
+  store.b_anchor_offsets_ = anchor_offsets;
+  store.b_anchor_pool_ = anchor_pool;
+  return store;
+}
+
 bool SpiderStore::IsAnchoredAt(int32_t id, VertexId vertex) const {
   std::span<const VertexId> a = anchors(id);
   return std::binary_search(a.begin(), a.end(), vertex);
 }
 
 int64_t SpiderStore::HeapBytes() const {
+  if (borrowed_) {
+    // Mapped extent: bytes referenced through the borrowed spans. Not heap
+    // — page cache backs them, shared across every replica of the file.
+    return static_cast<int64_t>(
+        b_head_labels_.size_bytes() + b_closed_.size_bytes() +
+        b_leaf_offsets_.size_bytes() + b_leaf_pool_.size_bytes() +
+        b_anchor_offsets_.size_bytes() + b_anchor_pool_.size_bytes());
+  }
   return static_cast<int64_t>(
       head_labels_.capacity() * sizeof(LabelId) +
       closed_.capacity() * sizeof(uint8_t) +
@@ -24,6 +52,7 @@ int64_t SpiderStore::HeapBytes() const {
 int32_t SpiderStore::Append(LabelId head_label,
                             std::span<const SpiderLeafKey> leaves,
                             std::span<const VertexId> anchors, bool closed) {
+  assert(!borrowed_ && "cannot mutate a borrowed (mmap'd) SpiderStore");
   assert(std::is_sorted(leaves.begin(), leaves.end()));
   assert(std::is_sorted(anchors.begin(), anchors.end()));
   const int32_t id = static_cast<int32_t>(head_labels_.size());
@@ -37,30 +66,38 @@ int32_t SpiderStore::Append(LabelId head_label,
 }
 
 void SpiderStore::AppendPrefix(const SpiderStore& other, int64_t count) {
+  assert(!borrowed_ && "cannot mutate a borrowed (mmap'd) SpiderStore");
   count = std::min(count, other.size());
   if (count <= 0) return;
-  const int64_t leaf_end = other.leaf_offsets_[count];
-  const int64_t anchor_end = other.anchor_offsets_[count];
-  head_labels_.insert(head_labels_.end(), other.head_labels_.begin(),
-                      other.head_labels_.begin() + count);
-  closed_.insert(closed_.end(), other.closed_.begin(),
-                 other.closed_.begin() + count);
+  std::span<const int64_t> other_leaf_offsets = other.leaf_offsets_col();
+  std::span<const int64_t> other_anchor_offsets = other.anchor_offsets_col();
+  const int64_t leaf_end = other_leaf_offsets[count];
+  const int64_t anchor_end = other_anchor_offsets[count];
+  std::span<const LabelId> other_heads = other.head_labels_col();
+  std::span<const uint8_t> other_closed = other.closed_col();
+  head_labels_.insert(head_labels_.end(), other_heads.begin(),
+                      other_heads.begin() + count);
+  closed_.insert(closed_.end(), other_closed.begin(),
+                 other_closed.begin() + count);
   const int64_t leaf_base = static_cast<int64_t>(leaf_pool_.size());
-  leaf_pool_.insert(leaf_pool_.end(), other.leaf_pool_.begin(),
-                    other.leaf_pool_.begin() + leaf_end);
+  std::span<const SpiderLeafKey> other_leaves = other.leaf_pool_col();
+  leaf_pool_.insert(leaf_pool_.end(), other_leaves.begin(),
+                    other_leaves.begin() + leaf_end);
   for (int64_t i = 1; i <= count; ++i) {
-    leaf_offsets_.push_back(leaf_base + other.leaf_offsets_[i]);
+    leaf_offsets_.push_back(leaf_base + other_leaf_offsets[i]);
   }
   const int64_t anchor_base = static_cast<int64_t>(anchor_pool_.size());
-  anchor_pool_.insert(anchor_pool_.end(), other.anchor_pool_.begin(),
-                      other.anchor_pool_.begin() + anchor_end);
+  std::span<const VertexId> other_anchors = other.anchor_pool_col();
+  anchor_pool_.insert(anchor_pool_.end(), other_anchors.begin(),
+                      other_anchors.begin() + anchor_end);
   for (int64_t i = 1; i <= count; ++i) {
-    anchor_offsets_.push_back(anchor_base + other.anchor_offsets_[i]);
+    anchor_offsets_.push_back(anchor_base + other_anchor_offsets[i]);
   }
 }
 
 void SpiderStore::Reserve(int64_t num_spiders, int64_t total_leaves,
                           int64_t total_anchors) {
+  assert(!borrowed_ && "cannot mutate a borrowed (mmap'd) SpiderStore");
   head_labels_.reserve(static_cast<size_t>(num_spiders));
   closed_.reserve(static_cast<size_t>(num_spiders));
   leaf_offsets_.reserve(static_cast<size_t>(num_spiders) + 1);

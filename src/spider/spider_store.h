@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -19,6 +20,18 @@
 /// integers), iteration is cache-linear, and shard outputs concatenate with
 /// four bulk copies. The legacy `Spider` record remains the interchange type
 /// for general-radius ball spiders and can be materialized on demand.
+///
+/// Two storage modes share one read interface:
+///   - OWNING (default): the six columns live in the store's own vectors;
+///     Append/AppendPrefix/set_closed mutate them. This is what mining
+///     produces.
+///   - BORROWED: the columns are non-owning spans over memory someone else
+///     keeps alive — in practice the mmap'd `.sm2` Stage I artifact
+///     (spider/spider_store_mmap.h), so a serving replica adopts a
+///     multi-GB store with zero copies and zero per-spider work. A
+///     borrowed store is immutable: every mutating call asserts.
+/// Every read accessor dispatches to the active columns, so the growth
+/// engine, index build and serialization never care which mode they see.
 
 namespace spidermine {
 
@@ -27,66 +40,113 @@ namespace spidermine {
 using SpiderLeafKey = std::pair<EdgeLabelId, LabelId>;
 
 /// Columnar container of mined stars. Ids are dense [0, size()) in the
-/// canonical mined order; spans stay valid until the next mutating call.
+/// canonical mined order; spans stay valid until the next mutating call
+/// (owning mode) or for the lifetime of the mapped memory (borrowed mode).
 class SpiderStore {
  public:
   SpiderStore() = default;
 
+  /// Builds a non-owning store over externally managed columns (the
+  /// zero-copy mmap path). The caller guarantees: the memory outlives the
+  /// store and every span handed out from it; `leaf_offsets` and
+  /// `anchor_offsets` have `head_labels.size() + 1` non-decreasing entries
+  /// starting at 0 and ending at the respective pool size; leaves within a
+  /// spider are sorted and anchors strictly ascending (the `.sm2` reader
+  /// checks the offset invariants before calling this; pool content is
+  /// guarded by section CRCs).
+  static SpiderStore Borrowed(std::span<const LabelId> head_labels,
+                              std::span<const uint8_t> closed,
+                              std::span<const int64_t> leaf_offsets,
+                              std::span<const SpiderLeafKey> leaf_pool,
+                              std::span<const int64_t> anchor_offsets,
+                              std::span<const VertexId> anchor_pool);
+
+  /// True when the columns are borrowed spans (mmap mode); such a store is
+  /// read-only.
+  bool is_borrowed() const { return borrowed_; }
+
   /// Number of spiders stored.
-  int64_t size() const { return static_cast<int64_t>(head_labels_.size()); }
-  bool empty() const { return head_labels_.empty(); }
+  int64_t size() const {
+    return static_cast<int64_t>(head_labels_col().size());
+  }
+  bool empty() const { return head_labels_col().empty(); }
 
   /// Head label of spider \p id.
-  LabelId head_label(int32_t id) const { return head_labels_[id]; }
+  LabelId head_label(int32_t id) const { return head_labels_col()[id]; }
 
   /// Sorted (edge label, leaf label) pairs of spider \p id — the same
   /// multiset `Spider::LeafKeys()` returns, without materialization.
   std::span<const SpiderLeafKey> leaves(int32_t id) const {
-    return {leaf_pool_.data() + leaf_offsets_[id],
-            static_cast<size_t>(leaf_offsets_[id + 1] - leaf_offsets_[id])};
+    std::span<const int64_t> offsets = leaf_offsets_col();
+    return leaf_pool_col().subspan(
+        static_cast<size_t>(offsets[id]),
+        static_cast<size_t>(offsets[id + 1] - offsets[id]));
   }
 
   /// Sorted anchor vertices (head images) of spider \p id.
   std::span<const VertexId> anchors(int32_t id) const {
-    return {anchor_pool_.data() + anchor_offsets_[id],
-            static_cast<size_t>(anchor_offsets_[id + 1] -
-                                anchor_offsets_[id])};
+    std::span<const int64_t> offsets = anchor_offsets_col();
+    return anchor_pool_col().subspan(
+        static_cast<size_t>(offsets[id]),
+        static_cast<size_t>(offsets[id + 1] - offsets[id]));
   }
 
   /// Support of spider \p id = number of distinct anchors.
   int64_t support(int32_t id) const {
-    return anchor_offsets_[id + 1] - anchor_offsets_[id];
+    std::span<const int64_t> offsets = anchor_offsets_col();
+    return offsets[id + 1] - offsets[id];
   }
 
   /// Closedness flag (no super-spider with the identical anchor set).
-  bool closed(int32_t id) const { return closed_[id] != 0; }
-  void set_closed(int32_t id, bool closed) { closed_[id] = closed ? 1 : 0; }
+  bool closed(int32_t id) const { return closed_col()[id] != 0; }
+  void set_closed(int32_t id, bool closed) {
+    assert(!borrowed_ && "cannot mutate a borrowed (mmap'd) SpiderStore");
+    closed_[id] = closed ? 1 : 0;
+  }
 
   /// True iff \p vertex anchors spider \p id (binary search).
   bool IsAnchoredAt(int32_t id, VertexId vertex) const;
 
   /// Vertex count of the star pattern: 1 + number of leaves.
   int32_t NumVerticesOf(int32_t id) const {
-    return 1 + static_cast<int32_t>(leaf_offsets_[id + 1] -
-                                    leaf_offsets_[id]);
+    std::span<const int64_t> offsets = leaf_offsets_col();
+    return 1 + static_cast<int32_t>(offsets[id + 1] - offsets[id]);
+  }
+
+  /// Total leaf entries across all spiders.
+  int64_t TotalLeaves() const {
+    return static_cast<int64_t>(leaf_pool_col().size());
   }
 
   /// Total anchor incidences across all spiders.
   int64_t TotalAnchors() const {
-    return static_cast<int64_t>(anchor_pool_.size());
+    return static_cast<int64_t>(anchor_pool_col().size());
   }
 
-  /// Heap footprint of the pools and columns, in bytes (capacity-based; the
-  /// O(B) Stage I memory bound is measured against this).
+  /// Footprint of the pools and columns, in bytes. Owning mode reports
+  /// heap capacity (the O(B) Stage I memory bound is measured against
+  /// this); borrowed mode reports the mapped extent — bytes referenced,
+  /// shared through page cache rather than allocated.
   int64_t HeapBytes() const;
 
+  // ---- Whole-column views (serialization and the `.sm2` writer). ----
+  std::span<const LabelId> head_labels() const { return head_labels_col(); }
+  std::span<const uint8_t> closed_flags() const { return closed_col(); }
+  std::span<const int64_t> leaf_offsets() const { return leaf_offsets_col(); }
+  std::span<const SpiderLeafKey> leaf_pool() const { return leaf_pool_col(); }
+  std::span<const int64_t> anchor_offsets() const {
+    return anchor_offsets_col();
+  }
+  std::span<const VertexId> anchor_pool() const { return anchor_pool_col(); }
+
   /// Appends a spider; returns its id. \p leaves must be sorted
-  /// non-decreasingly and \p anchors ascending.
+  /// non-decreasingly and \p anchors ascending. Owning mode only.
   int32_t Append(LabelId head_label, std::span<const SpiderLeafKey> leaves,
                  std::span<const VertexId> anchors, bool closed = true);
 
   /// Bulk-appends the first \p count spiders of \p other in order (the
   /// admitted prefix of a shard). \p count is clamped to other.size().
+  /// Owning mode only (\p other may be either mode).
   void AppendPrefix(const SpiderStore& other, int64_t count);
 
   /// Pre-sizes the pools (optional; Append works regardless).
@@ -108,12 +168,48 @@ class SpiderStore {
   static SpiderStore FromSpiders(const std::vector<Spider>& spiders);
 
  private:
+  // Active-column dispatch: borrowed spans when borrowed_, else views over
+  // the owned vectors. One predictable branch per accessor.
+  std::span<const LabelId> head_labels_col() const {
+    return borrowed_ ? b_head_labels_
+                     : std::span<const LabelId>(head_labels_);
+  }
+  std::span<const uint8_t> closed_col() const {
+    return borrowed_ ? b_closed_ : std::span<const uint8_t>(closed_);
+  }
+  std::span<const int64_t> leaf_offsets_col() const {
+    return borrowed_ ? b_leaf_offsets_
+                     : std::span<const int64_t>(leaf_offsets_);
+  }
+  std::span<const SpiderLeafKey> leaf_pool_col() const {
+    return borrowed_ ? b_leaf_pool_
+                     : std::span<const SpiderLeafKey>(leaf_pool_);
+  }
+  std::span<const int64_t> anchor_offsets_col() const {
+    return borrowed_ ? b_anchor_offsets_
+                     : std::span<const int64_t>(anchor_offsets_);
+  }
+  std::span<const VertexId> anchor_pool_col() const {
+    return borrowed_ ? b_anchor_pool_
+                     : std::span<const VertexId>(anchor_pool_);
+  }
+
+  // Owning columns (unused in borrowed mode).
   std::vector<LabelId> head_labels_;        // size n
   std::vector<uint8_t> closed_;             // size n
   std::vector<int64_t> leaf_offsets_{0};    // size n+1
   std::vector<SpiderLeafKey> leaf_pool_;    // contiguous leaf arena
   std::vector<int64_t> anchor_offsets_{0};  // size n+1
   std::vector<VertexId> anchor_pool_;       // contiguous anchor arena
+
+  // Borrowed columns (mmap mode; empty otherwise).
+  bool borrowed_ = false;
+  std::span<const LabelId> b_head_labels_;
+  std::span<const uint8_t> b_closed_;
+  std::span<const int64_t> b_leaf_offsets_;
+  std::span<const SpiderLeafKey> b_leaf_pool_;
+  std::span<const int64_t> b_anchor_offsets_;
+  std::span<const VertexId> b_anchor_pool_;
 };
 
 }  // namespace spidermine

@@ -16,7 +16,7 @@ using binary_format::AppendU64;
 using binary_format::AppendU8;
 using binary_format::Reader;
 
-constexpr char kSpiderStoreMagic[4] = {'S', 'M', 'S', '1'};
+constexpr const char* kSpiderStoreMagic = kSm1Magic;
 constexpr uint32_t kStage1FormatVersion = 1;
 
 /// Fixed payload bytes ahead of the per-spider columns: the Stage1Meta

@@ -20,6 +20,9 @@
 
 namespace spidermine {
 
+/// Magic bytes of the legacy copy-deserialized Stage I format.
+inline constexpr char kSm1Magic[4] = {'S', 'M', 'S', '1'};
+
 /// Provenance of a saved Stage I artifact: the mining parameters that
 /// produced the spider set (MiningSession::LoadStage1 restores them as the
 /// session's floor) plus the identity of the graph it was mined over (size

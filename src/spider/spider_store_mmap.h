@@ -1,0 +1,150 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/mapped_file.h"
+#include "common/result.h"
+#include "spider/spider_index.h"
+#include "spider/spider_store.h"
+#include "spider/spider_store_io.h"
+
+/// \file spider_store_mmap.h
+/// The zero-copy on-disk Stage I artifact: format `.sm2` (magic "SMS2").
+///
+/// The legacy `.sm1` format (spider_store_io.h) deserializes through a
+/// copy — every integer is decoded and re-appended, so a serving replica
+/// pays seconds of CPU and a full heap copy per multi-GB store. `.sm2`
+/// instead lays the store's columns (and the CSR anchor index) on disk
+/// exactly as they live in memory: fixed-width little-endian arrays,
+/// each section start padded to 64-byte alignment, so loading is an
+/// `mmap` + header check and the arrays are used in place via the
+/// borrowed-span modes of SpiderStore/SpiderIndex. N replicas on one box
+/// then share one page-cache copy instead of N heap copies.
+///
+/// File layout (all integers little-endian):
+///
+///   [0..3]    magic "SMS2"          [4..7]   uint32 version (= 1)
+///   [8..11]   uint32 section count  [12..15] uint32 reserved (0)
+///   [16..]    section table: per section 32 bytes
+///               uint32 kind, uint32 reserved,
+///               uint64 offset, uint64 length, uint32 crc32, uint32 reserved
+///   [..+4]    uint32 header CRC-32 (over everything above it)
+///   (zero padding to the first 64-byte boundary)
+///   sections, each starting 64-byte aligned, zero padding between them;
+///   the file ends EXACTLY at the last section's end (no trailing pad), so
+///   every non-padding byte is covered by exactly one section CRC.
+///
+/// Sections, in fixed order (kind = index):
+///   0 meta            fixed-width Stage1Meta + n/total_leaves/total_anchors
+///   1 head_labels     n x int32
+///   2 closed          n x uint8
+///   3 leaf_offsets    (n+1) x int64
+///   4 leaf_pool       total_leaves x {int32 edge label, int32 leaf label}
+///   5 anchor_offsets  (n+1) x int64
+///   6 anchor_pool     total_anchors x int32
+///   7 index_offsets   (num_graph_vertices+1) x int64   (CSR SpiderIndex)
+///   8 index_ids       total_anchors x int32
+///
+/// Validation contract: `Open` checks the header CRC, the section-table
+/// geometry (order, alignment, bounds, exact file end) and the meta
+/// section, and structurally validates the three offset arrays
+/// (monotonic, 0-based, ending at the pool sizes) — everything needed so
+/// no span handed out can read out of bounds. The bulk pool sections are
+/// CRC-validated LAZILY, on the first call to `EnsureValidated()`
+/// (MiningSession invokes it before the first query touches the data),
+/// so opening a cold multi-GB artifact stays in the milliseconds.
+///
+/// The format is little-endian only: on a big-endian host `Open` refuses
+/// `.sm2` files and `MiningSession::SaveStage1` falls back to the
+/// portable legacy `.sm1` writer.
+
+namespace spidermine {
+
+inline constexpr char kSm2Magic[4] = {'S', 'M', 'S', '2'};
+inline constexpr uint32_t kSm2FormatVersion = 1;
+inline constexpr uint32_t kSm2SectionCount = 9;
+inline constexpr size_t kSm2SectionAlign = 64;
+
+/// True when this host can read/write `.sm2` in place (little-endian).
+constexpr bool Sm2HostSupported() {
+  return std::endian::native == std::endian::little;
+}
+
+// The on-disk arrays are reused in place, so the element types must have
+// the exact width and layout the format promises.
+static_assert(sizeof(LabelId) == 4 && sizeof(VertexId) == 4);
+static_assert(sizeof(SpiderLeafKey) == 8 &&
+                  std::is_standard_layout_v<SpiderLeafKey>,
+              "SpiderLeafKey must be two packed int32s for the .sm2 layout");
+
+/// Serializes \p store + \p index + \p meta to `.sm2` bytes.
+/// Deterministic: identical inputs produce identical bytes.
+std::string Stage1ToSm2Bytes(const SpiderStore& store,
+                             const SpiderIndex& index,
+                             const Stage1Meta& meta);
+
+/// Writes the `.sm2` artifact to \p path. Overwrites.
+Status SaveStage1Sm2(const SpiderStore& store, const SpiderIndex& index,
+                     const Stage1Meta& meta, const std::string& path);
+
+/// An opened `.sm2` artifact: owns the mapping and exposes a borrowed-span
+/// SpiderStore/SpiderIndex over it. Immutable after Open; EnsureValidated
+/// is thread-safe and may be called concurrently.
+class MappedStage1 {
+ public:
+  /// Opens and eagerly validates the header, section geometry, meta and
+  /// offset arrays (see the file comment). kIoError on any mismatch.
+  static Result<std::unique_ptr<MappedStage1>> Open(const std::string& path);
+
+  /// The artifact's provenance (mining parameters, graph identity).
+  const Stage1Meta& meta() const { return meta_; }
+
+  /// The spider store, borrowing the mapped columns. Valid for the
+  /// lifetime of this object.
+  const SpiderStore& store() const { return store_; }
+
+  /// The CSR anchor index, borrowing the mapped arrays.
+  const SpiderIndex& index() const { return *index_; }
+
+  /// True when the bytes are an actual mmap (page-cache shared) rather
+  /// than MappedFile's heap-buffer fallback.
+  bool is_mapped() const { return file_.is_mapped(); }
+
+  /// Bytes of the mapped artifact.
+  int64_t file_bytes() const { return static_cast<int64_t>(file_.size()); }
+
+  /// First-touch validation of the bulk sections: CRC-32 of every data
+  /// section plus range checks of the pool contents (anchors inside the
+  /// declared graph, index ids inside the store, per-spider sortedness).
+  /// Runs once; later calls return the cached Status. Thread-safe.
+  Status EnsureValidated() const;
+
+ private:
+  struct Section {
+    uint32_t kind = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t crc = 0;
+  };
+
+  MappedStage1() = default;
+
+  Status ValidateLazySections() const;
+
+  MappedFile file_;
+  Stage1Meta meta_;
+  std::vector<Section> sections_;
+  SpiderStore store_;  // borrowed-span mode over file_
+  std::unique_ptr<SpiderIndex> index_;  // borrowed-span mode over file_
+
+  mutable std::once_flag validate_once_;
+  mutable Status validate_status_;
+};
+
+}  // namespace spidermine

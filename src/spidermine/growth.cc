@@ -5,6 +5,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "pattern/dfs_code.h"
 #include "pattern/vf2.h"
 #include "support/support_measure.h"
 
@@ -145,16 +146,27 @@ void FoldEmbeddings(GrowthPattern* other, std::vector<Embedding>&& embeddings,
 /// pointers let both worker lineages (local counters) and the coordinator
 /// (shared MineStats) reuse the scan.
 int64_t FindDuplicateIn(
-    const std::deque<GrowthPattern>& pool,
+    std::deque<GrowthPattern>& pool,
     const std::unordered_map<uint64_t, std::vector<int64_t>>& dedup,
-    const GrowthPattern& candidate, int64_t* iso_checks_skipped,
+    GrowthPattern& candidate, int64_t* iso_checks_skipped,
     int64_t* iso_checks_run) {
   auto it = dedup.find(candidate.spider_set.digest());
   if (it == dedup.end()) return -1;
   for (int64_t idx : it->second) {
-    const GrowthPattern& other = pool[static_cast<size_t>(idx)];
+    GrowthPattern& other = pool[static_cast<size_t>(idx)];
     if (!(other.spider_set == candidate.spider_set)) {
       ++*iso_checks_skipped;  // digest collision, filter rejected
+      continue;
+    }
+    // Iso-hash prefilter: WL fingerprints are computed at most once per
+    // pattern (cached) and a mismatch certifies non-isomorphism, so the
+    // exponential-worst-case VF2 test runs only on true hash collisions.
+    if (candidate.iso_hash == 0) {
+      candidate.iso_hash = PatternIsoHash(candidate.pattern);
+    }
+    if (other.iso_hash == 0) other.iso_hash = PatternIsoHash(other.pattern);
+    if (other.iso_hash != candidate.iso_hash) {
+      ++*iso_checks_skipped;  // fingerprint mismatch, filter rejected
       continue;
     }
     ++*iso_checks_run;

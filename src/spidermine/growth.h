@@ -52,6 +52,10 @@ struct GrowthPattern {
   bool merged_ever = false;
   /// Spider-set representation for the isomorphism filter.
   SpiderSetRepr spider_set;
+  /// Cached PatternIsoHash of `pattern` (0 = not yet computed). Filled
+  /// lazily by the dedup scans; valid because a GrowthPattern's pattern is
+  /// never mutated after construction (extensions build fresh candidates).
+  uint64_t iso_hash = 0;
   /// Unique id for merge bookkeeping (assigned by the coordinating thread
   /// in a deterministic order).
   int64_t id = 0;

@@ -8,9 +8,12 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "graph/binary_format.h"
+#include "pattern/dfs_code.h"
 #include "pattern/spider_set.h"
 #include "pattern/vf2.h"
 #include "spider/spider_store_io.h"
+#include "spider/spider_store_mmap.h"
 #include "spider/star_miner.h"
 #include "spidermine/closure.h"
 #include "spidermine/growth.h"
@@ -41,8 +44,21 @@ class ResultCollector {
   void Add(const GrowthPattern& gp) {
     uint64_t digest = gp.spider_set.digest();
     auto [it, inserted] = buckets_.try_emplace(digest);
+    // The growth engine usually cached the candidate's WL fingerprint
+    // already; 0 = compute lazily at the first bucket comparison.
+    uint64_t gp_hash = gp.iso_hash;
     for (int64_t idx : it->second) {
       MinedPattern& existing = results_[idx];
+      // Iso-hash prefilter: a fingerprint mismatch certifies
+      // non-isomorphism without running VF2.
+      if (gp_hash == 0) gp_hash = PatternIsoHash(gp.pattern);
+      if (hashes_[idx] == 0) {
+        hashes_[idx] = PatternIsoHash(existing.pattern);
+      }
+      if (hashes_[idx] != gp_hash) {
+        ++stats_->iso_checks_skipped;
+        continue;
+      }
       ++stats_->iso_checks_run;
       if (ArePatternsIsomorphic(existing.pattern, gp.pattern)) {
         if (gp.support > existing.support) {
@@ -60,6 +76,7 @@ class ResultCollector {
     mp.from_merge = gp.merged_ever;
     it->second.push_back(static_cast<int64_t>(results_.size()));
     results_.push_back(std::move(mp));
+    hashes_.push_back(gp_hash);  // may still be 0 (never compared)
     if (static_cast<int64_t>(results_.size()) >
         query_->max_results + kCompactionSlack) {
       Compact();
@@ -78,6 +95,9 @@ class ResultCollector {
     std::sort(results_.begin(), results_.end(), LargerPattern);
     results_.resize(static_cast<size_t>(query_->max_results));
     buckets_.clear();
+    // The sort permuted results_, so the cached fingerprints no longer
+    // align; reset them (0 = recompute lazily on the next collision).
+    hashes_.assign(results_.size(), 0);
     for (size_t i = 0; i < results_.size(); ++i) {
       SpiderSetRepr repr =
           SpiderSetRepr::Compute(results_[i].pattern, spider_radius_);
@@ -89,6 +109,8 @@ class ResultCollector {
   int32_t spider_radius_;
   MineStats* stats_;
   std::vector<MinedPattern> results_;
+  /// Cached PatternIsoHash per results_ entry, 0 = not yet computed.
+  std::vector<uint64_t> hashes_;
   std::unordered_map<uint64_t, std::vector<int64_t>> buckets_;
 };
 
@@ -100,15 +122,37 @@ constexpr uint64_t kRunSeedStride = 0x9e3779b97f4a7c15ULL;  // 2^64 / phi
 
 }  // namespace
 
+const char* Stage1LoadModeName(Stage1LoadMode mode) {
+  switch (mode) {
+    case Stage1LoadMode::kMined:
+      return "mined";
+    case Stage1LoadMode::kCopied:
+      return "copied";
+    case Stage1LoadMode::kMapped:
+      return "mapped";
+  }
+  return "unknown";
+}
+
 void AccumulateTopK(std::vector<MinedPattern>* accumulated,
                     std::vector<MinedPattern> more, int64_t k) {
+  // Per-entry WL fingerprints, computed at most once (0 = not yet): a
+  // mismatch certifies non-isomorphism and skips the exact VF2 test.
+  std::vector<uint64_t> kept_hashes(accumulated->size(), 0);
   for (MinedPattern& candidate : more) {
     bool duplicate = false;
-    for (MinedPattern& kept : *accumulated) {
+    uint64_t candidate_hash = 0;
+    for (size_t i = 0; i < accumulated->size(); ++i) {
+      MinedPattern& kept = (*accumulated)[i];
       if (kept.NumEdges() != candidate.NumEdges() ||
           kept.NumVertices() != candidate.NumVertices()) {
         continue;
       }
+      if (candidate_hash == 0) {
+        candidate_hash = PatternIsoHash(candidate.pattern);
+      }
+      if (kept_hashes[i] == 0) kept_hashes[i] = PatternIsoHash(kept.pattern);
+      if (kept_hashes[i] != candidate_hash) continue;
       if (ArePatternsIsomorphic(kept.pattern, candidate.pattern)) {
         // Same fold semantics as the in-query ResultCollector: best
         // support wins, the merge provenance flag is sticky either way.
@@ -122,7 +166,10 @@ void AccumulateTopK(std::vector<MinedPattern>* accumulated,
         break;
       }
     }
-    if (!duplicate) accumulated->push_back(std::move(candidate));
+    if (!duplicate) {
+      accumulated->push_back(std::move(candidate));
+      kept_hashes.push_back(candidate_hash);  // may be 0 (never compared)
+    }
   }
   std::sort(accumulated->begin(), accumulated->end(), LargerPattern);
   if (k > 0 && static_cast<int64_t>(accumulated->size()) > k) {
@@ -201,6 +248,7 @@ Result<MiningSession> MiningSession::FromStore(const LabeledGraph* graph,
   MiningSession session;
   session.graph_ = graph;
   session.config_ = config;
+  session.load_mode_ = Stage1LoadMode::kCopied;
   session.pool_ = config.pool;
   if (session.pool_ == nullptr) {
     session.owned_pool_ = std::make_unique<ThreadPool>(
@@ -234,39 +282,105 @@ Status MiningSession::SaveStage1(const std::string& path) const {
   meta.num_graph_vertices = graph_->NumVertices();
   meta.graph_hash = graph_->ContentHash();
   meta.truncated = stage1_truncated_;
-  return SaveSpiderStoreBinary(*store_, meta, path);
+  if (!Sm2HostSupported()) {
+    // Big-endian hosts cannot lay the columns out for in-place reuse;
+    // the portable legacy format still round-trips everywhere.
+    return SaveSpiderStoreBinary(*store_, meta, path);
+  }
+  // Re-saving a mapped artifact must not launder tampered bytes into a
+  // fresh file with valid checksums.
+  if (mapped_ != nullptr) SM_RETURN_NOT_OK(mapped_->EnsureValidated());
+  return SaveStage1Sm2(*store_, *index_, meta, path);
 }
 
-Result<MiningSession> MiningSession::LoadStage1(const LabeledGraph* graph,
-                                                SessionConfig config,
-                                                const std::string& path) {
-  SM_ASSIGN_OR_RETURN(Stage1Artifact artifact, LoadSpiderStoreBinary(path));
-  if (artifact.meta.num_graph_vertices != graph->NumVertices()) {
+namespace {
+
+/// Shared by both load paths: binds an artifact to the serving graph and
+/// folds its mining parameters into the session config. The message
+/// substrings ("-vertex graph", "hash mismatch") are load-bearing —
+/// callers and tests match on them.
+Status BindArtifactToGraph(const Stage1Meta& meta, const LabeledGraph& graph,
+                           SessionConfig* config) {
+  if (meta.num_graph_vertices != graph.NumVertices()) {
     return Status::InvalidArgument(
-        StrCat("stage1 artifact was mined over a ",
-               artifact.meta.num_graph_vertices,
+        StrCat("stage1 artifact was mined over a ", meta.num_graph_vertices,
                "-vertex graph; the provided graph has ",
-               graph->NumVertices(), " vertices"));
+               graph.NumVertices(), " vertices"));
   }
   // Same size is not same graph: anchors and labels are meaningless on a
   // different network, so the artifact is bound to the mined graph's
   // content hash (every writer records it; no unhashed artifacts exist).
-  if (artifact.meta.graph_hash != graph->ContentHash()) {
+  if (meta.graph_hash != graph.ContentHash()) {
     return Status::InvalidArgument(
         StrCat("stage1 artifact was mined over a different graph (content "
-               "hash mismatch: artifact ", artifact.meta.graph_hash,
-               ", provided graph ", graph->ContentHash(), ")"));
+               "hash mismatch: artifact ", meta.graph_hash,
+               ", provided graph ", graph.ContentHash(), ")"));
   }
   // The artifact's mining parameters describe the stored set and override
   // whatever the caller guessed; parallelism knobs stay the caller's.
-  config.min_support = artifact.meta.min_support;
-  config.spider_radius = artifact.meta.spider_radius;
-  config.max_star_leaves = artifact.meta.max_star_leaves;
-  config.max_spiders = artifact.meta.max_spiders;
+  config->min_support = meta.min_support;
+  config->spider_radius = meta.spider_radius;
+  config->max_star_leaves = meta.max_star_leaves;
+  config->max_spiders = meta.max_spiders;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<MiningSession> MiningSession::LoadStage1(const LabeledGraph* graph,
+                                                SessionConfig config,
+                                                const std::string& path) {
+  WallTimer load_timer;
+  if (binary_format::PeekMagic(path) == std::string(kSm2Magic, 4)) {
+    // ---- Zero-copy path: mmap the artifact and borrow its columns. ----
+    SM_ASSIGN_OR_RETURN(std::unique_ptr<MappedStage1> mapped,
+                        MappedStage1::Open(path));
+    const Stage1Meta& meta = mapped->meta();
+    SM_RETURN_NOT_OK(BindArtifactToGraph(meta, *graph, &config));
+    SM_RETURN_NOT_OK(config.Validate());
+    MiningSession session;
+    session.graph_ = graph;
+    session.config_ = config;
+    session.load_mode_ = Stage1LoadMode::kMapped;
+    session.pool_ = config.pool;
+    if (session.pool_ == nullptr) {
+      session.owned_pool_ = std::make_unique<ThreadPool>(
+          config.num_threads > 0 ? config.num_threads
+                                 : ThreadPool::DefaultThreads());
+      session.pool_ = session.owned_pool_.get();
+    }
+    session.mapped_ = std::move(mapped);
+    // Shallow borrowed-span copies: the columns and the CSR index arrays
+    // stay in the mapping. FromStore's O(total anchors) adoption scan is
+    // skipped — Open's structural checks plus the lazy section CRCs (run
+    // before the first query touches the data) cover the same contract.
+    session.store_ =
+        std::make_unique<SpiderStore>(session.mapped_->store());
+    session.index_ = std::make_unique<SpiderIndex>(
+        session.store_.get(), session.mapped_->index().offsets(),
+        session.mapped_->index().ids());
+    MineStats& stats = session.stage1_stats_;
+    stats.num_spiders = session.store_->size();
+    stats.stage1_store_bytes = session.store_->HeapBytes();
+    for (int32_t id = 0; id < static_cast<int32_t>(session.store_->size());
+         ++id) {
+      if (session.store_->closed(id)) ++stats.num_closed_spiders;
+    }
+    session.stage1_truncated_ = meta.truncated;
+    session.stage1_load_seconds_ = load_timer.ElapsedSeconds();
+    stats.stage1_seconds = session.stage1_load_seconds_;
+    stats.total_seconds = stats.stage1_seconds;
+    return session;
+  }
+
+  // ---- Legacy `.sm1` path: deserialize through a heap copy. ----
+  SM_ASSIGN_OR_RETURN(Stage1Artifact artifact, LoadSpiderStoreBinary(path));
+  SM_RETURN_NOT_OK(BindArtifactToGraph(artifact.meta, *graph, &config));
   SM_ASSIGN_OR_RETURN(
       MiningSession session,
       FromStore(graph, config, std::move(artifact.store)));
   session.stage1_truncated_ = artifact.meta.truncated;
+  session.stage1_load_seconds_ = load_timer.ElapsedSeconds();
   return session;
 }
 
@@ -307,6 +421,10 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
     return Status::InvalidArgument(
         "transaction support requires txn_of_vertex");
   }
+  // First touch of a mapped artifact's bulk sections: CRC + content range
+  // checks run exactly once (thread-safe), so a tampered or bit-rotted
+  // `.sm2` fails the query instead of feeding the growth engine garbage.
+  if (mapped_ != nullptr) SM_RETURN_NOT_OK(mapped_->EnsureValidated());
 
   QueryResult result;
   MineStats& stats = result.stats;
@@ -489,11 +607,24 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
     if (stats.closure_edges_added > 0) {
       std::sort(all.begin(), all.end(), LargerPattern);
       std::vector<MinedPattern> deduped;
+      // WL fingerprints of the kept patterns (closure may have changed
+      // every pattern, so nothing cached upstream applies; 0 = lazy).
+      std::vector<uint64_t> deduped_hashes;
       for (MinedPattern& mp : all) {
         bool duplicate = false;
-        for (MinedPattern& kept : deduped) {
+        uint64_t mp_hash = 0;
+        for (size_t j = 0; j < deduped.size(); ++j) {
+          MinedPattern& kept = deduped[j];
           if (kept.NumEdges() != mp.NumEdges() ||
               kept.NumVertices() != mp.NumVertices()) {
+            continue;
+          }
+          if (mp_hash == 0) mp_hash = PatternIsoHash(mp.pattern);
+          if (deduped_hashes[j] == 0) {
+            deduped_hashes[j] = PatternIsoHash(kept.pattern);
+          }
+          if (deduped_hashes[j] != mp_hash) {
+            ++stats.iso_checks_skipped;
             continue;
           }
           ++stats.iso_checks_run;
@@ -507,7 +638,10 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
             break;
           }
         }
-        if (!duplicate) deduped.push_back(std::move(mp));
+        if (!duplicate) {
+          deduped.push_back(std::move(mp));
+          deduped_hashes.push_back(mp_hash);
+        }
         // Dedup cost is bounded: only the top window can reach the final K.
         if (static_cast<int64_t>(deduped.size()) > 4 * q.k + 16) break;
       }

@@ -14,6 +14,7 @@
 #include "pattern/pattern.h"
 #include "spider/spider_index.h"
 #include "spider/spider_store.h"
+#include "spider/spider_store_mmap.h"
 #include "spidermine/config.h"
 
 /// \file session.h
@@ -59,6 +60,19 @@ namespace spidermine {
 
 /// A top-K query: alias of the query-scoped config slice (config.h).
 using TopKQuery = QueryConfig;
+
+/// How a session obtained its Stage I spider set.
+enum class Stage1LoadMode {
+  /// Mined from the graph at construction (Create).
+  kMined,
+  /// Deserialized through a heap copy (legacy `.sm1` artifact, FromStore).
+  kCopied,
+  /// Borrowed zero-copy from an mmap'd `.sm2` artifact.
+  kMapped,
+};
+
+/// Lower-case name for logs and the serve startup line.
+const char* Stage1LoadModeName(Stage1LoadMode mode);
 
 /// One returned pattern.
 struct MinedPattern {
@@ -140,17 +154,22 @@ class MiningSession {
                                          SessionConfig config,
                                          SpiderStore store);
 
-  /// Writes the session's Stage I artifact (spider store + mining
-  /// parameters) to \p path in the versioned, checksummed binary format of
-  /// graph/binary_io.h. Overwrites.
+  /// Writes the session's Stage I artifact (spider store + CSR index +
+  /// mining parameters) to \p path. Writes the zero-copy `.sm2` format
+  /// (spider/spider_store_mmap.h) on little-endian hosts and falls back to
+  /// the portable legacy `.sm1` format elsewhere. Overwrites.
   Status SaveStage1(const std::string& path) const;
 
-  /// Rebuilds a session from a SaveStage1 artifact. The artifact's mining
-  /// parameters (support floor, radius, leaf/spider caps) override the
-  /// corresponding fields of \p config — they describe the stored set —
-  /// while the parallelism knobs of \p config are honored. Fails with
-  /// kIoError on corrupt/truncated files and kInvalidArgument when the
-  /// artifact was mined over a different graph.
+  /// Rebuilds a session from a SaveStage1 artifact. Sniffs the format
+  /// magic: `.sm2` artifacts are mmap'd and served zero-copy (the session
+  /// borrows spans over the mapping; bulk sections CRC-validate lazily on
+  /// the first query), legacy `.sm1` artifacts deserialize through a heap
+  /// copy. The artifact's mining parameters (support floor, radius,
+  /// leaf/spider caps) override the corresponding fields of \p config —
+  /// they describe the stored set — while the parallelism knobs of
+  /// \p config are honored. Fails with kIoError on corrupt/truncated files
+  /// and kInvalidArgument when the artifact was mined over a different
+  /// graph.
   static Result<MiningSession> LoadStage1(const LabeledGraph* graph,
                                           SessionConfig config,
                                           const std::string& path);
@@ -174,6 +193,11 @@ class MiningSession {
   const MineStats& stage1_stats() const { return stage1_stats_; }
   /// True when a Stage I budget or spider cap truncated the mined set.
   bool stage1_truncated() const { return stage1_truncated_; }
+  /// How the Stage I spider set was obtained (mined / copied / mapped).
+  Stage1LoadMode stage1_load_mode() const { return load_mode_; }
+  /// Wall seconds spent loading + adopting the Stage I artifact (0 when
+  /// the session mined its own spider set).
+  double stage1_load_seconds() const { return stage1_load_seconds_; }
   /// The session's graph-scoped configuration.
   const SessionConfig& config() const { return config_; }
   /// Queries served so far (successful RunQuery calls). Thread-safe; under
@@ -205,11 +229,18 @@ class MiningSession {
   /// stays movable while GrowthEngine borrows a stable address).
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
+  /// Keeps the `.sm2` mapping (and thus every borrowed span in store_ /
+  /// index_) alive for the session's lifetime; null outside mapped mode.
+  std::unique_ptr<MappedStage1> mapped_;
   /// unique_ptr so the SpiderIndex's back-pointer survives session moves.
+  /// In mapped mode this is a shallow borrowed-span copy of
+  /// mapped_->store() — the columns live in the mapping.
   std::unique_ptr<SpiderStore> store_;
   std::unique_ptr<SpiderIndex> index_;
   MineStats stage1_stats_;
   bool stage1_truncated_ = false;
+  Stage1LoadMode load_mode_ = Stage1LoadMode::kMined;
+  double stage1_load_seconds_ = 0.0;
   std::unique_ptr<ServingAggregate> serving_;
 };
 

@@ -6,8 +6,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "graph/binary_format.h"
 #include "graph/binary_io.h"
 #include "spider/spider_store_io.h"
+#include "spider/spider_store_mmap.h"
 
 namespace spidermine::cli {
 namespace {
@@ -213,7 +215,7 @@ TEST_F(CliTest, Stage1WritesArtifactAndReportsSpiders) {
                       "--inject-count=3", "--out=" + graph_path},
                      gen_out)
                   .ok());
-  const std::string artifact = Track(TempPath("cli_stage1.sm1"));
+  const std::string artifact = Track(TempPath("cli_stage1.sm2"));
   std::ostringstream out;
   Status status =
       CmdStage1({graph_path, "--support=3", "--out=" + artifact}, out);
@@ -221,10 +223,14 @@ TEST_F(CliTest, Stage1WritesArtifactAndReportsSpiders) {
   EXPECT_TRUE(std::filesystem::exists(artifact));
   EXPECT_NE(out.str().find("stage1: mined "), std::string::npos);
 
-  Result<Stage1Artifact> loaded = LoadSpiderStoreBinary(artifact);
+  // stage1 writes the zero-copy format; the artifact opens mmap'd.
+  EXPECT_EQ(binary_format::PeekMagic(artifact),
+            std::string(kSm2Magic, 4));
+  Result<std::unique_ptr<MappedStage1>> loaded = MappedStage1::Open(artifact);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
-  EXPECT_GT(loaded->store.size(), 0);
-  EXPECT_EQ(loaded->meta.min_support, 3);
+  EXPECT_GT((*loaded)->store().size(), 0);
+  EXPECT_EQ((*loaded)->meta().min_support, 3);
+  EXPECT_TRUE((*loaded)->EnsureValidated().ok());
 }
 
 TEST_F(CliTest, Stage1RequiresOut) {

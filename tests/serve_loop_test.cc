@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,7 +15,10 @@
 #include "gen/injection.h"
 #include "gen/pattern_factory.h"
 #include "graph/graph_builder.h"
+#include "spider/spider_store_io.h"
+#include "spider/spider_store_mmap.h"
 #include "spidermine/session.h"
+#include "tools/cli_commands.h"
 
 /// The serve protocol over string streams: one response line per request
 /// line, ids echoed (concurrent queries complete out of order), malformed
@@ -231,6 +236,52 @@ TEST(ServeLoopTest, ConcurrentServingMatchesSerialResponses) {
   std::vector<std::string> serial = run(*serial_session, 1);
   std::vector<std::string> concurrent = run(*concurrent_session, 4);
   EXPECT_EQ(serial, concurrent);
+}
+
+TEST(ServePrecheckTest, MissingArtifactFailsFast) {
+  Status status = PrecheckStage1Artifact("/nonexistent/dir/stage1.sm2");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("cannot read"), std::string::npos);
+}
+
+TEST(ServePrecheckTest, UnrecognizedMagicFailsFast) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "serve_precheck_garbage.bin")
+          .string();
+  std::ofstream(path, std::ios::binary) << "this is not a stage1 artifact";
+  Status status = PrecheckStage1Artifact(path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("not a stage1 artifact"),
+            std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(ServePrecheckTest, RecognizedMagicsPassTheSniff) {
+  // The precheck is a four-byte magic sniff, not full validation: its job
+  // is to reject obviously-wrong paths before the expensive graph load.
+  // Structural errors still surface at LoadStage1.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "serve_precheck_magic.bin")
+          .string();
+  for (const std::string magic :
+       {std::string(kSm1Magic, 4), std::string(kSm2Magic, 4)}) {
+    std::ofstream(path, std::ios::binary) << magic << "tail bytes";
+    EXPECT_TRUE(PrecheckStage1Artifact(path).ok()) << magic;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ServePrecheckTest, CmdServeChecksArtifactBeforeGraph) {
+  // Both paths are missing; the error must be about the artifact, proving
+  // the precheck runs before the graph is loaded (fail fast, not after
+  // seconds of graph parsing and pool construction).
+  std::istringstream in("");
+  std::ostringstream out, err;
+  Status status = CmdServe({"/nonexistent/graph.bin",
+                            "/nonexistent/dir/stage1.sm2"},
+                           in, out, err);
+  ASSERT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("stage1 artifact"), std::string::npos);
 }
 
 TEST(ServeLoopTest, RejectsInvalidInflight) {

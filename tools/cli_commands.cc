@@ -18,6 +18,7 @@
 #include "gen/erdos_renyi.h"
 #include "gen/injection.h"
 #include "gen/pattern_factory.h"
+#include "graph/binary_format.h"
 #include "graph/binary_io.h"
 #include "graph/degree_stats.h"
 #include "graph/graph_io.h"
@@ -291,7 +292,9 @@ Status CmdStage1(const std::vector<std::string>& args, std::ostream& out) {
                  "Stage I wall-clock budget seconds (0 = off); an expired "
                  "budget saves a truncated but usable artifact")
       .AddBool("stats", false, "print Stage I statistics")
-      .AddString("out", "", "artifact output path (conventionally .sm1)");
+      .AddString("out", "",
+                 "artifact output path (conventionally .sm2; written in "
+                 "the zero-copy mmap format of docs/FORMATS.md)");
   SM_RETURN_NOT_OK(flags.Parse(args));
   if (flags.positional().size() != 1) {
     return Status::InvalidArgument(
@@ -399,6 +402,9 @@ Status CmdQuery(const std::vector<std::string>& args, std::ostream& out) {
     out << "variant groups:\n" << VariantGroupsToString(patterns, groups);
   }
   if (flags.GetBool("stats")) {
+    out << "artifact load: "
+        << Stage1LoadModeName(session.stage1_load_mode()) << " in "
+        << session.stage1_load_seconds() << "s\n";
     out << result.stats.ToString();
   }
   if (!flags.GetString("out").empty()) {
@@ -409,6 +415,21 @@ Status CmdQuery(const std::vector<std::string>& args, std::ostream& out) {
     }
     out << "wrote " << patterns.size() << " pattern files to " << prefix
         << ".*.smp\n";
+  }
+  return Status::Ok();
+}
+
+Status PrecheckStage1Artifact(const std::string& path) {
+  const std::string magic = binary_format::PeekMagic(path);
+  if (magic.empty()) {
+    return Status::IoError(
+        StrCat("cannot read stage1 artifact '", path, "'"));
+  }
+  if (magic != std::string(kSm2Magic, 4) &&
+      magic != std::string(kSm1Magic, 4)) {
+    return Status::IoError(
+        StrCat("'", path,
+               "' is not a stage1 artifact (unrecognized format magic)"));
   }
   return Status::Ok();
 }
@@ -445,6 +466,11 @@ Status CmdServe(const std::vector<std::string>& args, std::istream& in,
     return Status::InvalidArgument(
         StrCat("--max-inflight must be in [1, 1024] (got ", inflight, ")"));
   }
+  // A missing or unrecognizable artifact fails here — before the graph is
+  // loaded or any worker pool exists — so a bad path costs milliseconds.
+  if (flags.positional().size() == 2) {
+    SM_RETURN_NOT_OK(PrecheckStage1Artifact(flags.positional()[1]));
+  }
   SM_ASSIGN_OR_RETURN(LabeledGraph graph,
                       LoadGraphAuto(flags.positional()[0]));
 
@@ -470,7 +496,12 @@ Status CmdServe(const std::vector<std::string>& args, std::istream& in,
                         MiningSession::Create(&graph, config));
     session.emplace(std::move(mined));
   }
-  err << "serve: session ready, " << session->store().size()
+  err << "serve: session ready (stage1 "
+      << Stage1LoadModeName(session->stage1_load_mode());
+  if (session->stage1_load_mode() != Stage1LoadMode::kMined) {
+    err << " in " << session->stage1_load_seconds() << "s";
+  }
+  err << "), " << session->store().size()
       << " cached spiders (support floor "
       << session->config().min_support << "), max "
       << inflight << " in-flight queries\n";
