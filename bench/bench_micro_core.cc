@@ -5,7 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/rng.h"
+#include "pattern/embedding.h"
 #include "gen/erdos_renyi.h"
 #include "gen/pattern_factory.h"
 #include "graph/graph_builder.h"
@@ -72,6 +76,33 @@ void BM_Vf2FindEmbeddings(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Vf2FindEmbeddings)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_ImagesIntersect(benchmark::State& state) {
+  // Disjointness of sorted image sets is the inner loop of MIS-based
+  // support. range(0) = size ratio: 1 exercises the two-pointer merge,
+  // large ratios the galloping path; range(1) = 1 makes them intersect at
+  // the midpoint (early exit), 0 keeps them disjoint (full scan).
+  const int64_t ratio = state.range(0);
+  const bool overlapping = state.range(1) != 0;
+  std::vector<VertexId> small, large;
+  for (VertexId v = 0; v < 64; ++v) small.push_back(v * 1000);
+  for (VertexId v = 0; v < static_cast<VertexId>(64 * ratio); ++v) {
+    large.push_back(v * 7 + 1);
+  }
+  if (overlapping) large[large.size() / 2] = small[small.size() / 2];
+  std::sort(large.begin(), large.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ImagesIntersect(small, large));
+  }
+  state.SetLabel(overlapping ? "hit" : "disjoint");
+}
+BENCHMARK(BM_ImagesIntersect)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
 
 void BM_SupportMeasures(benchmark::State& state) {
   Rng rng(46);

@@ -8,6 +8,7 @@
 
 #include "common/timer.h"
 #include "pattern/dfs_code.h"
+#include "pattern/embedding_list.h"
 
 namespace spidermine {
 
@@ -143,24 +144,9 @@ Result<CompleteMineResult> MineComplete(const LabeledGraph& graph,
       next.pattern = p;
       VertexId nv = next.pattern.AddVertex(label);
       next.pattern.AddEdge(u, nv, el);
-      for (const Embedding& e : state.embeddings) {
-        std::unordered_set<VertexId> image(e.begin(), e.end());
-        for (VertexId x : graph.Neighbors(e[u])) {
-          if (graph.Label(x) != label || image.count(x)) continue;
-          if (graph.EdgeLabel(e[u], x) != el) continue;
-          Embedding extended = e;
-          extended.push_back(x);
-          next.embeddings.push_back(std::move(extended));
-          if (static_cast<int64_t>(next.embeddings.size()) >=
-              config.max_embeddings_per_pattern) {
-            break;
-          }
-        }
-        if (static_cast<int64_t>(next.embeddings.size()) >=
-            config.max_embeddings_per_pattern) {
-          break;
-        }
-      }
+      ExtendEmbeddingsNewVertex(graph, state.embeddings, u, el, label,
+                                config.max_embeddings_per_pattern,
+                                &next.embeddings);
       admit(std::move(next));
     }
     for (const auto& [u, v, el] : ext_internal) {
@@ -168,11 +154,8 @@ Result<CompleteMineResult> MineComplete(const LabeledGraph& graph,
       State next;
       next.pattern = p;
       next.pattern.AddEdge(u, v, el);
-      for (const Embedding& e : state.embeddings) {
-        if (graph.HasEdge(e[u], e[v]) && graph.EdgeLabel(e[u], e[v]) == el) {
-          next.embeddings.push_back(e);
-        }
-      }
+      next.embeddings =
+          FilterEmbeddingsInternalEdge(graph, state.embeddings, u, v, el);
       admit(std::move(next));
     }
   }

@@ -10,19 +10,68 @@ std::vector<VertexId> SortedImage(const Embedding& embedding) {
   return image;
 }
 
+namespace {
+
+// Galloping membership scan: walk the short list, locating each element in
+// the long list by doubling probes from a moving lower bound. O(|short| *
+// log(|long| / |short|)) — the win over the two-pointer merge when one list
+// dwarfs the other (a hub pattern's image against a small one).
+bool IntersectGalloping(const std::vector<VertexId>& small,
+                        const std::vector<VertexId>& large) {
+  size_t lo = 0;
+  for (VertexId x : small) {
+    // Doubling probe for the first large[hi] >= x.
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < large.size() && large[hi] < x) {
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    if (hi >= large.size()) hi = large.size();
+    // Binary search in (lo-1, hi]; lo already points at a value >= all
+    // probes below x.
+    const auto it = std::lower_bound(large.begin() + static_cast<ptrdiff_t>(lo),
+                                     large.begin() + static_cast<ptrdiff_t>(hi),
+                                     x);
+    if (it != large.end() && *it == x) return true;
+    lo = static_cast<size_t>(it - large.begin());
+    if (lo >= large.size()) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
 bool ImagesIntersect(const std::vector<VertexId>& a,
                      const std::vector<VertexId>& b) {
+  if (a.empty() || b.empty()) return false;
+  // Early range rejection: sorted inputs whose ranges don't overlap cannot
+  // share an element. This alone settles most pairs on stores whose anchors
+  // cluster by vertex range.
+  if (a.back() < b.front() || b.back() < a.front()) return false;
+  const std::vector<VertexId>& small = a.size() <= b.size() ? a : b;
+  const std::vector<VertexId>& large = a.size() <= b.size() ? b : a;
+  // Skewed sizes: gallop the long list. Comparable sizes: two-pointer merge
+  // (galloping's probe overhead loses when both advance in lockstep).
+  if (large.size() / 8 >= small.size()) {
+    return IntersectGalloping(small, large);
+  }
   size_t i = 0;
   size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) return true;
-    if (a[i] < b[j]) {
+  while (i < small.size() && j < large.size()) {
+    if (small[i] == large[j]) return true;
+    if (small[i] < large[j]) {
       ++i;
     } else {
       ++j;
     }
   }
   return false;
+}
+
+void CanonicalizeEmbeddingOrder(std::vector<Embedding>* embeddings) {
+  std::sort(embeddings->begin(), embeddings->end());
 }
 
 uint64_t ImageFingerprint(const Embedding& embedding) {

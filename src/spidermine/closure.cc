@@ -32,15 +32,25 @@ int32_t CloseInternalEdges(const LabeledGraph& graph, Pattern* pattern,
         if (pattern->HasEdge(i, j)) continue;
         // Embeddings in which the candidate internal edge is realized,
         // bucketed by the graph edge's label: all surviving embeddings of
-        // one candidate must realize the same labeled edge.
-        std::map<EdgeLabelId, std::vector<Embedding>> by_label;
-        for (const Embedding& e : *embeddings) {
-          if (graph.HasEdge(e[i], e[j])) {
-            by_label[graph.EdgeLabel(e[i], e[j])].push_back(e);
+        // one candidate must realize the same labeled edge. Buckets hold
+        // indices into *embeddings — a full Embedding copy per survivor
+        // (the old representation) is wasted work for the many buckets
+        // that fall below min_support or lose the best-candidate race.
+        std::map<EdgeLabelId, std::vector<size_t>> by_label;
+        for (size_t e = 0; e < embeddings->size(); ++e) {
+          const Embedding& emb = (*embeddings)[e];
+          if (graph.HasEdge(emb[i], emb[j])) {
+            by_label[graph.EdgeLabel(emb[i], emb[j])].push_back(e);
           }
         }
-        for (auto& [edge_label, surviving] : by_label) {
-          if (static_cast<int64_t>(surviving.size()) < min_support) continue;
+        for (const auto& [edge_label, surviving_idx] : by_label) {
+          if (static_cast<int64_t>(surviving_idx.size()) < min_support) {
+            continue;
+          }
+          // Materialize only the buckets that reach scoring.
+          std::vector<Embedding> surviving;
+          surviving.reserve(surviving_idx.size());
+          for (size_t e : surviving_idx) surviving.push_back((*embeddings)[e]);
           // Score with the enriched structure: edge-conflict measures need
           // the new edge to exist in the pattern.
           Pattern enriched = *pattern;

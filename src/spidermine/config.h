@@ -115,6 +115,15 @@ struct QueryConfig {
   // ---- Engineering caps (0 = unlimited unless stated). ----
   /// Per-pattern cap on stored embeddings.
   int64_t max_embeddings_per_pattern = 10000;
+  /// Embedding-list engine: per-lineage budget on the carried complete
+  /// embedding list (E[P]) that growth maintains incrementally so closure
+  /// can reuse it instead of re-running VF2 per candidate. A lineage whose
+  /// list would exceed the budget is marked saturated and falls back to
+  /// the certified VF2 path — results are byte-identical either way, the
+  /// budget only trades memory for closure-phase speed. 0 disables the
+  /// engine entirely (every closure candidate pays a VF2 search: today's
+  /// pre-engine behavior, kept as the equivalence baseline).
+  int64_t embedding_list_budget = 4096;
   /// Cap on in-flight patterns per growth round.
   int64_t max_patterns_per_round = 4000;
   /// Per-anchor cap on seed-spider embedding enumeration.
@@ -192,6 +201,7 @@ struct MineConfig {
 
   // ---- Engineering caps -> QueryConfig (star caps -> SessionConfig).
   int64_t max_embeddings_per_pattern = 10000;
+  int64_t embedding_list_budget = 4096;  ///< carried-E[P] budget (0 = VF2 only)
   int64_t max_patterns_per_round = 4000;
   int64_t max_seed_embeddings_per_anchor = 20;
   int32_t max_star_leaves = 8;      ///< session-scoped star cap
@@ -242,6 +252,9 @@ struct MineStats {
   int64_t iso_checks_skipped = 0; ///< spider-set filter rejections
   int64_t iso_checks_run = 0;     ///< exact iso tests after filter collision
   int64_t nonclosed_dropped = 0;  ///< patterns dropped by closedness rule
+  int64_t emb_extensions = 0;     ///< carried-list incremental extensions/joins
+  int64_t emb_carried = 0;        ///< closure candidates served from a carried list
+  int64_t vf2_fallbacks = 0;      ///< closure candidates re-enumerated with VF2
   int64_t closure_edges_added = 0; ///< internal edges restored post-growth
   int64_t embedding_cap_hits = 0;
   int64_t pattern_cap_hits = 0;

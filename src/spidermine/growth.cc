@@ -72,56 +72,6 @@ std::vector<LeafKey> PatternNeighborKeys(const Pattern& p, VertexId v) {
   return keys;
 }
 
-/// Groups a sorted key multiset into (key, count) runs.
-std::vector<std::pair<LeafKey, int32_t>> GroupLabels(
-    std::span<const LeafKey> keys) {
-  std::vector<std::pair<LeafKey, int32_t>> groups;
-  for (const LeafKey& k : keys) {
-    if (!groups.empty() && groups.back().first == k) {
-      ++groups.back().second;
-    } else {
-      groups.emplace_back(k, 1);
-    }
-  }
-  return groups;
-}
-
-/// Enumerates every way to choose, for each (label, count) group, `count`
-/// distinct vertices from that label's availability list (combinations in
-/// ascending order, so automorphic reassignments of equal-label leaves are
-/// produced once). Invokes \p emit with the concatenated choice; emit
-/// returns false to stop. Returns false when stopped early.
-bool EnumerateLeafAssignments(
-    const std::vector<std::pair<LeafKey, int32_t>>& groups,
-    const std::vector<std::vector<VertexId>>& avail,
-    std::vector<VertexId>* chosen, size_t group_idx,
-    const std::function<bool(const std::vector<VertexId>&)>& emit) {
-  if (group_idx == groups.size()) return emit(*chosen);
-  const int32_t need = groups[group_idx].second;
-  const std::vector<VertexId>& pool = avail[group_idx];
-  if (static_cast<int32_t>(pool.size()) < need) return true;  // no choice
-  // Iterative combination enumeration over `pool`.
-  std::vector<int32_t> idx(static_cast<size_t>(need));
-  for (int32_t i = 0; i < need; ++i) idx[i] = i;
-  while (true) {
-    size_t base = chosen->size();
-    for (int32_t i = 0; i < need; ++i) chosen->push_back(pool[idx[i]]);
-    bool keep_going =
-        EnumerateLeafAssignments(groups, avail, chosen, group_idx + 1, emit);
-    chosen->resize(base);
-    if (!keep_going) return false;
-    // Advance combination.
-    int32_t pos = need - 1;
-    while (pos >= 0 &&
-           idx[pos] == static_cast<int32_t>(pool.size()) - need + pos) {
-      --pos;
-    }
-    if (pos < 0) return true;
-    ++idx[pos];
-    for (int32_t i = pos + 1; i < need; ++i) idx[i] = idx[i - 1] + 1;
-  }
-}
-
 uint64_t MergeKey(int32_t spider_id, VertexId anchor) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(spider_id)) << 32) |
          static_cast<uint32_t>(anchor);
@@ -188,6 +138,7 @@ struct GrowthEngine::LocalStats {
   int64_t nonclosed_dropped = 0;
   int64_t embedding_cap_hits = 0;
   int64_t pattern_cap_hits = 0;
+  int64_t emb_extensions = 0;
 
   void FoldInto(MineStats* stats) const {
     stats->extend_calls += extend_calls;
@@ -197,6 +148,7 @@ struct GrowthEngine::LocalStats {
     stats->nonclosed_dropped += nonclosed_dropped;
     stats->embedding_cap_hits += embedding_cap_hits;
     stats->pattern_cap_hits += pattern_cap_hits;
+    stats->emb_extensions += emb_extensions;
   }
 };
 
@@ -260,7 +212,13 @@ GrowthEngine::GrowthEngine(const LabeledGraph* graph, const SpiderIndex* index,
       stats_(stats),
       deadline_(deadline),
       pool_(pool),
-      token_(token) {}
+      token_(token) {
+  list_budget_ = query_->embedding_list_budget;
+  if (list_budget_ > 0 && query_->max_embeddings_per_pattern > 0) {
+    list_budget_ =
+        std::min(list_budget_, query_->max_embeddings_per_pattern);
+  }
+}
 
 bool GrowthEngine::Cancelled() const {
   if (token_ != nullptr && token_->IsCancelled()) return true;
@@ -281,7 +239,7 @@ GrowthPattern GrowthEngine::BuildSeed(int32_t spider_id,
   gp.pattern = store.PatternOf(spider_id);
 
   const std::span<const LeafKey> leaves = store.leaves(spider_id);
-  const auto groups = GroupLabels(leaves);
+  const auto groups = GroupLeafKeys(leaves);
   for (VertexId anchor : store.anchors(spider_id)) {
     if (static_cast<int64_t>(gp.embeddings.size()) >=
         query_->max_embeddings_per_pattern) {
@@ -302,7 +260,7 @@ GrowthPattern GrowthEngine::BuildSeed(int32_t spider_id,
     }
     int64_t emitted_here = 0;
     std::vector<VertexId> chosen;
-    EnumerateLeafAssignments(
+    EnumerateLeafCombinations(
         groups, avail, &chosen, 0, [&](const std::vector<VertexId>& leafs) {
           Embedding e;
           e.reserve(1 + leafs.size());
@@ -317,6 +275,14 @@ GrowthPattern GrowthEngine::BuildSeed(int32_t spider_id,
   }
   DedupEmbeddingsByImage(&gp.embeddings);
   gp.support = Support(gp);
+  if (list_budget_ > 0) {
+    // Carried complete list: every arrangement over every store anchor.
+    // Serial on purpose — BuildSeed runs inside pool workers, where a
+    // nested ParallelForChunks could deadlock the pool.
+    gp.full_list = BuildStarEmbeddingList(*graph_, store, spider_id,
+                                          list_budget_);
+    ++local->emb_extensions;
+  }
   // Boundary: the outermost layer (leaves), or the head for 0-leaf spiders.
   if (gp.pattern.NumVertices() == 1) {
     gp.boundary = {0};
@@ -393,7 +359,7 @@ bool GrowthEngine::TryExtend(
   // of v anchors the spider, assign the new leaves to distinct fresh
   // neighbors (Internal Integrity, condition II: never reuse an image
   // vertex, so no edge between existing vertices is introduced).
-  const auto groups = GroupLabels(new_leaves);
+  const auto groups = GroupLeafKeys(new_leaves);
   std::vector<VertexId> anchors_used;
   bool cap_hit = false;
   for (size_t ei = 0; ei < base.embeddings.size(); ++ei) {
@@ -412,7 +378,7 @@ bool GrowthEngine::TryExtend(
     }
     bool emitted_for_anchor = false;
     std::vector<VertexId> chosen;
-    EnumerateLeafAssignments(
+    EnumerateLeafCombinations(
         groups, avail, &chosen, 0, [&](const std::vector<VertexId>& leafs) {
           Embedding extended = e;
           for (VertexId x : leafs) extended.push_back(x);
@@ -467,6 +433,19 @@ bool GrowthEngine::TryExtend(
     other.support = Support(other);
     other.merged_ever |= base.merged_ever;
     return false;
+  }
+
+  if (list_budget_ > 0) {
+    // Admitted: extend the carried complete list incrementally (serial —
+    // worker context). An absent base list (defensive) degrades to
+    // saturated, never to a wrong list.
+    q.full_list =
+        base.full_list == nullptr
+            ? SaturatedEmbeddingList()
+            : ExtendEmbeddingListAtVertex(*graph_, store, spider_id,
+                                          *base.full_list, v, new_leaves,
+                                          list_budget_);
+    ++ls->stats.emb_extensions;
   }
 
   q.boundary = base.boundary;
@@ -644,6 +623,11 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
     SpiderSetRepr spider_set;
     std::vector<Embedding> embeddings;
     std::vector<VertexId> boundary;  // from the first instance
+    // Parent-pattern vertex -> union-pattern vertex, from the founding
+    // instance — the join columns for the carried-list merge
+    // (JoinEmbeddingLists) at the serial fold.
+    std::vector<VertexId> map_a;
+    std::vector<VertexId> map_b;
     int64_t support = 0;
   };
   struct PairResult {
@@ -729,8 +713,14 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
       }
       if (group == nullptr) {
         UnionCandidate g;
-        g.pattern = std::move(up);
         g.spider_set = repr;
+        for (VertexId pu = 0; pu < a.pattern.NumVertices(); ++pu) {
+          g.map_a.push_back(pos[e1[pu]]);
+        }
+        for (VertexId pv = 0; pv < b.pattern.NumVertices(); ++pv) {
+          g.map_b.push_back(pos[e2[pv]]);
+        }
+        g.pattern = std::move(up);
         // Boundary: images of both parents' frontier vertices.
         auto add_boundary = [&](const GrowthPattern& parent,
                                 const Embedding& pe) {
@@ -807,6 +797,21 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
                        query_->max_embeddings_per_pattern);
         other.support = Support(other);
         continue;
+      }
+      if (list_budget_ > 0) {
+        // Carried-list merge: join the parents' complete lists on the
+        // founding instance's overlap columns. This fold runs on the
+        // coordinator thread, so the pool is safe to use here (unlike the
+        // worker-side seed/extend builders).
+        const EmbeddingListRef& la = rs->pool[tasks[i].a].full_list;
+        const EmbeddingListRef& lb = rs->pool[tasks[i].b].full_list;
+        merged.full_list =
+            (la == nullptr || lb == nullptr)
+                ? SaturatedEmbeddingList()
+                : JoinEmbeddingLists(*la, *lb, c.map_a, c.map_b,
+                                     merged.pattern.NumVertices(),
+                                     list_budget_, pool_, token_);
+        ++stats_->emb_extensions;
       }
       rs->Admit(std::move(merged));
       ++stats_->merges;

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "graph/labeled_graph.h"
 #include "pattern/embedding.h"
+#include "pattern/embedding_list.h"
 #include "pattern/pattern.h"
 #include "pattern/spider_set.h"
 #include "spider/spider_index.h"
@@ -37,6 +38,14 @@ struct GrowthPattern {
   /// Known embeddings E[P] (occurrence-list growth semantics: embeddings of
   /// an extension are extensions of these).
   std::vector<Embedding> embeddings;
+  /// Carried COMPLETE embedding list (embedding-list engine,
+  /// pattern/embedding_list.h): when present and not saturated, exactly the
+  /// E[P] a VF2 search would enumerate, maintained incrementally across
+  /// growth rounds so closure never re-discovers it. Null when the engine
+  /// is off (embedding_list_budget = 0); saturated once any ancestor
+  /// overflowed the budget. Never consulted for growth decisions — the
+  /// occurrence list above keeps those byte-identical across modes.
+  EmbeddingListRef full_list;
   /// Support under the configured measure.
   int64_t support = 0;
   /// Frontier pattern vertices eligible for spider extension this round
@@ -167,6 +176,12 @@ class GrowthEngine {
   ThreadPool* pool_;
   const CancellationToken* token_;
   int64_t next_id_ = 1;
+  /// Effective carried-list budget: the query's embedding_list_budget
+  /// clamped to max_embeddings_per_pattern, so an unsaturated carried list
+  /// is never larger than what the VF2 fallback was allowed to return
+  /// (otherwise a truncating VF2 and a complete list could disagree).
+  /// 0 = engine off.
+  int64_t list_budget_ = 0;
 };
 
 }  // namespace spidermine

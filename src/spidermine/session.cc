@@ -62,8 +62,16 @@ class ResultCollector {
       ++stats_->iso_checks_run;
       if (ArePatternsIsomorphic(existing.pattern, gp.pattern)) {
         if (gp.support > existing.support) {
+          // Replace the pattern together with its embeddings and carried
+          // list: the incumbent may be an isomorphic variant with a
+          // DIFFERENT vertex numbering, and embeddings/lists are only
+          // meaningful in their own pattern's numbering. (The digest and
+          // WL-hash bucket keys are isomorphism-invariant, so the cached
+          // bucket entry and hashes_[idx] stay valid.)
+          existing.pattern = gp.pattern;
           existing.support = gp.support;
           existing.embeddings = gp.embeddings;
+          existing.full_list = gp.full_list;
         }
         existing.from_merge |= gp.merged_ever;
         return;
@@ -72,6 +80,7 @@ class ResultCollector {
     MinedPattern mp;
     mp.pattern = gp.pattern;
     mp.embeddings = gp.embeddings;
+    mp.full_list = gp.full_list;
     mp.support = gp.support;
     mp.from_merge = gp.merged_ever;
     it->second.push_back(static_cast<int64_t>(results_.size()));
@@ -403,6 +412,8 @@ int64_t MiningSession::FoldQueryIntoAggregate(const QueryResult& result) const {
   agg.total_query_seconds += result.stats.total_seconds;
   agg.max_query_seconds =
       std::max(agg.max_query_seconds, result.stats.total_seconds);
+  agg.emb_carried += result.stats.emb_carried;
+  agg.vf2_fallbacks += result.stats.vf2_fallbacks;
   return agg.queries_run;
 }
 
@@ -572,37 +583,59 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
                                : std::max<int64_t>(64, 8LL * q.k);
     const size_t limit = std::min(all.size(), static_cast<size_t>(window));
     // Per-pattern closure is independent: fan out over the pool, each
-    // iteration touching only all[i] and its own edges-added slot.
-    std::vector<int32_t> edges_added(limit, 0);
+    // iteration touching only all[i] and its own counter slot.
+    struct ClosureSlot {
+      int32_t edges_added = 0;
+      int32_t carried = 0;
+      int32_t fallbacks = 0;
+    };
+    std::vector<ClosureSlot> slots(limit);
     pool_->ParallelForChunks(
         static_cast<int64_t>(limit), /*grain=*/1,
-        [this, &q, &all, &edges_added](int64_t begin, int64_t end) {
+        [this, &q, &all, &slots](int64_t begin, int64_t end) {
           SupportContext support_context;
           support_context.txn_of_vertex = config_.txn_of_vertex;
           for (int64_t i = begin; i < end; ++i) {
             MinedPattern& mp = all[static_cast<size_t>(i)];
+            ClosureSlot& slot = slots[static_cast<size_t>(i)];
             // Growth tracks only the embeddings reachable along its own
             // path (an occurrence list), which under-counts the surviving
-            // support of a candidate closure edge. Re-enumerate the full
-            // E[P] first.
-            Vf2Options vf2_options;
-            vf2_options.max_embeddings = q.max_embeddings_per_pattern;
-            std::vector<Embedding> full =
-                FindEmbeddings(mp.pattern, *graph_, vf2_options);
+            // support of a candidate closure edge. Closure needs the full
+            // E[P]: the carried complete list (embedding-list engine)
+            // supplies it for free; an absent or saturated list pays the
+            // VF2 re-enumeration. Both sides are canonicalized before the
+            // image dedup, so the two paths keep identical representatives
+            // and the output is byte-identical either way.
+            std::vector<Embedding> full;
+            if (mp.full_list != nullptr && !mp.full_list->saturated) {
+              full = mp.full_list->embeddings;
+              ++slot.carried;
+            } else {
+              Vf2Options vf2_options;
+              vf2_options.max_embeddings = q.max_embeddings_per_pattern;
+              full = FindEmbeddings(mp.pattern, *graph_, vf2_options);
+              ++slot.fallbacks;
+            }
             if (!full.empty()) {
+              CanonicalizeEmbeddingOrder(&full);
               DedupEmbeddingsByImage(&full);
               mp.embeddings = std::move(full);
               mp.support = ComputeSupport(q.support_measure, mp.pattern,
                                           mp.embeddings, support_context);
             }
-            edges_added[static_cast<size_t>(i)] = CloseInternalEdges(
+            slot.edges_added = CloseInternalEdges(
                 *graph_, &mp.pattern, &mp.embeddings, q.support_measure,
                 q.min_support, &mp.support, support_context);
+            // A closure edge changes the pattern; the carried list no
+            // longer describes it.
+            if (slot.edges_added > 0) mp.full_list.reset();
           }
         },
         &cancel);
     for (size_t i = 0; i < limit; ++i) {
-      stats.closure_edges_added += edges_added[i];
+      stats.closure_edges_added += slots[i].edges_added;
+      stats.emb_carried += slots[i].carried;
+      stats.vf2_fallbacks += slots[i].fallbacks;
     }
     if (stats.closure_edges_added > 0) {
       std::sort(all.begin(), all.end(), LargerPattern);
@@ -630,8 +663,13 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
           ++stats.iso_checks_run;
           if (ArePatternsIsomorphic(kept.pattern, mp.pattern)) {
             if (mp.support > kept.support) {
+              // Replace the whole variant: the embeddings (and any carried
+              // list) are expressed in mp.pattern's vertex numbering, which
+              // an isomorphic kept.pattern need not share.
+              kept.pattern = mp.pattern;
               kept.support = mp.support;
               kept.embeddings = mp.embeddings;
+              kept.full_list = mp.full_list;
             }
             kept.from_merge |= mp.from_merge;
             duplicate = true;
@@ -680,9 +718,10 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
   Log(LogLevel::kInfo,
       StrCat("MiningSession: query #", sequence, " over ",
              stage1_stats_.num_spiders, " cached spiders, M=",
-             stats.seed_count_m, ", merges=", stats.merges, ", returned ",
-             result.patterns.size(), " patterns in ", stats.total_seconds,
-             "s"));
+             stats.seed_count_m, ", merges=", stats.merges,
+             ", emb carried/fallback=", stats.emb_carried, "/",
+             stats.vf2_fallbacks, ", returned ", result.patterns.size(),
+             " patterns in ", stats.total_seconds, "s"));
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "graph/labeled_graph.h"
 #include "pattern/embedding.h"
+#include "pattern/embedding_list.h"
 #include "pattern/pattern.h"
 #include "spider/spider_index.h"
 #include "spider/spider_store.h"
@@ -79,6 +80,11 @@ struct MinedPattern {
   Pattern pattern;
   /// Embeddings known for the pattern (capped; see QueryConfig).
   std::vector<Embedding> embeddings;
+  /// Carried complete embedding list from the growth engine (null when the
+  /// engine is off; saturated after a budget overflow). Lets closure reuse
+  /// E[P] instead of re-running VF2; always paired with `pattern` — the
+  /// list is expressed in that pattern's vertex numbering.
+  EmbeddingListRef full_list;
   /// Support under the configured measure.
   int64_t support = 0;
   /// True when the pattern descends from a Stage II merge.
@@ -127,6 +133,12 @@ struct SessionServingStats {
   double total_query_seconds = 0.0;
   /// Slowest single query so far, in seconds.
   double max_query_seconds = 0.0;
+  /// Closure candidates served from carried embedding lists, across all
+  /// queries (MineStats::emb_carried folded per query).
+  int64_t emb_carried = 0;
+  /// Closure candidates that fell back to a VF2 re-enumeration (absent or
+  /// saturated carried list; every candidate when the engine is off).
+  int64_t vf2_fallbacks = 0;
 
   /// One-line human-readable rendering (serve loop reports, tools).
   std::string ToString() const;

@@ -35,6 +35,10 @@ Status QueryConfig::Validate() const {
   if (epsilon <= 0.0 || epsilon >= 1.0) {
     return Status::InvalidArgument("epsilon must be in (0, 1)");
   }
+  if (embedding_list_budget < 0) {
+    return Status::InvalidArgument(
+        "embedding_list_budget must be >= 0 (0 = VF2-only closure)");
+  }
   return Status::Ok();
 }
 
@@ -64,6 +68,7 @@ QueryConfig MineConfig::QueryPart() const {
   query.seed_count_override = seed_count_override;
   query.restarts = restarts;
   query.max_embeddings_per_pattern = max_embeddings_per_pattern;
+  query.embedding_list_budget = embedding_list_budget;
   query.max_patterns_per_round = max_patterns_per_round;
   query.max_seed_embeddings_per_anchor = max_seed_embeddings_per_anchor;
   query.max_merge_pairs_per_key = max_merge_pairs_per_key;
@@ -86,7 +91,8 @@ std::string SessionServingStats::ToString() const {
                       : 0.0;
   os << queries_run << " queries served, " << patterns_returned
      << " patterns returned, latency mean/max " << mean << "/"
-     << max_query_seconds << "s";
+     << max_query_seconds << "s, emb carried/fallback " << emb_carried << "/"
+     << vf2_fallbacks;
   if (timed_out_queries > 0) {
     os << ", " << timed_out_queries << " hit their time budget";
   }
@@ -121,6 +127,9 @@ std::string MineStats::ToString() const {
      << " spider appends, " << nonclosed_dropped << " non-closed dropped\n"
      << "isomorphism: " << iso_checks_skipped << " skipped by spider-set, "
      << iso_checks_run << " run\n"
+     << "embedding lists: " << emb_extensions << " extensions, "
+     << emb_carried << " closure candidates carried, " << vf2_fallbacks
+     << " VF2 fallbacks\n"
      << "closure: " << closure_edges_added << " internal edges restored\n"
      << "caps: " << embedding_cap_hits << " embedding, " << pattern_cap_hits
      << " pattern" << (timed_out ? "; TIME BUDGET EXPIRED" : "") << "\n"

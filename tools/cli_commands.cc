@@ -207,6 +207,9 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
       .AddString("measure", "vertex-mis",
                  "support measure: vertex-mis | edge-mis | mni | count")
       .AddDouble("time-budget", 0.0, "wall-clock budget seconds (0 = off)")
+      .AddInt("emb-budget", 4096,
+              "per-lineage carried embedding-list budget (0 = VF2-only "
+              "closure); results are identical at any value")
       .AddBool("strict-dmax", false,
                "drop results whose diameter exceeds dmax (Definition 2)")
       .AddBool("maximal", false, "keep only maximal patterns")
@@ -236,6 +239,7 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
   SM_ASSIGN_OR_RETURN(config.stage1_shard_grain,
                       ValidateShardGrainFlag(flags.GetInt("shard-grain")));
   config.time_budget_seconds = flags.GetDouble("time-budget");
+  config.embedding_list_budget = flags.GetInt("emb-budget");
   config.enforce_dmax_on_results = flags.GetBool("strict-dmax");
   SM_ASSIGN_OR_RETURN(config.support_measure,
                       ParseMeasure(flags.GetString("measure")));
@@ -349,6 +353,9 @@ Status CmdQuery(const std::vector<std::string>& args, std::ostream& out) {
       .AddString("measure", "vertex-mis",
                  "support measure: vertex-mis | edge-mis | mni | count")
       .AddDouble("time-budget", 0.0, "wall-clock budget seconds (0 = off)")
+      .AddInt("emb-budget", 4096,
+              "per-lineage carried embedding-list budget (0 = VF2-only "
+              "closure); results are identical at any value")
       .AddBool("strict-dmax", false,
                "drop results whose diameter exceeds dmax (Definition 2)")
       .AddBool("maximal", false, "keep only maximal patterns")
@@ -382,6 +389,7 @@ Status CmdQuery(const std::vector<std::string>& args, std::ostream& out) {
   query.rng_seed = static_cast<uint64_t>(flags.GetInt("seed"));
   query.restarts = static_cast<int32_t>(flags.GetInt("restarts"));
   query.time_budget_seconds = flags.GetDouble("time-budget");
+  query.embedding_list_budget = flags.GetInt("emb-budget");
   query.enforce_dmax_on_results = flags.GetBool("strict-dmax");
   SM_ASSIGN_OR_RETURN(query.support_measure,
                       ParseMeasure(flags.GetString("measure")));

@@ -1,25 +1,37 @@
 #!/usr/bin/env bash
 # Regenerates the committed benchmark artifacts from a fresh build, so a
-# reviewer can reproduce the numbers behind the perf claims in the docs.
-# Currently: BENCH_artifact_load.json (cold-start cost of the `.sm1`
-# copy-deserialize path vs the zero-copy mmap `.sm2` path; the committed
-# file must show cold_load_speedup >= 10).
+# reviewer can reproduce the numbers behind the perf claims in the docs:
+#
+#   BENCH_artifact_load.json  — cold-start cost of the `.sm1`
+#     copy-deserialize path vs the zero-copy mmap `.sm2` path; the
+#     committed file must show cold_load_speedup >= 10.
+#   BENCH_growth_engine.json  — per-candidate VF2 closure vs the carried
+#     embedding-list engine on a 300k-vertex graph; the committed file
+#     must show post_growth_speedup_8t >= 2 with byte-identical top-K
+#     across modes and thread counts.
 #
 #   $ tools/run_bench_trajectory.sh
 #
 # Numbers vary with hardware; the JSON is a trajectory record, not a test
-# oracle. The bench binary itself exits non-zero when the run misses the
-# 10x bar, which fails this script.
+# oracle. Each bench binary itself exits non-zero when its run misses the
+# bar, which fails this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ ! -x build/bench_artifact_load ]]; then
-  echo "error: build/bench_artifact_load not found; build first:" >&2
-  echo "  cmake -B build -S . && cmake --build build -j" >&2
-  exit 1
-fi
+for bench in bench_artifact_load bench_growth_engine; do
+  if [[ ! -x "build/${bench}" ]]; then
+    echo "error: build/${bench} not found; build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
 
 echo "=== bench_artifact_load (synthetic >=100 MB store; ~1 min)"
 build/bench_artifact_load > BENCH_artifact_load.json
 cat BENCH_artifact_load.json
 echo "OK: wrote BENCH_artifact_load.json"
+
+echo "=== bench_growth_engine (300k-vertex graph, 12 queries; ~2 min)"
+build/bench_growth_engine > BENCH_growth_engine.json
+cat BENCH_growth_engine.json
+echo "OK: wrote BENCH_growth_engine.json"

@@ -382,6 +382,8 @@ Result<TopKQuery> QueryFromJson(const JsonObject& request) {
       SM_RETURN_NOT_OK(integer(key, value, &query.seed_count_override));
     } else if (key == "restarts") {
       SM_RETURN_NOT_OK(integer32(key, value, &query.restarts));
+    } else if (key == "emb_budget") {
+      SM_RETURN_NOT_OK(integer(key, value, &query.embedding_list_budget));
     } else if (key == "epsilon") {
       if (value.kind != JsonValue::Kind::kNumber) {
         return Status::InvalidArgument("\"epsilon\" must be a number");
