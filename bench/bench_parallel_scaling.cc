@@ -21,26 +21,39 @@
 // session via SessionConfig::pool, so the rows measure mining, not thread
 // spawning.
 //
-// With --concurrent-queries=K the bench instead measures the serving
-// throughput of ONE session under concurrent load (RunQuery is const and
-// thread-safe): for each in-flight count 1, 2, 4, ... K it fires a fixed
-// batch of distinct-seed queries from that many caller threads and emits
-// queries/sec vs in-flight JSON — the trajectory the `serve` subcommand's
-// win is tracked by:
+// With --concurrent-queries=K the bench instead measures the end-to-end
+// serving throughput of the multi-client socket server (RunServeServer,
+// tools/serve_loop.h) — real unix-socket connections, the event loop,
+// framing, the admission gate and the worker pool all on the measured
+// path, not just RunQuery. For each connection count C = 1, 2, 4, ... K
+// it starts a fresh server with --max-inflight=C, connects C closed-loop
+// clients (send one request, read the response, repeat) draining a fixed
+// batch of distinct-seed queries, and emits queries/sec vs connections:
 //
 //   $ ./bench_parallel_scaling --vertices=20000 --concurrent-queries=8
-//   {"bench":"concurrent_queries","inflight":1,"qps":...}
-//   {"bench":"concurrent_queries","inflight":2,"qps":...}
+//   {"bench":"serve_throughput","connections":1,"inflight":1,"qps":...}
+//   {"bench":"serve_throughput","connections":2,"inflight":2,"qps":...}
+//
+// The session (and its result cache, disabled here so every query is a
+// real recomputation) is shared across rows; only the server and the
+// connections are rebuilt per row. --min-conn-speedup=<x> turns the last
+// row's throughput_speedup_vs_1conn into a pass/fail bar (exit 1 below
+// it); it is off by default because the speedup is hardware-bound.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <future>
 #include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
+#include "common/strings.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "gen/barabasi_albert.h"
@@ -48,8 +61,91 @@
 #include "gen/injection.h"
 #include "gen/pattern_factory.h"
 #include "graph/graph_builder.h"
+#include "tools/serve_loop.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
 
 namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// One closed-loop bench client: a connected unix-socket fd plus a read
+/// buffer for newline framing. Each thread owns one; no sharing.
+class BenchClient {
+ public:
+  static std::optional<BenchClient> Connect(const std::string& path) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return std::nullopt;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    return BenchClient(fd);
+  }
+
+  BenchClient(BenchClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  BenchClient(const BenchClient&) = delete;
+  BenchClient& operator=(const BenchClient&) = delete;
+  BenchClient& operator=(BenchClient&&) = delete;
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next newline-terminated response (without the newline); "" on EOF.
+  std::string ReadLine() {
+    for (;;) {
+      const size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::string();
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  explicit BenchClient(int fd) : fd_(fd) {}
+  int fd_;
+  std::string buffer_;
+};
+
+#endif  // unix
 
 int Run(int argc, const char* const* argv) {
   using namespace spidermine;
@@ -73,11 +169,14 @@ int Run(int argc, const char* const* argv) {
                "stop after Stage I (memory/scaling runs on huge graphs)")
       .AddInt("max-threads", 8, "largest thread count measured (doubling)")
       .AddInt("concurrent-queries", 0,
-              "serving-throughput mode: measure queries/sec on ONE session "
-              "at 1,2,4.. up to this many in-flight queries (0 = off)")
+              "serve-throughput mode: drive the socket server with 1,2,4.. "
+              "up to this many concurrent client connections (0 = off)")
       .AddInt("queries-per-round", 0,
-              "total queries per concurrent-queries row (0 = 4x the largest "
-              "in-flight count)");
+              "total queries per serve-throughput row (0 = 4x the largest "
+              "connection count)")
+      .AddDouble("min-conn-speedup", 0.0,
+                 "fail (exit 1) if the last serve-throughput row's speedup "
+                 "vs 1 connection is below this (0 = no bar)");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -120,8 +219,8 @@ int Run(int argc, const char* const* argv) {
       static_cast<int32_t>(flags.GetInt("concurrent-queries"));
   bench::Banner("parallel_scaling",
                 concurrent > 0
-                    ? "serving throughput (queries/sec) vs in-flight "
-                      "queries on one session"
+                    ? "socket-server throughput (queries/sec) vs concurrent "
+                      "client connections"
                     : "cold stage1 + warm query seconds vs --threads; "
                       "deterministic workload");
 
@@ -138,9 +237,12 @@ int Run(int argc, const char* const* argv) {
   const bool stage1_only = flags.GetBool("stage1-only");
 
   if (concurrent > 0) {
-    // ---- Serving-throughput mode: one session, concurrent RunQuery. ----
-    // Full hardware parallelism inside the session pool; the sweep varies
-    // only how many queries are in flight at once.
+#if defined(__unix__) || defined(__APPLE__)
+    // ---- Serve-throughput mode: the real multi-client socket server. ----
+    // One session shared across rows; per row a fresh RunServeServer with
+    // --max-inflight matching the connection count, C closed-loop clients
+    // over real unix-socket connections. Event loop, framing, admission
+    // and worker-pool dispatch are all inside the measured wall time.
     session_config.num_threads = 0;
     std::optional<MiningSession> session;
     const double cold_seconds =
@@ -148,54 +250,125 @@ int Run(int argc, const char* const* argv) {
     if (!session.has_value()) return 1;
     int64_t total_queries = flags.GetInt("queries-per-round");
     if (total_queries <= 0) total_queries = 4LL * concurrent;
+    const std::string socket_path =
+        "/tmp/spidermine_bench_serve_" + std::to_string(::getpid()) + ".sock";
     double baseline_qps = 0.0;
-    for (int32_t inflight = 1; inflight <= concurrent; inflight *= 2) {
-      const SessionServingStats before = session->serving_stats();
+    double last_speedup = 0.0;
+    for (int32_t connections = 1; connections <= concurrent;
+         connections *= 2) {
+      cli::ServeTransportOptions transport;
+      transport.socket_path = socket_path;
+      std::promise<void> ready;
+      transport.on_ready =
+          [&ready](const cli::ServeEndpoints&) { ready.set_value(); };
+      cli::ServeOptions serve_options;
+      serve_options.max_inflight = connections;
+      serve_options.summary = false;
+      cli::ServeStats serve_stats;
+      std::ostringstream server_err;
+      Status server_status;
+      std::thread server([&] {
+        server_status = cli::RunServeServer(*session, transport, server_err,
+                                            serve_options, &serve_stats);
+      });
+      ready.get_future().wait();
+
       std::atomic<int64_t> next{0};
       std::atomic<int64_t> failed{0};
       WallTimer timer;
-      std::vector<std::thread> callers;
-      callers.reserve(static_cast<size_t>(inflight));
-      for (int32_t c = 0; c < inflight; ++c) {
-        // Callers drain a shared work list of distinct-seed queries (a
-        // mixed serving workload, not one cached query repeated).
-        callers.emplace_back([&session, &query, &next, &failed,
-                              total_queries] {
+      std::vector<std::thread> clients;
+      clients.reserve(static_cast<size_t>(connections));
+      for (int32_t c = 0; c < connections; ++c) {
+        // Closed-loop clients drain a shared work list of distinct-seed
+        // queries (a mixed workload: no two requests share a cache line).
+        clients.emplace_back([&, c] {
+          std::optional<BenchClient> client =
+              BenchClient::Connect(socket_path);
+          if (!client.has_value()) {
+            failed.fetch_add(total_queries);  // poison the row visibly
+            return;
+          }
           for (;;) {
             const int64_t i = next.fetch_add(1);
             if (i >= total_queries) return;
-            TopKQuery q = query;
-            q.rng_seed = query.rng_seed + static_cast<uint64_t>(i);
-            if (!session->RunQuery(q).ok()) failed.fetch_add(1);
+            const std::string request = StrCat(
+                "{\"id\": ", i + 1, ", \"k\": ", query.k,
+                ", \"dmax\": ", query.dmax, ", \"vmin\": ", query.vmin,
+                ", \"seed\": ", query.rng_seed + static_cast<uint64_t>(i),
+                ", \"seed_count\": ", query.seed_count_override, "}\n");
+            if (!client->Send(request)) {
+              failed.fetch_add(1);
+              return;
+            }
+            const std::string response = client->ReadLine();
+            if (response.find("\"ok\":true") == std::string::npos) {
+              failed.fetch_add(1);
+            }
           }
+          (void)c;
         });
       }
-      for (std::thread& caller : callers) caller.join();
+      for (std::thread& client : clients) client.join();
       const double wall = timer.ElapsedSeconds();
-      const SessionServingStats after = session->serving_stats();
-      const int64_t served = after.queries_run - before.queries_run;
-      const double qps = wall > 0.0 ? static_cast<double>(served) / wall : 0.0;
-      const double mean_latency =
-          served > 0
-              ? (after.total_query_seconds - before.total_query_seconds) /
-                    static_cast<double>(served)
-              : 0.0;
-      if (inflight == 1) baseline_qps = qps;
+
+      std::optional<BenchClient> controller =
+          BenchClient::Connect(socket_path);
+      if (controller.has_value()) {
+        controller->Send("{\"cmd\": \"shutdown\"}\n");
+        (void)controller->ReadLine();  // the shutdown ack
+      }
+      server.join();
+      if (!server_status.ok()) {
+        std::fprintf(stderr, "serve: %s\n%s",
+                     server_status.ToString().c_str(),
+                     server_err.str().c_str());
+        return 1;
+      }
+
+      // `answered` counts every ok response including the shutdown ack;
+      // the row reports real queries only.
+      const int64_t served =
+          serve_stats.answered - (serve_stats.shutdown_requested ? 1 : 0);
+      const double qps =
+          wall > 0.0 ? static_cast<double>(served) / wall : 0.0;
+      if (connections == 1) baseline_qps = qps;
+      last_speedup = baseline_qps > 0.0 ? qps / baseline_qps : 0.0;
       std::printf(
-          "{\"bench\":\"concurrent_queries\",\"model\":\"%s\","
+          "{\"bench\":\"serve_throughput\",\"model\":\"%s\","
           "\"vertices\":%lld,\"edges\":%lld,\"pool_threads\":%d,"
-          "\"inflight\":%d,\"queries\":%lld,\"failed\":%lld,"
-          "\"cold_seconds\":%.4f,\"wall_seconds\":%.4f,\"qps\":%.3f,"
-          "\"mean_query_seconds\":%.4f,\"throughput_speedup\":%.3f}\n",
+          "\"connections\":%d,\"inflight\":%d,\"queries\":%lld,"
+          "\"failed\":%lld,\"rejected\":%lld,\"cold_seconds\":%.4f,"
+          "\"wall_seconds\":%.4f,\"qps\":%.3f,"
+          "\"throughput_speedup_vs_1conn\":%.3f}\n",
           model.c_str(), static_cast<long long>(graph.NumVertices()),
           static_cast<long long>(graph.NumEdges()),
-          ThreadPool::DefaultThreads(), inflight,
+          ThreadPool::DefaultThreads(), connections, connections,
           static_cast<long long>(served),
-          static_cast<long long>(failed.load()), cold_seconds, wall, qps,
-          mean_latency, baseline_qps > 0.0 ? qps / baseline_qps : 0.0);
+          static_cast<long long>(failed.load()),
+          static_cast<long long>(serve_stats.rejected), cold_seconds, wall,
+          qps, last_speedup);
       std::fflush(stdout);
+      if (failed.load() > 0) {
+        std::fprintf(stderr, "serve_throughput: %lld failed responses\n",
+                     static_cast<long long>(failed.load()));
+        return 1;
+      }
+    }
+    const double bar = flags.GetDouble("min-conn-speedup");
+    if (bar > 0.0 && last_speedup < bar) {
+      std::fprintf(stderr,
+                   "serve_throughput: speedup %.3f below --min-conn-speedup "
+                   "%.3f\n",
+                   last_speedup, bar);
+      return 1;
     }
     return 0;
+#else
+    std::fprintf(stderr,
+                 "--concurrent-queries needs unix sockets; unsupported on "
+                 "this platform\n");
+    return 2;
+#endif
   }
 
   std::vector<int32_t> thread_counts = {1};

@@ -393,6 +393,27 @@ Result<MiningSession> MiningSession::LoadStage1(const LabeledGraph* graph,
   return session;
 }
 
+uint64_t MiningSession::stage1_content_key() const {
+  // FNV-1a over the facts that determine the spider set. Store size and
+  // the truncation flag participate so a budget-truncated mine of the same
+  // graph+config never aliases a complete one.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto fold = [&h](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  fold(graph_->ContentHash());
+  fold(static_cast<uint64_t>(config_.min_support));
+  fold(static_cast<uint64_t>(config_.spider_radius));
+  fold(static_cast<uint64_t>(config_.max_star_leaves));
+  fold(static_cast<uint64_t>(config_.max_spiders));
+  fold(static_cast<uint64_t>(store_->size()));
+  fold(stage1_truncated_ ? 1 : 0);
+  return h;
+}
+
 int64_t MiningSession::queries_run() const {
   std::lock_guard<std::mutex> lock(serving_->mu);
   return serving_->stats.queries_run;

@@ -139,6 +139,16 @@ struct SessionServingStats {
   /// Closure candidates that fell back to a VF2 re-enumeration (absent or
   /// saturated carried list; every candidate when the engine is off).
   int64_t vf2_fallbacks = 0;
+  /// Result-cache counters (spidermine/result_cache.h), folded in by the
+  /// serve layer before rendering a summary: the cache lives beside the
+  /// session (RunQuery itself never consults it), so the session's own
+  /// aggregate leaves these at 0. A cache hit bypasses RunQuery entirely
+  /// and therefore does NOT count in queries_run.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  /// Resident cached payload bytes at snapshot time.
+  int64_t cache_bytes = 0;
 
   /// One-line human-readable rendering (serve loop reports, tools).
   std::string ToString() const;
@@ -219,6 +229,14 @@ class MiningSession {
   SessionServingStats serving_stats() const;
   /// The borrowed input network.
   const LabeledGraph& graph() const { return *graph_; }
+  /// Stable identity of the cached Stage I artifact: a hash over the
+  /// graph's content hash, every config field that determines the mined
+  /// spider set (support floor, radius, leaf/spider caps), the store size
+  /// and the truncation flag. Two sessions answer queries identically iff
+  /// their keys match, which makes this the artifact half of a result-cache
+  /// key (result_cache.h); parallelism knobs deliberately do not
+  /// participate. Computed from immutable state — thread-safe.
+  uint64_t stage1_content_key() const;
 
  private:
   /// The cross-query mutable state, mutex-guarded and heap-held so the

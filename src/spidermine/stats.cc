@@ -6,83 +6,8 @@
 
 namespace spidermine {
 
-Status SessionConfig::Validate() const {
-  if (min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (spider_radius != 1) {
-    return Status::InvalidArgument(
-        "the growth engine implements spider_radius = 1 (the paper's own "
-        "implementation choice); use MineBallSpiders for larger radii");
-  }
-  if (num_threads < 0) {
-    return Status::InvalidArgument("num_threads must be >= 0");
-  }
-  if (stage1_shard_grain < 0) {
-    return Status::InvalidArgument(
-        "stage1_shard_grain must be >= 0 (0 = automatic)");
-  }
-  return Status::Ok();
-}
-
-Status QueryConfig::Validate() const {
-  if (min_support < 0) {
-    return Status::InvalidArgument(
-        "query min_support must be >= 0 (0 = the session's mined floor)");
-  }
-  if (k < 1) return Status::InvalidArgument("k must be >= 1");
-  if (dmax < 1) return Status::InvalidArgument("dmax must be >= 1");
-  if (epsilon <= 0.0 || epsilon >= 1.0) {
-    return Status::InvalidArgument("epsilon must be in (0, 1)");
-  }
-  if (embedding_list_budget < 0) {
-    return Status::InvalidArgument(
-        "embedding_list_budget must be >= 0 (0 = VF2-only closure)");
-  }
-  return Status::Ok();
-}
-
-SessionConfig MineConfig::SessionPart() const {
-  SessionConfig session;
-  session.min_support = min_support;
-  session.spider_radius = spider_radius;
-  session.max_star_leaves = max_star_leaves;
-  session.max_spiders = max_spiders;
-  session.num_threads = num_threads;
-  session.pool = pool;
-  session.stage1_shard_grain = stage1_shard_grain;
-  session.stage1_time_budget_seconds = time_budget_seconds;
-  session.txn_of_vertex = txn_of_vertex;
-  return session;
-}
-
-QueryConfig MineConfig::QueryPart() const {
-  QueryConfig query;
-  query.min_support = 0;  // resolves to the session floor (= min_support)
-  query.k = k;
-  query.epsilon = epsilon;
-  query.dmax = dmax;
-  query.vmin = vmin;
-  query.support_measure = support_measure;
-  query.rng_seed = rng_seed;
-  query.seed_count_override = seed_count_override;
-  query.restarts = restarts;
-  query.max_embeddings_per_pattern = max_embeddings_per_pattern;
-  query.embedding_list_budget = embedding_list_budget;
-  query.max_patterns_per_round = max_patterns_per_round;
-  query.max_seed_embeddings_per_anchor = max_seed_embeddings_per_anchor;
-  query.max_merge_pairs_per_key = max_merge_pairs_per_key;
-  query.max_union_instances = max_union_instances;
-  query.stage3_max_rounds = stage3_max_rounds;
-  query.max_results = max_results;
-  query.time_budget_seconds = time_budget_seconds;
-  query.use_closed_spiders_only = use_closed_spiders_only;
-  query.close_internal_edges = close_internal_edges;
-  query.closure_window = closure_window;
-  query.enforce_dmax_on_results = enforce_dmax_on_results;
-  query.keep_unmerged = keep_unmerged;
-  return query;
-}
+// SessionConfig/QueryConfig/MineConfig methods live in config.cc; this
+// file renders the stats aggregates.
 
 std::string SessionServingStats::ToString() const {
   std::ostringstream os;
@@ -95,6 +20,11 @@ std::string SessionServingStats::ToString() const {
      << vf2_fallbacks;
   if (timed_out_queries > 0) {
     os << ", " << timed_out_queries << " hit their time budget";
+  }
+  if (cache_hits + cache_misses > 0) {
+    os << ", cache " << cache_hits << " hits / " << cache_misses
+       << " misses (" << cache_bytes / 1024 << " KiB resident, "
+       << cache_evictions << " evicted)";
   }
   return os.str();
 }

@@ -5,9 +5,21 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
 
 #include "common/rng.h"
 #include "common/strings.h"
@@ -24,6 +36,9 @@
 /// line, ids echoed (concurrent queries complete out of order), malformed
 /// requests answered rather than fatal, shutdown acknowledged last, and
 /// concurrent serving returning exactly the responses of --max-inflight=1.
+/// Plus the multi-client server: concurrent unix/TCP connections
+/// multiplexed by one event loop, the admission gate's "overloaded"
+/// rejection, and the result cache's byte-identical replays.
 
 namespace spidermine::cli {
 namespace {
@@ -295,6 +310,327 @@ TEST(ServeLoopTest, RejectsInvalidInflight) {
   Status status = RunServeLoop(*session, in, out, err, options);
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// A blocking test client over a connected socket: raw sends, line reads.
+class TestClient {
+ public:
+  static TestClient ConnectUnix(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                        sizeof(address)),
+              0)
+        << std::strerror(errno);
+    return TestClient(fd);
+  }
+  static TestClient ConnectTcp(int32_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                        sizeof(address)),
+              0)
+        << std::strerror(errno);
+    return TestClient(fd);
+  }
+
+  explicit TestClient(int fd) : fd_(fd) {}
+  TestClient(TestClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  TestClient(const TestClient&) = delete;
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& text) {
+    size_t offset = 0;
+    while (offset < text.size()) {
+      ssize_t n = ::write(fd_, text.data() + offset, text.size() - offset);
+      if (n < 0 && errno == EINTR) continue;
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      offset += static_cast<size_t>(n);
+    }
+  }
+
+  /// Next '\n'-terminated line (without the newline); "" on EOF.
+  std::string ReadLine() {
+    for (;;) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[512];
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Runs RunServeServer on its own thread; the constructor returns once
+/// every listener is bound (so clients can connect immediately), Join()
+/// returns once the server exited (after a client sent shutdown).
+class ServerRunner {
+ public:
+  ServerRunner(const MiningSession& session, ServeTransportOptions transport,
+               const ServeOptions& options) {
+    std::promise<ServeEndpoints> ready;
+    std::future<ServeEndpoints> ready_future = ready.get_future();
+    transport.on_ready = [&ready](const ServeEndpoints& endpoints) {
+      ready.set_value(endpoints);
+    };
+    thread_ = std::thread([this, &session, transport, options] {
+      status_ = RunServeServer(session, transport, err_, options, &stats_);
+    });
+    endpoints_ = ready_future.get();
+  }
+  ~ServerRunner() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void Join() { thread_.join(); }
+  const ServeEndpoints& endpoints() const { return endpoints_; }
+  const Status& status() const { return status_; }        // after Join()
+  const ServeStats& stats() const { return stats_; }      // after Join()
+  std::string err_text() const { return err_.str(); }     // after Join()
+
+ private:
+  std::thread thread_;
+  ServeEndpoints endpoints_;
+  Status status_;
+  ServeStats stats_;
+  std::ostringstream err_;
+};
+
+std::string TempSocketPath(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          StrCat("sm_serve_", tag, "_", ::getpid(), ".sock"))
+      .string();
+}
+
+/// Rewrites the per-request "seconds" timing to a fixed token so
+/// responses compare byte-for-byte across transports and cache hits.
+std::string NormalizeSeconds(std::string line) {
+  const size_t begin = line.find("\"seconds\":");
+  const size_t end = line.find(",\"timed_out\"");
+  if (begin != std::string::npos && end != std::string::npos) {
+    line.replace(begin, end - begin, "\"seconds\":X");
+  }
+  return line;
+}
+
+/// Rewrites the "line" correlation key to a fixed token: per-connection
+/// line numbers legitimately differ from the serial stream's.
+std::string NormalizeLineKey(std::string line) {
+  const size_t key = line.find(",\"line\":");
+  if (key == std::string::npos) return line;
+  const size_t value_begin = key + std::string(",\"line\":").size();
+  const size_t value_end = line.find(',', value_begin);
+  if (value_end != std::string::npos) {
+    line.replace(value_begin, value_end - value_begin, "X");
+  }
+  return line;
+}
+
+TEST(ServeServerTest, ConcurrentClientsMatchSerialByteForByte) {
+  LabeledGraph g = TestGraph();
+  Result<MiningSession> server_session = TestSession(&g);
+  Result<MiningSession> serial_session = TestSession(&g);
+  ASSERT_TRUE(server_session.ok()) << server_session.status();
+  ASSERT_TRUE(serial_session.ok());
+
+  // 4 clients x 2 interleaved requests each, every query distinct.
+  const std::string socket_path = TempSocketPath("multi");
+  ServeTransportOptions transport;
+  transport.socket_path = socket_path;
+  ServeOptions options;
+  // Every client pipelines its second request before reading the first
+  // response, so all 8 can be in flight at once; admit them all (the
+  // admission gate has its own dedicated test below).
+  options.max_inflight = 8;
+  options.summary = false;
+  ServerRunner server(*server_session, transport, options);
+
+  std::vector<TestClient> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(TestClient::ConnectUnix(socket_path));
+  }
+  auto request = [](int id) {
+    return StrCat("{\"id\": ", id, ", \"k\": 3, \"seed\": ", 100 + id,
+                  ", \"vmin\": 8, \"seed_count\": 10}\n");
+  };
+  // Interleave: every client sends its first request before any sends its
+  // second, so requests from different connections overlap in flight.
+  for (int c = 0; c < 4; ++c) clients[static_cast<size_t>(c)].Send(request(c + 1));
+  for (int c = 0; c < 4; ++c) clients[static_cast<size_t>(c)].Send(request(c + 5));
+  std::vector<std::string> server_lines;
+  for (int c = 0; c < 4; ++c) {
+    server_lines.push_back(clients[static_cast<size_t>(c)].ReadLine());
+    server_lines.push_back(clients[static_cast<size_t>(c)].ReadLine());
+  }
+  clients[0].Send("{\"id\": 99, \"cmd\": \"shutdown\"}\n");
+  const std::string ack = clients[0].ReadLine();
+  EXPECT_NE(ack.find("\"shutdown\":true"), std::string::npos) << ack;
+  EXPECT_EQ(clients[0].ReadLine(), "");  // server closed the connection
+  server.Join();
+  ASSERT_TRUE(server.status().ok()) << server.status();
+  EXPECT_TRUE(server.stats().shutdown_requested);
+  EXPECT_FALSE(std::filesystem::exists(socket_path));  // unlinked on exit
+
+  // The same 8 queries through the serial stream loop on a fresh session.
+  std::string requests;
+  for (int id = 1; id <= 8; ++id) requests += request(id);
+  std::istringstream in(requests);
+  std::ostringstream out, err;
+  ServeOptions serial_options;
+  serial_options.max_inflight = 1;
+  serial_options.summary = false;
+  ASSERT_TRUE(
+      RunServeLoop(*serial_session, in, out, err, serial_options).ok());
+  std::vector<std::string> serial_lines = Lines(out.str());
+
+  ASSERT_EQ(server_lines.size(), serial_lines.size());
+  for (auto* lines : {&server_lines, &serial_lines}) {
+    for (std::string& line : *lines) {
+      line = NormalizeLineKey(NormalizeSeconds(std::move(line)));
+    }
+    std::sort(lines->begin(), lines->end());
+  }
+  EXPECT_EQ(server_lines, serial_lines);
+}
+
+TEST(ServeServerTest, IdleClientDoesNotStallOthers) {
+  LabeledGraph g = TestGraph();
+  Result<MiningSession> session = TestSession(&g);
+  ASSERT_TRUE(session.ok());
+
+  const std::string socket_path = TempSocketPath("stall");
+  ServeTransportOptions transport;
+  transport.socket_path = socket_path;
+  ServeOptions options;
+  options.max_inflight = 2;
+  options.summary = false;
+  ServerRunner server(*session, transport, options);
+
+  // The serial server accepted one connection at a time: an idle first
+  // client starved everyone behind it. The event loop must answer the
+  // second client while the first stays silent.
+  TestClient idle = TestClient::ConnectUnix(socket_path);
+  TestClient active = TestClient::ConnectUnix(socket_path);
+  active.Send(
+      "{\"id\": 1, \"k\": 3, \"seed\": 7, \"vmin\": 8, \"seed_count\": 10}\n");
+  const std::string response = active.ReadLine();
+  EXPECT_NE(response.find("\"id\":1,\"line\":1,\"ok\":true"),
+            std::string::npos)
+      << response;
+  active.Send("{\"cmd\": \"shutdown\"}\n");
+  EXPECT_NE(active.ReadLine().find("\"shutdown\":true"), std::string::npos);
+  EXPECT_EQ(idle.ReadLine(), "");  // shutdown closes the idle client too
+  server.Join();
+  ASSERT_TRUE(server.status().ok()) << server.status();
+}
+
+TEST(ServeServerTest, OverloadedRequestsAreRejectedImmediately) {
+  LabeledGraph g = TestGraph();
+  Result<MiningSession> session = TestSession(&g);
+  ASSERT_TRUE(session.ok());
+
+  const std::string socket_path = TempSocketPath("overload");
+  ServeTransportOptions transport;
+  transport.socket_path = socket_path;
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.summary = false;
+  ServerRunner server(*session, transport, options);
+
+  // Both request lines arrive in one segment, so the loop frames and
+  // processes them back-to-back: the first occupies the only admission
+  // slot, the second MUST be rejected (the gate never queues).
+  TestClient client = TestClient::ConnectUnix(socket_path);
+  client.Send(
+      "{\"id\": 1, \"k\": 3, \"seed\": 7, \"restarts\": 3, \"vmin\": 8, "
+      "\"seed_count\": 10}\n"
+      "{\"id\": 2, \"k\": 3, \"seed\": 8, \"vmin\": 8, "
+      "\"seed_count\": 10}\n");
+  std::string first = client.ReadLine();
+  std::string second = client.ReadLine();
+  // The rejection is synchronous, the admitted query's response is not —
+  // order by the "line" key instead of arrival.
+  if (first.find("\"line\":1") == std::string::npos) std::swap(first, second);
+  EXPECT_NE(first.find("\"id\":1,\"line\":1,\"ok\":true"), std::string::npos)
+      << first;
+  EXPECT_NE(second.find("\"id\":2,\"line\":2,\"ok\":false,\"error\":"
+                        "\"overloaded\",\"retry_after_ms\":"),
+            std::string::npos)
+      << second;
+  client.Send("{\"cmd\": \"shutdown\"}\n");
+  EXPECT_NE(client.ReadLine().find("\"shutdown\":true"), std::string::npos);
+  server.Join();
+  ASSERT_TRUE(server.status().ok()) << server.status();
+  EXPECT_EQ(server.stats().rejected, 1);
+}
+
+TEST(ServeServerTest, TcpTransportAndCacheHitsAreByteIdentical) {
+  LabeledGraph g = TestGraph();
+  Result<MiningSession> session = TestSession(&g);
+  ASSERT_TRUE(session.ok());
+
+  ResultCache cache(ResultCacheConfig{});
+  ServeTransportOptions transport;
+  transport.tcp_port = 0;  // ephemeral, reported via on_ready
+  ServeOptions options;
+  options.max_inflight = 2;
+  options.summary = false;
+  options.cache = &cache;
+  ServerRunner server(*session, transport, options);
+  ASSERT_GT(server.endpoints().tcp_port, 0);
+
+  // The same query from two TCP clients, sequentially: the second is a
+  // cache hit — byte-identical modulo the "seconds" timing — and bypasses
+  // RunQuery (queries_run stays 1). `emb_budget` differs on purpose:
+  // results are invariant to it, so the canonical hash ignores it.
+  const std::string query =
+      "{\"id\": 1, \"k\": 3, \"seed\": 7, \"vmin\": 8, \"seed_count\": 10";
+  TestClient first = TestClient::ConnectTcp(server.endpoints().tcp_port);
+  first.Send(query + "}\n");
+  const std::string cold = first.ReadLine();
+  EXPECT_NE(cold.find("\"ok\":true"), std::string::npos) << cold;
+
+  TestClient second = TestClient::ConnectTcp(server.endpoints().tcp_port);
+  second.Send(query + ", \"emb_budget\": 123456}\n");
+  const std::string warm = second.ReadLine();
+  EXPECT_EQ(NormalizeSeconds(cold), NormalizeSeconds(warm));
+  EXPECT_EQ(session->queries_run(), 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  second.Send("{\"cmd\": \"shutdown\"}\n");
+  EXPECT_NE(second.ReadLine().find("\"shutdown\":true"), std::string::npos);
+  server.Join();
+  ASSERT_TRUE(server.status().ok()) << server.status();
+  // The summary was suppressed, but the cache counters reach the serving
+  // snapshot that a summary would render.
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+#endif  // unix server tests
 
 }  // namespace
 }  // namespace spidermine::cli

@@ -280,6 +280,85 @@ TEST(SessionTest, AccumulateTopKDedupsAcrossQueries) {
   }
 }
 
+TEST(SessionTest, CanonicalHashNormalizesDefaultedFields) {
+  // The hash keys the serving result cache, so every defaulted field must
+  // collapse onto its explicit resolution — exactly how RunQuery resolves
+  // it — and fields that cannot change the result must not split lines.
+  const int64_t floor = 3;
+  const int64_t vertices = 200;
+
+  // min_support: 0 and the explicit session floor are the same query.
+  TopKQuery defaulted = BaseQuery(5);
+  defaulted.min_support = 0;
+  TopKQuery explicit_floor = BaseQuery(5);
+  explicit_floor.min_support = floor;
+  EXPECT_EQ(defaulted.CanonicalHash(floor, vertices),
+            explicit_floor.CanonicalHash(floor, vertices));
+  // ...but only under the same session floor.
+  EXPECT_NE(defaulted.CanonicalHash(floor, vertices),
+            defaulted.CanonicalHash(floor + 1, vertices));
+
+  // vmin: 0 resolves to max(1, |V|/10), clamped to |V|.
+  TopKQuery auto_vmin = BaseQuery(5);
+  auto_vmin.vmin = 0;
+  TopKQuery resolved_vmin = BaseQuery(5);
+  resolved_vmin.vmin = vertices / 10;
+  EXPECT_EQ(auto_vmin.CanonicalHash(floor, vertices),
+            resolved_vmin.CanonicalHash(floor, vertices));
+  TopKQuery oversized_vmin = BaseQuery(5);
+  oversized_vmin.vmin = vertices + 50;
+  TopKQuery clamped_vmin = BaseQuery(5);
+  clamped_vmin.vmin = vertices;
+  EXPECT_EQ(oversized_vmin.CanonicalHash(floor, vertices),
+            clamped_vmin.CanonicalHash(floor, vertices));
+
+  // closure_window: 0 resolves to max(64, 8k).
+  TopKQuery auto_window = BaseQuery(5);
+  auto_window.closure_window = 0;
+  TopKQuery resolved_window = BaseQuery(5);
+  resolved_window.closure_window = 64;  // 8k = 64 for k = 8
+  EXPECT_EQ(auto_window.CanonicalHash(floor, vertices),
+            resolved_window.CanonicalHash(floor, vertices));
+
+  // embedding_list_budget never affects the result bytes, so it must not
+  // split the cache line either.
+  TopKQuery unbudgeted = BaseQuery(5);
+  TopKQuery budgeted = BaseQuery(5);
+  budgeted.embedding_list_budget = 1 << 20;
+  EXPECT_EQ(unbudgeted.CanonicalHash(floor, vertices),
+            budgeted.CanonicalHash(floor, vertices));
+}
+
+TEST(SessionTest, CanonicalHashSeparatesDistinctQueries) {
+  // Fields that change what RunQuery returns must change the hash; a
+  // collision here would serve one query's cached patterns for another.
+  const int64_t floor = 3;
+  const int64_t vertices = 200;
+  const uint64_t base = BaseQuery(5).CanonicalHash(floor, vertices);
+
+  TopKQuery q = BaseQuery(5);
+  q.k = 9;
+  EXPECT_NE(q.CanonicalHash(floor, vertices), base);
+  q = BaseQuery(5);
+  q.rng_seed = 6;
+  EXPECT_NE(q.CanonicalHash(floor, vertices), base);
+  q = BaseQuery(5);
+  q.dmax = 6;
+  EXPECT_NE(q.CanonicalHash(floor, vertices), base);
+  q = BaseQuery(5);
+  q.support_measure = SupportMeasureKind::kMinImage;
+  EXPECT_NE(q.CanonicalHash(floor, vertices), base);
+  q = BaseQuery(5);
+  q.time_budget_seconds = 1.0;  // budget-truncated results differ
+  EXPECT_NE(q.CanonicalHash(floor, vertices), base);
+  q = BaseQuery(5);
+  q.restarts = 2;
+  EXPECT_NE(q.CanonicalHash(floor, vertices), base);
+
+  // Stability: the hash is a pure function of the resolved fields.
+  EXPECT_EQ(BaseQuery(5).CanonicalHash(floor, vertices), base);
+}
+
 TEST(SessionTest, SessionSurvivesMove) {
   // MiningSession is returned by value through Result<>; the index's
   // back-pointer into the store must survive the moves.

@@ -459,10 +459,20 @@ Status CmdServe(const std::vector<std::string>& args, std::istream& in,
       .AddInt("shard-grain", 0,
               "Stage I vertex-range shard grain (0 = auto; mining only)")
       .AddInt("max-inflight", 1,
-              "queries executed concurrently on the session")
+              "queries executed concurrently on the session; over a "
+              "socket/TCP transport this is also the admission gate "
+              "(excess requests get an \"overloaded\" rejection)")
       .AddString("socket", "",
                  "serve over a unix domain socket at this path instead of "
-                 "stdin/stdout")
+                 "stdin/stdout (combinable with --tcp)")
+      .AddInt("tcp", -1,
+              "also serve over TCP on 127.0.0.1:<port> (0 = ephemeral; "
+              "-1 = off); combinable with --socket")
+      .AddInt("cache-entries", 256,
+              "result cache capacity in entries (0 disables the cache)")
+      .AddInt("cache-bytes", 64 * 1024 * 1024,
+              "result cache capacity in payload bytes (0 disables the "
+              "cache)")
       .AddBool("quiet", false, "suppress the end-of-loop summary line");
   SM_RETURN_NOT_OK(flags.Parse(args));
   if (flags.positional().size() != 1 && flags.positional().size() != 2) {
@@ -473,6 +483,19 @@ Status CmdServe(const std::vector<std::string>& args, std::istream& in,
   if (inflight < 1 || inflight > 1024) {
     return Status::InvalidArgument(
         StrCat("--max-inflight must be in [1, 1024] (got ", inflight, ")"));
+  }
+  const int64_t tcp_port = flags.GetInt("tcp");
+  if (tcp_port < -1 || tcp_port > 65535) {
+    return Status::InvalidArgument(
+        StrCat("--tcp must be a port in [0, 65535], or -1 = off (got ",
+               tcp_port, ")"));
+  }
+  const int64_t cache_entries = flags.GetInt("cache-entries");
+  const int64_t cache_bytes = flags.GetInt("cache-bytes");
+  if (cache_entries < 0 || cache_bytes < 0) {
+    return Status::InvalidArgument(
+        StrCat("--cache-entries/--cache-bytes must be >= 0 (got ",
+               cache_entries, " / ", cache_bytes, ")"));
   }
   // A missing or unrecognizable artifact fails here — before the graph is
   // loaded or any worker pool exists — so a bad path costs milliseconds.
@@ -514,11 +537,22 @@ Status CmdServe(const std::vector<std::string>& args, std::istream& in,
       << session->config().min_support << "), max "
       << inflight << " in-flight queries\n";
 
+  // The cache outlives the loop it is handed to; every transport of this
+  // process shares it (hits cross connections and transports).
+  ResultCacheConfig cache_config;
+  cache_config.max_entries = cache_entries;
+  cache_config.max_bytes = cache_bytes;
+  ResultCache cache(cache_config);
+
   ServeOptions options;
   options.max_inflight = static_cast<int32_t>(inflight);
   options.summary = !flags.GetBool("quiet");
-  if (!flags.GetString("socket").empty()) {
-    return RunServeSocket(*session, flags.GetString("socket"), err, options);
+  options.cache = &cache;
+  if (!flags.GetString("socket").empty() || tcp_port >= 0) {
+    ServeTransportOptions transport;
+    transport.socket_path = flags.GetString("socket");
+    transport.tcp_port = static_cast<int32_t>(tcp_port);
+    return RunServeServer(*session, transport, err, options);
   }
   return RunServeLoop(*session, in, out, err, options);
 }

@@ -67,10 +67,14 @@ Status PrecheckStage1Artifact(const std::string& path);
 /// `serve`: builds (or loads) a session, then answers newline-delimited
 /// JSON queries from \p in on \p out until EOF or {"cmd":"shutdown"},
 /// running up to --max-inflight queries concurrently; diagnostics and the
-/// final latency summary go to \p err. With --socket=<path> the loop runs
-/// over a unix domain socket instead of \p in / \p out. The streams are
-/// parameters (RunCli passes std::cin/std::cout) so tests drive the full
-/// command without a process. See tools/serve_loop.h for the protocol.
+/// final latency summary go to \p err. With --socket=<path> and/or
+/// --tcp=<port> a multi-client event-loop server (tools/serve_loop.h)
+/// replaces the streams: any number of concurrent connections, a global
+/// --max-inflight admission gate ("overloaded" rejections), and a shared
+/// result cache (--cache-entries/--cache-bytes) answering repeated
+/// queries without recomputation. The streams are parameters (RunCli
+/// passes std::cin/std::cout) so tests drive the full command without a
+/// process. See tools/serve_loop.h for the protocol.
 Status CmdServe(const std::vector<std::string>& args, std::istream& in,
                 std::ostream& out, std::ostream& err);
 

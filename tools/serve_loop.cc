@@ -1,5 +1,6 @@
 #include "tools/serve_loop.h"
 
+#include <algorithm>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
@@ -8,18 +9,34 @@
 #include <limits>
 #include <istream>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // macOS: SIGPIPE is already SIG_IGN'd process-wide
+#endif
 #endif
 
 #include "common/strings.h"
@@ -245,24 +262,94 @@ std::string ErrorResponse(const std::string& id_json, int64_t line,
                 EscapeJsonString(status.ToString()), "\"}");
 }
 
-std::string OkResponse(const std::string& id_json, int64_t request_line,
-                       const QueryResult& result, double seconds) {
-  std::string line =
-      StrCat(ResponseHead(id_json, request_line), ",\"ok\":true,\"patterns\":[");
+/// The deterministic middle of an "ok" response — everything between the
+/// per-request envelope (id, line) and the per-request timing (seconds,
+/// timed_out): the patterns array and its count. Byte-deterministic for a
+/// given (query, Stage I artifact) pair, which is exactly what the result
+/// cache stores and replays.
+std::string OkBody(const QueryResult& result) {
+  std::string body = ",\"ok\":true,\"patterns\":[";
   for (size_t i = 0; i < result.patterns.size(); ++i) {
     const MinedPattern& p = result.patterns[i];
-    if (i > 0) line += ",";
-    line += StrCat("{\"vertices\":", p.NumVertices(),
+    if (i > 0) body += ",";
+    body += StrCat("{\"vertices\":", p.NumVertices(),
                    ",\"edges\":", p.NumEdges(), ",\"support\":", p.support,
                    ",\"pattern\":\"", EscapeJsonString(p.pattern.ToString()),
                    "\"}");
   }
+  body += StrCat("],\"count\":", result.patterns.size());
+  return body;
+}
+
+/// Assembles a full "ok" response line around a (possibly cached) body.
+std::string OkResponseFromBody(const std::string& id_json,
+                               int64_t request_line, const std::string& body,
+                               double seconds, bool timed_out) {
   char seconds_text[32];
   std::snprintf(seconds_text, sizeof(seconds_text), "%.6f", seconds);
-  line += StrCat("],\"count\":", result.patterns.size(),
-                 ",\"seconds\":", seconds_text, ",\"timed_out\":",
-                 result.stats.timed_out ? "true" : "false", "}");
-  return line;
+  return StrCat(ResponseHead(id_json, request_line), body,
+                ",\"seconds\":", seconds_text,
+                ",\"timed_out\":", timed_out ? "true" : "false", "}");
+}
+
+/// One executed request: the rendered response line plus what it was.
+struct Executed {
+  std::string response;
+  bool ok = false;
+  bool cache_hit = false;
+};
+
+/// Runs one admitted query against the session, consulting \p cache
+/// first. A hit replays the cached deterministic body (bypassing RunQuery
+/// entirely); a miss computes, then caches the body unless the query
+/// timed out (a truncated result is wall-clock-dependent, so replaying it
+/// would pin one machine's bad luck forever). Shared by the stream loop
+/// and the multi-client server so both transports have identical caching
+/// semantics.
+Executed ExecuteQuery(const MiningSession& session, ResultCache* cache,
+                      const TopKQuery& query, const std::string& id_json,
+                      int64_t line) {
+  WallTimer timer;
+  const bool use_cache = cache != nullptr && cache->enabled();
+  ResultCache::Key key;
+  if (use_cache) {
+    key.query_hash = query.CanonicalHash(session.config().min_support,
+                                         session.graph().NumVertices());
+    key.stage1_key = session.stage1_content_key();
+    if (std::optional<std::string> hit = cache->Lookup(key)) {
+      return Executed{OkResponseFromBody(id_json, line, *hit,
+                                         timer.ElapsedSeconds(),
+                                         /*timed_out=*/false),
+                      /*ok=*/true, /*cache_hit=*/true};
+    }
+  }
+  Result<QueryResult> result = session.RunQuery(query);
+  const double seconds = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    return Executed{ErrorResponse(id_json, line, result.status()), false,
+                    false};
+  }
+  std::string body = OkBody(*result);
+  if (use_cache && !result->stats.timed_out) cache->Insert(key, body);
+  return Executed{OkResponseFromBody(id_json, line, body, seconds,
+                                     result->stats.timed_out),
+                  /*ok=*/true, /*cache_hit=*/false};
+}
+
+/// The session's serving aggregate with the result cache's counters folded
+/// in (the cache lives beside the session, so the session's own snapshot
+/// leaves them at 0) — what every summary line renders.
+SessionServingStats SnapshotWithCache(const MiningSession& session,
+                                      const ResultCache* cache) {
+  SessionServingStats snapshot = session.serving_stats();
+  if (cache != nullptr) {
+    ResultCacheStats cache_stats = cache->stats();
+    snapshot.cache_hits = cache_stats.hits;
+    snapshot.cache_misses = cache_stats.misses;
+    snapshot.cache_evictions = cache_stats.evictions;
+    snapshot.cache_bytes = cache_stats.bytes;
+  }
+  return snapshot;
 }
 
 }  // namespace
@@ -457,8 +544,8 @@ Status RunServeLoop(const MiningSession& session, std::istream& in,
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(options.max_inflight));
   for (int32_t w = 0; w < options.max_inflight; ++w) {
-    workers.emplace_back([&session, &queue, &queue_mu, &can_push, &can_pop,
-                          &closed, &emit] {
+    workers.emplace_back([&session, &options, &queue, &queue_mu, &can_push,
+                          &can_pop, &closed, &emit] {
       for (;;) {
         Job job;
         {
@@ -469,14 +556,9 @@ Status RunServeLoop(const MiningSession& session, std::istream& in,
           queue.pop_front();
         }
         can_push.notify_one();
-        WallTimer query_timer;
-        Result<QueryResult> result = session.RunQuery(job.query);
-        const double seconds = query_timer.ElapsedSeconds();
-        if (result.ok()) {
-          emit(OkResponse(job.id_json, job.line, *result, seconds), true);
-        } else {
-          emit(ErrorResponse(job.id_json, job.line, result.status()), false);
-        }
+        Executed executed = ExecuteQuery(session, options.cache, job.query,
+                                         job.id_json, job.line);
+        emit(executed.response, executed.ok);
       }
     });
   }
@@ -547,7 +629,7 @@ Status RunServeLoop(const MiningSession& session, std::istream& in,
     err << "serve: " << local.requests << " requests in "
         << local.wall_seconds << "s (" << local.answered << " answered, "
         << local.errors << " errors); session total: "
-        << session.serving_stats().ToString() << "\n";
+        << SnapshotWithCache(session, options.cache).ToString() << "\n";
   }
   if (stats != nullptr) *stats = local;
   return Status::Ok();
@@ -557,85 +639,135 @@ Status RunServeLoop(const MiningSession& session, std::istream& in,
 
 namespace {
 
-/// Minimal read-side streambuf over a connected socket fd.
-class FdInBuf : public std::streambuf {
- public:
-  explicit FdInBuf(int fd) : fd_(fd) { setg(buffer_, buffer_, buffer_); }
+// --------------------------------------------------- multi-client server
+//
+// One event-loop thread owns every fd (listeners, connections, the wakeup
+// pipe) and all connection state; max_inflight worker threads own nothing
+// but the job they are executing. Workers hand finished responses back
+// through a mutex-guarded completion vector and a self-pipe byte, so all
+// socket writes happen on the loop thread — no fd is ever touched from
+// two threads.
 
- protected:
-  int underflow() override {
-    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    ssize_t n;
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(StrCat("fcntl(O_NONBLOCK): ", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+/// Readiness event, normalized across the two poller backends. A hangup
+/// reports as readable so the regular read path observes the EOF.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+};
+
+#if defined(__linux__)
+
+/// epoll-backed poller (level-triggered, matching the poll() fallback).
+class Poller {
+ public:
+  Poller() : epoll_fd_(::epoll_create1(0)) {}
+  ~Poller() {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+  bool ok() const { return epoll_fd_ >= 0; }
+
+  void Watch(int fd, bool want_read, bool want_write) {
+    epoll_event event{};
+    event.events = (want_read ? static_cast<uint32_t>(EPOLLIN) : 0u) |
+                   (want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    event.data.fd = fd;
+    const int op =
+        watched_.insert(fd).second ? EPOLL_CTL_ADD : EPOLL_CTL_MOD;
+    ::epoll_ctl(epoll_fd_, op, fd, &event);
+  }
+  void Unwatch(int fd) {
+    if (watched_.erase(fd) > 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    }
+  }
+  /// Blocks until readiness (timeout_ms < 0 = forever), EINTR-retrying.
+  /// Returns the event count, < 0 on a poller failure.
+  int Wait(std::vector<PollEvent>* out, int timeout_ms) {
+    epoll_event events[64];
+    int n;
     do {
-      n = ::read(fd_, buffer_, sizeof(buffer_));
+      n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
     } while (n < 0 && errno == EINTR);
-    if (n <= 0) return traits_type::eof();
-    setg(buffer_, buffer_, buffer_ + n);
-    return traits_type::to_int_type(*gptr());
+    out->clear();
+    for (int i = 0; i < n; ++i) {
+      PollEvent event;
+      event.fd = events[i].data.fd;
+      event.readable =
+          (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+      event.writable = (events[i].events & EPOLLOUT) != 0;
+      out->push_back(event);
+    }
+    return n;
   }
 
  private:
-  int fd_;
-  char buffer_[4096];
+  int epoll_fd_;
+  std::unordered_set<int> watched_;
 };
 
-/// Minimal write-side streambuf over a connected socket fd.
-class FdOutBuf : public std::streambuf {
+#else
+
+/// poll()-backed fallback for non-Linux unix platforms. The interest set
+/// is rebuilt into a pollfd array per wait — fine at serving fan-ins.
+class Poller {
  public:
-  explicit FdOutBuf(int fd) : fd_(fd) { setp(buffer_, buffer_ + sizeof(buffer_)); }
+  bool ok() const { return true; }
 
- protected:
-  int overflow(int ch) override {
-    if (Flush() != 0) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
+  void Watch(int fd, bool want_read, bool want_write) {
+    interest_[fd] = static_cast<short>((want_read ? POLLIN : 0) |
+                                       (want_write ? POLLOUT : 0));
   }
-  int sync() override { return Flush(); }
+  void Unwatch(int fd) { interest_.erase(fd); }
+  int Wait(std::vector<PollEvent>* out, int timeout_ms) {
+    std::vector<pollfd> fds;
+    fds.reserve(interest_.size());
+    for (const auto& [fd, events] : interest_) {
+      fds.push_back(pollfd{fd, events, 0});
+    }
+    int n;
+    do {
+      n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    out->clear();
+    if (n <= 0) return n;
+    for (const pollfd& p : fds) {
+      if (p.revents == 0) continue;
+      PollEvent event;
+      event.fd = p.fd;
+      event.readable = (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      out->push_back(event);
+    }
+    return n;
+  }
 
  private:
-  int Flush() {
-    const char* data = pbase();
-    size_t left = static_cast<size_t>(pptr() - pbase());
-    while (left > 0) {
-      ssize_t n = ::write(fd_, data, left);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return -1;
-      }
-      data += n;
-      left -= static_cast<size_t>(n);
-    }
-    setp(buffer_, buffer_ + sizeof(buffer_));
-    return 0;
-  }
-
-  int fd_;
-  char buffer_[4096];
+  std::unordered_map<int, short> interest_;
 };
 
-}  // namespace
+#endif
 
-Status RunServeSocket(const MiningSession& session,
-                      const std::string& socket_path, std::ostream& err,
-                      const ServeOptions& options) {
-  if (options.max_inflight < 1) {
-    return Status::InvalidArgument(
-        StrCat("max_inflight must be >= 1 (got ", options.max_inflight, ")"));
-  }
+/// Binds + listens on a unix socket, replacing only a genuinely stale
+/// *socket* at the path — a typo'd --socket pointing at a regular file
+/// must not delete it.
+Result<int> ListenUnix(const std::string& socket_path) {
   sockaddr_un address{};
   address.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(address.sun_path)) {
     return Status::InvalidArgument(
-        StrCat("socket path is too long for sun_path (",
-               socket_path.size(), " >= ", sizeof(address.sun_path), ")"));
+        StrCat("socket path is too long for sun_path (", socket_path.size(),
+               " >= ", sizeof(address.sun_path), ")"));
   }
   std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
-
-  // Replace only a genuinely stale *socket* at the path — a typo'd
-  // --socket pointing at a regular file must not delete it.
   struct stat existing{};
   if (::lstat(socket_path.c_str(), &existing) == 0) {
     if (!S_ISSOCK(existing.st_mode)) {
@@ -645,48 +777,574 @@ Status RunServeSocket(const MiningSession& session,
     }
     ::unlink(socket_path.c_str());
   }
-
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     return Status::IoError(StrCat("socket(): ", std::strerror(errno)));
   }
   if (::bind(listener, reinterpret_cast<sockaddr*>(&address),
              sizeof(address)) != 0 ||
-      ::listen(listener, 8) != 0) {
+      ::listen(listener, 64) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listener);
+    return Status::IoError(StrCat("bind/listen(", socket_path, "): ", detail));
+  }
+  return listener;
+}
+
+/// Binds + listens on 127.0.0.1:\p port (0 = ephemeral) and reports the
+/// actually bound port through \p bound_port.
+Result<int> ListenTcp(int32_t port, int32_t* bound_port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Status::IoError(StrCat("socket(tcp): ", std::strerror(errno)));
+  }
+  const int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listener, 64) != 0) {
     const std::string detail = std::strerror(errno);
     ::close(listener);
     return Status::IoError(
-        StrCat("bind/listen(", socket_path, "): ", detail));
+        StrCat("bind/listen(127.0.0.1:", port, "): ", detail));
   }
-  err << "serve: listening on unix socket " << socket_path
-      << " (send {\"cmd\":\"shutdown\"} to stop)\n";
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listener);
+    return Status::IoError(StrCat("getsockname(): ", detail));
+  }
+  *bound_port = static_cast<int32_t>(ntohs(bound.sin_port));
+  return listener;
+}
 
+/// Per-connection state, owned by the loop thread. `id` (not the fd) is
+/// the identity completions carry back: fds are reused by the kernel the
+/// moment a connection closes, ids never are.
+struct ServerConnection {
+  int fd = -1;
+  std::string read_buffer;   ///< bytes received, not yet newline-framed
+  std::string write_buffer;  ///< rendered responses not yet accepted by send
+  int64_t physical_line = 0; ///< 1-based request line counter (per conn)
+  int64_t inflight = 0;      ///< this connection's executing queries
+  bool read_open = true;     ///< false after EOF / read error / oversize
+  bool write_ok = true;      ///< false after a send error (EPIPE etc.)
+};
+
+/// A request line longer than this is a protocol violation, answered once
+/// and then the connection is dropped — an unframed client must not grow
+/// the buffer without bound.
+constexpr size_t kMaxRequestBytes = 1 << 20;
+
+}  // namespace
+
+Status RunServeServer(const MiningSession& session,
+                      const ServeTransportOptions& transport,
+                      std::ostream& err, const ServeOptions& options,
+                      ServeStats* stats) {
+  if (options.max_inflight < 1) {
+    return Status::InvalidArgument(
+        StrCat("max_inflight must be >= 1 (got ", options.max_inflight, ")"));
+  }
+  if (transport.socket_path.empty() && transport.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "the serve server needs at least one transport (a unix socket path "
+        "and/or a TCP port)");
+  }
+  // A client that disconnects mid-response must surface as an EPIPE return
+  // value on this connection, not kill the whole server.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  int unix_listener = -1;
+  int tcp_listener = -1;
+  ServeEndpoints endpoints;
+  auto close_listeners = [&] {
+    if (unix_listener >= 0) {
+      ::close(unix_listener);
+      unix_listener = -1;
+    }
+    if (tcp_listener >= 0) {
+      ::close(tcp_listener);
+      tcp_listener = -1;
+    }
+  };
+  if (!transport.socket_path.empty()) {
+    SM_ASSIGN_OR_RETURN(unix_listener, ListenUnix(transport.socket_path));
+    endpoints.socket_path = transport.socket_path;
+  }
+  if (transport.tcp_port >= 0) {
+    Result<int> tcp = ListenTcp(transport.tcp_port, &endpoints.tcp_port);
+    if (!tcp.ok()) {
+      close_listeners();
+      if (!transport.socket_path.empty()) {
+        ::unlink(transport.socket_path.c_str());
+      }
+      return tcp.status();
+    }
+    tcp_listener = *tcp;
+  }
+  for (int listener : {unix_listener, tcp_listener}) {
+    if (listener >= 0) (void)SetNonBlocking(listener);
+  }
+
+  // Workers hand completions back through this pipe: one byte per batch is
+  // enough (the loop drains the whole completion vector per wakeup).
+  int wake_fds[2] = {-1, -1};
+  if (::pipe(wake_fds) != 0) {
+    const std::string detail = std::strerror(errno);
+    close_listeners();
+    if (!transport.socket_path.empty()) {
+      ::unlink(transport.socket_path.c_str());
+    }
+    return Status::IoError(StrCat("pipe(): ", detail));
+  }
+  (void)SetNonBlocking(wake_fds[0]);
+  (void)SetNonBlocking(wake_fds[1]);
+
+  err << "serve: listening on";
+  if (unix_listener >= 0) err << " unix socket " << endpoints.socket_path;
+  if (unix_listener >= 0 && tcp_listener >= 0) err << " and";
+  if (tcp_listener >= 0) err << " tcp 127.0.0.1:" << endpoints.tcp_port;
+  err << " (send {\"cmd\":\"shutdown\"} to stop)\n";
+  if (transport.on_ready) transport.on_ready(endpoints);
+
+  // ----- worker pool: max_inflight threads, a job queue, a completion
+  // vector. Admission happens on the loop thread, so the queue never holds
+  // more than max_inflight jobs and every admitted job starts immediately.
+  struct ServerJob {
+    int64_t conn_id = 0;
+    int64_t line = 0;
+    std::string id_json;
+    TopKQuery query;
+  };
+  struct Completion {
+    int64_t conn_id = 0;
+    std::string response;
+    bool ok = false;
+  };
+  std::deque<ServerJob> jobs;
+  std::mutex jobs_mu;
+  std::condition_variable jobs_cv;
+  bool jobs_closed = false;
+  std::vector<Completion> completions;
+  std::mutex completions_mu;
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options.max_inflight));
+  for (int32_t w = 0; w < options.max_inflight; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        ServerJob job;
+        {
+          std::unique_lock<std::mutex> lock(jobs_mu);
+          jobs_cv.wait(lock, [&] { return !jobs.empty() || jobs_closed; });
+          if (jobs.empty()) return;  // closed and drained
+          job = std::move(jobs.front());
+          jobs.pop_front();
+        }
+        Executed executed = ExecuteQuery(session, options.cache, job.query,
+                                         job.id_json, job.line);
+        {
+          std::lock_guard<std::mutex> lock(completions_mu);
+          completions.push_back(Completion{job.conn_id,
+                                           std::move(executed.response),
+                                           executed.ok});
+        }
+        // EAGAIN means a wakeup byte is already pending — good enough.
+        ssize_t n;
+        do {
+          n = ::write(wake_fds[1], "x", 1);
+        } while (n < 0 && errno == EINTR);
+      }
+    });
+  }
+
+  // ----- loop state (loop-thread-only; no locks needed).
+  Poller poller;
+  std::unordered_map<int64_t, ServerConnection> connections;
+  std::unordered_map<int, int64_t> conn_of_fd;
+  int64_t next_conn_id = 1;
+  int64_t global_inflight = 0;
+  bool shutting_down = false;
+  bool shutdown_acked = false;
+  int64_t shutdown_conn = -1;
+  std::string shutdown_id_json = "null";
+  int64_t shutdown_line = 0;
+  WallTimer timer;
+  WallTimer drain_timer;  // restarted when the shutdown ack is emitted
+  ServeStats local;
   Status status = Status::Ok();
-  for (;;) {
-    int connection;
-    do {
-      connection = ::accept(listener, nullptr, nullptr);
-    } while (connection < 0 && errno == EINTR);
-    if (connection < 0) {
-      status = Status::IoError(StrCat("accept(): ", std::strerror(errno)));
+
+  if (!poller.ok()) {
+    status = Status::IoError("epoll_create1() failed");
+  }
+  poller.Watch(wake_fds[0], /*want_read=*/true, /*want_write=*/false);
+  if (unix_listener >= 0) poller.Watch(unix_listener, true, false);
+  if (tcp_listener >= 0) poller.Watch(tcp_listener, true, false);
+
+  // Re-arms a connection's poll interest from its current state: read
+  // while the client may still send, write only while bytes are queued
+  // (level-triggered EPOLLOUT on an empty buffer would spin).
+  auto update_interest = [&](ServerConnection& conn) {
+    poller.Watch(conn.fd, conn.read_open,
+                 conn.write_ok && !conn.write_buffer.empty());
+  };
+
+  // Pushes queued bytes into the socket until it would block. A send
+  // failure (EPIPE after SIG_IGN, ECONNRESET) kills the write side only;
+  // close bookkeeping happens in maybe_close.
+  auto flush_writes = [&](ServerConnection& conn) {
+    while (conn.write_ok && !conn.write_buffer.empty()) {
+      ssize_t n = ::send(conn.fd, conn.write_buffer.data(),
+                         conn.write_buffer.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.write_buffer.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      conn.write_ok = false;
+      conn.write_buffer.clear();
+    }
+  };
+
+  /// Queues one response line on a connection (dropped silently when the
+  /// connection died first — the counters still record the outcome).
+  auto emit_response = [&](int64_t conn_id, const std::string& response,
+                           bool answered) {
+    if (answered) {
+      ++local.answered;
+    } else {
+      ++local.errors;
+    }
+    auto it = connections.find(conn_id);
+    if (it == connections.end() || !it->second.write_ok) return;
+    it->second.write_buffer.append(response);
+    it->second.write_buffer.push_back('\n');
+    flush_writes(it->second);
+    update_interest(it->second);
+  };
+
+  /// Closes and forgets a connection once nothing more can happen on it:
+  /// the write side is dead, or the client is gone and every admitted
+  /// query has been answered and flushed.
+  auto maybe_close = [&](int64_t conn_id) {
+    auto it = connections.find(conn_id);
+    if (it == connections.end()) return;
+    ServerConnection& conn = it->second;
+    const bool write_done = !conn.write_ok || conn.write_buffer.empty();
+    const bool done =
+        conn.inflight == 0 && (!conn.write_ok || (!conn.read_open && write_done));
+    if (!done) return;
+    poller.Unwatch(conn.fd);
+    ::close(conn.fd);
+    conn_of_fd.erase(conn.fd);
+    connections.erase(it);
+  };
+
+  /// The "overloaded" hint: the session's observed mean query latency in
+  /// milliseconds (clamped to [10ms, 60s]; 100ms before any history).
+  auto retry_after_ms = [&] {
+    SessionServingStats snapshot = session.serving_stats();
+    double mean_seconds =
+        snapshot.queries_run > 0
+            ? snapshot.total_query_seconds /
+                  static_cast<double>(snapshot.queries_run)
+            : 0.1;
+    return std::clamp<int64_t>(static_cast<int64_t>(mean_seconds * 1000.0),
+                               10, 60000);
+  };
+
+  /// Handles one framed request line of one connection.
+  auto process_line = [&](int64_t conn_id, const std::string& text) {
+    auto conn_it = connections.find(conn_id);
+    if (conn_it == connections.end()) return;
+    ServerConnection& conn = conn_it->second;
+    ++conn.physical_line;
+    if (StripAsciiWhitespace(text).empty()) return;
+    ++local.requests;
+    Result<JsonObject> request = ParseJsonObject(text);
+    if (!request.ok()) {
+      emit_response(conn_id,
+                    ErrorResponse("null", conn.physical_line,
+                                  request.status()),
+                    false);
+      return;
+    }
+    const std::string id_json = RenderId(Find(*request, "id"));
+    if (const JsonValue* cmd = Find(*request, "cmd")) {
+      if (cmd->kind == JsonValue::Kind::kString &&
+          cmd->string_value == "shutdown") {
+        if (shutting_down) {
+          emit_response(conn_id,
+                        ErrorResponse(id_json, conn.physical_line,
+                                      Status::InvalidArgument(
+                                          "shutdown already in progress")),
+                        false);
+          return;
+        }
+        // Stop accepting (listeners close now, so new connects fail fast),
+        // drain every in-flight query, then acknowledge — the ack is the
+        // requester's final line.
+        shutting_down = true;
+        local.shutdown_requested = true;
+        shutdown_conn = conn_id;
+        shutdown_id_json = id_json;
+        shutdown_line = conn.physical_line;
+        if (unix_listener >= 0) poller.Unwatch(unix_listener);
+        if (tcp_listener >= 0) poller.Unwatch(tcp_listener);
+        close_listeners();
+        return;
+      }
+      emit_response(conn_id,
+                    ErrorResponse(id_json, conn.physical_line,
+                                  Status::InvalidArgument(
+                                      "unknown \"cmd\" (only \"shutdown\" "
+                                      "exists)")),
+                    false);
+      return;
+    }
+    Result<TopKQuery> query = QueryFromJson(*request);
+    if (!query.ok()) {
+      emit_response(conn_id,
+                    ErrorResponse(id_json, conn.physical_line,
+                                  query.status()),
+                    false);
+      return;
+    }
+    if (shutting_down) {
+      emit_response(conn_id,
+                    ErrorResponse(id_json, conn.physical_line,
+                                  Status::InvalidArgument(
+                                      "server is shutting down")),
+                    false);
+      return;
+    }
+    if (global_inflight >= options.max_inflight) {
+      // The admission gate: reject instead of queueing, so a burst can
+      // never build an unbounded backlog and the client learns to back
+      // off immediately.
+      ++local.rejected;
+      emit_response(conn_id,
+                    StrCat(ResponseHead(id_json, conn.physical_line),
+                           ",\"ok\":false,\"error\":\"overloaded\","
+                           "\"retry_after_ms\":", retry_after_ms(), "}"),
+                    false);
+      return;
+    }
+    ++global_inflight;
+    ++conn.inflight;
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu);
+      jobs.push_back(ServerJob{conn_id, conn.physical_line, id_json,
+                               *std::move(query)});
+    }
+    jobs_cv.notify_one();
+  };
+
+  /// Drains readable bytes and processes every complete line. EOF (or a
+  /// read error, or an oversize line) closes the read side; queries
+  /// already admitted still complete and flush before the fd closes.
+  auto handle_readable = [&](int64_t conn_id) {
+    auto it = connections.find(conn_id);
+    if (it == connections.end()) return;
+    ServerConnection& conn = it->second;
+    char buffer[4096];
+    while (conn.read_open) {
+      ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        conn.read_buffer.append(buffer, static_cast<size_t>(n));
+        if (conn.read_buffer.size() > kMaxRequestBytes &&
+            conn.read_buffer.find('\n') == std::string::npos) {
+          ++conn.physical_line;
+          ++local.requests;
+          emit_response(conn_id,
+                        ErrorResponse("null", conn.physical_line,
+                                      Status::InvalidArgument(StrCat(
+                                          "request line exceeds ",
+                                          kMaxRequestBytes, " bytes"))),
+                        false);
+          conn.read_open = false;
+          conn.read_buffer.clear();
+        }
+        continue;
+      }
+      if (n == 0) {
+        conn.read_open = false;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn.read_open = false;  // ECONNRESET and friends
       break;
     }
-    FdInBuf in_buf(connection);
-    FdOutBuf out_buf(connection);
-    std::istream in(&in_buf);
-    std::ostream out(&out_buf);
-    ServeStats connection_stats;
-    status = RunServeLoop(session, in, out, err, options, &connection_stats);
-    out.flush();
-    ::close(connection);
-    if (!status.ok() || connection_stats.shutdown_requested) break;
+    // Frame and process the complete lines received so far. process_line
+    // never inserts into `connections`, so `conn` stays valid.
+    size_t start = 0;
+    size_t newline;
+    while ((newline = conn.read_buffer.find('\n', start)) !=
+           std::string::npos) {
+      process_line(conn_id, conn.read_buffer.substr(start, newline - start));
+      start = newline + 1;
+    }
+    conn.read_buffer.erase(0, start);
+    if (!conn.read_open && !conn.read_buffer.empty()) {
+      // Final unterminated line before EOF: serve it anyway, matching the
+      // stream loop's std::getline behavior.
+      process_line(conn_id, conn.read_buffer);
+      conn.read_buffer.clear();
+    }
+    update_interest(conn);
+    maybe_close(conn_id);
+  };
+
+  /// Accepts every pending connection on a listener (level-triggered:
+  /// accept until EAGAIN).
+  auto handle_accept = [&](int listener) {
+    for (;;) {
+      int fd;
+      do {
+        fd = ::accept(listener, nullptr, nullptr);
+      } while (fd < 0 && errno == EINTR);
+      if (fd < 0) break;  // EAGAIN, or a transient accept error: retry later
+      if (shutting_down || !SetNonBlocking(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      const int64_t conn_id = next_conn_id++;
+      ServerConnection conn;
+      conn.fd = fd;
+      connections.emplace(conn_id, std::move(conn));
+      conn_of_fd[fd] = conn_id;
+      poller.Watch(fd, /*want_read=*/true, /*want_write=*/false);
+    }
+  };
+
+  /// Applies finished queries: write their responses, release admission
+  /// slots. Runs on the loop thread only.
+  auto drain_completions = [&] {
+    char discard[64];
+    ssize_t n;
+    do {
+      n = ::read(wake_fds[0], discard, sizeof(discard));
+    } while (n > 0 || (n < 0 && errno == EINTR));
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu);
+      batch.swap(completions);
+    }
+    for (Completion& completion : batch) {
+      --global_inflight;
+      auto it = connections.find(completion.conn_id);
+      if (it != connections.end() && it->second.inflight > 0) {
+        --it->second.inflight;
+      }
+      emit_response(completion.conn_id, completion.response, completion.ok);
+      maybe_close(completion.conn_id);
+    }
+  };
+
+  // ----- the event loop.
+  std::vector<PollEvent> events;
+  while (status.ok()) {
+    // Shutdown completes in two steps: ack once the last in-flight query
+    // finished, then exit once every connection's responses are flushed
+    // (bounded by a drain deadline so one stuck client can't wedge exit).
+    if (shutting_down && !shutdown_acked && global_inflight == 0) {
+      shutdown_acked = true;
+      emit_response(shutdown_conn,
+                    StrCat(ResponseHead(shutdown_id_json, shutdown_line),
+                           ",\"ok\":true,\"shutdown\":true}"),
+                    true);
+      drain_timer.Restart();
+    }
+    if (shutdown_acked) {
+      bool pending = false;
+      for (auto& [conn_id, conn] : connections) {
+        if (conn.write_ok && !conn.write_buffer.empty()) pending = true;
+      }
+      if (!pending || drain_timer.ElapsedSeconds() > 5.0) break;
+    }
+    const int timeout_ms = shutdown_acked ? 50 : -1;
+    const int n = poller.Wait(&events, timeout_ms);
+    if (n < 0) {
+      status = Status::IoError(StrCat("poll wait: ", std::strerror(errno)));
+      break;
+    }
+    for (const PollEvent& event : events) {
+      if (event.fd == wake_fds[0]) {
+        drain_completions();
+      } else if (event.fd == unix_listener || event.fd == tcp_listener) {
+        handle_accept(event.fd);
+      } else {
+        auto fd_it = conn_of_fd.find(event.fd);
+        if (fd_it == conn_of_fd.end()) continue;  // closed earlier this batch
+        const int64_t conn_id = fd_it->second;
+        if (event.writable) {
+          auto it = connections.find(conn_id);
+          if (it != connections.end()) {
+            flush_writes(it->second);
+            update_interest(it->second);
+          }
+        }
+        if (event.readable) handle_readable(conn_id);
+        maybe_close(conn_id);
+      }
+    }
   }
-  ::close(listener);
-  ::unlink(socket_path.c_str());
+
+  // ----- teardown: stop the workers, close every fd, free the path.
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu);
+    jobs_closed = true;
+  }
+  jobs_cv.notify_all();
+  for (std::thread& worker : workers) worker.join();
+  for (auto& [conn_id, conn] : connections) ::close(conn.fd);
+  connections.clear();
+  conn_of_fd.clear();
+  close_listeners();
+  ::close(wake_fds[0]);
+  ::close(wake_fds[1]);
+  if (!transport.socket_path.empty()) {
+    ::unlink(transport.socket_path.c_str());
+  }
+
+  local.wall_seconds = timer.ElapsedSeconds();
+  if (options.summary) {
+    err << "serve: " << local.requests << " requests in "
+        << local.wall_seconds << "s (" << local.answered << " answered, "
+        << local.errors << " errors";
+    if (local.rejected > 0) err << ", " << local.rejected << " rejected";
+    err << "); session total: "
+        << SnapshotWithCache(session, options.cache).ToString() << "\n";
+  }
+  if (stats != nullptr) *stats = local;
   return status;
 }
 
-#else  // no unix sockets on this platform
+Status RunServeSocket(const MiningSession& session,
+                      const std::string& socket_path, std::ostream& err,
+                      const ServeOptions& options) {
+  ServeTransportOptions transport;
+  transport.socket_path = socket_path;
+  return RunServeServer(session, transport, err, options, nullptr);
+}
+
+#else  // no unix sockets / poll on this platform
+
+Status RunServeServer(const MiningSession&, const ServeTransportOptions&,
+                      std::ostream&, const ServeOptions&, ServeStats*) {
+  return Status::InvalidArgument(
+      "the serve server requires unix sockets/poll, unavailable on this "
+      "platform; use the stdin/stdout transport");
+}
 
 Status RunServeSocket(const MiningSession&, const std::string&,
                       std::ostream&, const ServeOptions&) {

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
 #include <string_view>
 
 #include "common/result.h"
+#include "spidermine/result_cache.h"
 #include "spidermine/session.h"
 
 /// \file serve_loop.h
@@ -73,18 +75,29 @@ Result<TopKQuery> QueryFromJson(const JsonObject& request);
 /// Options of one serve loop.
 struct ServeOptions {
   /// Queries allowed to execute concurrently on the session (the worker
-  /// count of the loop). Must be >= 1.
+  /// count of the loop). Must be >= 1. The stream loop applies it as
+  /// blocking back-pressure (reading pauses when the queue is full); the
+  /// socket/TCP server applies it as an admission gate (excess requests
+  /// are rejected immediately with "overloaded" + retry_after_ms).
   int32_t max_inflight = 1;
   /// Print the end-of-loop aggregate line (requests, errors, latency,
   /// session serving stats) to the error stream.
   bool summary = true;
+  /// Optional result cache (borrowed; outlives the loop). A repeated
+  /// query whose canonical hash + Stage I content key match a cached
+  /// entry is answered from the cache without touching RunQuery — the
+  /// response is byte-identical to a recomputation except for its
+  /// "seconds" field (results are deterministic; see result_cache.h).
+  /// null (or a cache with a 0 cap) disables caching.
+  ResultCache* cache = nullptr;
 };
 
 /// Counters of one serve loop, filled when the loop exits.
 struct ServeStats {
   int64_t requests = 0;       ///< request lines read (incl. malformed)
   int64_t answered = 0;       ///< responses with "ok":true
-  int64_t errors = 0;         ///< responses with "ok":false
+  int64_t errors = 0;         ///< responses with "ok":false (incl. rejected)
+  int64_t rejected = 0;       ///< admission-gate "overloaded" rejections
   double wall_seconds = 0.0;  ///< loop duration
   bool shutdown_requested = false;  ///< exited via {"cmd":"shutdown"}
 };
@@ -101,13 +114,64 @@ Status RunServeLoop(const MiningSession& session, std::istream& in,
                     std::ostream& out, std::ostream& err,
                     const ServeOptions& options, ServeStats* stats = nullptr);
 
+/// What a server actually bound: the socket path verbatim and the real
+/// TCP port (the ephemeral one when tcp_port was 0); -1 / empty = that
+/// transport is off.
+struct ServeEndpoints {
+  std::string socket_path;
+  int32_t tcp_port = -1;
+};
+
+/// Where a multi-client server listens. At least one transport must be
+/// enabled (a non-empty socket_path and/or tcp_port >= 0).
+struct ServeTransportOptions {
+  /// Unix-domain socket path; empty = no unix listener. A stale socket
+  /// file at the path is replaced; an existing path that is NOT a socket
+  /// is refused with kInvalidArgument, never deleted.
+  std::string socket_path;
+  /// TCP port, bound to 127.0.0.1 only (serving is a local-trust
+  /// protocol; fronting it to a network is a proxy's job). -1 = no TCP
+  /// listener; 0 = pick an ephemeral port (reported via on_ready).
+  int32_t tcp_port = -1;
+  /// Invoked once on the serving thread after every listener is bound and
+  /// before the first accept — the only way to learn an ephemeral TCP
+  /// port. Tests connect from here (or from another thread afterwards).
+  std::function<void(const ServeEndpoints&)> on_ready;
+};
+
+/// Runs the multi-client serve server: an event loop (epoll on Linux,
+/// poll elsewhere) multiplexing any number of concurrent connections
+/// across the enabled transports, with `options.max_inflight` worker
+/// threads executing admitted queries on \p session. Per connection the
+/// protocol is exactly RunServeLoop's (newline-delimited requests,
+/// responses in completion order, "line" = 1-based physical line number
+/// within that connection); across connections:
+///
+///   - admission: a query arriving while max_inflight queries are already
+///     executing (on any connection) is rejected immediately with
+///     {"id":..,"line":..,"ok":false,"error":"overloaded",
+///      "retry_after_ms":N} — N is derived from the session's observed
+///     mean query latency. A slow or idle client never stalls the others.
+///   - shutdown: {"cmd":"shutdown"} from any connection stops admission
+///     ("server is shutting down" errors), drains every in-flight query
+///     on every connection, acknowledges the requester with the final
+///     response line, flushes all connections and exits.
+///   - robustness: SIGPIPE is ignored process-wide (a mid-response
+///     disconnect surfaces as EPIPE and closes that connection only);
+///     accept/read/write retry on EINTR.
+///
+/// kIoError on listener setup failures; per-connection I/O errors close
+/// that connection and never abort the server.
+Status RunServeServer(const MiningSession& session,
+                      const ServeTransportOptions& transport,
+                      std::ostream& err, const ServeOptions& options,
+                      ServeStats* stats = nullptr);
+
 /// Serves over a unix domain socket at \p socket_path instead of
-/// stdin/stdout: binds (replacing a stale socket file — an existing path
-/// that is NOT a socket is refused with kInvalidArgument, never deleted),
-/// accepts one connection at a time, and runs the serve loop on each
-/// connection until a client sends {"cmd":"shutdown"}. Within a
-/// connection, queries still execute up to max_inflight at once.
-/// kIoError on socket failures.
+/// stdin/stdout: RunServeServer with only the unix transport enabled
+/// (kept as the stable single-transport entry point). Concurrent
+/// connections are multiplexed; a client sending {"cmd":"shutdown"}
+/// stops the server for everyone. kIoError on socket failures.
 Status RunServeSocket(const MiningSession& session,
                       const std::string& socket_path, std::ostream& err,
                       const ServeOptions& options);

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Multi-client serving smoke, run by CI against the real binary: one
+# resident `serve` process listening on BOTH transports (unix socket +
+# ephemeral TCP), three concurrent clients — two over TCP (bash /dev/tcp),
+# one over the unix socket (python3 stdlib) — each sending the same query
+# twice, overlapping in flight. Verifies:
+#   * every client's responses are byte-identical across clients and
+#     transports after stripping the timing field ("seconds");
+#   * the repeated query is answered by the result cache: the shutdown
+#     summary must report >= 1 cache hit;
+#   * {"cmd":"shutdown"} is acked and the server exits with status 0.
+#
+#   $ tools/serve_multiclient_smoke.sh [path/to/spidermine]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BIN="${1:-build/spidermine}"
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not found; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "${server_pid}" ]] && kill "${server_pid}" 2>/dev/null || true
+  rm -rf "${work}"
+}
+trap cleanup EXIT
+
+echo "=== generate graph + stage1 artifact"
+"${BIN}" gen --model=er --vertices=400 --avg-degree=1.8 --labels=15 \
+  --seed=5 --inject-vertices=12 --inject-count=3 --out="${work}/g.smg"
+"${BIN}" stage1 "${work}/g.smg" --support=3 --threads=0 \
+  --out="${work}/g.sm2"
+
+echo "=== start the server on unix socket + ephemeral TCP"
+sock="${work}/serve.sock"
+"${BIN}" serve "${work}/g.smg" "${work}/g.sm2" --threads=0 \
+  --socket="${sock}" --tcp=0 --max-inflight=4 \
+  </dev/null 2>"${work}/server.err" &
+server_pid=$!
+for _ in $(seq 1 100); do
+  grep -q 'serve: listening on' "${work}/server.err" 2>/dev/null && break
+  kill -0 "${server_pid}" 2>/dev/null || {
+    echo "server died at startup:" >&2; cat "${work}/server.err" >&2; exit 1
+  }
+  sleep 0.1
+done
+grep 'serve: listening on' "${work}/server.err"
+port="$(sed -n 's/.*tcp 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${work}/server.err")"
+test -n "${port}"
+
+# Every client sends the SAME two-request script (ids 1 and 2, identical
+# query bytes), so after stripping "seconds" the three transcripts must be
+# byte-identical — same ids, same per-connection line numbers, same
+# patterns. The second request is a guaranteed cache hit: the client only
+# sends it after reading the first response, by which point the entry is
+# resident.
+request1='{"id":1,"k":5,"dmax":4,"vmin":12,"seed":2}'
+request2='{"id":2,"k":5,"dmax":4,"vmin":12,"seed":2}'
+
+tcp_client() {
+  local out="$1"
+  exec 3<>"/dev/tcp/127.0.0.1/${port}"
+  printf '%s\n' "${request1}" >&3
+  IFS= read -r line1 <&3
+  printf '%s\n' "${request2}" >&3
+  IFS= read -r line2 <&3
+  exec 3<&- 3>&-
+  printf '%s\n%s\n' "${line1}" "${line2}" > "${out}"
+}
+
+unix_client() {
+  local out="$1"
+  python3 - "${sock}" "${request1}" "${request2}" > "${out}" <<'PY'
+import socket, sys
+path, requests = sys.argv[1], sys.argv[2:]
+client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+client.connect(path)
+reader = client.makefile("r")
+for request in requests:
+    client.sendall((request + "\n").encode())
+    sys.stdout.write(reader.readline())
+client.close()
+PY
+}
+
+echo "=== three concurrent clients (2 tcp + 1 unix), overlapping queries"
+tcp_client "${work}/tcp1.txt" &
+c1=$!
+tcp_client "${work}/tcp2.txt" &
+c2=$!
+unix_client "${work}/unix.txt" &
+c3=$!
+wait "${c1}" "${c2}" "${c3}"
+
+for f in tcp1 tcp2 unix; do
+  test "$(grep -c '"ok":true' "${work}/${f}.txt")" = 2
+done
+strip() { sed 's/"seconds":[0-9.]*//' "$1"; }
+diff <(strip "${work}/tcp1.txt") <(strip "${work}/tcp2.txt")
+diff <(strip "${work}/tcp1.txt") <(strip "${work}/unix.txt")
+echo "OK: responses byte-identical across clients and transports"
+
+echo "=== shutdown acks and the server exits cleanly"
+exec 3<>"/dev/tcp/127.0.0.1/${port}"
+printf '{"cmd":"shutdown"}\n' >&3
+IFS= read -r ack <&3
+exec 3<&- 3>&-
+echo "${ack}"
+grep -q '"shutdown":true' <<< "${ack}"
+wait "${server_pid}"
+server_pid=""
+
+cat "${work}/server.err"
+hits="$(sed -n 's/.*cache \([0-9]*\) hits.*/\1/p' "${work}/server.err")"
+test -n "${hits}" && test "${hits}" -ge 1
+test ! -e "${sock}"  # the socket file is unlinked on exit
+echo "OK: ${hits} cache hits, clean shutdown"
