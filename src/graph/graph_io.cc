@@ -76,6 +76,59 @@ Result<LabeledGraph> ParseGraphText(const std::string& text) {
   return ParseStream(in);
 }
 
+Result<StreamingGraphScan> ScanGraphTextStream(std::istream& in) {
+  StreamingGraphScan scan;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    char kind = 0;
+    fields >> kind;
+    if (kind == 'v') {
+      int64_t id = -1;
+      int64_t label = -1;
+      fields >> id >> label;
+      if (fields.fail() || id != scan.num_vertices || label < 0) {
+        return Status::IoError(
+            StrCat("line ", line_no, ": expected 'v ", scan.num_vertices,
+                   " <label>', got '", stripped, "'"));
+      }
+      if (static_cast<int64_t>(scan.label_histogram.size()) <= label) {
+        scan.label_histogram.resize(static_cast<size_t>(label) + 1, 0);
+      }
+      ++scan.label_histogram[static_cast<size_t>(label)];
+      scan.degrees.push_back(0);
+      ++scan.num_vertices;
+    } else if (kind == 'e') {
+      int64_t u = -1;
+      int64_t v = -1;
+      fields >> u >> v;
+      if (fields.fail() || u < 0 || v < 0 || u >= scan.num_vertices ||
+          v >= scan.num_vertices) {
+        return Status::IoError(
+            StrCat("line ", line_no, ": malformed edge '", stripped, "'"));
+      }
+      if (u == v) continue;  // self-loops are dropped, like GraphBuilder
+      ++scan.degrees[static_cast<size_t>(u)];
+      ++scan.degrees[static_cast<size_t>(v)];
+      ++scan.num_edges;
+    } else {
+      return Status::IoError(
+          StrCat("line ", line_no, ": unknown record '", stripped, "'"));
+    }
+  }
+  return scan;
+}
+
+Result<StreamingGraphScan> ScanGraphTextStreaming(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StrCat("cannot open for read: ", path));
+  return ScanGraphTextStream(in);
+}
+
 std::string GraphToText(const LabeledGraph& graph) {
   std::ostringstream out;
   out << "# spidermine graph: " << graph.NumVertices() << " vertices, "

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <istream>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "graph/labeled_graph.h"
@@ -29,5 +31,30 @@ Result<LabeledGraph> ParseGraphText(const std::string& text);
 
 /// Serializes to the LG format (inverse of ParseGraphText).
 std::string GraphToText(const LabeledGraph& graph);
+
+/// Everything the graph partitioner (graph/graph_partition.h) needs to cut
+/// vertex ranges, gathered in ONE pass over an LG text file with O(n)
+/// memory — per-vertex degrees and the label histogram, but no adjacency.
+/// This is the out-of-core entry point: partition boundaries for a graph
+/// that does not fit in RAM come from this scan, not from a loaded
+/// LabeledGraph.
+struct StreamingGraphScan {
+  int64_t num_vertices = 0;
+  /// Edge records seen (self-loops skipped, like GraphBuilder). Duplicate
+  /// edge records cannot be detected without adjacency and are counted;
+  /// files written by SaveGraphText never contain them.
+  int64_t num_edges = 0;
+  /// Degree of each vertex (size num_vertices).
+  std::vector<int64_t> degrees;
+  /// Vertices per label (size = one past the largest label id).
+  std::vector<int64_t> label_histogram;
+};
+
+/// Runs the streaming scan over \p path / an open stream. Enforces the
+/// same record grammar as LoadGraphText (dense in-order vertex ids, edges
+/// only between declared vertices); kIoError with the offending line
+/// otherwise.
+Result<StreamingGraphScan> ScanGraphTextStreaming(const std::string& path);
+Result<StreamingGraphScan> ScanGraphTextStream(std::istream& in);
 
 }  // namespace spidermine

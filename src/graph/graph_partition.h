@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/labeled_graph.h"
+
+/// \file graph_partition.h
+/// Radius-aware vertex-range partitioning of a LabeledGraph — the graph
+/// side of out-of-core partitioned Stage I (spidermine/stage1_partition.h).
+///
+/// A partition OWNS one contiguous original-vertex-id range [owned_begin,
+/// owned_end) and additionally carries every vertex within `radius` hops of
+/// an owned vertex (the GHOST halo), as the subgraph induced on that union.
+/// Shortest paths of length <= radius from an owned vertex never leave its
+/// r-hop ball, so inside a partition every owned vertex sees its exact
+/// r-ball — spider mining restricted to owned anchors is bit-for-bit the
+/// single-node result. Local vertex ids are assigned deterministically:
+/// owned vertices first in ascending original id (so local id i maps to
+/// original id owned_begin + i), then ghosts in ascending original id.
+///
+/// The partitioner is deterministic: a PartitionPlan is a boundary array
+/// computed from vertex count or degree prefix sums (degree balancing keeps
+/// partitions' edge work even when hubs cluster), never from hashes or
+/// iteration order. Plans can also be computed from a streaming one-pass
+/// scan of the edge list (graph_io.h ScanGraphTextStreaming) without
+/// materializing the graph — the out-of-core entry point.
+///
+/// Serialization: format `.smgp` (magic "SMGP") on the shared
+/// binary_format.h envelope. Every partition records the parent graph's
+/// ContentHash() plus a partition content hash derived from it, so a
+/// partition can never be silently merged against the wrong network or a
+/// stale partitioning.
+
+namespace spidermine {
+
+/// Magic bytes of the serialized graph-partition format.
+inline constexpr char kSmgpMagic[4] = {'S', 'M', 'G', 'P'};
+inline constexpr uint32_t kSmgpFormatVersion = 1;
+
+/// How to cut the vertex-id space into P contiguous ranges.
+struct PartitionPlan {
+  int32_t num_partitions = 1;
+  /// Halo radius in hops (>= 1; must cover the spider radius mined later).
+  int32_t radius = 1;
+  /// num_partitions + 1 ascending boundaries; partition p owns
+  /// [boundaries[p], boundaries[p+1]).
+  std::vector<int64_t> boundaries;
+
+  /// Structural validity against an n-vertex graph: P >= 1, radius >= 1,
+  /// boundaries strictly increasing from 0 to n (every partition owns at
+  /// least one vertex).
+  Status Validate(int64_t num_vertices) const;
+};
+
+/// Computes a deterministic plan over \p degrees (indexed by vertex id).
+/// With \p balance_by_degree, ranges equalize sum(1 + degree) — a proxy for
+/// per-partition scan+halo work; otherwise they equalize vertex counts.
+/// Requires 1 <= num_partitions <= |degrees| and radius >= 1.
+Result<PartitionPlan> MakePartitionPlanFromDegrees(
+    std::span<const int64_t> degrees, int32_t num_partitions, int32_t radius,
+    bool balance_by_degree = true);
+
+/// MakePartitionPlanFromDegrees over an in-memory graph's degrees.
+Result<PartitionPlan> MakePartitionPlan(const LabeledGraph& graph,
+                                        int32_t num_partitions,
+                                        int32_t radius,
+                                        bool balance_by_degree = true);
+
+/// One partition: the owned range, the halo'd local subgraph, and the maps
+/// back to original vertex ids.
+struct GraphPartition {
+  int32_t partition_index = 0;
+  int32_t num_partitions = 1;
+  int32_t radius = 1;
+  int64_t owned_begin = 0;
+  int64_t owned_end = 0;
+
+  // Parent-graph identity (LabeledGraph::ContentHash of the full network).
+  uint64_t parent_hash = 0;
+  int64_t parent_num_vertices = 0;
+  int64_t parent_num_edges = 0;
+
+  /// Subgraph induced on owned vertices plus their radius-hop halo. Local
+  /// ids: [0, num_owned()) are the owned vertices in ascending original id;
+  /// the rest are ghosts in ascending original id.
+  LabeledGraph graph;
+  /// Original id of each local vertex (size graph.NumVertices()).
+  std::vector<VertexId> local_to_orig;
+
+  int64_t num_owned() const { return owned_end - owned_begin; }
+  int64_t num_ghosts() const {
+    return graph.NumVertices() - num_owned();
+  }
+  VertexId ToOriginal(VertexId local) const { return local_to_orig[local]; }
+
+  /// Deterministic content hash over the partition: folds the parent
+  /// graph's ContentHash, the partition geometry, the local subgraph's
+  /// ContentHash and the id map. Stored in the `.smgp` file and re-checked
+  /// on load, so a partition is bound to the exact parent network AND the
+  /// exact partitioning that produced it.
+  uint64_t ContentHash() const;
+};
+
+/// Cuts partition \p partition_index out of \p graph per \p plan.
+/// Deterministic; transient memory is O(|graph| / P + halo) plus one
+/// O(n) id-translation scratch array.
+Result<GraphPartition> BuildGraphPartition(const LabeledGraph& graph,
+                                           const PartitionPlan& plan,
+                                           int32_t partition_index);
+
+/// Serializes to `.smgp` bytes (deterministic) / writes to \p path.
+std::string GraphPartitionToBytes(const GraphPartition& part);
+Status SaveGraphPartition(const GraphPartition& part,
+                          const std::string& path);
+
+/// Decodes bytes / a file written by the functions above. Fails with
+/// kIoError on framing or CRC mismatches, structurally invalid content
+/// (id-map or range violations) and content-hash mismatches.
+Result<GraphPartition> GraphPartitionFromBytes(const std::string& bytes);
+Result<GraphPartition> LoadGraphPartition(const std::string& path);
+
+}  // namespace spidermine

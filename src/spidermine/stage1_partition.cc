@@ -1,0 +1,653 @@
+#include "spidermine/stage1_partition.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "graph/binary_format.h"
+#include "spider/spider_index.h"
+#include "spider/spider_store_mmap.h"
+#include "spider/star_miner.h"
+
+namespace spidermine {
+
+namespace {
+
+using binary_format::AppendI32;
+using binary_format::AppendI64;
+using binary_format::AppendU32;
+using binary_format::AppendU64;
+
+/// Fixed byte length of the `.sm2p` meta section (see WritePartialMeta).
+constexpr uint64_t kSm2pMetaBytes = 88;
+constexpr size_t kSm2pPreamble = 16;
+constexpr size_t kSm2pTableEntryBytes = 32;
+constexpr size_t kSm2pHeaderBytes =
+    kSm2pPreamble + kSm2pSectionCount * kSm2pTableEntryBytes;
+
+const char* kSm2pSectionName[kSm2pSectionCount] = {
+    "meta",           "head_labels", "leaf_offsets",
+    "leaf_pool",      "anchor_offsets", "anchor_pool"};
+
+enum Sm2pSectionKind : uint32_t {
+  kMeta = 0,
+  kHeadLabels = 1,
+  kLeafOffsets = 2,
+  kLeafPool = 3,
+  kAnchorOffsets = 4,
+  kAnchorPool = 5,
+};
+
+void PadTo(std::string* out, size_t align) {
+  while (out->size() % align != 0) out->push_back('\0');
+}
+
+template <typename T>
+std::span<const uint8_t> AsBytes(std::span<const T> data) {
+  return {reinterpret_cast<const uint8_t*>(data.data()), data.size_bytes()};
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian host (gated like .sm2)
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+template <typename T>
+std::span<const T> SectionSpan(std::span<const uint8_t> file,
+                               uint64_t offset, uint64_t length) {
+  return {reinterpret_cast<const T*>(file.data() + offset),
+          static_cast<size_t>(length / sizeof(T))};
+}
+
+Status CheckOffsets(std::span<const int64_t> offsets, int64_t expected_total,
+                    const char* what) {
+  if (offsets.empty() || offsets.front() != 0) {
+    return Status::IoError(StrCat("sm2p ", what, " does not start at 0"));
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::IoError(
+          StrCat("sm2p ", what, " not monotonic at entry ", i));
+    }
+  }
+  if (offsets.back() != expected_total) {
+    return Status::IoError(StrCat("sm2p ", what, " ends at ", offsets.back(),
+                                  ", expected ", expected_total));
+  }
+  return Status::Ok();
+}
+
+std::string WritePartialMeta(const Stage1PartialMeta& meta, uint64_t n,
+                             uint64_t total_leaves, uint64_t total_anchors) {
+  std::string out;
+  AppendI64(&out, meta.min_support);
+  AppendI32(&out, meta.spider_radius);
+  AppendI32(&out, meta.max_star_leaves);
+  AppendI64(&out, meta.max_spiders);
+  AppendI64(&out, meta.num_graph_vertices);
+  AppendU64(&out, meta.graph_hash);
+  AppendI32(&out, meta.partition_index);
+  AppendI32(&out, meta.num_partitions);
+  AppendI64(&out, meta.owned_begin);
+  AppendI64(&out, meta.owned_end);
+  AppendU64(&out, n);
+  AppendU64(&out, total_leaves);
+  AppendU64(&out, total_anchors);
+  return out;
+}
+
+/// Canonical three-way star order: head label, then the leaf vector
+/// lexicographically with prefixes first — the store order every miner
+/// pass and the merge share.
+int CompareStarKey(LabelId label_a, std::span<const SpiderLeafKey> a,
+                   LabelId label_b, std::span<const SpiderLeafKey> b) {
+  if (label_a != label_b) return label_a < label_b ? -1 : 1;
+  const size_t common = std::min(a.size(), b.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
+Result<Stage1PartialResult> MineStage1Partial(const GraphPartition& part,
+                                              const Stage1PartialConfig& config,
+                                              ThreadPool* pool) {
+  if (part.radius < 1) {
+    return Status::InvalidArgument(
+        StrCat("partition halo radius ", part.radius,
+               " cannot cover the spider radius 1"));
+  }
+  if (config.min_support < 1) {
+    return Status::InvalidArgument(
+        StrCat("min_support must be >= 1, got ", config.min_support));
+  }
+  if (config.max_star_leaves < 0 || config.max_spiders < 0) {
+    return Status::InvalidArgument(
+        "max_star_leaves and max_spiders must be >= 0");
+  }
+
+  // Local threshold 1: every star with an anchor anywhere in the halo'd
+  // subgraph. Sigma and the global budget CANNOT be applied here — a star
+  // below sigma locally may be frequent globally, and the budget is a
+  // prefix of the global canonical order. Both are applied at merge.
+  StarMinerConfig local;
+  local.min_support = 1;
+  local.max_leaves = config.max_star_leaves;
+  local.max_spiders = 0;
+  local.include_single_vertex = true;
+  local.shard_grain = config.shard_grain;
+  SM_ASSIGN_OR_RETURN(StarMineResult mined,
+                      MineStarSpiders(part.graph, local, pool));
+  if (mined.truncated) {
+    return Status::Internal(
+        "unbudgeted partial star mining reported truncation");
+  }
+
+  // Keep stars with >= 1 OWNED anchor; translate anchors to original ids.
+  // Owned vertices are local ids [0, num_owned) and anchor lists are
+  // ascending, so the owned anchors are a prefix, and local id i maps to
+  // original id owned_begin + i (both ascending — order is preserved).
+  const VertexId num_owned = static_cast<VertexId>(part.num_owned());
+  Stage1PartialResult result;
+  result.local_stars = mined.store.size();
+  std::vector<VertexId> mapped;
+  for (int32_t id = 0; id < mined.store.size(); ++id) {
+    std::span<const VertexId> anchors = mined.store.anchors(id);
+    const size_t owned_count = static_cast<size_t>(
+        std::lower_bound(anchors.begin(), anchors.end(), num_owned) -
+        anchors.begin());
+    if (owned_count == 0) continue;
+    mapped.clear();
+    mapped.reserve(owned_count);
+    for (size_t i = 0; i < owned_count; ++i) {
+      mapped.push_back(
+          static_cast<VertexId>(part.owned_begin + anchors[i]));
+    }
+    result.store.Append(mined.store.head_label(id), mined.store.leaves(id),
+                        mapped);
+  }
+  return result;
+}
+
+std::string Stage1PartialToBytes(const SpiderStore& store,
+                                 const Stage1PartialMeta& meta) {
+  const uint64_t n = static_cast<uint64_t>(store.size());
+  const std::string meta_bytes =
+      WritePartialMeta(meta, n, static_cast<uint64_t>(store.TotalLeaves()),
+                       static_cast<uint64_t>(store.TotalAnchors()));
+
+  const std::span<const uint8_t> section_bytes[kSm2pSectionCount] = {
+      {reinterpret_cast<const uint8_t*>(meta_bytes.data()),
+       meta_bytes.size()},
+      AsBytes(store.head_labels()),
+      AsBytes(store.leaf_offsets()),
+      AsBytes(store.leaf_pool()),
+      AsBytes(store.anchor_offsets()),
+      AsBytes(store.anchor_pool()),
+  };
+
+  uint64_t offsets[kSm2pSectionCount];
+  uint64_t cursor = kSm2pHeaderBytes + 4;  // + header CRC
+  for (uint32_t kind = 0; kind < kSm2pSectionCount; ++kind) {
+    cursor = (cursor + kSm2SectionAlign - 1) / kSm2SectionAlign *
+             kSm2SectionAlign;
+    offsets[kind] = cursor;
+    cursor += section_bytes[kind].size();
+  }
+
+  std::string out;
+  out.reserve(static_cast<size_t>(cursor));
+  out.append(kSm2pMagic, 4);
+  AppendU32(&out, kSm2pFormatVersion);
+  AppendU32(&out, kSm2pSectionCount);
+  AppendU32(&out, 0);  // reserved
+  for (uint32_t kind = 0; kind < kSm2pSectionCount; ++kind) {
+    AppendU32(&out, kind);
+    AppendU32(&out, 0);  // reserved
+    AppendU64(&out, offsets[kind]);
+    AppendU64(&out, section_bytes[kind].size());
+    AppendU32(&out, Crc32(section_bytes[kind]));
+    AppendU32(&out, 0);  // reserved
+  }
+  AppendU32(&out, Crc32(std::string_view(out.data(), kSm2pHeaderBytes)));
+  for (uint32_t kind = 0; kind < kSm2pSectionCount; ++kind) {
+    PadTo(&out, kSm2SectionAlign);
+    out.append(reinterpret_cast<const char*>(section_bytes[kind].data()),
+               section_bytes[kind].size());
+  }
+  return out;
+}
+
+Status SaveStage1Partial(const SpiderStore& store,
+                         const Stage1PartialMeta& meta,
+                         const std::string& path) {
+  if (!Sm2HostSupported()) {
+    return Status::IoError(
+        "the .sm2p partial format is little-endian only, like .sm2");
+  }
+  return binary_format::WriteFile(path, Stage1PartialToBytes(store, meta));
+}
+
+Result<std::unique_ptr<MappedStage1Partial>> MappedStage1Partial::Open(
+    const std::string& path) {
+  if (!Sm2HostSupported()) {
+    return Status::IoError(
+        "the .sm2p partial format is little-endian only and cannot be "
+        "mapped on this host");
+  }
+  SM_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  const std::span<const uint8_t> bytes = file.bytes();
+  if (bytes.size() < kSm2pHeaderBytes + 4) {
+    return Status::IoError(StrCat("sm2p file too short: ", bytes.size(),
+                                  " bytes < ", kSm2pHeaderBytes + 4,
+                                  "-byte header"));
+  }
+  if (std::memcmp(bytes.data(), kSm2pMagic, 4) != 0) {
+    return Status::IoError("bad magic; expected SM2P");
+  }
+  const uint32_t version = LoadU32(bytes.data() + 4);
+  if (version != kSm2pFormatVersion) {
+    return Status::IoError(
+        StrCat("unsupported sm2p format version ", version));
+  }
+  const uint32_t section_count = LoadU32(bytes.data() + 8);
+  if (section_count != kSm2pSectionCount) {
+    return Status::IoError(StrCat("sm2p section count ", section_count,
+                                  " != expected ", kSm2pSectionCount));
+  }
+  const uint32_t header_crc = LoadU32(bytes.data() + kSm2pHeaderBytes);
+  if (Crc32(bytes.subspan(0, kSm2pHeaderBytes)) != header_crc) {
+    return Status::IoError(
+        "sm2p header checksum mismatch (corrupted or truncated file)");
+  }
+
+  auto mapped =
+      std::unique_ptr<MappedStage1Partial>(new MappedStage1Partial());
+  mapped->file_ = std::move(file);
+  const std::span<const uint8_t> data = mapped->file_.bytes();
+
+  struct Section {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t crc = 0;
+  };
+  Section sections[kSm2pSectionCount];
+  uint64_t prev_end = kSm2pHeaderBytes + 4;
+  for (uint32_t kind = 0; kind < kSm2pSectionCount; ++kind) {
+    const uint8_t* entry =
+        data.data() + kSm2pPreamble + kind * kSm2pTableEntryBytes;
+    Section& section = sections[kind];
+    const uint32_t entry_kind = LoadU32(entry);
+    section.offset = LoadU64(entry + 8);
+    section.length = LoadU64(entry + 16);
+    section.crc = LoadU32(entry + 24);
+    if (entry_kind != kind) {
+      return Status::IoError(StrCat("sm2p section ", kind,
+                                    " has unexpected kind ", entry_kind));
+    }
+    if (section.offset % kSm2SectionAlign != 0) {
+      return Status::IoError(StrCat("sm2p section ", kSm2pSectionName[kind],
+                                    " misaligned at offset ",
+                                    section.offset));
+    }
+    if (section.offset < prev_end || section.offset > data.size() ||
+        section.length > data.size() - section.offset) {
+      return Status::IoError(StrCat("sm2p section ", kSm2pSectionName[kind],
+                                    " out of bounds (offset ",
+                                    section.offset, ", length ",
+                                    section.length, ", file ", data.size(),
+                                    " bytes)"));
+    }
+    prev_end = section.offset + section.length;
+  }
+  if (prev_end != data.size()) {
+    return Status::IoError(StrCat("sm2p trailing bytes: sections end at ",
+                                  prev_end, ", file has ", data.size(),
+                                  " (truncated or padded file)"));
+  }
+
+  // Every section CRC is checked EAGERLY: a partial is read exactly once
+  // by the merge, and Open doubles as the worker driver's output check.
+  for (uint32_t kind = 0; kind < kSm2pSectionCount; ++kind) {
+    if (Crc32(data.subspan(sections[kind].offset, sections[kind].length)) !=
+        sections[kind].crc) {
+      return Status::IoError(StrCat("sm2p section ", kSm2pSectionName[kind],
+                                    " checksum mismatch (corrupted or "
+                                    "truncated partial)"));
+    }
+  }
+
+  if (sections[kMeta].length != kSm2pMetaBytes) {
+    return Status::IoError(StrCat("sm2p meta section has ",
+                                  sections[kMeta].length,
+                                  " bytes, expected ", kSm2pMetaBytes));
+  }
+  const uint8_t* m = data.data() + sections[kMeta].offset;
+  Stage1PartialMeta& meta = mapped->meta_;
+  meta.min_support = static_cast<int64_t>(LoadU64(m));
+  meta.spider_radius = static_cast<int32_t>(LoadU32(m + 8));
+  meta.max_star_leaves = static_cast<int32_t>(LoadU32(m + 12));
+  meta.max_spiders = static_cast<int64_t>(LoadU64(m + 16));
+  meta.num_graph_vertices = static_cast<int64_t>(LoadU64(m + 24));
+  meta.graph_hash = LoadU64(m + 32);
+  meta.partition_index = static_cast<int32_t>(LoadU32(m + 40));
+  meta.num_partitions = static_cast<int32_t>(LoadU32(m + 44));
+  meta.owned_begin = static_cast<int64_t>(LoadU64(m + 48));
+  meta.owned_end = static_cast<int64_t>(LoadU64(m + 56));
+  const uint64_t n = LoadU64(m + 64);
+  const uint64_t total_leaves = LoadU64(m + 72);
+  const uint64_t total_anchors = LoadU64(m + 80);
+  if (meta.min_support < 1 || meta.spider_radius < 1 ||
+      meta.max_star_leaves < 0 || meta.max_spiders < 0 ||
+      meta.num_graph_vertices < 0 || meta.num_partitions < 1 ||
+      meta.partition_index < 0 ||
+      meta.partition_index >= meta.num_partitions || meta.owned_begin < 0 ||
+      meta.owned_begin >= meta.owned_end ||
+      meta.owned_end > meta.num_graph_vertices) {
+    return Status::IoError("sm2p meta fields out of range");
+  }
+  if (n > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+    return Status::IoError(StrCat("sm2p partial spider count ", n,
+                                  " exceeds the int32 id space"));
+  }
+  mapped->n_ = n;
+
+  const uint64_t expected_length[kSm2pSectionCount] = {
+      kSm2pMetaBytes,
+      n * sizeof(LabelId),
+      (n + 1) * sizeof(int64_t),
+      total_leaves * sizeof(SpiderLeafKey),
+      (n + 1) * sizeof(int64_t),
+      total_anchors * sizeof(VertexId),
+  };
+  for (uint32_t kind = 1; kind < kSm2pSectionCount; ++kind) {
+    if (sections[kind].length != expected_length[kind]) {
+      return Status::IoError(
+          StrCat("sm2p section ", kSm2pSectionName[kind], " has ",
+                 sections[kind].length, " bytes, expected ",
+                 expected_length[kind]));
+    }
+  }
+
+  mapped->head_labels_ = SectionSpan<LabelId>(
+      data, sections[kHeadLabels].offset, sections[kHeadLabels].length);
+  mapped->leaf_offsets_ = SectionSpan<int64_t>(
+      data, sections[kLeafOffsets].offset, sections[kLeafOffsets].length);
+  mapped->leaf_pool_ = SectionSpan<SpiderLeafKey>(
+      data, sections[kLeafPool].offset, sections[kLeafPool].length);
+  mapped->anchor_offsets_ = SectionSpan<int64_t>(
+      data, sections[kAnchorOffsets].offset,
+      sections[kAnchorOffsets].length);
+  mapped->anchor_pool_ = SectionSpan<VertexId>(
+      data, sections[kAnchorPool].offset, sections[kAnchorPool].length);
+
+  SM_RETURN_NOT_OK(CheckOffsets(mapped->leaf_offsets_,
+                                static_cast<int64_t>(total_leaves),
+                                "leaf_offsets"));
+  SM_RETURN_NOT_OK(CheckOffsets(mapped->anchor_offsets_,
+                                static_cast<int64_t>(total_anchors),
+                                "anchor_offsets"));
+
+  // Content invariants: sorted non-negative leaves, non-empty strictly
+  // ascending anchors inside the owned range. Canonical ORDER between
+  // stars is validated during the merge walk, where the comparator runs
+  // anyway.
+  for (int64_t id = 0; id < mapped->size(); ++id) {
+    if (mapped->head_label(id) < 0) {
+      return Status::IoError(
+          StrCat("sm2p negative head label on star ", id));
+    }
+    std::span<const SpiderLeafKey> leaves = mapped->leaves(id);
+    for (size_t j = 0; j < leaves.size(); ++j) {
+      if (leaves[j].first < 0 || leaves[j].second < 0 ||
+          (j > 0 && leaves[j] < leaves[j - 1])) {
+        return Status::IoError(
+            StrCat("sm2p star ", id, " leaf keys invalid or unsorted"));
+      }
+    }
+    std::span<const VertexId> anchors = mapped->anchors(id);
+    if (anchors.empty()) {
+      return Status::IoError(StrCat("sm2p star ", id, " has no anchors"));
+    }
+    for (size_t j = 0; j < anchors.size(); ++j) {
+      if (anchors[j] < meta.owned_begin || anchors[j] >= meta.owned_end ||
+          (j > 0 && anchors[j] <= anchors[j - 1])) {
+        return Status::IoError(StrCat("sm2p star ", id,
+                                      " anchors unsorted or outside the "
+                                      "owned range [",
+                                      meta.owned_begin, ", ",
+                                      meta.owned_end, ")"));
+      }
+    }
+  }
+  return mapped;
+}
+
+Result<Stage1MergeResult> MergeStage1Partials(
+    const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no partial artifacts to merge");
+  }
+  std::vector<std::unique_ptr<MappedStage1Partial>> partials;
+  partials.reserve(paths.size());
+  for (const std::string& path : paths) {
+    SM_ASSIGN_OR_RETURN(std::unique_ptr<MappedStage1Partial> partial,
+                        MappedStage1Partial::Open(path));
+    partials.push_back(std::move(partial));
+  }
+
+  // Consistency: one run's partials agree on every mining parameter and
+  // the parent-graph identity, and their owned ranges tile the id space.
+  const Stage1PartialMeta& first = partials.front()->meta();
+  if (first.num_partitions != static_cast<int32_t>(partials.size())) {
+    return Status::InvalidArgument(
+        StrCat("merge needs all ", first.num_partitions,
+               " partials of the run, got ", partials.size()));
+  }
+  std::sort(partials.begin(), partials.end(),
+            [](const auto& a, const auto& b) {
+              return a->meta().partition_index < b->meta().partition_index;
+            });
+  for (size_t p = 0; p < partials.size(); ++p) {
+    const Stage1PartialMeta& meta = partials[p]->meta();
+    if (meta.graph_hash != first.graph_hash ||
+        meta.num_graph_vertices != first.num_graph_vertices ||
+        meta.min_support != first.min_support ||
+        meta.spider_radius != first.spider_radius ||
+        meta.max_star_leaves != first.max_star_leaves ||
+        meta.max_spiders != first.max_spiders ||
+        meta.num_partitions != first.num_partitions) {
+      return Status::InvalidArgument(StrCat(
+          "partial ", p, " disagrees with partial 0 on the mining "
+          "parameters or the parent graph (mixed runs?)"));
+    }
+    if (meta.partition_index != static_cast<int32_t>(p)) {
+      return Status::InvalidArgument(
+          StrCat("duplicate or missing partition index ",
+                 meta.partition_index, " among the partials"));
+    }
+    const int64_t expected_begin =
+        p == 0 ? 0 : partials[p - 1]->meta().owned_end;
+    const int64_t expected_end = p + 1 == partials.size()
+                                     ? first.num_graph_vertices
+                                     : meta.owned_end;
+    if (meta.owned_begin != expected_begin ||
+        meta.owned_end != expected_end) {
+      return Status::InvalidArgument(
+          StrCat("partition ", p, " owns [", meta.owned_begin, ", ",
+                 meta.owned_end, "), expected it to start at ",
+                 expected_begin, " and tile [0, ",
+                 first.num_graph_vertices, ")"));
+    }
+  }
+
+  // P-way streaming merge in canonical star order. Anchors concatenate in
+  // partition order — contiguous ascending owned ranges make the result
+  // globally ascending, exactly the single-node anchor list.
+  struct Cursor {
+    const MappedStage1Partial* partial;
+    int64_t pos = 0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(partials.size());
+  for (const auto& partial : partials) {
+    cursors.push_back({partial.get(), 0});
+  }
+
+  // Ancestor stack of the canonical DFS: the proper prefixes of the
+  // current star among the frequent set, with their global anchor counts
+  // and output ids (-1 past the budget). The closedness rules replayed
+  // here are the star miner's exactly:
+  //  - a non-root spider is non-closed iff an ADMITTED frequent child
+  //    (one more leaf appended) keeps its full anchor count;
+  //  - a root is non-closed iff ANY frequent single-leaf child keeps the
+  //    full label count, admitted or not (the miner computes keeps_all in
+  //    the counting pass, before the budget bites).
+  struct AncestorFrame {
+    size_t depth;
+    std::span<const SpiderLeafKey> leaves;
+    int64_t total_anchors;
+    int32_t out_idx;  // -1 when not admitted (past the budget)
+  };
+  std::vector<AncestorFrame> stack;
+
+  Stage1MergeResult result;
+  const int64_t budget = first.max_spiders;
+  std::vector<size_t> contributing;
+  std::vector<VertexId> anchor_scratch;
+  for (;;) {
+    // Find the minimum star key across cursors; gather its contributors
+    // in partition order.
+    int best = -1;
+    for (size_t c = 0; c < cursors.size(); ++c) {
+      if (cursors[c].pos >= cursors[c].partial->size()) continue;
+      if (best < 0 ||
+          CompareStarKey(
+              cursors[c].partial->head_label(cursors[c].pos),
+              cursors[c].partial->leaves(cursors[c].pos),
+              cursors[static_cast<size_t>(best)].partial->head_label(
+                  cursors[static_cast<size_t>(best)].pos),
+              cursors[static_cast<size_t>(best)].partial->leaves(
+                  cursors[static_cast<size_t>(best)].pos)) < 0) {
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) break;
+    const MappedStage1Partial& lead =
+        *cursors[static_cast<size_t>(best)].partial;
+    const int64_t lead_pos = cursors[static_cast<size_t>(best)].pos;
+    const LabelId label = lead.head_label(lead_pos);
+    const std::span<const SpiderLeafKey> leaves = lead.leaves(lead_pos);
+
+    contributing.clear();
+    int64_t total_anchors = 0;
+    for (size_t c = 0; c < cursors.size(); ++c) {
+      if (cursors[c].pos >= cursors[c].partial->size()) continue;
+      if (CompareStarKey(cursors[c].partial->head_label(cursors[c].pos),
+                         cursors[c].partial->leaves(cursors[c].pos), label,
+                         leaves) == 0) {
+        contributing.push_back(c);
+        total_anchors += static_cast<int64_t>(
+            cursors[c].partial->anchors(cursors[c].pos).size());
+      }
+    }
+
+    if (total_anchors >= first.min_support) {
+      ++result.frequent_stars;
+      const bool admitted =
+          budget <= 0 || result.frequent_stars <= budget;
+      const size_t depth = leaves.size();
+      while (!stack.empty() && stack.back().depth >= depth) stack.pop_back();
+      if (depth > 0) {
+        // The parent (the star minus its last leaf) must be on the stack:
+        // global support is anti-monotone, so the frequent set is
+        // prefix-closed and canonical order visits prefixes first.
+        const bool parent_ok =
+            !stack.empty() && stack.back().depth == depth - 1 &&
+            std::equal(stack.back().leaves.begin(),
+                       stack.back().leaves.end(), leaves.begin());
+        if (!parent_ok) {
+          return Status::IoError(
+              StrCat("partials are not in canonical prefix-closed order "
+                     "near head label ",
+                     label, " (corrupted or mixed partials)"));
+        }
+        AncestorFrame& parent = stack.back();
+        if (total_anchors == parent.total_anchors &&
+            parent.out_idx >= 0 && (depth == 1 || admitted)) {
+          result.store.set_closed(parent.out_idx, false);
+        }
+      }
+      int32_t out_idx = -1;
+      if (admitted) {
+        anchor_scratch.clear();
+        anchor_scratch.reserve(static_cast<size_t>(total_anchors));
+        for (size_t c : contributing) {
+          std::span<const VertexId> anchors =
+              cursors[c].partial->anchors(cursors[c].pos);
+          anchor_scratch.insert(anchor_scratch.end(), anchors.begin(),
+                                anchors.end());
+        }
+        out_idx = result.store.Append(label, leaves, anchor_scratch);
+      }
+      stack.push_back({depth, leaves, total_anchors, out_idx});
+    }
+
+    // Advance every contributor, validating canonical order per partial.
+    for (size_t c : contributing) {
+      Cursor& cursor = cursors[c];
+      ++cursor.pos;
+      ++result.partial_entries;
+      if (cursor.pos < cursor.partial->size() &&
+          CompareStarKey(cursor.partial->head_label(cursor.pos - 1),
+                         cursor.partial->leaves(cursor.pos - 1),
+                         cursor.partial->head_label(cursor.pos),
+                         cursor.partial->leaves(cursor.pos)) >= 0) {
+        return Status::IoError(
+            StrCat("partial ", c, " is not in strict canonical order at "
+                   "entry ", cursor.pos, " (corrupted partial)"));
+      }
+    }
+  }
+
+  result.meta.min_support = first.min_support;
+  result.meta.spider_radius = first.spider_radius;
+  result.meta.max_star_leaves = first.max_star_leaves;
+  result.meta.max_spiders = first.max_spiders;
+  result.meta.num_graph_vertices = first.num_graph_vertices;
+  result.meta.graph_hash = first.graph_hash;
+  result.meta.truncated = budget > 0 && result.frequent_stars > budget;
+  return result;
+}
+
+Result<Stage1MergeStats> MergeStage1PartialsToFile(
+    const std::vector<std::string>& paths, const std::string& out_path) {
+  SM_ASSIGN_OR_RETURN(Stage1MergeResult merged, MergeStage1Partials(paths));
+  // The CSR anchor index is deterministic from the store alone, so the
+  // merged .sm2 needs no graph pass at all.
+  SpiderIndex index(&merged.store, merged.meta.num_graph_vertices);
+  SM_RETURN_NOT_OK(
+      SaveStage1Sm2(merged.store, index, merged.meta, out_path));
+  Stage1MergeStats stats;
+  stats.merged_spiders = merged.store.size();
+  stats.frequent_stars = merged.frequent_stars;
+  stats.total_anchors = merged.store.TotalAnchors();
+  stats.truncated = merged.meta.truncated;
+  return stats;
+}
+
+}  // namespace spidermine

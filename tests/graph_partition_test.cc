@@ -1,0 +1,323 @@
+#include "graph/graph_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+
+/// Radius-aware vertex-range partitioning: plans must be deterministic and
+/// structurally valid, every owned vertex must see its EXACT r-hop ball
+/// inside its partition (the property Stage I exactness rests on), the
+/// `.smgp` codec must round-trip bit-for-bit and reject corruption, and
+/// the streaming one-pass scan must agree with the materialized graph.
+
+namespace spidermine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+LabeledGraph ErGraph(uint64_t seed, int64_t n = 300) {
+  Rng rng(seed);
+  GraphBuilder builder = GenerateErdosRenyi(n, 3.0, 8, &rng);
+  return std::move(builder.Build()).value();
+}
+
+LabeledGraph BaGraph(uint64_t seed, int64_t n = 300) {
+  Rng rng(seed);
+  GraphBuilder builder = GenerateBarabasiAlbert(n, 2, 8, &rng);
+  return std::move(builder.Build()).value();
+}
+
+/// Original ids within \p radius hops of \p source in the full graph.
+std::set<VertexId> FullGraphBall(const LabeledGraph& graph, VertexId source,
+                                 int32_t radius) {
+  std::set<VertexId> ball{source};
+  std::deque<std::pair<VertexId, int32_t>> frontier{{source, 0}};
+  while (!frontier.empty()) {
+    auto [v, dist] = frontier.front();
+    frontier.pop_front();
+    if (dist == radius) continue;
+    for (VertexId u : graph.Neighbors(v)) {
+      if (ball.insert(u).second) frontier.push_back({u, dist + 1});
+    }
+  }
+  return ball;
+}
+
+/// Hop distance from the owned range to every local vertex of \p part.
+std::vector<int32_t> DistanceFromOwned(const GraphPartition& part) {
+  std::vector<int32_t> dist(
+      static_cast<size_t>(part.graph.NumVertices()), -1);
+  std::deque<VertexId> frontier;
+  for (VertexId v = 0; v < part.num_owned(); ++v) {
+    dist[static_cast<size_t>(v)] = 0;
+    frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    for (VertexId u : part.graph.Neighbors(v)) {
+      if (dist[static_cast<size_t>(u)] < 0) {
+        dist[static_cast<size_t>(u)] = dist[static_cast<size_t>(v)] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::set<VertexId> MappedNeighbors(const GraphPartition& part,
+                                   VertexId local) {
+  std::set<VertexId> out;
+  for (VertexId u : part.graph.Neighbors(local)) {
+    out.insert(part.ToOriginal(u));
+  }
+  return out;
+}
+
+std::set<VertexId> GraphNeighbors(const LabeledGraph& graph, VertexId v) {
+  std::set<VertexId> out;
+  for (VertexId u : graph.Neighbors(v)) out.insert(u);
+  return out;
+}
+
+TEST(PartitionPlanTest, DeterministicBoundariesTileTheIdSpace) {
+  const LabeledGraph graph = BaGraph(11);
+  for (int32_t parts : {1, 2, 5, 7}) {
+    Result<PartitionPlan> a = MakePartitionPlan(graph, parts, 1);
+    Result<PartitionPlan> b = MakePartitionPlan(graph, parts, 1);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->boundaries, b->boundaries);
+    EXPECT_EQ(a->num_partitions, parts);
+    ASSERT_EQ(a->boundaries.size(), static_cast<size_t>(parts) + 1);
+    EXPECT_EQ(a->boundaries.front(), 0);
+    EXPECT_EQ(a->boundaries.back(), graph.NumVertices());
+    for (size_t i = 1; i < a->boundaries.size(); ++i) {
+      EXPECT_LT(a->boundaries[i - 1], a->boundaries[i]);
+    }
+    EXPECT_TRUE(a->Validate(graph.NumVertices()).ok());
+  }
+}
+
+TEST(PartitionPlanTest, DegreeBalancingShiftsBoundariesOnSkewedGraphs) {
+  // BA graphs concentrate degree on early vertices: the degree-balanced
+  // first partition must own fewer vertices than the uniform one.
+  const LabeledGraph graph = BaGraph(13, 600);
+  Result<PartitionPlan> by_degree = MakePartitionPlan(graph, 3, 1, true);
+  Result<PartitionPlan> uniform = MakePartitionPlan(graph, 3, 1, false);
+  ASSERT_TRUE(by_degree.ok()) << by_degree.status();
+  ASSERT_TRUE(uniform.ok()) << uniform.status();
+  EXPECT_LT(by_degree->boundaries[1], uniform->boundaries[1]);
+}
+
+TEST(PartitionPlanTest, RejectsInvalidCounts) {
+  const LabeledGraph graph = ErGraph(17, 50);
+  EXPECT_FALSE(MakePartitionPlan(graph, 0, 1).ok());
+  EXPECT_FALSE(MakePartitionPlan(graph, -2, 1).ok());
+  EXPECT_FALSE(MakePartitionPlan(graph, 51, 1).ok());  // more parts than n
+  EXPECT_FALSE(MakePartitionPlan(graph, 2, 0).ok());   // radius < 1
+  EXPECT_TRUE(MakePartitionPlan(graph, 50, 1).ok());   // one vertex each
+
+  PartitionPlan plan;
+  plan.num_partitions = 2;
+  plan.radius = 1;
+  plan.boundaries = {0, 10, 9};  // not increasing
+  EXPECT_FALSE(plan.Validate(9).ok());
+  plan.boundaries = {0, 5, 9};
+  EXPECT_TRUE(plan.Validate(9).ok());
+  EXPECT_FALSE(plan.Validate(10).ok());  // does not reach n
+}
+
+TEST(GraphPartitionTest, OwnedVerticesSeeTheirExactBall) {
+  for (const LabeledGraph& graph : {ErGraph(23), BaGraph(29)}) {
+    for (int32_t parts : {2, 5}) {
+      for (int32_t radius : {1, 2}) {
+        Result<PartitionPlan> plan =
+            MakePartitionPlan(graph, parts, radius);
+        ASSERT_TRUE(plan.ok()) << plan.status();
+        std::vector<bool> owned_somewhere(
+            static_cast<size_t>(graph.NumVertices()), false);
+        for (int32_t p = 0; p < parts; ++p) {
+          Result<GraphPartition> part =
+              BuildGraphPartition(graph, *plan, p);
+          ASSERT_TRUE(part.ok()) << part.status();
+          ASSERT_EQ(part->radius, radius);
+
+          // Owned locals are [0, num_owned) and map to owned_begin + i;
+          // every local vertex keeps its original label.
+          for (VertexId v = 0; v < part->num_owned(); ++v) {
+            ASSERT_EQ(part->ToOriginal(v), part->owned_begin + v);
+            ASSERT_FALSE(owned_somewhere[static_cast<size_t>(
+                part->ToOriginal(v))]);
+            owned_somewhere[static_cast<size_t>(part->ToOriginal(v))] =
+                true;
+          }
+          for (VertexId v = 0; v < part->graph.NumVertices(); ++v) {
+            ASSERT_EQ(part->graph.Label(v),
+                      graph.Label(part->ToOriginal(v)));
+          }
+
+          // The local vertex set is exactly the union of owned r-balls...
+          std::set<VertexId> expected;
+          for (VertexId orig = static_cast<VertexId>(part->owned_begin);
+               orig < part->owned_end; ++orig) {
+            std::set<VertexId> ball = FullGraphBall(graph, orig, radius);
+            expected.insert(ball.begin(), ball.end());
+          }
+          std::set<VertexId> actual;
+          for (VertexId v = 0; v < part->graph.NumVertices(); ++v) {
+            actual.insert(part->ToOriginal(v));
+          }
+          ASSERT_EQ(actual, expected);
+
+          // ...and every vertex strictly inside the halo (distance
+          // < radius from the owned range) has its COMPLETE adjacency,
+          // so owned vertices see exact r-balls, not clipped ones.
+          const std::vector<int32_t> dist = DistanceFromOwned(*part);
+          for (VertexId v = 0; v < part->graph.NumVertices(); ++v) {
+            ASSERT_GE(dist[static_cast<size_t>(v)], 0);
+            ASSERT_LE(dist[static_cast<size_t>(v)], radius);
+            if (dist[static_cast<size_t>(v)] < radius) {
+              ASSERT_EQ(MappedNeighbors(*part, v),
+                        GraphNeighbors(graph, part->ToOriginal(v)))
+                  << "clipped adjacency at distance "
+                  << dist[static_cast<size_t>(v)];
+            }
+          }
+        }
+        EXPECT_TRUE(std::all_of(owned_somewhere.begin(),
+                                owned_somewhere.end(),
+                                [](bool b) { return b; }));
+      }
+    }
+  }
+}
+
+TEST(GraphPartitionTest, SmgpRoundTripIsExactAndDeterministic) {
+  const LabeledGraph graph = BaGraph(31);
+  Result<PartitionPlan> plan = MakePartitionPlan(graph, 3, 2);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Result<GraphPartition> part = BuildGraphPartition(graph, *plan, 1);
+  ASSERT_TRUE(part.ok()) << part.status();
+
+  const std::string bytes = GraphPartitionToBytes(*part);
+  EXPECT_EQ(bytes, GraphPartitionToBytes(*part));  // deterministic encode
+  EXPECT_EQ(bytes.substr(0, 4), std::string(kSmgpMagic, 4));
+
+  Result<GraphPartition> loaded = GraphPartitionFromBytes(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->partition_index, part->partition_index);
+  EXPECT_EQ(loaded->num_partitions, part->num_partitions);
+  EXPECT_EQ(loaded->radius, part->radius);
+  EXPECT_EQ(loaded->owned_begin, part->owned_begin);
+  EXPECT_EQ(loaded->owned_end, part->owned_end);
+  EXPECT_EQ(loaded->parent_hash, part->parent_hash);
+  EXPECT_EQ(loaded->parent_num_vertices, part->parent_num_vertices);
+  EXPECT_EQ(loaded->parent_num_edges, part->parent_num_edges);
+  EXPECT_EQ(loaded->local_to_orig, part->local_to_orig);
+  EXPECT_EQ(loaded->graph.ContentHash(), part->graph.ContentHash());
+  EXPECT_EQ(loaded->ContentHash(), part->ContentHash());
+
+  const std::string path = TempPath("graph_partition_roundtrip.smgp");
+  ASSERT_TRUE(SaveGraphPartition(*part, path).ok());
+  Result<GraphPartition> from_file = LoadGraphPartition(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  EXPECT_EQ(from_file->ContentHash(), part->ContentHash());
+  std::filesystem::remove(path);
+}
+
+TEST(GraphPartitionTest, SmgpRejectsCorruptionAndTruncation) {
+  const LabeledGraph graph = ErGraph(37, 120);
+  Result<PartitionPlan> plan = MakePartitionPlan(graph, 2, 1);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Result<GraphPartition> part = BuildGraphPartition(graph, *plan, 0);
+  ASSERT_TRUE(part.ok()) << part.status();
+  const std::string bytes = GraphPartitionToBytes(*part);
+
+  // Any single corrupted payload byte must be caught (envelope CRC).
+  for (size_t offset : {bytes.size() / 3, bytes.size() / 2,
+                        bytes.size() - 9}) {
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x40);
+    Result<GraphPartition> r = GraphPartitionFromBytes(corrupt);
+    EXPECT_FALSE(r.ok()) << "corruption at byte " << offset;
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  }
+  // Truncation at any prefix must be caught.
+  for (size_t keep : {size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(GraphPartitionFromBytes(bytes.substr(0, keep)).ok());
+  }
+  // Wrong magic must be rejected before anything else is believed.
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_FALSE(GraphPartitionFromBytes(wrong_magic).ok());
+}
+
+TEST(StreamingScanTest, MatchesTheMaterializedGraph) {
+  const LabeledGraph graph = BaGraph(41, 400);
+  const std::string path = TempPath("streaming_scan.lg");
+  ASSERT_TRUE(SaveGraphText(graph, path).ok());
+
+  Result<StreamingGraphScan> scan = ScanGraphTextStreaming(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->num_vertices, graph.NumVertices());
+  EXPECT_EQ(scan->num_edges, graph.NumEdges());
+  ASSERT_EQ(scan->degrees.size(),
+            static_cast<size_t>(graph.NumVertices()));
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    EXPECT_EQ(scan->degrees[static_cast<size_t>(v)],
+              static_cast<int64_t>(graph.Neighbors(v).size()));
+  }
+  int64_t histogram_total = 0;
+  for (int64_t count : scan->label_histogram) histogram_total += count;
+  EXPECT_EQ(histogram_total, graph.NumVertices());
+
+  // A plan cut from the streaming degrees equals the in-memory plan: the
+  // out-of-core path partitions identically without loading the graph.
+  Result<PartitionPlan> from_scan =
+      MakePartitionPlanFromDegrees(scan->degrees, 4, 1);
+  Result<PartitionPlan> from_graph = MakePartitionPlan(graph, 4, 1);
+  ASSERT_TRUE(from_scan.ok()) << from_scan.status();
+  ASSERT_TRUE(from_graph.ok()) << from_graph.status();
+  EXPECT_EQ(from_scan->boundaries, from_graph->boundaries);
+  std::filesystem::remove(path);
+}
+
+TEST(StreamingScanTest, EnforcesTheRecordGrammar) {
+  auto scan_of = [](const std::string& text) {
+    std::istringstream in(text);
+    return ScanGraphTextStream(in);
+  };
+  // Forward-referenced endpoint: rejected like the materializing loader.
+  EXPECT_FALSE(scan_of("v 0 1\ne 0 5\n").ok());
+  // Out-of-order vertex ids: rejected.
+  EXPECT_FALSE(scan_of("v 1 0\n").ok());
+  // Negative label: rejected.
+  EXPECT_FALSE(scan_of("v 0 -2\n").ok());
+  // Unknown record kind: rejected.
+  EXPECT_FALSE(scan_of("v 0 1\nx 0 0\n").ok());
+  // Self-loops are skipped (GraphBuilder parity), comments ignored.
+  Result<StreamingGraphScan> ok =
+      scan_of("# c\nv 0 1\nv 1 2\ne 0 0\ne 0 1\n");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->num_edges, 1);
+  EXPECT_EQ(ok->degrees, (std::vector<int64_t>{1, 1}));
+}
+
+}  // namespace
+}  // namespace spidermine

@@ -1,0 +1,278 @@
+#include "tools/stage1_workers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gen/barabasi_albert.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "spidermine/session.h"
+#include "tools/cli_commands.h"
+
+/// The multi-process Stage I driver, tested without fork where the logic
+/// lives (scheduling, retry, validation — via an injected launcher running
+/// RunCli in-process) and WITH fork where the mechanics live (ForkExecWorker
+/// against /bin/sh: exit codes, signal deaths, exec failures, stderr
+/// capture).
+
+namespace spidermine {
+namespace {
+
+using cli::ForkExecWorker;
+using cli::PartitionedStage1Options;
+using cli::PartitionedStage1Stats;
+using cli::ResolveWorkerBinary;
+using cli::RunPartitionedStage1;
+using cli::WorkerInvocation;
+using cli::WorkerOutcome;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// A launcher that runs the worker's subcommand in THIS process via
+/// RunCli — the full flag-parsing + mining + serialization path, no fork.
+Result<WorkerOutcome> InProcessWorker(const WorkerInvocation& invocation) {
+  const std::vector<std::string> args(invocation.argv.begin() + 1,
+                                      invocation.argv.end());
+  std::ostringstream out;
+  std::ostringstream err;
+  WorkerOutcome outcome;
+  outcome.exit_code = cli::RunCli(args, out, err);
+  outcome.stderr_output = err.str();
+  return outcome;
+}
+
+/// A 2000-vertex BA graph on disk plus its single-process reference .sm2.
+struct Fixture {
+  std::string graph_path;
+  std::string reference_bytes;
+};
+
+Fixture MakeFixture(const std::string& tag) {
+  Fixture fx;
+  Rng rng(97);
+  GraphBuilder builder = GenerateBarabasiAlbert(2000, 2, 10, &rng);
+  LabeledGraph graph = std::move(builder.Build()).value();
+  fx.graph_path = TempPath(StrCat("stage1_workers_", tag, ".lg"));
+  EXPECT_TRUE(SaveGraphText(graph, fx.graph_path).ok());
+  SessionConfig config;
+  config.min_support = 3;
+  config.max_star_leaves = 4;
+  Result<MiningSession> session = MiningSession::Create(&graph, config);
+  EXPECT_TRUE(session.ok()) << session.status();
+  const std::string single = TempPath(StrCat("stage1_workers_", tag,
+                                             "_single.sm2"));
+  EXPECT_TRUE(session->SaveStage1(single).ok());
+  fx.reference_bytes = ReadAll(single);
+  std::filesystem::remove(single);
+  return fx;
+}
+
+PartitionedStage1Options BaseOptions() {
+  PartitionedStage1Options options;
+  options.num_workers = 2;
+  options.num_partitions = 3;
+  options.min_support = 3;
+  options.max_star_leaves = 4;
+  options.worker_binary = "spidermine-in-process";  // launcher ignores it
+  return options;
+}
+
+TEST(Stage1WorkersTest, DriverProducesByteIdenticalArtifact) {
+  const Fixture fx = MakeFixture("ident");
+  const std::string out = TempPath("stage1_workers_ident.sm2");
+  Result<PartitionedStage1Stats> stats = RunPartitionedStage1(
+      fx.graph_path, out, BaseOptions(), InProcessWorker);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->num_partitions, 3);
+  EXPECT_EQ(stats->worker_retries, 0);
+  EXPECT_GT(stats->merged_spiders, 0);
+  EXPECT_EQ(ReadAll(out), fx.reference_bytes);
+  // Scratch files are cleaned up after a successful merge.
+  EXPECT_FALSE(std::filesystem::exists(StrCat(out, ".parts")));
+  std::filesystem::remove(out);
+  std::filesystem::remove(fx.graph_path);
+}
+
+TEST(Stage1WorkersTest, FailedWorkerIsRetriedOnceThenSucceeds) {
+  const Fixture fx = MakeFixture("retry");
+  const std::string out = TempPath("stage1_workers_retry.sm2");
+  std::atomic<int32_t> failures{0};
+  auto flaky = [&](const WorkerInvocation& invocation)
+      -> Result<WorkerOutcome> {
+    if (invocation.partition_index == 1 &&
+        failures.fetch_add(1) == 0) {
+      WorkerOutcome outcome;
+      outcome.exit_code = 9;
+      outcome.stderr_output = "transient boom\n";
+      return outcome;
+    }
+    return InProcessWorker(invocation);
+  };
+  Result<PartitionedStage1Stats> stats =
+      RunPartitionedStage1(fx.graph_path, out, BaseOptions(), flaky);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->worker_retries, 1);
+  EXPECT_EQ(ReadAll(out), fx.reference_bytes);
+  std::filesystem::remove(out);
+  std::filesystem::remove(fx.graph_path);
+}
+
+TEST(Stage1WorkersTest, PersistentFailureSurfacesStderrAndPartition) {
+  const Fixture fx = MakeFixture("fail");
+  const std::string out = TempPath("stage1_workers_fail.sm2");
+  std::atomic<int32_t> attempts{0};
+  auto broken = [&](const WorkerInvocation& invocation)
+      -> Result<WorkerOutcome> {
+    if (invocation.partition_index == 2) {
+      attempts.fetch_add(1);
+      WorkerOutcome outcome;
+      outcome.exit_code = 7;
+      outcome.stderr_output = "disk on fire\n";
+      return outcome;
+    }
+    return InProcessWorker(invocation);
+  };
+  Result<PartitionedStage1Stats> stats =
+      RunPartitionedStage1(fx.graph_path, out, BaseOptions(), broken);
+  ASSERT_FALSE(stats.ok());
+  // One deterministic retry: exactly two attempts, then the error carries
+  // the partition index, the exit code and the captured stderr.
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_NE(stats.status().message().find("partition 2"),
+            std::string::npos)
+      << stats.status();
+  EXPECT_NE(stats.status().message().find("exited with code 7"),
+            std::string::npos)
+      << stats.status();
+  EXPECT_NE(stats.status().message().find("disk on fire"),
+            std::string::npos)
+      << stats.status();
+  std::filesystem::remove(fx.graph_path);
+}
+
+TEST(Stage1WorkersTest, TruncatedPartialIsDetectedAndRetried) {
+  const Fixture fx = MakeFixture("trunc");
+  const std::string out = TempPath("stage1_workers_trunc.sm2");
+  std::atomic<int32_t> truncations{0};
+  // First attempt for partition 0 does the real work, then truncates its
+  // own output — the exit-0-but-corrupt shape of a worker killed (or a
+  // disk filled) between write and close.
+  auto truncating = [&](const WorkerInvocation& invocation)
+      -> Result<WorkerOutcome> {
+    Result<WorkerOutcome> outcome = InProcessWorker(invocation);
+    if (invocation.partition_index == 0 &&
+        truncations.fetch_add(1) == 0 && outcome.ok() &&
+        outcome->exit_code == 0) {
+      const std::string& partial =
+          invocation.argv.back().substr(6);  // strip "--out="
+      std::string bytes = ReadAll(partial);
+      std::ofstream rewrite(partial,
+                            std::ios::binary | std::ios::trunc);
+      rewrite.write(bytes.data(),
+                    static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    return outcome;
+  };
+  Result<PartitionedStage1Stats> stats =
+      RunPartitionedStage1(fx.graph_path, out, BaseOptions(), truncating);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->worker_retries, 1);
+  EXPECT_EQ(ReadAll(out), fx.reference_bytes);
+  std::filesystem::remove(out);
+  std::filesystem::remove(fx.graph_path);
+}
+
+TEST(Stage1WorkersTest, ForkExecCapturesExitCodesSignalsAndStderr) {
+  // Real fork/exec against /bin/sh: nonzero exit + stderr capture.
+  WorkerInvocation fail;
+  fail.argv = {"/bin/sh", "-c", "echo nope >&2; exit 3"};
+  Result<WorkerOutcome> outcome = ForkExecWorker(fail);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->exit_code, 3);
+  EXPECT_NE(outcome->stderr_output.find("nope"), std::string::npos);
+
+  // Worker stdout is captured too (it must not leak into the parent's).
+  WorkerInvocation chatty;
+  chatty.argv = {"/bin/sh", "-c", "echo progress; exit 0"};
+  outcome = ForkExecWorker(chatty);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->exit_code, 0);
+  EXPECT_NE(outcome->stderr_output.find("progress"), std::string::npos);
+
+  // A signal death reports 128 + signo, shell-style.
+  WorkerInvocation killed;
+  killed.argv = {"/bin/sh", "-c", "kill -9 $$"};
+  outcome = ForkExecWorker(killed);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->exit_code, 137);
+
+  // A nonexistent binary reports 127 with the path in the message.
+  WorkerInvocation missing;
+  missing.argv = {"/nonexistent/spidermine-worker", "stage1-part"};
+  outcome = ForkExecWorker(missing);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->exit_code, 127);
+  EXPECT_NE(outcome->stderr_output.find("/nonexistent/spidermine-worker"),
+            std::string::npos);
+}
+
+TEST(Stage1WorkersTest, ResolveWorkerBinaryFallbackChain) {
+  // Explicit flag wins.
+  Result<std::string> flagged = ResolveWorkerBinary("/usr/bin/true");
+  ASSERT_TRUE(flagged.ok());
+  EXPECT_EQ(*flagged, "/usr/bin/true");
+  // Then the environment override.
+  ::setenv("SPIDERMINE_CLI_BIN", "/tmp/spidermine-env", 1);
+  Result<std::string> from_env = ResolveWorkerBinary("");
+  ::unsetenv("SPIDERMINE_CLI_BIN");
+  ASSERT_TRUE(from_env.ok());
+  EXPECT_EQ(*from_env, "/tmp/spidermine-env");
+  // Then /proc/self/exe (this test binary).
+  Result<std::string> self = ResolveWorkerBinary("");
+  ASSERT_TRUE(self.ok());
+  EXPECT_NE(self->find("stage1_workers_test"), std::string::npos);
+}
+
+TEST(Stage1WorkersTest, CliRejectsIncoherentWorkerFlags) {
+  std::ostringstream out;
+  std::ostringstream err;
+  // --time-budget is incompatible with --workers (checked before any IO).
+  EXPECT_EQ(cli::RunCli({"stage1", "missing.lg", "--workers=2",
+                         "--time-budget=5", "--out=x.sm2"},
+                        out, err),
+            1);
+  EXPECT_NE(err.str().find("--time-budget"), std::string::npos);
+  // Worker-mode flags without --workers are rejected, not ignored.
+  err.str("");
+  EXPECT_EQ(cli::RunCli({"stage1", "missing.lg", "--partitions=4",
+                         "--out=x.sm2"},
+                        out, err),
+            1);
+  EXPECT_NE(err.str().find("--workers"), std::string::npos);
+  err.str("");
+  EXPECT_EQ(cli::RunCli({"stage1", "missing.lg", "--workers=-1",
+                         "--out=x.sm2"},
+                        out, err),
+            1);
+}
+
+}  // namespace
+}  // namespace spidermine

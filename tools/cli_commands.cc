@@ -23,10 +23,13 @@
 #include "graph/degree_stats.h"
 #include "graph/graph_io.h"
 #include "graph/graph_metrics.h"
+#include "graph/graph_partition.h"
 #include "spidermine/miner.h"
 #include "spidermine/session.h"
+#include "spidermine/stage1_partition.h"
 #include "spidermine/variants.h"
 #include "tools/serve_loop.h"
+#include "tools/stage1_workers.h"
 
 namespace spidermine::cli {
 
@@ -294,7 +297,25 @@ Status CmdStage1(const std::vector<std::string>& args, std::ostream& out) {
               "identical at any value")
       .AddDouble("time-budget", 0.0,
                  "Stage I wall-clock budget seconds (0 = off); an expired "
-                 "budget saves a truncated but usable artifact")
+                 "budget saves a truncated but usable artifact; "
+                 "incompatible with --workers")
+      .AddInt("workers", 0,
+              "mine out-of-core via N concurrent worker PROCESSES over "
+              "graph partitions (0 = in-process); the artifact is "
+              "byte-identical either way, but no worker ever holds the "
+              "whole graph")
+      .AddInt("partitions", 0,
+              "graph partitions in --workers mode (0 = one per worker); "
+              "more partitions than workers bounds per-worker memory "
+              "further")
+      .AddString("parts-dir", "",
+                 "scratch directory for the .smgp/.sm2p intermediates "
+                 "(default <out>.parts; removed after a successful merge)")
+      .AddBool("keep-parts", false,
+               "keep the partition/partial scratch files after the merge")
+      .AddString("worker-binary", "",
+                 "binary worker processes exec (default: this binary, via "
+                 "$SPIDERMINE_CLI_BIN or /proc/self/exe)")
       .AddBool("stats", false, "print Stage I statistics")
       .AddString("out", "",
                  "artifact output path (conventionally .sm2; written in "
@@ -308,6 +329,56 @@ Status CmdStage1(const std::vector<std::string>& args, std::ostream& out) {
   if (out_path.empty()) {
     return Status::InvalidArgument(
         StrCat("--out is required\n", flags.Usage()));
+  }
+
+  const int64_t workers = flags.GetInt("workers");
+  const int64_t partitions = flags.GetInt("partitions");
+  if (workers < 0 || workers > 1024 || partitions < 0 ||
+      partitions > 1 << 20) {
+    return Status::InvalidArgument(
+        StrCat("--workers must be in [0, 1024] and --partitions in [0, "
+               "1048576] (got ",
+               workers, " / ", partitions, ")"));
+  }
+  if (workers == 0 &&
+      (partitions > 0 || flags.GetBool("keep-parts") ||
+       !flags.GetString("parts-dir").empty() ||
+       !flags.GetString("worker-binary").empty())) {
+    return Status::InvalidArgument(
+        "--partitions/--parts-dir/--keep-parts/--worker-binary require "
+        "--workers >= 1");
+  }
+  if (workers > 0) {
+    if (flags.WasSet("time-budget")) {
+      return Status::InvalidArgument(
+          "--time-budget cannot be combined with --workers: a wall-clock "
+          "cutoff is nondeterministic across processes and the merged "
+          "artifact must be exact; budget the run with --max-spiders "
+          "instead");
+    }
+    PartitionedStage1Options options;
+    options.num_workers = static_cast<int32_t>(workers);
+    options.num_partitions = static_cast<int32_t>(partitions);
+    options.min_support = flags.GetInt("support");
+    options.max_star_leaves =
+        static_cast<int32_t>(flags.GetInt("max-leaves"));
+    options.max_spiders = flags.GetInt("max-spiders");
+    SM_ASSIGN_OR_RETURN(options.worker_threads,
+                        ValidateThreadsFlag(flags.GetInt("threads")));
+    SM_ASSIGN_OR_RETURN(options.shard_grain,
+                        ValidateShardGrainFlag(flags.GetInt("shard-grain")));
+    options.parts_dir = flags.GetString("parts-dir");
+    options.keep_parts = flags.GetBool("keep-parts");
+    options.worker_binary = flags.GetString("worker-binary");
+    SM_ASSIGN_OR_RETURN(
+        PartitionedStage1Stats stats,
+        RunPartitionedStage1(flags.positional()[0], out_path, options, {},
+                             flags.GetBool("stats") ? &out : nullptr));
+    out << "stage1: merged " << stats.merged_spiders << " spiders from "
+        << stats.num_partitions << " partitions via " << workers
+        << " workers" << (stats.truncated ? " (truncated)" : "")
+        << "; wrote " << out_path << "\n";
+    return Status::Ok();
   }
   SM_ASSIGN_OR_RETURN(LabeledGraph graph,
                       LoadGraphAuto(flags.positional()[0]));
@@ -332,6 +403,149 @@ Status CmdStage1(const std::vector<std::string>& args, std::ostream& out) {
       << "; wrote " << out_path << " ("
       << stats.stage1_store_bytes / 1024 << " KiB store)\n";
   if (flags.GetBool("stats")) out << stats.ToString();
+  return Status::Ok();
+}
+
+Status CmdPartition(const std::vector<std::string>& args,
+                    std::ostream& out) {
+  FlagSet flags("spidermine partition",
+                "cut a graph into vertex-range partitions with r-hop "
+                "halos (the manual first step of the out-of-core Stage I "
+                "pipeline; `stage1 --workers` runs all three steps)");
+  flags.AddInt("parts", 2, "number of partitions")
+      .AddInt("radius", 1,
+              "halo radius in hops; must cover the radius of what is "
+              "mined per partition (1 for Stage I star spiders)")
+      .AddBool("uniform", false,
+               "balance partitions by vertex count instead of by degree "
+               "(degree balancing approximates equal edge work)")
+      .AddString("out", "", "output prefix; writes <out>.<i>.smgp");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("expected exactly one graph file\n", flags.Usage()));
+  }
+  const std::string prefix = flags.GetString("out");
+  if (prefix.empty()) {
+    return Status::InvalidArgument(
+        StrCat("--out is required\n", flags.Usage()));
+  }
+  SM_ASSIGN_OR_RETURN(LabeledGraph graph,
+                      LoadGraphAuto(flags.positional()[0]));
+  SM_ASSIGN_OR_RETURN(
+      PartitionPlan plan,
+      MakePartitionPlan(graph, static_cast<int32_t>(flags.GetInt("parts")),
+                        static_cast<int32_t>(flags.GetInt("radius")),
+                        !flags.GetBool("uniform")));
+  int64_t total_ghosts = 0;
+  for (int32_t p = 0; p < plan.num_partitions; ++p) {
+    SM_ASSIGN_OR_RETURN(GraphPartition part,
+                        BuildGraphPartition(graph, plan, p));
+    const std::string path = StrCat(prefix, ".", p, ".smgp");
+    SM_RETURN_NOT_OK(SaveGraphPartition(part, path));
+    out << "  part " << p << ": owned [" << part.owned_begin << ", "
+        << part.owned_end << ") + " << part.num_ghosts()
+        << " ghosts -> " << path << "\n";
+    total_ghosts += part.num_ghosts();
+  }
+  out << "partition: wrote " << plan.num_partitions
+      << " partitions (radius " << plan.radius << ") covering "
+      << graph.NumVertices() << " vertices; " << total_ghosts
+      << " ghosts total ("
+      << (graph.NumVertices() > 0
+              ? 100.0 * static_cast<double>(total_ghosts) /
+                    static_cast<double>(graph.NumVertices())
+              : 0.0)
+      << "% replication)\n";
+  return Status::Ok();
+}
+
+Status CmdStage1Part(const std::vector<std::string>& args,
+                     std::ostream& out) {
+  FlagSet flags("spidermine stage1-part",
+                "mine ONE partition's Stage I contribution into a .sm2p "
+                "partial (the worker step of `stage1 --workers`; sigma "
+                "and --max-spiders are recorded but applied at merge)");
+  flags.AddInt("support", 2, "global support floor sigma (merge-time)")
+      .AddInt("max-leaves", 8, "max leaves per star spider")
+      .AddInt("max-spiders", 0,
+              "global spider budget (0 = unlimited; merge-time)")
+      .AddInt("threads", 1,
+              "worker threads (0 = all cores); results are identical at "
+              "any value")
+      .AddInt("shard-grain", 0,
+              "Stage I vertex-range shard grain (0 = auto); results are "
+              "identical at any value")
+      .AddString("out", "", "partial output path (conventionally .sm2p)");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("expected exactly one .smgp partition file\n",
+               flags.Usage()));
+  }
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    return Status::InvalidArgument(
+        StrCat("--out is required\n", flags.Usage()));
+  }
+  SM_ASSIGN_OR_RETURN(GraphPartition part,
+                      LoadGraphPartition(flags.positional()[0]));
+
+  Stage1PartialConfig config;
+  config.min_support = flags.GetInt("support");
+  config.max_star_leaves = static_cast<int32_t>(flags.GetInt("max-leaves"));
+  config.max_spiders = flags.GetInt("max-spiders");
+  SM_ASSIGN_OR_RETURN(config.shard_grain,
+                      ValidateShardGrainFlag(flags.GetInt("shard-grain")));
+  SM_ASSIGN_OR_RETURN(const int32_t threads,
+                      ValidateThreadsFlag(flags.GetInt("threads")));
+  ThreadPool pool(threads > 0 ? threads : ThreadPool::DefaultThreads());
+  SM_ASSIGN_OR_RETURN(Stage1PartialResult result,
+                      MineStage1Partial(part, config, &pool));
+
+  Stage1PartialMeta meta;
+  meta.min_support = config.min_support;
+  meta.spider_radius = 1;
+  meta.max_star_leaves = config.max_star_leaves;
+  meta.max_spiders = config.max_spiders;
+  meta.num_graph_vertices = part.parent_num_vertices;
+  meta.graph_hash = part.parent_hash;
+  meta.partition_index = part.partition_index;
+  meta.num_partitions = part.num_partitions;
+  meta.owned_begin = part.owned_begin;
+  meta.owned_end = part.owned_end;
+  SM_RETURN_NOT_OK(SaveStage1Partial(result.store, meta, out_path));
+  out << "stage1-part: partition " << part.partition_index << "/"
+      << part.num_partitions << " mined " << result.store.size()
+      << " owned-anchor stars (" << result.local_stars
+      << " enumerated locally); wrote " << out_path << "\n";
+  return Status::Ok();
+}
+
+Status CmdStage1Merge(const std::vector<std::string>& args,
+                      std::ostream& out) {
+  FlagSet flags("spidermine stage1-merge",
+                "fold all .sm2p partials of one partitioned run into the "
+                "final .sm2, byte-identical to a single-process `stage1`");
+  flags.AddString("out", "",
+                  "artifact output path (conventionally .sm2)");
+  SM_RETURN_NOT_OK(flags.Parse(args));
+  if (flags.positional().empty()) {
+    return Status::InvalidArgument(
+        StrCat("expected the .sm2p partials of one run\n", flags.Usage()));
+  }
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    return Status::InvalidArgument(
+        StrCat("--out is required\n", flags.Usage()));
+  }
+  SM_ASSIGN_OR_RETURN(
+      Stage1MergeStats stats,
+      MergeStage1PartialsToFile(flags.positional(), out_path));
+  out << "stage1-merge: " << flags.positional().size() << " partials -> "
+      << stats.merged_spiders << " spiders (" << stats.frequent_stars
+      << " frequent" << (stats.truncated ? ", truncated" : "")
+      << "); wrote " << out_path << "\n";
   return Status::Ok();
 }
 
@@ -646,8 +860,8 @@ Status CmdConvert(const std::vector<std::string>& args, std::ostream& out) {
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
   static constexpr char kUsage[] =
-      "usage: spidermine <gen|stats|mine|stage1|query|serve|baseline|"
-      "convert> [flags]\n"
+      "usage: spidermine <gen|stats|mine|stage1|partition|stage1-part|"
+      "stage1-merge|query|serve|baseline|convert> [flags]\n"
       "run `spidermine <subcommand> --help` semantics: any flag error "
       "prints the subcommand's flag list\n";
   if (args.empty()) {
@@ -665,6 +879,12 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdMine(rest, out);
   } else if (command == "stage1") {
     status = CmdStage1(rest, out);
+  } else if (command == "partition") {
+    status = CmdPartition(rest, out);
+  } else if (command == "stage1-part") {
+    status = CmdStage1Part(rest, out);
+  } else if (command == "stage1-merge") {
+    status = CmdStage1Merge(rest, out);
   } else if (command == "query") {
     status = CmdQuery(rest, out);
   } else if (command == "serve") {

@@ -21,7 +21,14 @@
 ///   stats    print structural statistics of a graph file
 ///   mine     run SpiderMine over a graph file and print the top-K patterns
 ///            (one-shot: Stage I + one query)
-///   stage1   mine Stage I once and save the spider-store artifact (.sm1)
+///   stage1   mine Stage I once and save the spider-store artifact (.sm2);
+///            with --workers N the graph is partitioned and mined by N
+///            worker processes out-of-core, byte-identical result
+///   partition    cut a graph into vertex-range partitions with r-hop
+///                halos (.smgp), the inputs of stage1-part
+///   stage1-part  mine one partition's Stage I contribution (.sm2p)
+///   stage1-merge fold the .sm2p partials into the final .sm2,
+///                byte-identical to a single-process stage1
 ///   query    answer a top-K query against a saved stage1 artifact without
 ///            re-mining; repeated queries take milliseconds-to-seconds
 ///   serve    keep one session resident and answer newline-delimited JSON
@@ -53,6 +60,11 @@ Status CmdGen(const std::vector<std::string>& args, std::ostream& out);
 Status CmdStats(const std::vector<std::string>& args, std::ostream& out);
 Status CmdMine(const std::vector<std::string>& args, std::ostream& out);
 Status CmdStage1(const std::vector<std::string>& args, std::ostream& out);
+Status CmdPartition(const std::vector<std::string>& args, std::ostream& out);
+Status CmdStage1Part(const std::vector<std::string>& args,
+                     std::ostream& out);
+Status CmdStage1Merge(const std::vector<std::string>& args,
+                      std::ostream& out);
 Status CmdQuery(const std::vector<std::string>& args, std::ostream& out);
 Status CmdBaseline(const std::vector<std::string>& args, std::ostream& out);
 Status CmdConvert(const std::vector<std::string>& args, std::ostream& out);

@@ -15,6 +15,12 @@
 #     speedup bar (last row >= 2x the 1-connection row) is enforced only
 #     on machines with >= 4 cores: with one worker-visible core the rows
 #     legitimately flatline, and the artifact then records that shape.
+#   BENCH_partition_stage1.json — out-of-core partitioned Stage I on a
+#     2M-vertex BA graph: wall time + PER-PROCESS peak RSS of each phase
+#     (partition / per-partition worker / merge, each a forked child
+#     measured via wait4 rusage) vs the single-node baseline. The bar is
+#     exactness: the merged .sm2 must be byte-identical to the baseline's
+#     (exit 2 otherwise); RSS numbers are trajectory records.
 #
 #   $ tools/run_bench_trajectory.sh
 #
@@ -24,7 +30,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_artifact_load bench_growth_engine bench_parallel_scaling; do
+for bench in bench_artifact_load bench_growth_engine bench_parallel_scaling \
+             bench_partition_stage1; do
   if [[ ! -x "build/${bench}" ]]; then
     echo "error: build/${bench} not found; build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -61,3 +68,8 @@ rows="$(build/bench_parallel_scaling --vertices=20000 --concurrent-queries=8 \
 } > BENCH_serve_throughput.json
 cat BENCH_serve_throughput.json
 echo "OK: wrote BENCH_serve_throughput.json"
+
+echo "=== bench_partition_stage1 (2M-vertex BA graph; ~5 min)"
+build/bench_partition_stage1 > BENCH_partition_stage1.json
+cat BENCH_partition_stage1.json
+echo "OK: wrote BENCH_partition_stage1.json"

@@ -1,0 +1,333 @@
+#include "tools/stage1_workers.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <limits.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "graph/graph_partition.h"
+#include "spidermine/stage1_partition.h"
+#include "tools/cli_commands.h"
+
+namespace spidermine::cli {
+
+namespace {
+
+/// Stderr kept per worker attempt: enough for any Status::ToString plus a
+/// stack of context lines, small enough to embed in an error message.
+constexpr size_t kWorkerStderrCap = 64 * 1024;
+
+std::string PartitionPath(const std::string& parts_dir, int32_t index) {
+  return StrCat(parts_dir, "/part.", index, ".smgp");
+}
+
+std::string PartialPath(const std::string& parts_dir, int32_t index) {
+  return StrCat(parts_dir, "/part.", index, ".sm2p");
+}
+
+Status MakeScratchDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::IoError(
+      StrCat("cannot create parts dir '", path, "': ", strerror(errno)));
+}
+
+/// Runs one partition's worker: up to two attempts (launch + validate),
+/// deleting a bad partial before the retry so a truncated file from a
+/// killed worker cannot satisfy the validator by accident.
+Status MinePartitionViaWorker(const WorkerLauncher& launch,
+                              const WorkerInvocation& invocation,
+                              const std::string& partial_path,
+                              int32_t num_partitions,
+                              std::atomic<int32_t>* retries) {
+  Status last_error;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0) {
+      retries->fetch_add(1, std::memory_order_relaxed);
+      ::unlink(partial_path.c_str());
+    }
+    Result<WorkerOutcome> outcome = launch(invocation);
+    if (!outcome.ok()) {
+      last_error = Status::IoError(
+          StrCat("stage1 worker for partition ", invocation.partition_index,
+                 " could not be started: ", outcome.status().message()));
+      continue;
+    }
+    if (outcome->exit_code != 0) {
+      last_error = Status::IoError(StrCat(
+          "stage1 worker for partition ", invocation.partition_index,
+          " exited with code ", outcome->exit_code, "; stderr:\n",
+          outcome->stderr_output.empty() ? "(empty)"
+                                         : outcome->stderr_output));
+      continue;
+    }
+    // Exit 0 is not trusted on its own: the eager .sm2p open re-checks
+    // every CRC and invariant, so a truncated or corrupt partial (disk
+    // full, worker killed between write and exit) fails HERE, not at the
+    // merge of all partitions.
+    Result<std::unique_ptr<MappedStage1Partial>> partial =
+        MappedStage1Partial::Open(partial_path);
+    if (!partial.ok()) {
+      last_error = Status::IoError(
+          StrCat("stage1 worker for partition ", invocation.partition_index,
+                 " exited 0 but left an unreadable partial: ",
+                 partial.status().message()));
+      continue;
+    }
+    if ((*partial)->meta().partition_index != invocation.partition_index ||
+        (*partial)->meta().num_partitions != num_partitions) {
+      last_error = Status::IoError(StrCat(
+          "stage1 worker for partition ", invocation.partition_index,
+          " wrote a partial claiming partition ",
+          (*partial)->meta().partition_index, "/",
+          (*partial)->meta().num_partitions, " (mixed-up outputs?)"));
+      continue;
+    }
+    return Status::Ok();
+  }
+  return last_error;
+}
+
+}  // namespace
+
+Result<WorkerOutcome> ForkExecWorker(const WorkerInvocation& invocation) {
+  if (invocation.argv.empty()) {
+    return Status::InvalidArgument("worker invocation has an empty argv");
+  }
+  int stderr_pipe[2];
+  if (::pipe(stderr_pipe) != 0) {
+    return Status::IoError(
+        StrCat("pipe() failed for worker stderr: ", strerror(errno)));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(stderr_pipe[0]);
+    ::close(stderr_pipe[1]);
+    return Status::IoError(StrCat("fork() failed: ", strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child: stdout AND stderr -> pipe, then exec. A worker's progress
+    // line would otherwise interleave into the parent's stdout; captured
+    // output is surfaced only in failure messages. Only async-signal-safe
+    // calls between fork and exec; on exec failure report and _exit(127).
+    ::close(stderr_pipe[0]);
+    ::dup2(stderr_pipe[1], STDOUT_FILENO);
+    ::dup2(stderr_pipe[1], STDERR_FILENO);
+    ::close(stderr_pipe[1]);
+    std::vector<char*> argv;
+    argv.reserve(invocation.argv.size() + 1);
+    for (const std::string& arg : invocation.argv) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    const char* prefix = "exec failed: ";
+    (void)!::write(STDERR_FILENO, prefix, strlen(prefix));
+    (void)!::write(STDERR_FILENO, invocation.argv[0].c_str(),
+                   invocation.argv[0].size());
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+  // Parent: drain stderr BEFORE waitpid — a worker writing more than the
+  // pipe buffer would otherwise deadlock against our wait. Bytes past the
+  // cap are read and dropped so the child never blocks on a full pipe.
+  ::close(stderr_pipe[1]);
+  WorkerOutcome outcome;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(stderr_pipe[0], buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    const size_t room = kWorkerStderrCap - std::min(
+        kWorkerStderrCap, outcome.stderr_output.size());
+    outcome.stderr_output.append(
+        buffer, std::min(static_cast<size_t>(n), room));
+  }
+  ::close(stderr_pipe[0]);
+  int wait_status = 0;
+  pid_t waited;
+  do {
+    waited = ::waitpid(pid, &wait_status, 0);
+  } while (waited < 0 && errno == EINTR);
+  if (waited < 0) {
+    return Status::IoError(
+        StrCat("waitpid() failed for worker pid ", pid, ": ",
+               strerror(errno)));
+  }
+  if (WIFEXITED(wait_status)) {
+    outcome.exit_code = WEXITSTATUS(wait_status);
+  } else if (WIFSIGNALED(wait_status)) {
+    outcome.exit_code = 128 + WTERMSIG(wait_status);
+  } else {
+    outcome.exit_code = -1;
+  }
+  return outcome;
+}
+
+Result<std::string> ResolveWorkerBinary(const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  const char* env = std::getenv("SPIDERMINE_CLI_BIN");
+  if (env != nullptr && env[0] != '\0') return std::string(env);
+  char buffer[PATH_MAX];
+  const ssize_t len =
+      ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len > 0) {
+    buffer[len] = '\0';
+    return std::string(buffer);
+  }
+  return Status::InvalidArgument(
+      "cannot locate the spidermine binary for worker processes; pass "
+      "--worker-binary or set SPIDERMINE_CLI_BIN");
+}
+
+Result<PartitionedStage1Stats> RunPartitionedStage1(
+    const std::string& graph_path, const std::string& out_path,
+    const PartitionedStage1Options& options, const WorkerLauncher& launcher,
+    std::ostream* log) {
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument(
+        StrCat("--workers must be >= 1 (got ", options.num_workers, ")"));
+  }
+  const int32_t num_partitions = options.num_partitions > 0
+                                     ? options.num_partitions
+                                     : options.num_workers;
+  const std::string parts_dir =
+      options.parts_dir.empty() ? StrCat(out_path, ".parts")
+                                : options.parts_dir;
+  SM_RETURN_NOT_OK(MakeScratchDir(parts_dir));
+  SM_ASSIGN_OR_RETURN(const std::string worker_binary,
+                      ResolveWorkerBinary(options.worker_binary));
+  const WorkerLauncher launch =
+      launcher ? launcher : WorkerLauncher(&ForkExecWorker);
+
+  PartitionedStage1Stats stats;
+  stats.num_partitions = num_partitions;
+
+  // Phase 1: load, cut, persist, FREE. The graph lives only inside this
+  // block — after it, the parent holds no per-vertex state and each
+  // worker's RSS is bounded by its own partition.
+  {
+    WallTimer timer;
+    SM_ASSIGN_OR_RETURN(LabeledGraph graph, LoadGraphAuto(graph_path));
+    SM_ASSIGN_OR_RETURN(
+        PartitionPlan plan,
+        MakePartitionPlan(graph, num_partitions, /*radius=*/1));
+    for (int32_t p = 0; p < num_partitions; ++p) {
+      SM_ASSIGN_OR_RETURN(GraphPartition part,
+                          BuildGraphPartition(graph, plan, p));
+      SM_RETURN_NOT_OK(SaveGraphPartition(part, PartitionPath(parts_dir, p)));
+    }
+    if (log != nullptr) {
+      *log << "stage1: wrote " << num_partitions << " partitions to "
+           << parts_dir << " in " << timer.ElapsedSeconds() << "s\n";
+    }
+  }
+
+  // Phase 2: mine the partitions in worker processes, at most
+  // num_workers at a time, claimed by atomic counter. The first failure
+  // (after its retry) stops new claims; in-flight workers finish.
+  {
+    WallTimer timer;
+    std::atomic<int32_t> next{0};
+    std::atomic<int32_t> retries{0};
+    std::mutex error_mu;
+    Status first_error;
+    auto worker_loop = [&] {
+      for (;;) {
+        const int32_t p = next.fetch_add(1, std::memory_order_relaxed);
+        if (p >= num_partitions) return;
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error.ok()) return;
+        }
+        WorkerInvocation invocation;
+        invocation.partition_index = p;
+        invocation.argv = {
+            worker_binary,
+            "stage1-part",
+            PartitionPath(parts_dir, p),
+            StrCat("--support=", options.min_support),
+            StrCat("--max-leaves=", options.max_star_leaves),
+            StrCat("--max-spiders=", options.max_spiders),
+            StrCat("--shard-grain=", options.shard_grain),
+            StrCat("--threads=", options.worker_threads),
+            StrCat("--out=", PartialPath(parts_dir, p)),
+        };
+        Status status =
+            MinePartitionViaWorker(launch, invocation,
+                                   PartialPath(parts_dir, p),
+                                   num_partitions, &retries);
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = std::move(status);
+          return;
+        }
+      }
+    };
+    const int32_t num_threads =
+        std::min(options.num_workers, num_partitions);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int32_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back(worker_loop);
+    }
+    for (std::thread& thread : threads) thread.join();
+    stats.worker_retries = retries.load(std::memory_order_relaxed);
+    SM_RETURN_NOT_OK(first_error);
+    if (log != nullptr) {
+      *log << "stage1: " << num_partitions << " partials mined by up to "
+           << num_threads << " workers in " << timer.ElapsedSeconds() << "s"
+           << (stats.worker_retries > 0
+                   ? StrCat(" (", stats.worker_retries, " retries)")
+                   : "")
+           << "\n";
+    }
+  }
+
+  // Phase 3: merge. Graph-free — the partial metas carry the parent
+  // identity, and the merged .sm2 is byte-identical to a single-process
+  // `stage1` with the same parameters.
+  {
+    WallTimer timer;
+    std::vector<std::string> partial_paths;
+    partial_paths.reserve(static_cast<size_t>(num_partitions));
+    for (int32_t p = 0; p < num_partitions; ++p) {
+      partial_paths.push_back(PartialPath(parts_dir, p));
+    }
+    SM_ASSIGN_OR_RETURN(Stage1MergeStats merge,
+                        MergeStage1PartialsToFile(partial_paths, out_path));
+    stats.merged_spiders = merge.merged_spiders;
+    stats.frequent_stars = merge.frequent_stars;
+    stats.total_anchors = merge.total_anchors;
+    stats.truncated = merge.truncated;
+    if (log != nullptr) {
+      *log << "stage1: merged " << num_partitions << " partials in "
+           << timer.ElapsedSeconds() << "s\n";
+    }
+  }
+
+  if (!options.keep_parts) {
+    for (int32_t p = 0; p < num_partitions; ++p) {
+      ::unlink(PartitionPath(parts_dir, p).c_str());
+      ::unlink(PartialPath(parts_dir, p).c_str());
+    }
+    // Best effort: a user-supplied --parts-dir may hold other files.
+    ::rmdir(parts_dir.c_str());
+  }
+  return stats;
+}
+
+}  // namespace spidermine::cli

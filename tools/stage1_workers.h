@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file stage1_workers.h
+/// The multi-process partitioned Stage I driver behind
+/// `spidermine stage1 --workers N`: partition the graph to disk, fork one
+/// `stage1-part` worker process per partition (at most N concurrently),
+/// validate and merge the partial artifacts into a `.sm2` byte-identical
+/// to a single-process run.
+///
+/// Why processes and not threads: the in-process miner already scales
+/// across threads; what a worker process adds is an ADDRESS-SPACE bound.
+/// The parent loads the graph once, writes the partitions, and frees it
+/// before any worker starts — from then on the largest resident set in
+/// play is one partition plus its mining state, not the whole graph. That
+/// is the out-of-core story: the `.smgp` partition files and `.sm2p`
+/// partials stream through the page cache, never coexisting in one heap.
+///
+/// The launcher is injectable so the scheduling, retry and validation
+/// logic is unit-testable without fork/exec: tests substitute a
+/// WorkerLauncher that runs RunCli in-process or fails on purpose. The
+/// default launcher (ForkExecWorker) forks, pipes the child's stderr
+/// (capped), execs and reaps — a worker killed by a signal reports
+/// 128+signo, exec failure 127, matching shell conventions.
+
+namespace spidermine::cli {
+
+/// One worker process to run: the full argv (argv[0] = the binary) plus
+/// the partition index it serves, for error attribution.
+struct WorkerInvocation {
+  std::vector<std::string> argv;
+  int32_t partition_index = 0;
+};
+
+/// What a finished worker left behind. exit_code 0 is success; nonzero
+/// exits, 128+signo deaths and 127 exec failures all carry the captured
+/// output (stdout+stderr combined) for the error message.
+struct WorkerOutcome {
+  int32_t exit_code = 0;
+  std::string stderr_output;
+};
+
+/// Runs one worker to completion. A Status (rather than a nonzero exit)
+/// means the worker could not even be started.
+using WorkerLauncher =
+    std::function<Result<WorkerOutcome>(const WorkerInvocation&)>;
+
+/// The default launcher: fork, redirect the child's stdout AND stderr
+/// into a pipe (first 64 KiB kept; surfaced only in failure messages),
+/// execv, waitpid. Never throws; never blocks on a worker that writes
+/// more output than the cap.
+Result<WorkerOutcome> ForkExecWorker(const WorkerInvocation& invocation);
+
+/// Resolves the binary workers should exec: \p flag_value
+/// (--worker-binary) if non-empty, else $SPIDERMINE_CLI_BIN, else this
+/// process's own image via /proc/self/exe.
+Result<std::string> ResolveWorkerBinary(const std::string& flag_value);
+
+struct PartitionedStage1Options {
+  int32_t num_partitions = 0;  // 0 = num_workers
+  int32_t num_workers = 1;
+  int64_t min_support = 2;
+  int32_t max_star_leaves = 8;
+  int64_t max_spiders = 0;
+  int64_t shard_grain = 0;
+  /// --threads passed to each worker (workers multiply this!).
+  int32_t worker_threads = 1;
+  /// Scratch directory for .smgp/.sm2p files; "" = "<out_path>.parts".
+  std::string parts_dir;
+  /// Keep the scratch files after a successful merge.
+  bool keep_parts = false;
+  /// Binary to exec; "" = ResolveWorkerBinary fallback chain.
+  std::string worker_binary;
+};
+
+struct PartitionedStage1Stats {
+  int64_t merged_spiders = 0;
+  int64_t frequent_stars = 0;
+  int64_t total_anchors = 0;
+  bool truncated = false;
+  int32_t num_partitions = 0;
+  /// Worker attempts beyond the first, across all partitions (each
+  /// partition gets exactly one deterministic retry before the run fails).
+  int32_t worker_retries = 0;
+};
+
+/// The full driver: load + partition + free the graph, mine every
+/// partition in worker processes (at most num_workers concurrent, one
+/// retry per partition, truncated/corrupt partials detected by the eager
+/// `.sm2p` open), merge to \p out_path, clean up the scratch dir unless
+/// keep_parts. \p launcher defaults to ForkExecWorker when empty.
+/// Progress lines go to \p log when non-null. On worker failure the error
+/// carries the partition index, exit code and captured stderr.
+Result<PartitionedStage1Stats> RunPartitionedStage1(
+    const std::string& graph_path, const std::string& out_path,
+    const PartitionedStage1Options& options,
+    const WorkerLauncher& launcher = {}, std::ostream* log = nullptr);
+
+}  // namespace spidermine::cli
