@@ -147,16 +147,55 @@ bool EnumerateLeafArrangements(
   return ArrangeGroup(groups, avail, chosen, group_idx, 0, &used, emit);
 }
 
+bool EnumerateLeafAssignments(
+    const std::vector<std::pair<SpiderLeafKey, int32_t>>& groups,
+    const std::vector<std::vector<VertexId>>& avail,
+    std::vector<VertexId>* chosen, size_t group_idx,
+    const std::function<bool(const std::vector<VertexId>&)>& emit) {
+  if (group_idx == groups.size()) return emit(*chosen);
+  const int32_t need = groups[group_idx].second;
+  const std::vector<VertexId>& pool = avail[group_idx];
+  if (pool.empty()) return true;  // no choice for this group
+  // Iterative odometer over `need` positions, each running through the
+  // whole pool (tuples with repetition).
+  std::vector<int32_t> idx(static_cast<size_t>(need), 0);
+  while (true) {
+    size_t base = chosen->size();
+    for (int32_t i = 0; i < need; ++i) chosen->push_back(pool[idx[i]]);
+    bool keep_going =
+        EnumerateLeafAssignments(groups, avail, chosen, group_idx + 1, emit);
+    chosen->resize(base);
+    if (!keep_going) return false;
+    // Advance odometer.
+    int32_t pos = need - 1;
+    while (pos >= 0 && idx[pos] == static_cast<int32_t>(pool.size()) - 1) {
+      idx[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) return true;
+    ++idx[pos];
+  }
+}
+
 EmbeddingListRef BuildStarEmbeddingList(const LabeledGraph& graph,
                                         const SpiderStore& store,
                                         int32_t spider_id, int64_t budget,
                                         ThreadPool* pool,
                                         const CancellationToken* token,
-                                        int64_t grain) {
+                                        int64_t grain, bool homomorphic) {
   if (budget <= 0) return SaturatedEmbeddingList();
   const auto groups = GroupLeafKeys(store.leaves(spider_id));
-  const std::span<const VertexId> anchors = store.anchors(spider_id);
-  const int64_t n = static_cast<int64_t>(anchors.size());
+  // Homomorphic centers: any head-labeled vertex with >= 1 neighbor per
+  // leaf key qualifies (the admission happens naturally when a group's
+  // availability list is empty); the store anchor list demands per-key
+  // DISTINCT counts and would drop such centers.
+  std::span<const VertexId> centers = store.anchors(spider_id);
+  if (homomorphic) {
+    const LabelId head = store.head_label(spider_id);
+    centers = head < graph.NumLabels() ? graph.VerticesWithLabel(head)
+                                       : std::span<const VertexId>{};
+  }
+  const int64_t n = static_cast<int64_t>(centers.size());
   if (n == 0) return std::make_shared<EmbeddingList>();
 
   std::vector<std::vector<Embedding>> partial(static_cast<size_t>(n));
@@ -169,7 +208,7 @@ EmbeddingListRef BuildStarEmbeddingList(const LabeledGraph& graph,
         overflow[static_cast<size_t>(begin)] = 1;
         return;
       }
-      const VertexId anchor = anchors[static_cast<size_t>(i)];
+      const VertexId anchor = centers[static_cast<size_t>(i)];
       if (groups.empty()) {
         out.push_back({anchor});
         if (static_cast<int64_t>(out.size()) >= cap) {
@@ -178,19 +217,25 @@ EmbeddingListRef BuildStarEmbeddingList(const LabeledGraph& graph,
         }
         continue;
       }
-      const std::vector<std::vector<VertexId>> avail =
-          AvailabilityLists(graph, anchor, groups,
-                            /*forbidden_image=*/{anchor});
+      // Homomorphic leaves may not coincide with the center anyway (no
+      // self-loops on simple graphs), so the empty forbidden set is exact.
+      const std::vector<std::vector<VertexId>> avail = AvailabilityLists(
+          graph, anchor, groups,
+          homomorphic ? std::vector<VertexId>{}
+                      : std::vector<VertexId>{anchor});
       std::vector<VertexId> chosen;
-      bool completed = EnumerateLeafArrangements(
-          groups, avail, &chosen, 0, [&](const std::vector<VertexId>& leafs) {
-            Embedding e;
-            e.reserve(1 + leafs.size());
-            e.push_back(anchor);
-            for (VertexId x : leafs) e.push_back(x);
-            out.push_back(std::move(e));
-            return static_cast<int64_t>(out.size()) < cap;
-          });
+      auto emit = [&](const std::vector<VertexId>& leafs) {
+        Embedding e;
+        e.reserve(1 + leafs.size());
+        e.push_back(anchor);
+        for (VertexId x : leafs) e.push_back(x);
+        out.push_back(std::move(e));
+        return static_cast<int64_t>(out.size()) < cap;
+      };
+      bool completed =
+          homomorphic
+              ? EnumerateLeafAssignments(groups, avail, &chosen, 0, emit)
+              : EnumerateLeafArrangements(groups, avail, &chosen, 0, emit);
       if (!completed) {
         overflow[static_cast<size_t>(begin)] = 1;
         return;
@@ -208,7 +253,8 @@ EmbeddingListRef BuildStarEmbeddingList(const LabeledGraph& graph,
 EmbeddingListRef ExtendEmbeddingListAtVertex(
     const LabeledGraph& graph, const SpiderStore& store, int32_t spider_id,
     const EmbeddingList& base, VertexId v,
-    std::span<const SpiderLeafKey> new_leaves, int64_t budget) {
+    std::span<const SpiderLeafKey> new_leaves, int64_t budget,
+    bool homomorphic) {
   if (budget <= 0 || base.saturated) return SaturatedEmbeddingList();
   const auto groups = GroupLeafKeys(new_leaves);
   auto list = std::make_shared<EmbeddingList>();
@@ -218,19 +264,26 @@ EmbeddingListRef ExtendEmbeddingListAtVertex(
     // Non-lossy prune: an arrangement of the spider's fresh leaves plus the
     // already-embedded N_P(v) images demands per-key neighbor counts at or
     // above the spider's full leaf multiset, which is the store's anchor
-    // condition — so non-anchors contribute nothing.
-    if (!store.IsAnchoredAt(spider_id, gv)) continue;
-    const std::vector<VertexId> image = SortedImage(e);
+    // condition — so non-anchors contribute nothing. Unsound under
+    // homomorphism (equal-key leaves may share one neighbor), so skipped.
+    if (!homomorphic && !store.IsAnchoredAt(spider_id, gv)) continue;
+    // Homomorphic leaves may also land on already-embedded vertices: the
+    // only NEW pattern edges run leaf->v, and Neighbors(gv) guarantees
+    // those map to graph edges regardless of coincidences elsewhere.
+    const std::vector<VertexId> image =
+        homomorphic ? std::vector<VertexId>{} : SortedImage(e);
     const std::vector<std::vector<VertexId>> avail =
         AvailabilityLists(graph, gv, groups, image);
     std::vector<VertexId> chosen;
-    bool completed = EnumerateLeafArrangements(
-        groups, avail, &chosen, 0, [&](const std::vector<VertexId>& leafs) {
-          Embedding extended = e;
-          for (VertexId x : leafs) extended.push_back(x);
-          list->embeddings.push_back(std::move(extended));
-          return static_cast<int64_t>(list->embeddings.size()) < cap;
-        });
+    auto emit = [&](const std::vector<VertexId>& leafs) {
+      Embedding extended = e;
+      for (VertexId x : leafs) extended.push_back(x);
+      list->embeddings.push_back(std::move(extended));
+      return static_cast<int64_t>(list->embeddings.size()) < cap;
+    };
+    bool completed =
+        homomorphic ? EnumerateLeafAssignments(groups, avail, &chosen, 0, emit)
+                    : EnumerateLeafArrangements(groups, avail, &chosen, 0, emit);
     if (!completed) return SaturatedEmbeddingList();
   }
   if (static_cast<int64_t>(list->embeddings.size()) > budget) {
@@ -246,7 +299,7 @@ EmbeddingListRef JoinEmbeddingLists(const EmbeddingList& a,
                                     int32_t num_union_vertices, int64_t budget,
                                     ThreadPool* pool,
                                     const CancellationToken* token,
-                                    int64_t grain) {
+                                    int64_t grain, bool homomorphic) {
   if (budget <= 0 || a.saturated || b.saturated) {
     return SaturatedEmbeddingList();
   }
@@ -303,18 +356,22 @@ EmbeddingListRef JoinEmbeddingLists(const EmbeddingList& a,
       }
       const auto it = by_overlap.find(key);
       if (it == by_overlap.end()) continue;
-      const std::vector<VertexId> a_image = SortedImage(ea);
+      const std::vector<VertexId> a_image =
+          homomorphic ? std::vector<VertexId>{} : SortedImage(ea);
       for (int64_t ej : it->second) {
         const Embedding& eb = b.embeddings[static_cast<size_t>(ej)];
         // Cross-injectivity: b-exclusive images must avoid a's image
         // entirely (shared columns agree by key; intra-parent injectivity
-        // is given).
+        // is given). A homomorphic union embedding is any key-agreeing
+        // pair, so the check is skipped there.
         bool ok = true;
-        for (int32_t pv : b_exclusive) {
-          if (std::binary_search(a_image.begin(), a_image.end(),
-                                 eb[static_cast<size_t>(pv)])) {
-            ok = false;
-            break;
+        if (!homomorphic) {
+          for (int32_t pv : b_exclusive) {
+            if (std::binary_search(a_image.begin(), a_image.end(),
+                                   eb[static_cast<size_t>(pv)])) {
+              ok = false;
+              break;
+            }
           }
         }
         if (!ok) continue;

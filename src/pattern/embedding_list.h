@@ -97,6 +97,20 @@ bool EnumerateLeafArrangements(
     std::vector<VertexId>* chosen, size_t group_idx,
     const std::function<bool(const std::vector<VertexId>&)>& emit);
 
+/// Enumerates every ordered ASSIGNMENT — tuples WITH repetition within a
+/// group — for the homomorphic builders: distinct equal-key leaves may map
+/// onto one shared neighbor, so each position independently tries every
+/// availability-list entry (|avail|^count tuples per group). Cross-group
+/// coincidence cannot arise (a neighbor has exactly one key), and a leaf can
+/// never coincide with its own center (simple graphs have no self-loops).
+/// Emission order is deterministic: lexicographic in (group, position,
+/// availability index).
+bool EnumerateLeafAssignments(
+    const std::vector<std::pair<SpiderLeafKey, int32_t>>& groups,
+    const std::vector<std::vector<VertexId>>& avail,
+    std::vector<VertexId>* chosen, size_t group_idx,
+    const std::function<bool(const std::vector<VertexId>&)>& emit);
+
 /// Builds the complete E[star] of spider \p spider_id: for every store
 /// anchor, every arrangement of the spider's leaves over the anchor's
 /// fresh neighbors, in the store's pattern numbering (vertex 0 = head,
@@ -105,12 +119,18 @@ bool EnumerateLeafArrangements(
 /// worker); \p grain < 1 selects the pool's automatic grain. Returns a
 /// saturated list when the budget overflows, \p budget <= 0, or \p token
 /// is cancelled mid-build.
+///
+/// \p homomorphic switches the engine to homomorphic E[P]: centers come
+/// from every head-labeled vertex (the store's anchor list requires
+/// per-key DISTINCT neighbor counts and would under-cover homomorphisms),
+/// and leaves are assigned with repetition (EnumerateLeafAssignments).
 EmbeddingListRef BuildStarEmbeddingList(const LabeledGraph& graph,
                                         const SpiderStore& store,
                                         int32_t spider_id, int64_t budget,
                                         ThreadPool* pool = nullptr,
                                         const CancellationToken* token = nullptr,
-                                        int64_t grain = 0);
+                                        int64_t grain = 0,
+                                        bool homomorphic = false);
 
 /// Extends complete list \p base of a pattern P to the complete list of
 /// P + \p new_leaves attached at pattern vertex \p v (the SpiderExtend
@@ -120,10 +140,16 @@ EmbeddingListRef BuildStarEmbeddingList(const LabeledGraph& graph,
 /// an image that admits an arrangement necessarily has per-key neighbor
 /// counts at or above the spider's leaf multiset, i.e. is an anchor.
 /// Serial (runs inside growth workers). Saturation in \p base is sticky.
+///
+/// \p homomorphic skips the anchor prune (unsound for homomorphisms: equal-
+/// key leaves may share one neighbor, so non-anchors can host them), allows
+/// new leaves to coincide with already-embedded vertices, and assigns
+/// leaves with repetition.
 EmbeddingListRef ExtendEmbeddingListAtVertex(
     const LabeledGraph& graph, const SpiderStore& store, int32_t spider_id,
     const EmbeddingList& base, VertexId v,
-    std::span<const SpiderLeafKey> new_leaves, int64_t budget);
+    std::span<const SpiderLeafKey> new_leaves, int64_t budget,
+    bool homomorphic = false);
 
 /// Joins the complete lists of two merge parents into the complete list of
 /// their union pattern. \p map_a[pu] / \p map_b[pv] give the union-pattern
@@ -137,6 +163,10 @@ EmbeddingListRef ExtendEmbeddingListAtVertex(
 /// fold/saturation contract as BuildStarEmbeddingList. No pair produces
 /// duplicates (an embedding determines its parent projections uniquely).
 /// Saturation in either parent is sticky.
+///
+/// \p homomorphic drops the cross-injectivity check: a homomorphic union
+/// embedding is ANY pair agreeing on the overlap columns (exclusive images
+/// may collide), so the join reduces to the keyed cross product.
 EmbeddingListRef JoinEmbeddingLists(const EmbeddingList& a,
                                     const EmbeddingList& b,
                                     const std::vector<VertexId>& map_a,
@@ -144,7 +174,8 @@ EmbeddingListRef JoinEmbeddingLists(const EmbeddingList& a,
                                     int32_t num_union_vertices, int64_t budget,
                                     ThreadPool* pool = nullptr,
                                     const CancellationToken* token = nullptr,
-                                    int64_t grain = 0);
+                                    int64_t grain = 0,
+                                    bool homomorphic = false);
 
 /// Level-extension step shared with the complete baseline miner: appends to
 /// \p out every extension of \p base embeddings mapping a NEW pattern

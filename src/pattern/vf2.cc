@@ -111,9 +111,12 @@ void SearchState::Recurse(size_t depth) {
 
   auto try_candidate = [&](VertexId gv) {
     if (stop) return;
-    if (used[gv]) return;
+    if (!options->homomorphic && used[gv]) return;
     if (graph->Label(gv) != want_label) return;
-    if (graph->Degree(gv) < want_degree) return;
+    // The degree prune is unsound under homomorphism: two pattern
+    // neighbors of pv may share one image, so gv can host pv with fewer
+    // graph neighbors than pv has pattern neighbors.
+    if (!options->homomorphic && graph->Degree(gv) < want_degree) return;
     // Consistency: every matched pattern neighbor must map to a graph
     // neighbor of gv, with matching edge labels when either side uses them
     // (Definition 1 extended to edge labels, paper Sec. 3; the default
@@ -127,9 +130,9 @@ void SearchState::Recurse(size_t depth) {
       }
     }
     image[pv] = gv;
-    used[gv] = true;
+    if (!options->homomorphic) used[gv] = true;
     Recurse(depth + 1);
-    used[gv] = false;
+    if (!options->homomorphic) used[gv] = false;
     image[pv] = -1;
   };
 

@@ -26,6 +26,12 @@ struct Vf2Options {
   /// vertex \p anchor_graph_vertex (used for spider heads).
   VertexId anchor_pattern_vertex = -1;
   VertexId anchor_graph_vertex = -1;
+  /// Enumerate label-preserving homomorphisms instead of subgraph
+  /// isomorphisms: distinct pattern vertices may share a graph image. Edge
+  /// consistency is unchanged (every pattern edge must map to a graph
+  /// edge), which on self-loop-free graphs already forbids adjacent
+  /// pattern vertices from collapsing onto one image.
+  bool homomorphic = false;
 };
 
 /// Statistics of one enumeration run.

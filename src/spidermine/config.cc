@@ -39,6 +39,15 @@ Status QueryConfig::Validate() const {
     return Status::InvalidArgument(
         "embedding_list_budget must be >= 0 (0 = VF2-only closure)");
   }
+  if (txn_sample < 0) {
+    return Status::InvalidArgument(
+        "txn_sample must be >= 0 (0 = count all transactions)");
+  }
+  if (txn_sample > 0 &&
+      support_measure != SupportMeasureKind::kTransaction) {
+    return Status::InvalidArgument(
+        "txn_sample requires the transaction support measure");
+  }
   return Status::Ok();
 }
 
@@ -86,6 +95,7 @@ uint64_t QueryConfig::CanonicalHash(int64_t session_min_support,
   h.Field(dmax);
   h.Field(effective_vmin);
   h.Field(static_cast<int32_t>(support_measure));
+  h.Field(txn_sample);
   h.Field(rng_seed);
   h.Field(seed_count_override);
   h.Field(effective_restarts);
@@ -119,6 +129,7 @@ SessionConfig MineConfig::SessionPart() const {
   session.stage1_shard_grain = stage1_shard_grain;
   session.stage1_time_budget_seconds = time_budget_seconds;
   session.txn_of_vertex = txn_of_vertex;
+  session.txn_map = txn_map;
   return session;
 }
 
@@ -130,6 +141,7 @@ QueryConfig MineConfig::QueryPart() const {
   query.dmax = dmax;
   query.vmin = vmin;
   query.support_measure = support_measure;
+  query.txn_sample = txn_sample;
   query.rng_seed = rng_seed;
   query.seed_count_override = seed_count_override;
   query.restarts = restarts;

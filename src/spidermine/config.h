@@ -69,6 +69,11 @@ struct SessionConfig {
   /// input graph; enables SupportMeasureKind::kTransaction in queries.
   /// Borrowed; must outlive the session.
   const std::vector<int32_t>* txn_of_vertex = nullptr;
+  /// Per-vertex transaction payloads (Lei et al.; loaded from a `--txn-map`
+  /// file, see txn_adapter.h). Takes precedence over txn_of_vertex for
+  /// kTransaction queries: an embedding covers a transaction iff every
+  /// image vertex carries it. Borrowed; must outlive the session.
+  const VertexTxnMap* txn_map = nullptr;
 
   /// Field-range validation. Sessions refuse to build on failure.
   Status Validate() const;
@@ -95,8 +100,14 @@ struct QueryConfig {
   /// 0 selects the paper's example default |V(G)|/10.
   int64_t vmin = 0;
   /// Support definition (overlap handling); see support_measure.h.
-  /// kTransaction requires the session to carry txn_of_vertex.
+  /// kTransaction requires the session to carry txn_of_vertex or txn_map.
   SupportMeasureKind support_measure = SupportMeasureKind::kGreedyMisVertex;
+  /// Sampling-based transaction top-K (Lei et al.): when > 0, each restart
+  /// run counts only a uniform sample of this many transaction ids, drawn
+  /// from the run's own RNG substream (byte-deterministic at any thread
+  /// count); values >= the transaction universe count everything. 0 = all
+  /// transactions. Requires support_measure == kTransaction.
+  int64_t txn_sample = 0;
 
   // ---- Randomization. ----
   /// RNG seed for the random spider draw. Each restart run r draws from an
@@ -207,6 +218,7 @@ struct MineConfig {
   int32_t spider_radius = 1;     ///< r (session-scoped; 1 = star fast path)
   int64_t vmin = 0;              ///< large-pattern floor (0 = |V(G)|/10)
   SupportMeasureKind support_measure = SupportMeasureKind::kGreedyMisVertex;
+  int64_t txn_sample = 0;        ///< per-run transaction sample size (0 = all)
 
   // ---- Parallelism -> SessionConfig.
   int32_t num_threads = 1;          ///< worker threads (0 = all cores)
@@ -241,6 +253,9 @@ struct MineConfig {
   bool keep_unmerged = false;
   /// Borrowed transaction map (session-scoped); must outlive the call.
   const std::vector<int32_t>* txn_of_vertex = nullptr;
+  /// Borrowed per-vertex transaction payloads (session-scoped); must
+  /// outlive the call. Takes precedence over txn_of_vertex.
+  const VertexTxnMap* txn_map = nullptr;
 
   /// The graph-scoped slice: Stage I knobs, parallelism, the transaction
   /// map. The fused time budget becomes the Stage I budget; the shim hands
@@ -274,6 +289,10 @@ struct MineStats {
   int64_t emb_extensions = 0;     ///< carried-list incremental extensions/joins
   int64_t emb_carried = 0;        ///< closure candidates served from a carried list
   int64_t vf2_fallbacks = 0;      ///< closure candidates re-enumerated with VF2
+  /// Support measure the query ran under (echoed into --stats output and
+  /// the serving aggregates).
+  SupportMeasureKind support_measure = SupportMeasureKind::kGreedyMisVertex;
+  int64_t txn_sample_size = 0;    ///< per-run transaction sample size (0 = all)
   int64_t closure_edges_added = 0; ///< internal edges restored post-growth
   int64_t embedding_cap_hits = 0;
   int64_t pattern_cap_hits = 0;

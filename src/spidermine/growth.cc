@@ -218,6 +218,8 @@ GrowthEngine::GrowthEngine(const LabeledGraph* graph, const SpiderIndex* index,
     list_budget_ =
         std::min(list_budget_, query_->max_embeddings_per_pattern);
   }
+  homomorphic_ =
+      query_->support_measure == SupportMeasureKind::kHomomorphism;
 }
 
 bool GrowthEngine::Cancelled() const {
@@ -228,6 +230,8 @@ bool GrowthEngine::Cancelled() const {
 int64_t GrowthEngine::Support(const GrowthPattern& gp) const {
   SupportContext ctx;
   ctx.txn_of_vertex = session_->txn_of_vertex;
+  ctx.txn_map = session_->txn_map;
+  ctx.txn_sample = txn_sample_;
   return ComputeSupport(query_->support_measure, gp.pattern, gp.embeddings,
                         ctx);
 }
@@ -279,8 +283,10 @@ GrowthPattern GrowthEngine::BuildSeed(int32_t spider_id,
     // Carried complete list: every arrangement over every store anchor.
     // Serial on purpose — BuildSeed runs inside pool workers, where a
     // nested ParallelForChunks could deadlock the pool.
-    gp.full_list = BuildStarEmbeddingList(*graph_, store, spider_id,
-                                          list_budget_);
+    gp.full_list =
+        BuildStarEmbeddingList(*graph_, store, spider_id, list_budget_,
+                               /*pool=*/nullptr, /*token=*/nullptr,
+                               /*grain=*/0, homomorphic_);
     ++local->emb_extensions;
   }
   // Boundary: the outermost layer (leaves), or the head for 0-leaf spiders.
@@ -444,7 +450,7 @@ bool GrowthEngine::TryExtend(
             ? SaturatedEmbeddingList()
             : ExtendEmbeddingListAtVertex(*graph_, store, spider_id,
                                           *base.full_list, v, new_leaves,
-                                          list_budget_);
+                                          list_budget_, homomorphic_);
     ++ls->stats.emb_extensions;
   }
 
@@ -747,6 +753,8 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
       DedupEmbeddingsByImage(&g.embeddings);
       SupportContext ctx;
       ctx.txn_of_vertex = session_->txn_of_vertex;
+      ctx.txn_map = session_->txn_map;
+      ctx.txn_sample = txn_sample_;
       g.support = ComputeSupport(query_->support_measure, g.pattern,
                                  g.embeddings, ctx);
       if (g.support < query_->min_support) continue;
@@ -810,7 +818,8 @@ void GrowthEngine::RunMerges(RoundState* rs, MergeRegistry* previous) {
                 ? SaturatedEmbeddingList()
                 : JoinEmbeddingLists(*la, *lb, c.map_a, c.map_b,
                                      merged.pattern.NumVertices(),
-                                     list_budget_, pool_, token_);
+                                     list_budget_, pool_, token_,
+                                     /*grain=*/0, homomorphic_);
         ++stats_->emb_extensions;
       }
       rs->Admit(std::move(merged));

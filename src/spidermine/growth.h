@@ -129,6 +129,14 @@ class GrowthEngine {
   /// Recomputes support for \p gp under the configured measure.
   int64_t Support(const GrowthPattern& gp) const;
 
+  /// Binds the current restart run's transaction sample (sorted whitelist;
+  /// borrowed, nullptr = count all transactions) for kTransaction support.
+  /// Callers set it between runs — the engine is query-local and runs are
+  /// serial, so no synchronization is involved.
+  void SetTxnSample(const std::vector<int32_t>* sample) {
+    txn_sample_ = sample;
+  }
+
  private:
   struct RoundState;
   struct Lineage;
@@ -182,6 +190,12 @@ class GrowthEngine {
   /// (otherwise a truncating VF2 and a complete list could disagree).
   /// 0 = engine off.
   int64_t list_budget_ = 0;
+  /// Carried lists enumerate homomorphic E[P] (kHomomorphism queries).
+  /// Growth decisions still use the injective occurrence list — only the
+  /// complete list handed to closure switches semantics.
+  bool homomorphic_ = false;
+  /// Current restart run's transaction whitelist (see SetTxnSample).
+  const std::vector<int32_t>* txn_sample_ = nullptr;
 };
 
 }  // namespace spidermine

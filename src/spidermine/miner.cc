@@ -17,9 +17,10 @@ Result<MineResult> SpiderMiner::Mine() {
   SM_RETURN_NOT_OK(session_config.Validate());
   SM_RETURN_NOT_OK(query.Validate());
   if (query.support_measure == SupportMeasureKind::kTransaction &&
-      session_config.txn_of_vertex == nullptr) {
+      session_config.txn_of_vertex == nullptr &&
+      session_config.txn_map == nullptr) {
     return Status::InvalidArgument(
-        "transaction support requires txn_of_vertex");
+        "transaction support requires txn_of_vertex or txn_map");
   }
 
   WallTimer total_timer;

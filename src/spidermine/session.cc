@@ -129,6 +129,28 @@ class ResultCollector {
 /// keep every run's draws fixed regardless of scheduling or truncation.
 constexpr uint64_t kRunSeedStride = 0x9e3779b97f4a7c15ULL;  // 2^64 / phi
 
+/// Salts the per-run substream used for the transaction-sample draw so it
+/// never collides with the run's seed-spider draw (same run, same base
+/// seed, independent stream).
+constexpr uint64_t kTxnSampleSalt = 0x94d049bb133111ebULL;
+
+/// The restart run's sorted transaction whitelist, drawn from the run's
+/// salted substream. Empty = no sampling (txn_sample off, or the requested
+/// size covers the whole universe).
+std::vector<int32_t> DrawTxnSample(const QueryConfig& q, int32_t run,
+                                   int64_t num_txns) {
+  if (q.txn_sample <= 0 || q.txn_sample >= num_txns) return {};
+  Rng rng(q.rng_seed ^ (kRunSeedStride * static_cast<uint64_t>(run)) ^
+          kTxnSampleSalt);
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(
+      static_cast<size_t>(num_txns), static_cast<size_t>(q.txn_sample));
+  std::vector<int32_t> sample;
+  sample.reserve(picks.size());
+  for (size_t pick : picks) sample.push_back(static_cast<int32_t>(pick));
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
 }  // namespace
 
 const char* Stage1LoadModeName(Stage1LoadMode mode) {
@@ -192,6 +214,7 @@ Result<MiningSession> MiningSession::Create(const LabeledGraph* graph,
   MiningSession session;
   session.graph_ = graph;
   session.config_ = config;
+  session.InitTxnState();
   session.pool_ = config.pool;
   if (session.pool_ == nullptr) {
     session.owned_pool_ = std::make_unique<ThreadPool>(
@@ -257,6 +280,7 @@ Result<MiningSession> MiningSession::FromStore(const LabeledGraph* graph,
   MiningSession session;
   session.graph_ = graph;
   session.config_ = config;
+  session.InitTxnState();
   session.load_mode_ = Stage1LoadMode::kCopied;
   session.pool_ = config.pool;
   if (session.pool_ == nullptr) {
@@ -350,6 +374,7 @@ Result<MiningSession> MiningSession::LoadStage1(const LabeledGraph* graph,
     MiningSession session;
     session.graph_ = graph;
     session.config_ = config;
+    session.InitTxnState();
     session.load_mode_ = Stage1LoadMode::kMapped;
     session.pool_ = config.pool;
     if (session.pool_ == nullptr) {
@@ -393,6 +418,38 @@ Result<MiningSession> MiningSession::LoadStage1(const LabeledGraph* graph,
   return session;
 }
 
+void MiningSession::InitTxnState() {
+  uint64_t h = 0;
+  auto fold = [&h](uint64_t value) {
+    if (h == 0) h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  if (config_.txn_of_vertex != nullptr) {
+    fold(1);  // source tag
+    fold(static_cast<uint64_t>(config_.txn_of_vertex->size()));
+    for (int32_t t : *config_.txn_of_vertex) {
+      fold(static_cast<uint64_t>(static_cast<uint32_t>(t)));
+      num_txns_ = std::max<int64_t>(num_txns_, static_cast<int64_t>(t) + 1);
+    }
+  }
+  if (config_.txn_map != nullptr) {
+    fold(2);  // source tag
+    fold(static_cast<uint64_t>(config_.txn_map->num_transactions));
+    for (int64_t o : config_.txn_map->offsets) {
+      fold(static_cast<uint64_t>(o));
+    }
+    for (int32_t t : config_.txn_map->txn_ids) {
+      fold(static_cast<uint64_t>(static_cast<uint32_t>(t)));
+    }
+    // The map takes precedence for support, so its universe wins too.
+    num_txns_ = config_.txn_map->num_transactions;
+  }
+  txn_digest_ = h;
+}
+
 uint64_t MiningSession::stage1_content_key() const {
   // FNV-1a over the facts that determine the spider set. Store size and
   // the truncation flag participate so a budget-truncated mine of the same
@@ -411,6 +468,9 @@ uint64_t MiningSession::stage1_content_key() const {
   fold(static_cast<uint64_t>(config_.max_spiders));
   fold(static_cast<uint64_t>(store_->size()));
   fold(stage1_truncated_ ? 1 : 0);
+  // Transaction payloads change kTransaction answers without changing the
+  // spider set; folding their digest keeps cache lines separated.
+  fold(txn_digest_);
   return h;
 }
 
@@ -435,6 +495,10 @@ int64_t MiningSession::FoldQueryIntoAggregate(const QueryResult& result) const {
       std::max(agg.max_query_seconds, result.stats.total_seconds);
   agg.emb_carried += result.stats.emb_carried;
   agg.vf2_fallbacks += result.stats.vf2_fallbacks;
+  if (result.stats.support_measure == SupportMeasureKind::kHomomorphism) {
+    ++agg.homomorphism_queries;
+  }
+  if (result.stats.txn_sample_size > 0) ++agg.txn_sampled_queries;
   return agg.queries_run;
 }
 
@@ -449,9 +513,9 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
                "; spiders below the floor were never mined"));
   }
   if (q.support_measure == SupportMeasureKind::kTransaction &&
-      config_.txn_of_vertex == nullptr) {
+      config_.txn_of_vertex == nullptr && config_.txn_map == nullptr) {
     return Status::InvalidArgument(
-        "transaction support requires txn_of_vertex");
+        "transaction support requires txn_of_vertex or txn_map");
   }
   // First touch of a mapped artifact's bulk sections: CRC + content range
   // checks run exactly once (thread-safe), so a tampered or bit-rotted
@@ -460,6 +524,8 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
 
   QueryResult result;
   MineStats& stats = result.stats;
+  stats.support_measure = q.support_measure;
+  stats.txn_sample_size = q.txn_sample;
   WallTimer total_timer;
   Deadline deadline(q.time_budget_seconds);
   CancellationToken cancel(&deadline);
@@ -491,6 +557,12 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
   GrowthEngine engine(graph_, index_.get(), &config_, &q, &stats, &deadline,
                       pool_, &cancel);
   ResultCollector collector(&q, config_.spider_radius, &stats);
+  // Sampling-based transaction mode: each restart run draws its own sorted
+  // whitelist from the run's salted substream (empty = count everything).
+  // The vector outlives every engine call of its run; the closure recount
+  // below is pinned to run 0's sample so a multi-restart query still
+  // recounts deterministically.
+  std::vector<int32_t> run_txn_sample;
 
   // restarts == 0 stops before Stage II; negatives clamp to the default 1.
   const int32_t total_runs = q.restarts == 0 ? 0 : std::max(1, q.restarts);
@@ -507,6 +579,8 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
     // draws of run r never depend on how much randomness earlier runs
     // consumed -- a prerequisite for deterministic parallel execution.
     Rng run_rng(q.rng_seed ^ (kRunSeedStride * static_cast<uint64_t>(run)));
+    run_txn_sample = DrawTxnSample(q, run, num_txns_);
+    engine.SetTxnSample(run_txn_sample.empty() ? nullptr : &run_txn_sample);
     std::vector<GrowthPattern> working;
     {
       size_t draw = std::min<size_t>(static_cast<size_t>(m),
@@ -597,8 +671,18 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
 
   // Internal-edge closure (closure.h): restore frequent cycle-closing edges
   // the star-based growth could not add, then re-deduplicate (closure can
-  // make previously distinct patterns isomorphic).
-  if (q.close_internal_edges) {
+  // make previously distinct patterns isomorphic). Homomorphism queries
+  // enter this block even with closure off: their growth-time supports are
+  // anti-monotone bounds over the injective occurrence list, and the final
+  // answer recounts over the complete HOMOMORPHIC E[P] (carried hom-mode
+  // list, or the VF2 homomorphism fallback).
+  const bool homomorphic =
+      q.support_measure == SupportMeasureKind::kHomomorphism;
+  // Multi-restart transaction sampling recounts under run 0's whitelist (a
+  // fixed, scheduling-independent choice).
+  const std::vector<int32_t> closure_txn_sample =
+      DrawTxnSample(q, /*run=*/0, num_txns_);
+  if (q.close_internal_edges || homomorphic) {
     const int64_t window = q.closure_window > 0
                                ? q.closure_window
                                : std::max<int64_t>(64, 8LL * q.k);
@@ -613,9 +697,13 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
     std::vector<ClosureSlot> slots(limit);
     pool_->ParallelForChunks(
         static_cast<int64_t>(limit), /*grain=*/1,
-        [this, &q, &all, &slots](int64_t begin, int64_t end) {
+        [this, &q, &all, &slots, homomorphic,
+         &closure_txn_sample](int64_t begin, int64_t end) {
           SupportContext support_context;
           support_context.txn_of_vertex = config_.txn_of_vertex;
+          support_context.txn_map = config_.txn_map;
+          support_context.txn_sample =
+              closure_txn_sample.empty() ? nullptr : &closure_txn_sample;
           for (int64_t i = begin; i < end; ++i) {
             MinedPattern& mp = all[static_cast<size_t>(i)];
             ClosureSlot& slot = slots[static_cast<size_t>(i)];
@@ -634,22 +722,31 @@ Result<QueryResult> MiningSession::RunQuery(const TopKQuery& query) const {
             } else {
               Vf2Options vf2_options;
               vf2_options.max_embeddings = q.max_embeddings_per_pattern;
+              // Under kHomomorphism the carried lists enumerate homomorphic
+              // E[P], so the fallback must too.
+              vf2_options.homomorphic = homomorphic;
               full = FindEmbeddings(mp.pattern, *graph_, vf2_options);
               ++slot.fallbacks;
             }
             if (!full.empty()) {
               CanonicalizeEmbeddingOrder(&full);
-              DedupEmbeddingsByImage(&full);
+              // Homomorphic embeddings with one image SET can be genuinely
+              // different maps (different per-column images feeding the
+              // minimum-image count), so the automorphism dedup only
+              // applies to injective lists.
+              if (!homomorphic) DedupEmbeddingsByImage(&full);
               mp.embeddings = std::move(full);
               mp.support = ComputeSupport(q.support_measure, mp.pattern,
                                           mp.embeddings, support_context);
             }
-            slot.edges_added = CloseInternalEdges(
-                *graph_, &mp.pattern, &mp.embeddings, q.support_measure,
-                q.min_support, &mp.support, support_context);
-            // A closure edge changes the pattern; the carried list no
-            // longer describes it.
-            if (slot.edges_added > 0) mp.full_list.reset();
+            if (q.close_internal_edges) {
+              slot.edges_added = CloseInternalEdges(
+                  *graph_, &mp.pattern, &mp.embeddings, q.support_measure,
+                  q.min_support, &mp.support, support_context);
+              // A closure edge changes the pattern; the carried list no
+              // longer describes it.
+              if (slot.edges_added > 0) mp.full_list.reset();
+            }
           }
         },
         &cancel);

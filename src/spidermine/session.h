@@ -139,6 +139,10 @@ struct SessionServingStats {
   /// Closure candidates that fell back to a VF2 re-enumeration (absent or
   /// saturated carried list; every candidate when the engine is off).
   int64_t vf2_fallbacks = 0;
+  /// Queries served under the homomorphism support measure.
+  int64_t homomorphism_queries = 0;
+  /// Queries that ran the sampling-based transaction mode (txn_sample > 0).
+  int64_t txn_sampled_queries = 0;
   /// Result-cache counters (spidermine/result_cache.h), folded in by the
   /// serve layer before rendering a summary: the cache lives beside the
   /// session (RunQuery itself never consults it), so the session's own
@@ -253,6 +257,10 @@ class MiningSession {
   /// query's 1-based serving sequence number (for the log line).
   int64_t FoldQueryIntoAggregate(const QueryResult& result) const;
 
+  /// Computes num_txns_ and txn_digest_ from the configured transaction
+  /// sources (called once per construction path; both stay 0 without one).
+  void InitTxnState();
+
   const LabeledGraph* graph_ = nullptr;
   SessionConfig config_;
   /// Owned worker pool when config_.pool is null (unique_ptr: the session
@@ -268,6 +276,14 @@ class MiningSession {
   std::unique_ptr<SpiderStore> store_;
   std::unique_ptr<SpiderIndex> index_;
   MineStats stage1_stats_;
+  /// Transaction universe size (txn_map->num_transactions, or max id + 1
+  /// of txn_of_vertex; 0 without a transaction source) — the N that
+  /// txn_sample draws from. Computed once at construction.
+  int64_t num_txns_ = 0;
+  /// FNV digest of the transaction source content, folded into
+  /// stage1_content_key so sessions differing only in their transaction
+  /// payloads never share result-cache lines. 0 without a source.
+  uint64_t txn_digest_ = 0;
   bool stage1_truncated_ = false;
   Stage1LoadMode load_mode_ = Stage1LoadMode::kMined;
   double stage1_load_seconds_ = 0.0;

@@ -18,6 +18,12 @@ std::string SessionServingStats::ToString() const {
      << " patterns returned, latency mean/max " << mean << "/"
      << max_query_seconds << "s, emb carried/fallback " << emb_carried << "/"
      << vf2_fallbacks;
+  if (homomorphism_queries > 0) {
+    os << ", " << homomorphism_queries << " homomorphism";
+  }
+  if (txn_sampled_queries > 0) {
+    os << ", " << txn_sampled_queries << " txn-sampled";
+  }
   if (timed_out_queries > 0) {
     os << ", " << timed_out_queries << " hit their time budget";
   }
@@ -42,7 +48,12 @@ void MineStats::FoldStage1(const MineStats& stage1) {
 
 std::string MineStats::ToString() const {
   std::ostringstream os;
-  os << "stage I: " << num_spiders << " spiders (" << num_closed_spiders
+  os << "support: " << SupportMeasureName(support_measure);
+  if (txn_sample_size > 0) {
+    os << ", txn sample " << txn_sample_size << " per run";
+  }
+  os << "\n"
+     << "stage I: " << num_spiders << " spiders (" << num_closed_spiders
      << " closed) in " << stage1_seconds << "s, " << stage1_steps
      << " extension attempts, " << stage1_scan_shards << " scan + "
      << stage1_enum_shards << " enum shards, store "

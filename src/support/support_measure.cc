@@ -1,6 +1,7 @@
 #include "support/support_measure.h"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_set>
 
 namespace spidermine {
@@ -17,6 +18,8 @@ std::string_view SupportMeasureName(SupportMeasureKind kind) {
       return "greedy-mis-edge";
     case SupportMeasureKind::kTransaction:
       return "transaction";
+    case SupportMeasureKind::kHomomorphism:
+      return "homomorphism";
   }
   return "?";
 }
@@ -80,12 +83,44 @@ int64_t GreedyMisEdgeSupport(const Pattern& pattern,
   return count;
 }
 
+/// True when the sample whitelist admits \p t (no whitelist = all pass).
+bool SampleAdmits(const SupportContext& context, int32_t t) {
+  return context.txn_sample == nullptr ||
+         std::binary_search(context.txn_sample->begin(),
+                            context.txn_sample->end(), t);
+}
+
 int64_t TransactionSupport(const std::vector<Embedding>& embeddings,
                            const SupportContext& context) {
+  if (context.txn_map != nullptr) {
+    // Per-vertex payloads: an embedding covers t iff every image vertex
+    // carries t — the intersection of the images' sorted id lists.
+    std::unordered_set<int32_t> covered;
+    std::vector<int32_t> common;
+    std::vector<int32_t> next;
+    for (const Embedding& e : embeddings) {
+      if (e.empty()) continue;
+      std::span<const int32_t> first = context.txn_map->TxnsOf(e[0]);
+      common.assign(first.begin(), first.end());
+      for (size_t i = 1; i < e.size() && !common.empty(); ++i) {
+        std::span<const int32_t> other = context.txn_map->TxnsOf(e[i]);
+        next.clear();
+        std::set_intersection(common.begin(), common.end(), other.begin(),
+                              other.end(), std::back_inserter(next));
+        common.swap(next);
+      }
+      for (int32_t t : common) {
+        if (SampleAdmits(context, t)) covered.insert(t);
+      }
+    }
+    return static_cast<int64_t>(covered.size());
+  }
   if (context.txn_of_vertex == nullptr) return 0;
   std::unordered_set<int32_t> txns;
   for (const Embedding& e : embeddings) {
-    if (!e.empty()) txns.insert((*context.txn_of_vertex)[e[0]]);
+    if (e.empty()) continue;
+    const int32_t t = (*context.txn_of_vertex)[e[0]];
+    if (SampleAdmits(context, t)) txns.insert(t);
   }
   return static_cast<int64_t>(txns.size());
 }
@@ -109,6 +144,11 @@ int64_t ComputeSupport(SupportMeasureKind kind, const Pattern& pattern,
       return GreedyMisEdgeSupport(pattern, embeddings);
     case SupportMeasureKind::kTransaction:
       return TransactionSupport(embeddings, context);
+    case SupportMeasureKind::kHomomorphism:
+      // Minimum-image count over whatever list the caller passes: the
+      // homomorphism support on a complete homomorphic E[P], and the
+      // anti-monotone growth-time bound on an injective occurrence list.
+      return MinImageSupport(pattern, embeddings);
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -33,15 +34,58 @@ enum class SupportMeasureKind {
   /// spirit of Vanetik et al. [31] / harmful overlap [9]).
   kGreedyMisEdge,
   /// Number of distinct transaction ids covered (graph-transaction
-  /// setting; requires SupportContext::txn_of_vertex).
+  /// setting; requires SupportContext::txn_of_vertex or
+  /// SupportContext::txn_map).
   kTransaction,
+  /// Minimum-image count over HOMOMORPHIC embeddings (label-preserving
+  /// maps that need not be injective), after Dries & Nijssen. Computed
+  /// exactly like kMinImage — the measure's value on a homomorphic E[P] is
+  /// the homomorphism support; on an injective occurrence list (what
+  /// growth carries) it is the anti-monotone growth-time bound. The
+  /// session's closure phase recounts over the complete homomorphic list
+  /// (carried hom-mode embedding list or VF2 homomorphism fallback).
+  kHomomorphism,
+};
+
+/// Per-vertex transaction payloads (Lei et al.: a transaction database
+/// attached to the network's vertices), CSR-packed: vertex v carries the
+/// transaction ids txn_ids[offsets[v] .. offsets[v+1]), sorted ascending.
+/// An embedding covers transaction t iff EVERY image vertex carries t.
+struct VertexTxnMap {
+  /// num_vertices + 1 non-decreasing offsets into txn_ids.
+  std::vector<int64_t> offsets;
+  /// Sorted transaction ids per vertex (duplicates within a vertex are
+  /// not allowed).
+  std::vector<int32_t> txn_ids;
+  /// Number of distinct transactions (= max id + 1).
+  int32_t num_transactions = 0;
+
+  int64_t NumVertices() const {
+    return offsets.empty() ? 0 : static_cast<int64_t>(offsets.size()) - 1;
+  }
+  /// Sorted transaction ids carried by vertex \p v.
+  std::span<const int32_t> TxnsOf(VertexId v) const {
+    return std::span<const int32_t>(txn_ids).subspan(
+        static_cast<size_t>(offsets[v]),
+        static_cast<size_t>(offsets[v + 1] - offsets[v]));
+  }
 };
 
 /// Extra inputs some measures need.
 struct SupportContext {
   /// For kTransaction: transaction id of every graph vertex of the
-  /// disjoint-union graph (see spidermine/txn_adapter.h).
+  /// disjoint-union graph (see spidermine/txn_adapter.h). An embedding
+  /// covers the transaction of its first image vertex (connected patterns
+  /// never straddle transactions in the disjoint union).
   const std::vector<int32_t>* txn_of_vertex = nullptr;
+  /// For kTransaction with per-vertex payloads: takes precedence over
+  /// txn_of_vertex. An embedding covers a transaction iff every image
+  /// vertex carries it.
+  const VertexTxnMap* txn_map = nullptr;
+  /// Optional sorted whitelist of transaction ids (the sampling-based
+  /// top-K mode): transactions outside it are ignored by kTransaction.
+  /// nullptr = count all transactions.
+  const std::vector<int32_t>* txn_sample = nullptr;
 };
 
 /// Human-readable measure name (for bench output).

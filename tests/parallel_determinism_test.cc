@@ -14,6 +14,7 @@
 #include "pattern/dfs_code.h"
 #include "spider_test_util.h"
 #include "spidermine/miner.h"
+#include "support/support_measure.h"
 
 // This suite exercises the deprecated SpiderMiner::Mine() shim on purpose
 // (its compatibility contract is the thing under test); silence the
@@ -194,6 +195,52 @@ TEST(ParallelDeterminismTest, CheckMergePairPassIdenticalUnderMergePressure) {
     EXPECT_EQ(parallel->stats.merges, serial->stats.merges);
     EXPECT_EQ(parallel->stats.merge_attempts, serial->stats.merge_attempts);
     EXPECT_EQ(parallel->stats.iso_checks_run, serial->stats.iso_checks_run);
+  }
+}
+
+TEST(ParallelDeterminismTest, MeasureThreadsBudgetMatrixIdentical) {
+  // Every support measure must honour the same determinism contract: for a
+  // fixed seed the transcript is byte-identical across thread counts AND
+  // across embedding-list budgets (budget 0 = VF2-only closure exercises
+  // the fallback enumeration path; the default carries lists). The
+  // transaction measure additionally runs with a per-run sample, whose RNG
+  // substream must not depend on threading either.
+  LabeledGraph g = ErGraphWithInjection(1111);
+  VertexTxnMap txn_map;
+  txn_map.num_transactions = 8;
+  txn_map.offsets.assign(static_cast<size_t>(g.NumVertices()) + 1, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    txn_map.txn_ids.push_back(static_cast<int32_t>(v % 8));
+    txn_map.offsets[static_cast<size_t>(v) + 1] = v + 1;
+  }
+
+  for (SupportMeasureKind measure :
+       {SupportMeasureKind::kGreedyMisVertex, SupportMeasureKind::kGreedyMisEdge,
+        SupportMeasureKind::kMinImage, SupportMeasureKind::kEmbeddingCount,
+        SupportMeasureKind::kHomomorphism, SupportMeasureKind::kTransaction}) {
+    MineConfig config = BaseConfig();
+    config.support_measure = measure;
+    if (measure == SupportMeasureKind::kTransaction) {
+      config.txn_map = &txn_map;
+      config.txn_sample = 5;  // a genuine sample: 5 of 8 transactions
+    }
+    config.num_threads = 1;
+    Result<MineResult> reference = SpiderMiner(&g, config).Mine();
+    ASSERT_TRUE(reference.ok())
+        << SupportMeasureName(measure) << ": " << reference.status();
+    EXPECT_FALSE(reference->patterns.empty()) << SupportMeasureName(measure);
+    const std::string expected = Transcript(*reference);
+    for (int32_t threads : {1, 8}) {
+      for (int64_t budget : {int64_t{4096}, int64_t{0}}) {
+        config.num_threads = threads;
+        config.embedding_list_budget = budget;
+        Result<MineResult> run = SpiderMiner(&g, config).Mine();
+        ASSERT_TRUE(run.ok()) << run.status();
+        EXPECT_EQ(Transcript(*run), expected)
+            << SupportMeasureName(measure) << " diverged at threads="
+            << threads << " budget=" << budget;
+      }
+    }
   }
 }
 

@@ -167,6 +167,40 @@ TEST(ResultCacheTest, KeysIsolateStage1Artifacts) {
   EXPECT_NE(s1->stage1_content_key(), s1_floor4->stage1_content_key());
 }
 
+TEST(ResultCacheTest, TransactionPayloadsSeparateStage1Keys) {
+  // A transaction source changes kTransaction answers without changing the
+  // spider set, so it must change the Stage I content key too — otherwise
+  // a cached transaction-measure response from one payload could answer
+  // for a session serving a different payload.
+  LabeledGraph g = TestGraph(11);
+  auto session_with = [&g](const VertexTxnMap* map) {
+    SessionConfig config;
+    config.min_support = 3;
+    config.txn_map = map;
+    return MiningSession::Create(&g, config);
+  };
+
+  VertexTxnMap map_a;
+  map_a.num_transactions = 2;
+  map_a.offsets.assign(static_cast<size_t>(g.NumVertices()) + 1, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    map_a.txn_ids.push_back(static_cast<int32_t>(v % 2));
+    map_a.offsets[static_cast<size_t>(v) + 1] = v + 1;
+  }
+  VertexTxnMap map_b = map_a;
+  map_b.txn_ids[0] ^= 1;  // one payload bit differs
+
+  Result<MiningSession> bare = session_with(nullptr);
+  Result<MiningSession> with_a = session_with(&map_a);
+  Result<MiningSession> with_a_again = session_with(&map_a);
+  Result<MiningSession> with_b = session_with(&map_b);
+  ASSERT_TRUE(bare.ok() && with_a.ok() && with_a_again.ok() && with_b.ok());
+  EXPECT_NE(bare->stage1_content_key(), with_a->stage1_content_key());
+  EXPECT_NE(with_a->stage1_content_key(), with_b->stage1_content_key());
+  // Same payload content -> same key: hits still work across restarts.
+  EXPECT_EQ(with_a->stage1_content_key(), with_a_again->stage1_content_key());
+}
+
 TEST(ResultCacheTest, ZeroCapacityDisablesTheCache) {
   for (const auto& [entries, bytes] : std::vector<std::pair<int64_t, int64_t>>{
            {0, 1 << 20}, {16, 0}, {0, 0}}) {

@@ -159,6 +159,138 @@ TEST(ServeJsonTest, QueryFromJsonRejectsUnknownAndMistyped) {
   EXPECT_NE(q2.status().message().find("out of range"), std::string::npos);
 }
 
+TEST(ServeJsonTest, MeasureAndTxnSampleKeysMapAndReject) {
+  // The two workload-selection keys: every published measure name maps to
+  // its enum, and "txn_sample" rides along as a plain integer.
+  for (const auto& [name, kind] :
+       std::vector<std::pair<std::string, SupportMeasureKind>>{
+           {"vertex-mis", SupportMeasureKind::kGreedyMisVertex},
+           {"edge-mis", SupportMeasureKind::kGreedyMisEdge},
+           {"mni", SupportMeasureKind::kMinImage},
+           {"count", SupportMeasureKind::kEmbeddingCount},
+           {"homomorphism", SupportMeasureKind::kHomomorphism},
+           {"transaction", SupportMeasureKind::kTransaction}}) {
+    Result<JsonObject> object = ParseJsonObject(
+        StrCat("{\"k\": 3, \"measure\": \"", name, "\"}"));
+    ASSERT_TRUE(object.ok());
+    Result<TopKQuery> query = QueryFromJson(*object);
+    ASSERT_TRUE(query.ok()) << name << ": " << query.status();
+    EXPECT_EQ(query->support_measure, kind) << name;
+  }
+  Result<JsonObject> sampled = ParseJsonObject(
+      "{\"k\": 3, \"measure\": \"transaction\", \"txn_sample\": 40}");
+  ASSERT_TRUE(sampled.ok());
+  Result<TopKQuery> query = QueryFromJson(*sampled);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->support_measure, SupportMeasureKind::kTransaction);
+  EXPECT_EQ(query->txn_sample, 40);
+
+  // Malformed values fail at parse time with a pointed message.
+  Result<JsonObject> unknown =
+      ParseJsonObject("{\"measure\": \"betweenness\"}");
+  ASSERT_TRUE(unknown.ok());
+  Result<TopKQuery> q1 = QueryFromJson(*unknown);
+  EXPECT_FALSE(q1.ok());
+  EXPECT_NE(q1.status().message().find("betweenness"), std::string::npos);
+  Result<JsonObject> mistyped = ParseJsonObject("{\"measure\": 3}");
+  ASSERT_TRUE(mistyped.ok());
+  EXPECT_FALSE(QueryFromJson(*mistyped).ok());
+  Result<JsonObject> fractional = ParseJsonObject("{\"txn_sample\": 2.5}");
+  ASSERT_TRUE(fractional.ok());
+  EXPECT_FALSE(QueryFromJson(*fractional).ok());
+}
+
+TEST(ServeLoopTest, MeasureErrorsAnswerWithoutKillingTheStream) {
+  // Workload-selection mistakes are per-request errors, never fatal: the
+  // loop answers each one and keeps serving; only the valid queries run.
+  LabeledGraph g = TestGraph();
+  Result<MiningSession> session = TestSession(&g);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  std::istringstream in(
+      // Unknown measure name: rejected at parse time.
+      "{\"id\": 1, \"k\": 3, \"measure\": \"pagerank\"}\n"
+      // txn_sample without the transaction measure: rejected by Validate.
+      "{\"id\": 2, \"k\": 3, \"vmin\": 8, \"txn_sample\": 5}\n"
+      // Negative sample size: out of range.
+      "{\"id\": 3, \"k\": 3, \"measure\": \"transaction\", "
+      "\"txn_sample\": -1}\n"
+      // Transaction measure against a session with no transaction source.
+      "{\"id\": 4, \"k\": 3, \"vmin\": 8, \"measure\": \"transaction\"}\n"
+      // The stream is still healthy: a homomorphism query succeeds.
+      "{\"id\": 5, \"k\": 3, \"seed\": 2, \"vmin\": 8, \"seed_count\": 10, "
+      "\"measure\": \"homomorphism\"}\n"
+      "{\"id\": 6, \"cmd\": \"shutdown\"}\n");
+  std::ostringstream out, err;
+  ServeOptions options;
+  options.max_inflight = 2;
+  options.summary = false;
+  ServeStats stats;
+  ASSERT_TRUE(RunServeLoop(*session, in, out, err, options, &stats).ok());
+
+  std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 6u);  // every request answered, none dropped
+  auto line_with = [&lines](std::string_view needle) {
+    for (const std::string& line : lines) {
+      if (line.find(needle) != std::string::npos) return line;
+    }
+    return std::string();
+  };
+  EXPECT_NE(line_with("\"id\":1").find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line_with("\"id\":1").find("pagerank"), std::string::npos);
+  EXPECT_NE(line_with("\"id\":2").find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line_with("\"id\":2").find("txn_sample"), std::string::npos);
+  EXPECT_NE(line_with("\"id\":3").find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line_with("\"id\":4").find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line_with("\"id\":4").find("txn_of_vertex or txn_map"),
+            std::string::npos);
+  EXPECT_NE(line_with("\"id\":5").find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(lines.back(),
+            "{\"id\":6,\"line\":6,\"ok\":true,\"shutdown\":true}");
+  EXPECT_EQ(session->queries_run(), 1);  // only the valid query ran
+  EXPECT_EQ(stats.errors, 4);
+}
+
+TEST(ServeLoopTest, MixedMeasureConcurrentMatchesSerial) {
+  // Interleaved clients asking for different measures must not leak state
+  // into each other: the concurrent transcript equals the serial one.
+  LabeledGraph g = TestGraph();
+  Result<MiningSession> serial_session = TestSession(&g);
+  Result<MiningSession> concurrent_session = TestSession(&g);
+  ASSERT_TRUE(serial_session.ok());
+  ASSERT_TRUE(concurrent_session.ok());
+
+  const std::vector<std::string> measures = {
+      "vertex-mis", "edge-mis", "mni", "count", "homomorphism", "mni"};
+  std::string requests;
+  for (size_t i = 0; i < measures.size(); ++i) {
+    requests += StrCat("{\"id\": ", i + 1, ", \"k\": 3, \"seed\": ",
+                       200 + i, ", \"vmin\": 8, \"seed_count\": 10, "
+                       "\"measure\": \"", measures[i], "\"}\n");
+  }
+  auto run = [&requests](const MiningSession& session, int32_t inflight) {
+    std::istringstream in(requests);
+    std::ostringstream out, err;
+    ServeOptions options;
+    options.max_inflight = inflight;
+    options.summary = false;
+    ServeStats stats;
+    EXPECT_TRUE(RunServeLoop(session, in, out, err, options, &stats).ok());
+    EXPECT_EQ(stats.answered, 6);
+    std::vector<std::string> lines = Lines(out.str());
+    for (std::string& line : lines) {
+      size_t begin = line.find("\"seconds\":");
+      size_t end = line.find(",\"timed_out\"");
+      EXPECT_NE(begin, std::string::npos);
+      EXPECT_NE(end, std::string::npos);
+      line.replace(begin, end - begin, "\"seconds\":X");
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(run(*serial_session, 1), run(*concurrent_session, 4));
+}
+
 TEST(ServeLoopTest, AnswersEveryRequestAndShutsDownLast) {
   LabeledGraph g = TestGraph();
   Result<MiningSession> session = TestSession(&g);

@@ -349,6 +349,23 @@ TEST(SessionTest, CanonicalHashSeparatesDistinctQueries) {
   q.support_measure = SupportMeasureKind::kMinImage;
   EXPECT_NE(q.CanonicalHash(floor, vertices), base);
   q = BaseQuery(5);
+  q.support_measure = SupportMeasureKind::kHomomorphism;
+  EXPECT_NE(q.CanonicalHash(floor, vertices), base);
+  q = BaseQuery(5);
+  q.support_measure = SupportMeasureKind::kTransaction;
+  const uint64_t txn_base = q.CanonicalHash(floor, vertices);
+  EXPECT_NE(txn_base, base);
+  // Every measure hashes distinctly — one cache line per measure.
+  q.support_measure = SupportMeasureKind::kHomomorphism;
+  EXPECT_NE(q.CanonicalHash(floor, vertices), txn_base);
+  // A sampled transaction query answers differently from the full count.
+  q.support_measure = SupportMeasureKind::kTransaction;
+  q.txn_sample = 4;
+  EXPECT_NE(q.CanonicalHash(floor, vertices), txn_base);
+  const uint64_t sampled = q.CanonicalHash(floor, vertices);
+  q.txn_sample = 5;
+  EXPECT_NE(q.CanonicalHash(floor, vertices), sampled);
+  q = BaseQuery(5);
   q.time_budget_seconds = 1.0;  // budget-truncated results differ
   EXPECT_NE(q.CanonicalHash(floor, vertices), base);
   q = BaseQuery(5);

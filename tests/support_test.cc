@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
+#include "graph/graph_builder.h"
+#include "spidermine/txn_adapter.h"
+
 namespace spidermine {
 namespace {
 
@@ -105,6 +110,173 @@ TEST(SupportTest, MeasureNamesAreStable) {
             "greedy-mis-edge");
   EXPECT_EQ(SupportMeasureName(SupportMeasureKind::kTransaction),
             "transaction");
+  EXPECT_EQ(SupportMeasureName(SupportMeasureKind::kHomomorphism),
+            "homomorphism");
+}
+
+TEST(SupportTest, HomomorphismIsMinImageOverTheGivenList) {
+  Pattern p = EdgePattern();
+  // On whatever list it is handed, the measure is the minimum-image count;
+  // the homomorphism semantics come from the list being homomorphic E[P].
+  std::vector<Embedding> embeddings{{0, 1}, {0, 2}, {0, 3}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kHomomorphism, p, embeddings),
+            ComputeSupport(SupportMeasureKind::kMinImage, p, embeddings));
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kHomomorphism, p, {}), 0);
+}
+
+/// CSR map for 4 vertices: v0 -> {0, 1}, v1 -> {0}, v2 -> {1}, v3 -> {}.
+VertexTxnMap SmallTxnMap() {
+  VertexTxnMap map;
+  map.offsets = {0, 2, 3, 4, 4};
+  map.txn_ids = {0, 1, 0, 1};
+  map.num_transactions = 2;
+  return map;
+}
+
+TEST(SupportTest, VertexTxnMapSpansAreSortedPerVertex) {
+  VertexTxnMap map = SmallTxnMap();
+  EXPECT_EQ(map.NumVertices(), 4);
+  ASSERT_EQ(map.TxnsOf(0).size(), 2u);
+  EXPECT_EQ(map.TxnsOf(0)[0], 0);
+  EXPECT_EQ(map.TxnsOf(0)[1], 1);
+  EXPECT_TRUE(map.TxnsOf(3).empty());
+}
+
+TEST(SupportTest, TransactionSupportWithMapIntersectsImageVertices) {
+  Pattern p = EdgePattern();
+  VertexTxnMap map = SmallTxnMap();
+  SupportContext ctx;
+  ctx.txn_map = &map;
+  // {0,1}: txns(0) = {0,1}, txns(1) = {0} -> covers {0}.
+  // {0,2}: {0,1} & {1} -> covers {1}. Together: 2 transactions.
+  std::vector<Embedding> both{{0, 1}, {0, 2}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kTransaction, p, both, ctx), 2);
+  // {1,2}: {0} & {1} -> empty; a vertex with no payload covers nothing.
+  std::vector<Embedding> none{{1, 2}, {0, 3}};
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kTransaction, p, none, ctx), 0);
+}
+
+TEST(SupportTest, TransactionMapTakesPrecedenceOverTxnOfVertex) {
+  Pattern p = EdgePattern();
+  VertexTxnMap map = SmallTxnMap();
+  std::vector<int32_t> txn{5, 5, 5, 5};
+  SupportContext ctx;
+  ctx.txn_of_vertex = &txn;
+  ctx.txn_map = &map;
+  std::vector<Embedding> embeddings{{0, 1}};
+  // The map says {0}; the legacy vector would say {5}.
+  EXPECT_EQ(
+      ComputeSupport(SupportMeasureKind::kTransaction, p, embeddings, ctx), 1);
+}
+
+TEST(SupportTest, TransactionSampleFiltersBothSources) {
+  Pattern p = EdgePattern();
+  std::vector<int32_t> sample{1};  // sorted whitelist: only transaction 1
+  // Legacy disjoint-union source.
+  std::vector<int32_t> txn{0, 0, 1, 1, 2, 2};
+  SupportContext legacy;
+  legacy.txn_of_vertex = &txn;
+  legacy.txn_sample = &sample;
+  std::vector<Embedding> embeddings{{0, 1}, {2, 3}, {4, 5}};
+  EXPECT_EQ(
+      ComputeSupport(SupportMeasureKind::kTransaction, p, embeddings, legacy),
+      1);
+  // Per-vertex payload source.
+  VertexTxnMap map = SmallTxnMap();
+  SupportContext payload;
+  payload.txn_map = &map;
+  payload.txn_sample = &sample;
+  std::vector<Embedding> both{{0, 1}, {0, 2}};  // covers {0} and {1}
+  EXPECT_EQ(ComputeSupport(SupportMeasureKind::kTransaction, p, both, payload),
+            1);
+}
+
+/// A 4-vertex path graph with one label, split into two 2-vertex
+/// transactions, as the smallest MineTransactions input.
+Result<TransactionGraph> TinyTransactionGraph() {
+  GraphBuilder builder;
+  std::vector<LabeledGraph> database;
+  for (int t = 0; t < 2; ++t) {
+    GraphBuilder b;
+    b.AddVertex(0);
+    b.AddVertex(0);
+    b.AddEdge(0, 1);
+    SM_ASSIGN_OR_RETURN(LabeledGraph g, b.Build());
+    database.push_back(std::move(g));
+  }
+  return BuildTransactionGraph(database);
+}
+
+TEST(TxnAdapterTest, MineTransactionsRejectsConflictingMeasure) {
+  Result<TransactionGraph> txn = TinyTransactionGraph();
+  ASSERT_TRUE(txn.ok());
+  MineConfig config;
+  config.min_support = 1;
+  config.vmin = 1;
+  config.support_measure = SupportMeasureKind::kMinImage;
+  Result<MineResult> result = MineTransactions(*txn, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("transaction measure"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(TxnAdapterTest, MineTransactionsRejectsForeignTxnMap) {
+  Result<TransactionGraph> txn = TinyTransactionGraph();
+  ASSERT_TRUE(txn.ok());
+  std::vector<int32_t> foreign(static_cast<size_t>(txn->graph.NumVertices()),
+                               0);
+  MineConfig config;
+  config.min_support = 1;
+  config.vmin = 1;
+  config.txn_of_vertex = &foreign;
+  Result<MineResult> result = MineTransactions(*txn, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("different transaction map"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(TxnAdapterTest, MineTransactionsAcceptsDefaultAndExplicitMeasure) {
+  Result<TransactionGraph> txn = TinyTransactionGraph();
+  ASSERT_TRUE(txn.ok());
+  MineConfig config;
+  config.min_support = 1;
+  config.vmin = 1;
+  ASSERT_TRUE(MineTransactions(*txn, config).ok());  // struct default
+  config.support_measure = SupportMeasureKind::kTransaction;
+  config.txn_of_vertex = &txn->txn_of_vertex;  // the graph's own map is fine
+  ASSERT_TRUE(MineTransactions(*txn, config).ok());
+}
+
+TEST(TxnAdapterTest, LoadVertexTxnMapParsesAndValidates) {
+  const std::string path = ::testing::TempDir() + "/txn_map_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "0 0\n"
+        << "0 1\n"
+        << "\n"
+        << "2 1\n"
+        << "0 1\n";  // duplicate collapses
+  }
+  Result<VertexTxnMap> map = LoadVertexTxnMap(path, 4);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map->num_transactions, 2);
+  ASSERT_EQ(map->NumVertices(), 4);
+  EXPECT_EQ(map->TxnsOf(0).size(), 2u);
+  EXPECT_EQ(map->TxnsOf(1).size(), 0u);
+  EXPECT_EQ(map->TxnsOf(2).size(), 1u);
+  EXPECT_EQ(map->TxnsOf(2)[0], 1);
+  // Out-of-range vertex fails with the line number.
+  {
+    std::ofstream out(path);
+    out << "9 0\n";
+  }
+  Result<VertexTxnMap> bad = LoadVertexTxnMap(path, 4);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 1"), std::string::npos);
+  EXPECT_FALSE(LoadVertexTxnMap("/nonexistent/txn.map", 4).ok());
 }
 
 TEST(DedupEmbeddingsTest, RemovesSameImageDifferentOrder) {

@@ -27,6 +27,7 @@
 #include "spidermine/miner.h"
 #include "spidermine/session.h"
 #include "spidermine/stage1_partition.h"
+#include "spidermine/txn_adapter.h"
 #include "spidermine/variants.h"
 #include "tools/serve_loop.h"
 #include "tools/stage1_workers.h"
@@ -79,6 +80,27 @@ void PrintPatternRow(std::ostream& out, size_t rank, const Pattern& pattern,
       << pattern.ToString() << "\n";
 }
 
+/// Loads the optional `--txn-map` file into \p storage (which the caller
+/// keeps alive for the session's lifetime) and returns the borrowed
+/// pointer to wire into the config; an empty path yields nullptr.
+Result<const VertexTxnMap*> MaybeLoadTxnMap(const std::string& path,
+                                            const LabeledGraph& graph,
+                                            VertexTxnMap* storage) {
+  if (path.empty()) return static_cast<const VertexTxnMap*>(nullptr);
+  SM_ASSIGN_OR_RETURN(*storage, LoadVertexTxnMap(path, graph.NumVertices()));
+  return static_cast<const VertexTxnMap*>(storage);
+}
+
+constexpr char kMeasureHelp[] =
+    "support measure: vertex-mis | edge-mis | mni | count | homomorphism | "
+    "transaction";
+constexpr char kTxnMapHelp[] =
+    "per-vertex transaction payload file ('<vertex> <txn_id>' lines; "
+    "enables --measure=transaction on a single network)";
+constexpr char kTxnSampleHelp[] =
+    "count only a per-run uniform sample of this many transactions "
+    "(0 = all; requires --measure=transaction)";
+
 }  // namespace
 
 Result<SupportMeasureKind> ParseMeasure(const std::string& name) {
@@ -86,9 +108,12 @@ Result<SupportMeasureKind> ParseMeasure(const std::string& name) {
   if (name == "edge-mis") return SupportMeasureKind::kGreedyMisEdge;
   if (name == "mni") return SupportMeasureKind::kMinImage;
   if (name == "count") return SupportMeasureKind::kEmbeddingCount;
+  if (name == "homomorphism") return SupportMeasureKind::kHomomorphism;
+  if (name == "transaction") return SupportMeasureKind::kTransaction;
   return Status::InvalidArgument(
       StrCat("unknown measure '", name,
-             "' (expected vertex-mis, edge-mis, mni or count)"));
+             "' (expected vertex-mis, edge-mis, mni, count, homomorphism "
+             "or transaction)"));
 }
 
 Result<LabeledGraph> LoadGraphAuto(const std::string& path) {
@@ -207,8 +232,9 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
       .AddInt("shard-grain", 0,
               "Stage I vertex-range shard grain (0 = auto); results are "
               "identical at any value")
-      .AddString("measure", "vertex-mis",
-                 "support measure: vertex-mis | edge-mis | mni | count")
+      .AddString("measure", "vertex-mis", kMeasureHelp)
+      .AddString("txn-map", "", kTxnMapHelp)
+      .AddInt("txn-sample", 0, kTxnSampleHelp)
       .AddDouble("time-budget", 0.0, "wall-clock budget seconds (0 = off)")
       .AddInt("emb-budget", 4096,
               "per-lineage carried embedding-list budget (0 = VF2-only "
@@ -246,6 +272,11 @@ Status CmdMine(const std::vector<std::string>& args, std::ostream& out) {
   config.enforce_dmax_on_results = flags.GetBool("strict-dmax");
   SM_ASSIGN_OR_RETURN(config.support_measure,
                       ParseMeasure(flags.GetString("measure")));
+  config.txn_sample = flags.GetInt("txn-sample");
+  VertexTxnMap txn_map_storage;  // must outlive miner.Mine()
+  SM_ASSIGN_OR_RETURN(
+      config.txn_map,
+      MaybeLoadTxnMap(flags.GetString("txn-map"), graph, &txn_map_storage));
 
   SpiderMiner miner(&graph, config);
   // `mine` IS the one-shot fused path the shim exists for; the session
@@ -564,8 +595,9 @@ Status CmdQuery(const std::vector<std::string>& args, std::ostream& out) {
       .AddInt("threads", 1,
               "worker threads (0 = all cores); results are identical at "
               "any value")
-      .AddString("measure", "vertex-mis",
-                 "support measure: vertex-mis | edge-mis | mni | count")
+      .AddString("measure", "vertex-mis", kMeasureHelp)
+      .AddString("txn-map", "", kTxnMapHelp)
+      .AddInt("txn-sample", 0, kTxnSampleHelp)
       .AddDouble("time-budget", 0.0, "wall-clock budget seconds (0 = off)")
       .AddInt("emb-budget", 4096,
               "per-lineage carried embedding-list budget (0 = VF2-only "
@@ -589,6 +621,10 @@ Status CmdQuery(const std::vector<std::string>& args, std::ostream& out) {
   SessionConfig session_config;
   SM_ASSIGN_OR_RETURN(session_config.num_threads,
                       ValidateThreadsFlag(flags.GetInt("threads")));
+  VertexTxnMap txn_map_storage;  // must outlive the session
+  SM_ASSIGN_OR_RETURN(
+      session_config.txn_map,
+      MaybeLoadTxnMap(flags.GetString("txn-map"), graph, &txn_map_storage));
   SM_ASSIGN_OR_RETURN(
       MiningSession session,
       MiningSession::LoadStage1(&graph, session_config,
@@ -607,6 +643,7 @@ Status CmdQuery(const std::vector<std::string>& args, std::ostream& out) {
   query.enforce_dmax_on_results = flags.GetBool("strict-dmax");
   SM_ASSIGN_OR_RETURN(query.support_measure,
                       ParseMeasure(flags.GetString("measure")));
+  query.txn_sample = flags.GetInt("txn-sample");
 
   SM_ASSIGN_OR_RETURN(QueryResult result, session.RunQuery(query));
 
@@ -672,6 +709,7 @@ Status CmdServe(const std::vector<std::string>& args, std::istream& in,
               "cores); results are identical at any value")
       .AddInt("shard-grain", 0,
               "Stage I vertex-range shard grain (0 = auto; mining only)")
+      .AddString("txn-map", "", kTxnMapHelp)
       .AddInt("max-inflight", 1,
               "queries executed concurrently on the session; over a "
               "socket/TCP transport this is also the admission gate "
@@ -722,6 +760,10 @@ Status CmdServe(const std::vector<std::string>& args, std::istream& in,
   SessionConfig config;
   SM_ASSIGN_OR_RETURN(config.num_threads,
                       ValidateThreadsFlag(flags.GetInt("threads")));
+  VertexTxnMap txn_map_storage;  // must outlive the serving session
+  SM_ASSIGN_OR_RETURN(
+      config.txn_map,
+      MaybeLoadTxnMap(flags.GetString("txn-map"), graph, &txn_map_storage));
   std::optional<MiningSession> session;
   if (flags.positional().size() == 2) {
     // Warm start: adopt a precomputed artifact (its mining parameters

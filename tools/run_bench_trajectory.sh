@@ -15,6 +15,12 @@
 #     speedup bar (last row >= 2x the 1-connection row) is enforced only
 #     on machines with >= 4 cores: with one worker-visible core the rows
 #     legitimately flatline, and the artifact then records that shape.
+#   BENCH_support_measures.json — queries/sec per support measure (the
+#     per-query workload knob: greedy MIS / MNI / count / homomorphism /
+#     transaction, sampled and not) against one resident session on a
+#     50k-vertex graph; the committed file must show
+#     hom_vs_mni_qps_ratio >= 0.2 with per-measure transcripts identical
+#     across repeats.
 #   BENCH_partition_stage1.json — out-of-core partitioned Stage I on a
 #     2M-vertex BA graph: wall time + PER-PROCESS peak RSS of each phase
 #     (partition / per-partition worker / merge, each a forked child
@@ -31,7 +37,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 for bench in bench_artifact_load bench_growth_engine bench_parallel_scaling \
-             bench_partition_stage1; do
+             bench_support_measures bench_partition_stage1; do
   if [[ ! -x "build/${bench}" ]]; then
     echo "error: build/${bench} not found; build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -68,6 +74,11 @@ rows="$(build/bench_parallel_scaling --vertices=20000 --concurrent-queries=8 \
 } > BENCH_serve_throughput.json
 cat BENCH_serve_throughput.json
 echo "OK: wrote BENCH_serve_throughput.json"
+
+echo "=== bench_support_measures (50k-vertex graph, 7 measures x 3; ~1 min)"
+build/bench_support_measures > BENCH_support_measures.json
+cat BENCH_support_measures.json
+echo "OK: wrote BENCH_support_measures.json"
 
 echo "=== bench_partition_stage1 (2M-vertex BA graph; ~5 min)"
 build/bench_partition_stage1 > BENCH_partition_stage1.json

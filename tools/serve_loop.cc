@@ -487,6 +487,8 @@ Result<TopKQuery> QueryFromJson(const JsonObject& request) {
       }
       SM_ASSIGN_OR_RETURN(query.support_measure,
                           ParseMeasure(value.string_value));
+    } else if (key == "txn_sample") {
+      SM_RETURN_NOT_OK(integer(key, value, &query.txn_sample));
     } else if (key == "strict_dmax") {
       if (value.kind != JsonValue::Kind::kBool) {
         return Status::InvalidArgument("\"strict_dmax\" must be a boolean");
